@@ -1,0 +1,33 @@
+"""Abl-4 — send-batching interval sweep near the RTT threshold.
+
+§4.2 budgets ~10 ms average (20 ms worst case) of the 100 ms lag budget for
+outbound message batching, chosen to "strike a balance between
+interactivity and utilization of system resources".  Sweeping the flush
+interval at a near-threshold RTT shows exactly that trade: tighter flushing
+buys smoothness and latency tolerance, at the price of more datagrams.
+"""
+
+from repro.harness.ablations import run_batching_ablation
+from repro.harness.report import format_batching_ablation
+
+
+def test_send_batching_ablation(benchmark, frames):
+    frames = min(frames, 900)
+    intervals = [0.002, 0.005, 0.010, 0.020, 0.040]
+    rows = benchmark.pedantic(
+        lambda: run_batching_ablation(
+            send_intervals=intervals, rtt=0.170, frames=frames
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_batching_ablation(rows)
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    by_interval = {r.send_interval: r for r in rows}
+    # Tight flushing keeps the near-threshold RTT smooth...
+    assert by_interval[0.002].frame_time_mad < by_interval[0.040].frame_time_mad
+    # ...but costs strictly more datagrams.
+    datagrams = [by_interval[i].datagrams_sent for i in intervals]
+    assert all(a >= b for a, b in zip(datagrams, datagrams[1:]))

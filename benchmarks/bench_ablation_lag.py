@@ -1,0 +1,36 @@
+"""Abl-3 — local lag (BufFrame) sweep.
+
+§4.2 explains why local lag is *fixed* at 100 ms: below the threshold it
+already satisfies interactivity; shrinking it just makes the user feel the
+network.  The sweep shows the trade directly: at a fixed RTT, small
+BufFrame values stall the frame loop, large ones hide the latency entirely
+(at the cost of input-to-screen delay, which IS the lag value).
+"""
+
+from repro.harness.ablations import run_lag_ablation
+from repro.harness.report import format_lag_ablation
+
+
+def test_local_lag_ablation(benchmark, frames):
+    frames = min(frames, 900)
+    rows = benchmark.pedantic(
+        lambda: run_lag_ablation(
+            buf_frames=[0, 2, 4, 6, 9, 12], rtt=0.100, frames=frames
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_lag_ablation(rows)
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    by_lag = {r.buf_frame: r for r in rows}
+    # No lag at RTT 100 ms: every frame waits ~a one-way trip.
+    assert by_lag[0].frame_time_mean > 1 / 60 * 1.5
+    # The paper's 6 frames fully hide RTT 100 ms.
+    assert by_lag[6].frame_time_mean < 1 / 60 * 1.05
+    # More lag than needed buys nothing further.
+    assert by_lag[12].frame_time_mean < 1 / 60 * 1.05
+    # Frame time decreases monotonically (within noise) as lag grows.
+    times = [r.frame_time_mean for r in rows]
+    assert all(a >= b - 0.001 for a, b in zip(times, times[1:]))

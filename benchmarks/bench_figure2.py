@@ -1,0 +1,28 @@
+"""Figure 2 — synchrony between two sites vs RTT (Experiment Series 2).
+
+Paper shape to reproduce: the absolute average per-frame time difference
+between the two sites stays under ~10 ms while RTT is below the threshold
+and rises quickly above it.
+"""
+
+from repro.harness.report import format_series2
+from repro.harness.series2 import run_series2
+
+
+def test_figure2_synchrony_between_sites(benchmark, frames, rtts):
+    rows = benchmark.pedantic(
+        lambda: run_series2(rtts=rtts, frames=frames), rounds=1, iterations=1
+    )
+    table = format_series2(rows)
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    # Paper: "when RTT varies from 0 to 130ms, the average of absolute
+    # differences is less than 10ms".
+    low = [r for r in rows if r.rtt <= 0.130]
+    assert all(r.synchrony < 0.010 for r in low)
+    # Past the threshold it "quickly goes up": the worst swept point must
+    # sit well above the plateau.
+    plateau = max(r.synchrony for r in low)
+    assert max(r.synchrony for r in rows) > plateau * 2
+    assert all(r.frames_verified == frames for r in rows)

@@ -1,0 +1,87 @@
+"""Microbenchmarks: throughput of the substrate components.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+pieces whose speed bounds experiment turnaround: the RC-16 console, the
+pure-Python games, the lockstep state machine and the wire codec.
+"""
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment
+from repro.core.lockstep import LockstepSync
+from repro.core.messages import Sync, decode
+from repro.emulator.machine import create_game
+
+
+def test_console_frame_throughput(benchmark):
+    """RC-16 Pong: emulated frames per second of host time."""
+    console = create_game("pong")
+
+    def run_frames():
+        for frame in range(60):
+            console.step(frame & 0x0303)
+
+    benchmark(run_frames)
+
+
+def test_brawler_frame_throughput(benchmark):
+    game = create_game("brawler")
+
+    def run_frames():
+        for frame in range(600):
+            game.step((frame * 2654435761) & 0xFFFF)
+
+    benchmark(run_frames)
+
+
+def test_shooter_frame_throughput(benchmark):
+    game = create_game("shooter")
+
+    def run_frames():
+        for frame in range(600):
+            game.step((frame * 2654435761) & 0xFFFF)
+
+    benchmark(run_frames)
+
+
+def test_lockstep_roundtrip_throughput(benchmark):
+    """Buffer + build + receive + deliver cycles per second."""
+    config = SyncConfig()
+    assignment = InputAssignment.standard(2)
+
+    def run_protocol():
+        a = LockstepSync(config, 0, assignment, 1)
+        b = LockstepSync(config, 1, assignment, 1)
+        for frame in range(300):
+            a.buffer_local_input(frame, frame & 0xFF)
+            b.buffer_local_input(frame, (frame << 8) & 0xFF00)
+            for sender, receiver in ((a, b), (b, a)):
+                message = sender.build_sync_for(receiver.site_no, force=True)
+                if message is not None:
+                    receiver.on_sync(message, frame / 60)
+            a.deliver()
+            b.deliver()
+
+    benchmark(run_protocol)
+
+
+def test_sync_codec_throughput(benchmark):
+    message = Sync(0, 1, acks=[100, 90], first_frame=90, inputs=list(range(12)))
+    raw = message.encode()
+
+    def codec():
+        for __ in range(100):
+            decode(raw)
+
+    benchmark(codec)
+
+
+def test_console_savestate_throughput(benchmark):
+    console = create_game("pong")
+    for frame in range(10):
+        console.step(frame)
+
+    def save_load():
+        blob = console.save_state()
+        console.load_state(blob)
+
+    benchmark(save_load)

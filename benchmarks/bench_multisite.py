@@ -1,0 +1,81 @@
+"""Ext-A — N players and observers (journal-version extension).
+
+Measures how session size affects pacing: lockstep waits on the slowest
+player, so frame times grow only marginally with player count on a uniform
+mesh, and observers are free.
+"""
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment, PadSource, RandomSource
+from repro.core.multisite import (
+    SessionPlan,
+    build_session,
+    players_and_observers_plan,
+)
+from repro.emulator.machine import create_game
+from repro.harness.experiment import collect_metrics
+from repro.harness.report import format_table
+from repro.metrics.recorder import ConsistencyChecker
+from repro.net.netem import NetemConfig
+
+
+def run_mesh(num_players, num_observers, frames):
+    if num_observers:
+        plan = players_and_observers_plan(
+            SyncConfig.paper_defaults(),
+            machine_factory=lambda: create_game("counter"),
+            player_sources=[
+                PadSource(RandomSource(90 + i), player=i)
+                for i in range(num_players)
+            ],
+            num_observers=num_observers,
+            max_frames=frames,
+        )
+    else:
+        plan = SessionPlan(
+            config=SyncConfig.paper_defaults(),
+            assignment=InputAssignment.standard(num_players),
+            machines=[create_game("counter") for __ in range(num_players)],
+            sources=[
+                PadSource(RandomSource(90 + i), player=i)
+                for i in range(num_players)
+            ],
+            max_frames=frames,
+        )
+    session = build_session(plan, NetemConfig.for_rtt(0.040))
+    session.run(horizon=600.0)
+    ConsistencyChecker().verify_traces([vm.runtime.trace for vm in session.vms])
+    return collect_metrics(session, 0.040)
+
+
+def test_multisite_scaling(benchmark, frames):
+    frames = min(frames, 900)
+    configurations = [(2, 0), (3, 0), (4, 0), (2, 2)]
+
+    def run_all():
+        return {
+            (p, o): run_mesh(p, o, frames) for p, o in configurations
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["players", "observers", "frame_time(ms)", "mad(ms)", "sync(ms)"],
+        [
+            [
+                p,
+                o,
+                f"{r.frame_time_mean[0] * 1000:.2f}",
+                f"{r.frame_time_mad[0] * 1000:.2f}",
+                f"{r.synchrony * 1000:.2f}",
+            ]
+            for (p, o), r in results.items()
+        ],
+    )
+    print("\nExt-A: session size scaling (RTT 40 ms)\n" + table)
+    benchmark.extra_info["table"] = table
+
+    # All configurations hold 60 FPS at RTT 40 ms.
+    for result in results.values():
+        assert result.frame_time_mean[0] < 1 / 60 * 1.05
+    # Observers are free: (2 players + 2 observers) paces like (2 players).
+    assert results[(2, 2)].frame_time_mean[0] < results[(2, 0)].frame_time_mean[0] * 1.05

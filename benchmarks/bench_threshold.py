@@ -1,0 +1,72 @@
+"""§4.2 — the latency-budget analysis behind the RTT threshold.
+
+The paper derives its 140 ms threshold as
+``2 × (local_lag − sync_deviation − send_batching − thread_slice)``.
+This benchmark measures the threshold with each overhead toggled off,
+showing that the budget terms are real: removing an overhead buys back the
+corresponding latency tolerance.
+"""
+
+from repro.core.config import SyncConfig
+from repro.harness.experiment import run_point
+from repro.harness.report import format_table
+
+PROBE_RTTS = [r / 1000 for r in range(120, 261, 10)]
+MAD_JUMP = 0.008
+
+
+def measure_threshold(frames, config=None, timer_granularity=0.010):
+    """First probed RTT whose smoothness deviation exceeds the jump level."""
+    for rtt in PROBE_RTTS:
+        result = run_point(
+            rtt,
+            frames=frames,
+            config=config,
+            timer_granularity=timer_granularity,
+        )
+        if result.frame_time_mad[0] > MAD_JUMP:
+            return rtt
+    return float("inf")
+
+
+def test_threshold_budget_terms(benchmark, frames):
+    frames = min(frames, 900)  # 7 probes × 4 variants; keep it bounded
+
+    def run_all():
+        return {
+            "paper profile (batch 20ms + slice 5ms + timer 10ms)": measure_threshold(
+                frames
+            ),
+            "no timer granularity": measure_threshold(
+                frames, timer_granularity=0.0
+            ),
+            "no thread slice": measure_threshold(
+                frames, config=SyncConfig(slice_delay=0.0)
+            ),
+            "tight batching (2ms flush)": measure_threshold(
+                frames, config=SyncConfig(send_interval=0.002)
+            ),
+            "longer lag (BufFrame 8 ≈ 133ms)": measure_threshold(
+                frames, config=SyncConfig(buf_frame=8)
+            ),
+        }
+
+    thresholds = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["configuration", "threshold RTT (ms)"],
+        [
+            [name, "%.0f" % (value * 1000) if value != float("inf") else ">260"]
+            for name, value in thresholds.items()
+        ],
+    )
+    print("\n§4.2 threshold budget\n" + table)
+    benchmark.extra_info["table"] = table
+
+    baseline = thresholds["paper profile (batch 20ms + slice 5ms + timer 10ms)"]
+    # Each removed overhead must tolerate at least as much latency.
+    assert thresholds["no thread slice"] >= baseline
+    assert thresholds["tight batching (2ms flush)"] >= baseline
+    # Tight batching buys the largest chunk of the budget (≈ 2×10 ms).
+    assert thresholds["tight batching (2ms flush)"] > baseline
+    # And two more frames of local lag buy ≈ 2 × 33 ms of RTT tolerance.
+    assert thresholds["longer lag (BufFrame 8 ≈ 133ms)"] >= baseline + 0.030

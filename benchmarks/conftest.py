@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation artifacts and
+prints the underlying table (run with ``-s`` to see it, or check
+``benchmark.extra_info``).  Two environment knobs control fidelity:
+
+* ``REPRO_BENCH_FRAMES`` — frames per experiment (default 600; the paper
+  records 3600).
+* ``REPRO_BENCH_FULL=1`` — run the paper's complete RTT sweep
+  (25 points) instead of the reduced 9-point sweep.
+
+A full-fidelity Figure 1 + Figure 2 run:
+
+    REPRO_BENCH_FULL=1 REPRO_BENCH_FRAMES=3600 \
+        pytest benchmarks/bench_figure1.py benchmarks/bench_figure2.py \
+        --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiment import PAPER_RTT_SWEEP
+
+
+def bench_frames() -> int:
+    return int(os.environ.get("REPRO_BENCH_FRAMES", "600"))
+
+
+def bench_rtts() -> list:
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return list(PAPER_RTT_SWEEP)
+    return [0.0, 0.040, 0.080, 0.100, 0.120, 0.140, 0.160, 0.200, 0.300]
+
+
+@pytest.fixture
+def frames() -> int:
+    return bench_frames()
+
+
+@pytest.fixture
+def rtts() -> list:
+    return bench_rtts()

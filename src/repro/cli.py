@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``games`` — list the built-in deterministic games,
+* ``play`` — run a two-site lockstep session on the simulator and show the
+  final screen and timing metrics,
+* ``figure1`` / ``figure2`` — regenerate the paper's evaluation figures,
+* ``loss`` — the packet-loss sweep (journal extension),
+* ``disasm`` — disassemble a console ROM,
+* ``record`` / ``replay`` — input movies (record a session, verify a replay).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import PadSource, RandomSource
+from repro.core.multisite import build_session, two_player_plan
+from repro.core.replay import InputMovie, record_session
+from repro.emulator.console import Console
+from repro.emulator.machine import available_games, create_game
+from repro.harness.experiment import PAPER_FRAMES, PAPER_RTT_SWEEP
+from repro.harness.report import format_series1, format_series2, format_series3
+from repro.harness.series1 import run_series1
+from repro.harness.series2 import run_series2
+from repro.harness.series3 import run_series3
+from repro.metrics.recorder import ConsistencyChecker
+from repro.metrics.stats import mean
+from repro.net.netem import NetemConfig
+
+
+def _run_session(game: str, frames: int, rtt: float, seed: int, loss: float = 0.0):
+    plan = two_player_plan(
+        SyncConfig.paper_defaults(),
+        machine_factory=lambda: create_game(game),
+        sources=[
+            PadSource(RandomSource(seed), player=0),
+            PadSource(RandomSource(seed + 1), player=1),
+        ],
+        game_id=game,
+        max_frames=frames,
+        seed=seed,
+    )
+    session = build_session(plan, NetemConfig(delay=rtt / 2, loss=loss))
+    session.run(horizon=3600.0)
+    return session
+
+
+def cmd_games(args: argparse.Namespace) -> int:
+    for name in available_games():
+        machine = create_game(name)
+        kind = "RC-16 ROM" if isinstance(machine, Console) else "python"
+        print(f"{name:10s} {kind:10s} {machine.num_players} players")
+    return 0
+
+
+def cmd_play(args: argparse.Namespace) -> int:
+    session = _run_session(args.game, args.frames, args.rtt / 1000, args.seed)
+    traces = [vm.runtime.trace for vm in session.vms]
+    verified = ConsistencyChecker().verify_traces(traces)
+    machine = session.vms[0].runtime.machine
+    print(machine.render_text())
+    print()
+    for vm in session.vms:
+        times = vm.runtime.trace.frame_times()
+        print(
+            f"site {vm.runtime.site_no}: {vm.runtime.frame} frames, "
+            f"mean frame time {mean(times) * 1000:.2f} ms"
+        )
+    print(f"replicas identical for all {verified} frames")
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    rtts = PAPER_RTT_SWEEP if args.full else [r / 1000 for r in range(0, 201, 40)]
+    rows = run_series1(rtts=rtts, frames=args.frames, game=args.game)
+    print(format_series1(rows))
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    rtts = PAPER_RTT_SWEEP if args.full else [r / 1000 for r in range(0, 201, 40)]
+    rows = run_series2(rtts=rtts, frames=args.frames, game=args.game)
+    print(format_series2(rows))
+    return 0
+
+
+def cmd_loss(args: argparse.Namespace) -> int:
+    rows = run_series3(frames=args.frames, game=args.game)
+    print(format_series3(rows))
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.emulator.disassembler import listing
+
+    machine = create_game(args.game)
+    if not isinstance(machine, Console):
+        print(f"{args.game} is a pure-Python game; nothing to disassemble",
+              file=sys.stderr)
+        return 1
+    program = machine._program
+    print(listing(program.code, origin=program.origin))
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    session = _run_session(args.game, args.frames, args.rtt / 1000, args.seed)
+    movie = record_session(session)
+    movie.save(args.output)
+    print(
+        f"recorded {len(movie)} frames of {args.game} "
+        f"({len(movie.checkpoints)} checkpoints) to {args.output}"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    movie = InputMovie.load(args.movie)
+    machine = movie.replay()
+    print(machine.render_text())
+    print(
+        f"replayed {len(movie)} frames of {movie.game}; all "
+        f"{len(movie.checkpoints)} checkpoints verified"
+    )
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.harness.reproduce import write_reproduction
+
+    report_path, json_path = write_reproduction(
+        args.out, frames=args.frames, full_sweep=args.full, progress=print
+    )
+    print(f"wrote {report_path} and {json_path}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validate import validate_file
+
+    outcomes = validate_file(args.results)
+    for outcome in outcomes:
+        print(outcome)
+    failed = sum(1 for o in outcomes if not o.passed)
+    print(f"\n{len(outcomes) - failed}/{len(outcomes)} claims hold")
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Real-time collaboration transparency for legacy games "
+        "(ICDCS 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("games", help="list built-in games").set_defaults(fn=cmd_games)
+
+    def add_common(p, frames_default=600):
+        p.add_argument("--game", default="pong", help="game name (see `games`)")
+        p.add_argument("--frames", type=int, default=frames_default)
+        p.add_argument("--seed", type=int, default=7)
+
+    play = sub.add_parser("play", help="run a two-site session, show the result")
+    add_common(play)
+    play.add_argument("--rtt", type=float, default=40.0, help="round trip, ms")
+    play.set_defaults(fn=cmd_play)
+
+    for name, fn, help_text in (
+        ("figure1", cmd_figure1, "Figure 1: frame rates and smoothness vs RTT"),
+        ("figure2", cmd_figure2, "Figure 2: synchrony between sites vs RTT"),
+    ):
+        figure = sub.add_parser(name, help=help_text)
+        figure.add_argument("--frames", type=int, default=600)
+        figure.add_argument("--game", default="counter")
+        figure.add_argument(
+            "--full", action="store_true", help=f"the paper's full sweep ({PAPER_FRAMES} frames: use --frames)"
+        )
+        figure.set_defaults(fn=fn)
+
+    loss = sub.add_parser("loss", help="packet-loss sweep (journal extension)")
+    loss.add_argument("--frames", type=int, default=600)
+    loss.add_argument("--game", default="counter")
+    loss.set_defaults(fn=cmd_loss)
+
+    disasm = sub.add_parser("disasm", help="disassemble a console ROM")
+    disasm.add_argument("game")
+    disasm.set_defaults(fn=cmd_disasm)
+
+    record = sub.add_parser("record", help="record an input movie")
+    add_common(record)
+    record.add_argument("--rtt", type=float, default=40.0)
+    record.add_argument("--output", "-o", default="movie.json")
+    record.set_defaults(fn=cmd_record)
+
+    replay = sub.add_parser("replay", help="verify and show an input movie")
+    replay.add_argument("movie")
+    replay.set_defaults(fn=cmd_replay)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run every experiment, write report.md + results.json"
+    )
+    reproduce.add_argument("--frames", type=int, default=600)
+    reproduce.add_argument("--full", action="store_true", help="full RTT sweep")
+    reproduce.add_argument("--out", default="results")
+    reproduce.set_defaults(fn=cmd_reproduce)
+
+    validate = sub.add_parser(
+        "validate", help="check a results.json against the paper's claims"
+    )
+    validate.add_argument("results", help="path to results.json")
+    validate.set_defaults(fn=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro disasm pong | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

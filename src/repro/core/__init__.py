@@ -1,0 +1,59 @@
+"""The paper's contribution: the sync module and the distributed VM loop.
+
+Layout mirrors the paper's structure:
+
+* :mod:`repro.core.inputs` — inputs as bit strings partitioned into per-site
+  ``SET[k]`` masks (§3, "we view the input as a binary string").
+* :mod:`repro.core.ibuf` — ``IBuf``, the frame-indexed input buffer.
+* :mod:`repro.core.messages` — the sync wire format
+  (``sd[0..2]`` + ``sd[3…]`` of Algorithm 2, plus session control).
+* :mod:`repro.core.lockstep` — Algorithm 2 (``SyncInput``) as a sans-IO
+  state machine.
+* :mod:`repro.core.pacing` — Algorithms 3 and 4 (frame timing).
+* :mod:`repro.core.rtt` — RTT estimation feeding Algorithm 4's ``RTT/2``.
+* :mod:`repro.core.session` — rendezvous and the session control protocol
+  that starts both sites within one round trip.
+* :mod:`repro.core.vm` — Algorithm 1, the distributed VM frame loop, with
+  its discrete-event driver.
+* :mod:`repro.core.realtime` — the wall-clock driver over real UDP.
+* :mod:`repro.core.multisite` — N players and observers (journal extension).
+* :mod:`repro.core.latejoin` — late joiners via savestate + replay.
+* :mod:`repro.core.replay` — input movies (record / verify / replay).
+* :mod:`repro.core.rollback` — the timewarp alternative, zero local lag.
+"""
+
+from repro.core.config import SyncConfig
+from repro.core.ibuf import InputBuffer
+from repro.core.inputs import (
+    BUTTON_NAMES,
+    Buttons,
+    IdleSource,
+    InputAssignment,
+    InputSource,
+    PadSource,
+    RandomSource,
+    RecordedSource,
+    ScriptedSource,
+)
+from repro.core.lockstep import LockstepSync
+from repro.core.pacing import FramePacer
+from repro.core.vm import DistributedVM, SitePeer, SiteRuntime
+
+__all__ = [
+    "BUTTON_NAMES",
+    "Buttons",
+    "DistributedVM",
+    "FramePacer",
+    "IdleSource",
+    "InputAssignment",
+    "InputBuffer",
+    "InputSource",
+    "LockstepSync",
+    "PadSource",
+    "RandomSource",
+    "RecordedSource",
+    "ScriptedSource",
+    "SitePeer",
+    "SiteRuntime",
+    "SyncConfig",
+]

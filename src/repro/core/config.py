@@ -1,0 +1,115 @@
+"""Session-wide synchronization parameters.
+
+Defaults reproduce the paper's deployment: 60 FPS games (CFPS), 100 ms local
+lag (``BufFrame = 6`` at 60 FPS), one outbound sync message per ~20 ms with
+an extra ~5 ms thread-slice delay (§4.2's delay budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Knobs of the sync module, with the paper's values as defaults."""
+
+    #: Expected constant frame rate of the game ("normally 60", §3.2).
+    cfps: float = 60.0
+
+    #: Local lag in frames.  The paper: 100 ms at 60 FPS → 6 frames.
+    buf_frame: int = 6
+
+    #: Outbound sync messages are batched and flushed on this period
+    #: ("each site sends one message every 20ms", §4.2).
+    send_interval: float = 0.020
+
+    #: Average producer→sender hand-off delay from the two-thread design
+    #: ("assuming the thread time slice is 10ms, there is a 5ms average
+    #: delay", §4.2).  The driver adds a uniform delay in
+    #: ``[0, 2 * slice_delay]`` to each flush.
+    slice_delay: float = 0.005
+
+    #: Whether Algorithm 4 (master/slave rate sync) is active.  Disabled only
+    #: by the ablation experiments.
+    master_slave_pacing: bool = True
+
+    #: Clamp on the per-frame |SyncAdjustTimeDelta| contribution, in frames.
+    #: The paper smooths start-up skew "within only a few frames"; without a
+    #: clamp a huge transient estimate (e.g. before RTT converges) would
+    #: swing the pacer violently.  Set to ``None`` for the raw Algorithm 4.
+    sync_adjust_clamp_frames: float = 3.0
+
+    #: How many frames of inputs a sync message may carry at most.  Bounds
+    #: message size under long stalls; the unacked window is re-sent across
+    #: consecutive flushes.
+    max_inputs_per_message: int = 120
+
+    #: Adaptive local lag (§4.2 discusses and *rejects* this; implemented
+    #: so the trade-off can be measured).  When enabled, each site resizes
+    #: its own input lag to ``ceil((RTT/2 + adaptive_margin) · CFPS)``
+    #: frames, clamped to the bounds below.  Purely local: a site's lag
+    #: only affects where its own inputs land, so no agreement is needed.
+    adaptive_lag: bool = False
+
+    #: Safety margin over the one-way estimate (covers send batching and
+    #: slice delays) when sizing the adaptive lag.
+    adaptive_margin: float = 0.035
+
+    #: Bounds for the adaptive lag, in frames.
+    adaptive_min_buf: int = 2
+    adaptive_max_buf: int = 15
+
+    #: Initial RTT estimate used before any ping sample arrives.
+    initial_rtt: float = 0.0
+
+    #: EWMA weight for new RTT samples.
+    rtt_alpha: float = 0.125
+
+    #: Ping period for RTT estimation.
+    ping_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cfps <= 0:
+            raise ValueError(f"cfps must be positive, got {self.cfps}")
+        if self.buf_frame < 0:
+            raise ValueError(f"buf_frame must be >= 0, got {self.buf_frame}")
+        if self.send_interval <= 0:
+            raise ValueError("send_interval must be positive")
+        if self.slice_delay < 0:
+            raise ValueError("slice_delay must be >= 0")
+        if self.max_inputs_per_message < 1:
+            raise ValueError("max_inputs_per_message must be >= 1")
+
+    @property
+    def time_per_frame(self) -> float:
+        """``TimePerFrame = 1 / CFPS`` (§3.2)."""
+        return 1.0 / self.cfps
+
+    @property
+    def local_lag(self) -> float:
+        """Local lag in seconds (the paper's ~100 ms)."""
+        return self.buf_frame * self.time_per_frame
+
+    @classmethod
+    def paper_defaults(cls) -> "SyncConfig":
+        """The exact configuration of the paper's evaluation."""
+        return cls()
+
+    @classmethod
+    def for_local_lag(cls, lag_seconds: float, cfps: float = 60.0, **kwargs: object) -> "SyncConfig":
+        """Derive ``buf_frame`` from a target local lag.
+
+        Rounds up: the paper picks the smallest whole number of frames whose
+        total delay is at least the target ("calculated to match the local
+        lag time of around 100 ms").
+        """
+        import math
+
+        # Tolerate float noise: 0.100 * 60 must be 6 frames, not 7.
+        frames = math.ceil(lag_seconds * cfps - 1e-9)
+        return cls(cfps=cfps, buf_frame=max(0, frames), **kwargs)  # type: ignore[arg-type]
+
+    def with_overrides(self, **kwargs: object) -> "SyncConfig":
+        """Functional update (the dataclass is frozen)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]

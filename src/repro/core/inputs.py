@@ -1,0 +1,283 @@
+"""Inputs as partitioned bit strings.
+
+§3 of the paper: *"we view the input as a binary string, in which different
+sites control different bits of the string.  Notation SET[k] maps site k to
+the set of bits it controls.  For any two different sites j and k,
+SET[j] ∩ SET[k] = {}."*
+
+We represent an input word as a Python ``int`` and ``SET[k]`` as a bit mask.
+The standard layout gives each player one byte — the classic 8-button
+TV/arcade pad: UP, DOWN, LEFT, RIGHT, A, B, START, COIN.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Sequence
+
+
+class Buttons:
+    """Bit positions of the 8-button pad (per player, before shifting)."""
+
+    UP = 1 << 0
+    DOWN = 1 << 1
+    LEFT = 1 << 2
+    RIGHT = 1 << 3
+    A = 1 << 4
+    B = 1 << 5
+    START = 1 << 6
+    COIN = 1 << 7
+
+    ALL = 0xFF
+
+
+BUTTON_NAMES = {
+    Buttons.UP: "UP",
+    Buttons.DOWN: "DOWN",
+    Buttons.LEFT: "LEFT",
+    Buttons.RIGHT: "RIGHT",
+    Buttons.A: "A",
+    Buttons.B: "B",
+    Buttons.START: "START",
+    Buttons.COIN: "COIN",
+}
+
+#: Width of one player's slice of the input word.
+BITS_PER_PLAYER = 8
+
+
+def player_shift(player: int) -> int:
+    """Bit offset of ``player``'s byte within the input word."""
+    if player < 0:
+        raise ValueError(f"player must be >= 0, got {player}")
+    return player * BITS_PER_PLAYER
+
+
+def player_mask(player: int) -> int:
+    """``SET[player]`` for the standard one-byte-per-player layout."""
+    return Buttons.ALL << player_shift(player)
+
+
+def pack_buttons(player: int, buttons: int) -> int:
+    """Place a pad byte into ``player``'s slice of the input word."""
+    if buttons & ~Buttons.ALL:
+        raise ValueError(f"buttons 0x{buttons:x} outside the 8-button pad")
+    return buttons << player_shift(player)
+
+
+def unpack_buttons(word: int, player: int) -> int:
+    """Extract ``player``'s pad byte from an input word."""
+    return (word >> player_shift(player)) & Buttons.ALL
+
+
+def describe_word(word: int, num_players: int = 2) -> str:
+    """Human-readable rendering, e.g. ``"P0[LEFT+A] P1[]"``."""
+    parts = []
+    for player in range(num_players):
+        pressed = unpack_buttons(word, player)
+        names = [name for bit, name in BUTTON_NAMES.items() if pressed & bit]
+        parts.append(f"P{player}[{'+'.join(names)}]")
+    return " ".join(parts)
+
+
+class InputAssignment:
+    """The ``SET[k]`` partition for a session.
+
+    Bits claimed by no site are ``SET[-1]`` in the paper and are masked out
+    of every merged input.
+    """
+
+    def __init__(self, masks: Sequence[int]) -> None:
+        masks = list(masks)
+        for i, a in enumerate(masks):
+            for j in range(i + 1, len(masks)):
+                if a & masks[j]:
+                    raise ValueError(
+                        f"SET[{i}] and SET[{j}] overlap: 0x{a & masks[j]:x}"
+                    )
+        self._masks = masks
+
+    @classmethod
+    def standard(cls, num_sites: int, players_per_site: int = 1) -> "InputAssignment":
+        """One pad byte per player, ``players_per_site`` players per site."""
+        masks: List[int] = []
+        player = 0
+        for __ in range(num_sites):
+            mask = 0
+            for __p in range(players_per_site):
+                mask |= player_mask(player)
+                player += 1
+            masks.append(mask)
+        return cls(masks)
+
+    @classmethod
+    def with_observers(cls, num_players: int, num_observers: int) -> "InputAssignment":
+        """Players get pad bytes; observers control no bits (mask 0)."""
+        masks = [player_mask(p) for p in range(num_players)]
+        masks.extend([0] * num_observers)
+        return cls(masks)
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def mask(self, site: int) -> int:
+        """``SET[site]``."""
+        return self._masks[site]
+
+    def controlled_mask(self) -> int:
+        """Union of all sites' bits (everything not in ``SET[-1]``)."""
+        combined = 0
+        for mask in self._masks:
+            combined |= mask
+        return combined
+
+    def gating_sites(self) -> List[int]:
+        """Sites whose input must arrive before a frame may be delivered.
+
+        Observers control no bits, so they never gate delivery.
+        """
+        return [site for site, mask in enumerate(self._masks) if mask]
+
+    def restrict(self, word: int, site: int) -> int:
+        """Keep only ``site``'s bits of ``word``."""
+        return word & self._masks[site]
+
+    def merge(self, partials: Dict[int, int]) -> int:
+        """Combine per-site partial inputs into one word.
+
+        Bits outside each contributor's mask are discarded, implementing the
+        paper's "bits not controlled by any site are ignored".
+        """
+        word = 0
+        for site, partial in partials.items():
+            word |= partial & self._masks[site]
+        return word
+
+
+class InputSource(ABC):
+    """Produces the local player's pad state for each frame.
+
+    Sources must be deterministic functions of (their construction
+    arguments, the frame number): experiments replay them on both the
+    site under test and the reference site.
+    """
+
+    @abstractmethod
+    def get(self, frame: int) -> int:
+        """Return the pad byte (or full mask-local bits) for ``frame``."""
+
+
+class IdleSource(InputSource):
+    """A player who never touches the pad."""
+
+    def get(self, frame: int) -> int:
+        return 0
+
+
+class ScriptedSource(InputSource):
+    """Inputs from an explicit ``{frame: buttons}`` script.
+
+    Frames not in the script repeat the most recent scripted value when
+    ``hold`` is true (useful for held directions), else produce 0.
+    """
+
+    def __init__(self, script: Dict[int, int], hold: bool = False) -> None:
+        self._script = dict(script)
+        self._hold = hold
+        self._frames = sorted(self._script)
+
+    def get(self, frame: int) -> int:
+        if frame in self._script:
+            return self._script[frame]
+        if not self._hold:
+            return 0
+        previous = [f for f in self._frames if f < frame]
+        return self._script[previous[-1]] if previous else 0
+
+
+class RandomSource(InputSource):
+    """A deterministic pseudo-random button masher.
+
+    Each button independently toggles with probability ``toggle_p`` per
+    frame, producing runs of presses-and-holds that resemble real pad input
+    more closely than per-frame independent noise.  The sequence is fully
+    determined by ``seed``: frame ``n`` is computed by hashing, not by
+    consuming shared RNG state, so lookups are random access and replay-safe.
+    """
+
+    def __init__(self, seed: int, toggle_p: float = 0.08, mask: int = Buttons.ALL) -> None:
+        if not 0.0 <= toggle_p <= 1.0:
+            raise ValueError(f"toggle_p must be in [0,1], got {toggle_p}")
+        self._seed = seed
+        self._toggle_p = toggle_p
+        self._mask = mask
+        self._cache: Dict[int, int] = {}
+
+    def _toggles(self, frame: int) -> int:
+        rng = random.Random((self._seed << 20) ^ frame)
+        toggles = 0
+        for bit in range(BITS_PER_PLAYER):
+            if rng.random() < self._toggle_p:
+                toggles |= 1 << bit
+        return toggles & self._mask
+
+    def get(self, frame: int) -> int:
+        if frame < 0:
+            return 0
+        if frame in self._cache:
+            return self._cache[frame]
+        # Compute forward from the nearest cached ancestor (or 0).
+        known = max((f for f in self._cache if f < frame), default=-1)
+        state = self._cache.get(known, 0)
+        for f in range(known + 1, frame + 1):
+            state ^= self._toggles(f)
+            self._cache[f] = state
+        return state
+
+
+class PadSource(InputSource):
+    """Adapts a pad-byte source into full-input-word bit positions.
+
+    Sources like :class:`RandomSource` or :class:`ScriptedSource` speak in
+    pad bytes (bits 0–7); a site controlling player ``k`` must place those
+    bits at ``SET[k]``'s offset before buffering.
+    """
+
+    def __init__(self, inner: InputSource, player: int) -> None:
+        self._inner = inner
+        self._player = player
+
+    def get(self, frame: int) -> int:
+        return pack_buttons(self._player, self._inner.get(frame) & Buttons.ALL)
+
+
+class RecordedSource(InputSource):
+    """Replays a recorded input trace; frames past the end return 0."""
+
+    def __init__(self, trace: Iterable[int]) -> None:
+        self._trace = list(trace)
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def get(self, frame: int) -> int:
+        if 0 <= frame < len(self._trace):
+            return self._trace[frame]
+        return 0
+
+
+class InputRecorder(InputSource):
+    """Wraps a source, recording what it produced (for replay tests)."""
+
+    def __init__(self, inner: InputSource) -> None:
+        self._inner = inner
+        self.trace: Dict[int, int] = {}
+
+    def get(self, frame: int) -> int:
+        value = self._inner.get(frame)
+        self.trace[frame] = value
+        return value
+
+    def to_recorded(self, frames: int) -> RecordedSource:
+        return RecordedSource([self.trace.get(f, 0) for f in range(frames)])

@@ -1,0 +1,134 @@
+"""Late joiners — savestate transfer plus catch-up (journal extension).
+
+The conference paper's journal version addresses "how to accommodate late
+comers".  The mechanism implemented here:
+
+1. The joiner (already listed in the session's input assignment, but absent
+   from the start handshake) wakes at ``join_time`` and sends
+   ``STATE_REQUEST`` to a donor site until a ``STATE_SNAPSHOT`` arrives.
+2. The donor answers at a frame boundary with its machine state *after*
+   executing frame ``f`` (so the snapshot is a consistent replica state).
+3. The joiner loads the state, seeds its lockstep pointer at ``f + 1``, and
+   enters the ordinary frame loop.  Its first ack vector tells the peers it
+   holds everything through ``f``, so they stream inputs from ``f + 1`` —
+   the normal retransmission path, no special catch-up protocol.
+4. A joining *player* (not just an observer) additionally needs peers to
+   know from which frame its input bits start gating delivery:
+   :meth:`LockstepSync.admit_site` with ``f + 1 + BufFrame`` (its first
+   buffered input lands there); earlier frames treat its bits as empty.
+
+Observers join with zero impact on players; joining players briefly stall
+peers only if the snapshot transfer outlives their input buffers' lag
+window, exactly as a real deployment would.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.messages import StateRequest
+from repro.core.session import SessionPhase
+from repro.core.vm import DistributedVM
+from repro.sim.process import Sleep, Spawn, WaitMessage
+
+
+class LateJoinError(RuntimeError):
+    """The joiner could not obtain a snapshot."""
+
+
+class LateJoinerVM(DistributedVM):
+    """A site that joins a running session at ``join_time``.
+
+    Construction mirrors :class:`DistributedVM`; the donor site must have
+    ``runtime.allow_state_requests = True``.
+    """
+
+    #: How often the joiner re-sends STATE_REQUEST.
+    REQUEST_INTERVAL = 0.1
+    #: Give up after this many seconds without a snapshot.
+    REQUEST_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        *args: object,
+        join_time: float = 1.0,
+        donor_site: int = 0,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self.join_time = join_time
+        self.donor_site = donor_site
+        self.joined_at_frame: Optional[int] = None
+
+    def _main(self) -> Generator:
+        yield Sleep(self.join_time)
+        yield Spawn(self._send_pump(), f"pump{self.runtime.site_no}")
+        yield Spawn(self._ping_pump(), f"ping{self.runtime.site_no}")
+        yield from self._acquire_state()
+        yield from self._frame_loop()
+        yield from self._linger()
+
+    def _acquire_state(self) -> Generator:
+        runtime = self.runtime
+        donor_address = runtime.address_of[self.donor_site]
+        deadline = self.loop.clock.now() + self.REQUEST_TIMEOUT
+        request = StateRequest(runtime.site_no, runtime.session_id).encode()
+
+        while runtime.latest_snapshot is None:
+            if self.loop.clock.now() >= deadline:
+                raise LateJoinError(
+                    f"site {runtime.site_no}: no snapshot from donor "
+                    f"{self.donor_site} within {self.REQUEST_TIMEOUT}s"
+                )
+            self.socket.send(request, donor_address)
+            envelope = yield WaitMessage(
+                self.socket.mailbox, timeout=self.REQUEST_INTERVAL
+            )
+            self._drain(envelope)
+
+        snapshot = runtime.latest_snapshot
+        runtime.machine.load_state(snapshot.state)
+        # The admission gate peers apply is snapshot + 1 + the *configured*
+        # BufFrame; pin our lag there so our first input lands exactly on
+        # it (adaptive lag, if enabled, resumes afterwards).
+        runtime.lockstep.set_local_lag(runtime.config.buf_frame)
+        runtime.lockstep.seed_from_snapshot(snapshot.frame, snapshot.backlog)
+        runtime.frame = snapshot.frame + 1
+        runtime.trace.first_frame = runtime.frame
+        self.joined_at_frame = runtime.frame
+        # The joiner never ran the start handshake; it is live now.
+        runtime.session.phase = SessionPhase.RUNNING
+        runtime.session.started_at = self.loop.clock.now()
+
+
+def register_late_join(session_vms, donor_vm, joiner_site: int) -> None:
+    """Prepare a running session for a late joiner.
+
+    * every present site marks the joiner absent (no sync traffic to it, no
+      gating on it, no pruning hold-back),
+    * the donor accepts ``STATE_REQUEST``s,
+    * when the donor serves a snapshot at frame ``f``, every present site
+      admits the joiner: its inputs gate from ``f + 1 + BufFrame`` (the
+      first frame its locally-lagged input can land on) and retransmission
+      windows to it start at ``f + 1``.
+
+    In a deployment the admit broadcast rides the session-control channel;
+    the harness applies it synchronously, which is equivalent as long as
+    no present site is more than ``BufFrame`` frames ahead of the donor —
+    lockstep guarantees that.
+    """
+    buf_frame = donor_vm.runtime.config.buf_frame
+    for vm in session_vms:
+        if vm.runtime.site_no != joiner_site:
+            vm.runtime.lockstep.mark_absent(joiner_site)
+    donor_vm.runtime.allow_state_requests = True
+
+    def on_served(site: int, snapshot_frame: int) -> None:
+        first_gating = snapshot_frame + 1 + buf_frame
+        for vm in session_vms:
+            if vm.runtime.site_no != joiner_site:
+                vm.runtime.lockstep.admit_site(
+                    site, first_gating, ack_hint=snapshot_frame
+                )
+
+    donor_vm.on_snapshot_served = on_served

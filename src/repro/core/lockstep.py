@@ -1,0 +1,431 @@
+"""Algorithm 2 — ``SyncInput`` — as a sans-IO state machine.
+
+The paper presents ``SyncInput(I, F)`` as a blocking call that loops over
+send/receive until the remote input for the current frame has arrived.  Here
+the same state is factored out of the loop so it can be driven by either the
+discrete-event simulator or a threaded wall-clock driver:
+
+* :meth:`LockstepSync.buffer_local_input` — lines 1–5 (local lag buffering),
+* :meth:`LockstepSync.build_sync` — lines 7–11 (the ``sd`` message),
+* :meth:`LockstepSync.on_sync` — lines 13–19 (integrating ``rc``),
+* :meth:`LockstepSync.can_deliver` — the line-21 exit condition,
+* :meth:`LockstepSync.deliver` — lines 22–23 (advance ``IBufPointer`` and
+  return the merged input).
+
+The state machine generalizes the paper's two-site presentation to N sites:
+``LastRcvFrame``/``LastAckFrame`` become per-site vectors, the ``sd[0]`` ack
+becomes an ack vector, and delivery waits on every *gating* site (a site
+that controls at least one input bit — observers never gate).  With
+``num_sites == 2`` the behaviour reduces exactly to the published algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SyncConfig
+from repro.core.ibuf import InputBuffer
+from repro.core.inputs import InputAssignment
+from repro.core.messages import Sync
+
+
+class LockstepStats:
+    """Counters exposed for experiments and debugging."""
+
+    def __init__(self) -> None:
+        self.local_inputs_buffered = 0
+        self.local_inputs_dropped = 0
+        self.lag_changes = 0
+        self.frames_delivered = 0
+        self.sync_messages_sent = 0
+        self.sync_messages_received = 0
+        self.duplicate_inputs_received = 0
+        self.inputs_sent = 0
+        self.inputs_retransmitted = 0
+        self.pruned_frames = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class LockstepSync:
+    """Per-site lockstep synchronization state (Algorithm 2, N-site)."""
+
+    def __init__(
+        self,
+        config: SyncConfig,
+        site_no: int,
+        assignment: InputAssignment,
+        session_id: int = 0,
+    ) -> None:
+        if not 0 <= site_no < len(assignment):
+            raise ValueError(
+                f"site_no {site_no} out of range for {len(assignment)} sites"
+            )
+        self.config = config
+        self.site_no = site_no
+        self.assignment = assignment
+        self.session_id = session_id
+        self.num_sites = len(assignment)
+        self.stats = LockstepStats()
+
+        initial = config.buf_frame - 1
+        self.ibuf = InputBuffer(self.num_sites)
+        #: IBufPointer: next frame to deliver.
+        self.ibuf_pointer = 0
+        #: LastRcvFrame[i]: last frame up to which site i's inputs are buffered.
+        self.last_rcv_frame: List[int] = [initial] * self.num_sites
+        #: LastAckFrame[i]: last of *our* frames that site i has acknowledged.
+        self.last_ack_frame: List[int] = [initial] * self.num_sites
+        #: Sites whose inputs gate delivery (control at least one bit).
+        self._gating_sites = [
+            s for s in assignment.gating_sites() if s != site_no
+        ]
+        #: First frame at which each site's input is required (late join).
+        self.gate_from: List[int] = [0] * self.num_sites
+        #: Arrival info of the newest input-advancing message from site 0
+        #: (frame, arrival time) — Algorithm 4's MasterFrame/MasterRcvTime.
+        self.master_sample: Optional[Tuple[int, float]] = None
+        #: Current local lag in frames (changes only under adaptive lag).
+        self._current_buf = config.buf_frame
+        #: Pad state used to fill slots when the lag grows.
+        self._last_local_bits = 0
+        #: Highest frame of our own inputs ever put on the wire (for the
+        #: retransmission counter).
+        self._highest_sent_frame = initial
+        #: Per-peer: set whenever a sync message arrives from that peer, so
+        #: the next flush re-acks even if nothing else changed (keeps a
+        #: lost-ack peer from retransmitting forever).
+        self._ack_dirty: Dict[int, bool] = {}
+        self._last_sent_acks: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def my_mask(self) -> int:
+        return self.assignment.mask(self.site_no)
+
+    @property
+    def is_observer(self) -> bool:
+        """True when this site controls no input bits."""
+        return self.my_mask == 0
+
+    def waiting_on(self) -> List[int]:
+        """Gating sites whose input for the next frame is still missing.
+
+        Includes *ourselves* when we control bits: delivering a frame
+        before our own input is placed would merge without bits that peers
+        will later receive — a guaranteed divergence.  The normal frame
+        loop never trips this (it buffers before delivering and the lag is
+        positive), but greedy consumers and adaptive-lag drop phases can.
+        """
+        pointer = self.ibuf_pointer
+        missing = [
+            s
+            for s in self._gating_sites
+            if pointer >= self.gate_from[s] and self.last_rcv_frame[s] < pointer
+        ]
+        if not self.is_observer and self.last_rcv_frame[self.site_no] < pointer:
+            missing.append(self.site_no)
+        return missing
+
+    # ------------------------------------------------------------------
+    # Algorithm 2, lines 1–5: local-lag buffering
+    # ------------------------------------------------------------------
+    @property
+    def local_lag_frames(self) -> int:
+        """The lag currently applied to this site's inputs."""
+        return self._current_buf
+
+    def set_local_lag(self, buf_frames: int) -> None:
+        """Change this site's local lag from the next buffered frame on.
+
+        Lag is a purely local choice: it decides which future frame slot
+        each local input occupies, and the slot mapping below stays total
+        (no slot is ever skipped) and single-valued (no slot is filled
+        twice), so peers observe only a different input latency — never an
+        inconsistency.  Growing lag pads the intervening slots by repeating
+        the last input; shrinking lag drops a few local input frames.
+        """
+        if buf_frames < 0:
+            raise ValueError(f"lag must be >= 0 frames, got {buf_frames}")
+        if buf_frames != self._current_buf:
+            self._current_buf = buf_frames
+            self.stats.lag_changes += 1
+
+    def buffer_local_input(self, frame: int, local_bits: int) -> None:
+        """Buffer this site's partial input for ``frame`` at its lag slot.
+
+        With the paper's fixed lag the slot is always ``frame + BufFrame``
+        (lines 1–5 verbatim).  Observers control no bits and buffer
+        nothing — their partial input is identically empty and peers never
+        wait for it.
+        """
+        if self.is_observer:
+            return
+        restricted = self.assignment.restrict(local_bits, self.site_no)
+        target = frame + self._current_buf
+        next_slot = self.last_rcv_frame[self.site_no] + 1
+        if target < next_slot:
+            # Lag shrank: this input's slot is already filled; drop it and
+            # let the frame counter catch up to the new, shorter lag.
+            self.stats.local_inputs_dropped += 1
+            return
+        # Lag grew (or steady state): pad any gap by holding the previous
+        # pad state, then place this input.
+        for slot in range(next_slot, target):
+            self.ibuf.put(slot, self.site_no, self._last_local_bits)
+        self.ibuf.put(target, self.site_no, restricted)
+        self._last_local_bits = restricted
+        self.last_rcv_frame[self.site_no] = target
+        self.stats.local_inputs_buffered += 1
+
+    # ------------------------------------------------------------------
+    # Algorithm 2, lines 7–11: build the outbound sd messages
+    # ------------------------------------------------------------------
+    def build_sync_for(self, peer: int, force: bool = False) -> Optional[Sync]:
+        """The next ``sd`` message for ``peer``, or None when there is no news.
+
+        "New info" (line 7) is either local inputs the peer has not
+        acknowledged or an ack vector it has not seen; ``force`` sends
+        regardless (keepalives).  Windows are per-peer: a slow or absent
+        peer must never pin the window other peers receive.
+        """
+        first, last = self._unacked_window(peer)
+        has_inputs = first <= last
+        acks = list(self.last_rcv_frame)
+        acks_changed = self._last_sent_acks.get(peer) != acks
+        if not (
+            has_inputs or acks_changed or self._ack_dirty.get(peer) or force
+        ):
+            return None
+
+        inputs: List[int] = []
+        if has_inputs:
+            last = min(last, first + self.config.max_inputs_per_message - 1)
+            inputs = self.ibuf.range_for(self.site_no, first, last)
+
+        message = Sync(
+            sender_site=self.site_no,
+            session_id=self.session_id,
+            acks=acks,
+            first_frame=first,
+            inputs=inputs,
+        )
+        self._record_send(peer, message)
+        return message
+
+    def build_all(self, force: bool = False) -> Dict[int, Sync]:
+        """One flush: per-peer ``sd`` messages (absent peers are skipped)."""
+        out: Dict[int, Sync] = {}
+        for peer in range(self.num_sites):
+            if peer == self.site_no or self.is_absent(peer):
+                continue
+            message = self.build_sync_for(peer, force=force)
+            if message is not None:
+                out[peer] = message
+        return out
+
+    def _unacked_window(self, peer: int) -> Tuple[int, int]:
+        """(sd[1], sd[2]): oldest frame ``peer`` has not acked → newest buffered."""
+        if self.is_observer:
+            return (0, -1)
+        first = self.last_ack_frame[peer] + 1
+        # Never reach below the prune floor (those frames are acked by all).
+        first = max(first, self.ibuf.floor)
+        last = self.last_rcv_frame[self.site_no]
+        return (first, last)
+
+    def _record_send(self, peer: int, message: Sync) -> None:
+        self.stats.sync_messages_sent += 1
+        self.stats.inputs_sent += len(message.inputs)
+        if message.inputs:
+            already_sent = max(
+                0, self._highest_sent_frame - message.first_frame + 1
+            )
+            self.stats.inputs_retransmitted += min(already_sent, len(message.inputs))
+            self._highest_sent_frame = max(
+                self._highest_sent_frame, message.last_frame
+            )
+        self._last_sent_acks[peer] = list(message.acks)
+        self._ack_dirty[peer] = False
+
+    # ------------------------------------------------------------------
+    # Algorithm 2, lines 13–19: integrate a received rc message
+    # ------------------------------------------------------------------
+    def on_sync(self, message: Sync, arrived_at: float) -> None:
+        """Fold a received sync message into the buffer and counters."""
+        if message.session_id != self.session_id:
+            return  # stray datagram from another session
+        sender = message.sender_site
+        if not 0 <= sender < self.num_sites or sender == self.site_no:
+            return
+        self.stats.sync_messages_received += 1
+        self._ack_dirty[sender] = True
+
+        # Line 13: update IBuf[rc[1]..rc[2]](RmSET) — duplicates discarded.
+        for offset, partial in enumerate(message.inputs):
+            frame = message.first_frame + offset
+            if not self.ibuf.put(frame, sender, partial):
+                self.stats.duplicate_inputs_received += 1
+
+        # Lines 14–16: advance LastRcvFrame[sender], but only over a window
+        # contiguous with what we already hold (a gap would mean we ack
+        # frames we never received).
+        if message.inputs:
+            if message.first_frame <= self.last_rcv_frame[sender] + 1:
+                new_last = max(self.last_rcv_frame[sender], message.last_frame)
+                if new_last > self.last_rcv_frame[sender]:
+                    self.last_rcv_frame[sender] = new_last
+                    if sender == 0 and self.site_no != 0:
+                        self.master_sample = (new_last, arrived_at)
+
+        # Lines 17–19: the sender's ack for *our* inputs.
+        if self.site_no < len(message.acks):
+            ack = message.acks[self.site_no]
+            if ack > self.last_ack_frame[sender]:
+                self.last_ack_frame[sender] = ack
+
+        self._prune()
+
+    def _prune(self) -> None:
+        """Drop buffer entries that can never be referenced again.
+
+        A frame is dead once it has been delivered locally *and* every
+        present peer has acknowledged our input for it (so no retransmission
+        needs it).  Absent peers (late joiners) never gate pruning: they
+        catch up from a savestate, not from frame-0 inputs.
+        """
+        peers = [
+            s
+            for s in range(self.num_sites)
+            if s != self.site_no and not self.is_absent(s)
+        ]
+        if peers and not self.is_observer:
+            min_acked = min(self.last_ack_frame[s] for s in peers)
+        else:
+            min_acked = self.ibuf_pointer - 1
+        floor = min(self.ibuf_pointer, min_acked + 1)
+        self.stats.pruned_frames += self.ibuf.prune_below(floor)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2, lines 21–23: delivery
+    # ------------------------------------------------------------------
+    def can_deliver(self) -> bool:
+        """Line 21 exit condition: inputs for the next frame are complete."""
+        return not self.waiting_on()
+
+    def deliver(self) -> int:
+        """Lines 22–23: advance ``IBufPointer``, return the merged input.
+
+        For the first ``BufFrame`` frames this returns empty (zero) inputs,
+        exactly as the paper describes.
+        """
+        if not self.can_deliver():
+            missing = self.waiting_on()
+            raise RuntimeError(
+                f"site {self.site_no}: frame {self.ibuf_pointer} not ready; "
+                f"waiting on sites {missing}"
+            )
+        merged = self.ibuf.merged(self.ibuf_pointer, self.assignment)
+        self.ibuf_pointer += 1
+        self.stats.frames_delivered += 1
+        self._prune()
+        return merged
+
+    # ------------------------------------------------------------------
+    # Late-join support (journal extension)
+    # ------------------------------------------------------------------
+    #: Sentinel gate for a site that has not joined yet.
+    NEVER = 1 << 31
+
+    def mark_absent(self, site: int) -> None:
+        """Declare that ``site`` has not joined yet.
+
+        Absent sites receive no sync traffic, never gate delivery and never
+        gate pruning; :meth:`admit_site` makes them present again.
+        """
+        if site == self.site_no:
+            raise ValueError("a site cannot mark itself absent")
+        self.admit_site(site, self.NEVER)
+
+    def is_absent(self, site: int) -> bool:
+        return self.gate_from[site] >= self.NEVER
+
+    def admit_site(self, site: int, first_gating_frame: int, ack_hint: Optional[int] = None) -> None:
+        """Declare that ``site``'s inputs gate delivery from ``first_gating_frame``.
+
+        Frames before it are treated as if the site's partial input were
+        empty.  Used for late-joining players: mark the slot ``NEVER`` at
+        session start, then set the real gate when the joiner's snapshot is
+        served.  Lowering the gate below frames we already delivered would
+        rewrite history (we merged those frames without the site's input),
+        so that is rejected.
+        """
+        if not 0 <= site < self.num_sites:
+            raise ValueError(f"site {site} out of range")
+        if first_gating_frame < self.gate_from[site] and (
+            first_gating_frame < self.ibuf_pointer
+        ):
+            raise ValueError(
+                f"cannot gate site {site} from frame {first_gating_frame}: "
+                f"already delivered through {self.ibuf_pointer - 1} without it"
+            )
+        self.gate_from[site] = first_gating_frame
+        if first_gating_frame < self.NEVER:
+            # Frames before the gate are the joiner's *virtual* (empty)
+            # input history; treat them as received so the contiguity guard
+            # accepts its first real window at ``first_gating_frame``.
+            self.last_rcv_frame[site] = max(
+                self.last_rcv_frame[site], first_gating_frame - 1
+            )
+        if ack_hint is not None and ack_hint > self.last_ack_frame[site]:
+            # The joiner is known to hold a savestate through ``ack_hint``;
+            # start its retransmission window there instead of frame 0.
+            self.last_ack_frame[site] = ack_hint
+
+    def seed_from_snapshot(
+        self, snapshot_frame: int, backlog: Optional[List[List[int]]] = None
+    ) -> None:
+        """Initialize a late joiner whose machine state is at ``snapshot_frame``.
+
+        The joiner resumes delivery at ``snapshot_frame + 1``.  ``backlog``
+        (from the donor's :class:`~repro.core.messages.StateSnapshot`) seeds
+        each peer's inputs for the frames the donor had buffered beyond the
+        snapshot — frames other peers may have pruned already.  Everything
+        later arrives via the normal retransmission path.
+
+        The joiner's *own* input history is virtual: frames up to
+        ``snapshot_frame + BufFrame`` are implicitly empty (peers gate it
+        from ``snapshot_frame + 1 + BufFrame``), so the receive/ack vectors
+        start past that virtual history to keep retransmission windows
+        well-formed.
+        """
+        virtual_history = snapshot_frame + self._current_buf
+        self.ibuf_pointer = snapshot_frame + 1
+        self.ibuf.prune_below(snapshot_frame + 1)
+        for site in range(self.num_sites):
+            if site != self.site_no:
+                self.last_rcv_frame[site] = max(
+                    self.last_rcv_frame[site], snapshot_frame
+                )
+                # Peers cannot have acked inputs we never produced; mark our
+                # virtual (empty) history as acked so windows begin at our
+                # first real input.
+                self.last_ack_frame[site] = max(
+                    self.last_ack_frame[site], virtual_history
+                )
+        self.last_rcv_frame[self.site_no] = max(
+            self.last_rcv_frame[self.site_no], virtual_history
+        )
+        if backlog:
+            for site, inputs in enumerate(backlog):
+                if site == self.site_no or site >= self.num_sites:
+                    continue
+                for offset, partial in enumerate(inputs):
+                    self.ibuf.put(snapshot_frame + 1 + offset, site, partial)
+                if inputs:
+                    self.last_rcv_frame[site] = max(
+                        self.last_rcv_frame[site], snapshot_frame + len(inputs)
+                    )

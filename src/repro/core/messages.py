@@ -1,0 +1,397 @@
+"""Sync-module wire format.
+
+Algorithm 2's ``sd`` message is a vector::
+
+    sd[0]    = LastRcvFrame[RmSiteNo]      (cumulative ack to the peer)
+    sd[1]    = LastAckFrame[RmSiteNo] + 1  (first frame of carried inputs)
+    sd[2]    = LastRcvFrame[MySiteNo]      (last frame of carried inputs)
+    sd[3...] = IBuf[sd[1]](MySET) ... IBuf[sd[2]](MySET)
+
+:class:`SyncMessage` generalizes ``sd[0]`` to an ack *vector* (one entry per
+site) so the same format serves the N-site extension; with two sites the
+receiver reads exactly the paper's ``sd[0]``.
+
+The session control protocol (HELLO/WELCOME/START), RTT pings (PING/PONG)
+and the late-join transfer (STATE_*) share the same header.  All integers
+are big-endian; frames are signed 32-bit because the protocol's initial
+"last received" values are ``BufFrame - 1``, which is ``-1`` when local lag
+is disabled.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Tuple, Type
+
+MAGIC = 0x5247  # "RG": Retro Gaming
+VERSION = 1
+
+_HEADER = struct.Struct(">HBBHI")  # magic, version, type, sender_site, session
+_I32 = struct.Struct(">i")
+_U32 = struct.Struct(">I")
+
+
+class DecodeError(ValueError):
+    """Raised when a datagram is not a well-formed sync-module message."""
+
+
+class Message:
+    """Base class; concrete messages define ``TYPE_ID`` and a body codec."""
+
+    TYPE_ID: ClassVar[int] = -1
+
+    sender_site: int
+    session_id: int
+
+    def encode(self) -> bytes:
+        header = _HEADER.pack(
+            MAGIC, VERSION, self.TYPE_ID, self.sender_site, self.session_id
+        )
+        return header + self._encode_body()
+
+    def _encode_body(self) -> bytes:  # pragma: no cover - overridden
+        return b""
+
+    @classmethod
+    def _decode_body(
+        cls, sender_site: int, session_id: int, body: bytes
+    ) -> "Message":  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass
+class Hello(Message):
+    """Join request from a prospective site to the session master."""
+
+    TYPE_ID: ClassVar[int] = 1
+
+    sender_site: int
+    session_id: int
+    game_id: int  # digest of the game image; both sides must match (§2)
+    config_digest: int  # digest of SyncConfig; a mismatch would desync pacing
+
+    def _encode_body(self) -> bytes:
+        return _U32.pack(self.game_id) + _U32.pack(self.config_digest)
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Hello":
+        if len(body) != 8:
+            raise DecodeError(f"HELLO body must be 8 bytes, got {len(body)}")
+        game_id = _U32.unpack_from(body, 0)[0]
+        config_digest = _U32.unpack_from(body, 4)[0]
+        return cls(sender_site, session_id, game_id, config_digest)
+
+
+@dataclass
+class Welcome(Message):
+    """Master's reply to HELLO, assigning the joiner its site number."""
+
+    TYPE_ID: ClassVar[int] = 2
+
+    sender_site: int
+    session_id: int
+    assigned_site: int
+    num_sites: int
+
+    def _encode_body(self) -> bytes:
+        return _I32.pack(self.assigned_site) + _I32.pack(self.num_sites)
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Welcome":
+        if len(body) != 8:
+            raise DecodeError(f"WELCOME body must be 8 bytes, got {len(body)}")
+        assigned = _I32.unpack_from(body, 0)[0]
+        num_sites = _I32.unpack_from(body, 4)[0]
+        return cls(sender_site, session_id, assigned, num_sites)
+
+
+@dataclass
+class Start(Message):
+    """Master's go signal; receivers begin frame 0 on receipt.
+
+    The paper's session control "ensures that two sites start at almost the
+    same time, with at most one round-trip time deviation" — achieved by
+    sending START to everyone in one burst and starting locally at the same
+    instant.
+    """
+
+    TYPE_ID: ClassVar[int] = 3
+
+    sender_site: int
+    session_id: int
+
+    def _encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Start":
+        if body:
+            raise DecodeError("START carries no body")
+        return cls(sender_site, session_id)
+
+
+@dataclass
+class StartAck(Message):
+    """Receiver's confirmation of START (so the master may also begin)."""
+
+    TYPE_ID: ClassVar[int] = 4
+
+    sender_site: int
+    session_id: int
+
+    def _encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "StartAck":
+        if body:
+            raise DecodeError("START_ACK carries no body")
+        return cls(sender_site, session_id)
+
+
+@dataclass
+class Sync(Message):
+    """The workhorse: acks + a contiguous window of the sender's inputs."""
+
+    TYPE_ID: ClassVar[int] = 5
+
+    sender_site: int
+    session_id: int
+    #: acks[i] = sender's LastRcvFrame[i] (its own entry acks nothing but
+    #: keeps the vector dense and fixed-size for a given site count).
+    acks: List[int]
+    #: First frame of the carried inputs window (sd[1]).
+    first_frame: int
+    #: The sender's partial inputs for first_frame.. (sd[3...]); empty when
+    #: the message is a pure ack.
+    inputs: List[int] = field(default_factory=list)
+
+    @property
+    def last_frame(self) -> int:
+        """sd[2]: last frame carried; ``first_frame - 1`` when empty."""
+        return self.first_frame + len(self.inputs) - 1
+
+    def _encode_body(self) -> bytes:
+        parts = [
+            _I32.pack(len(self.acks)),
+            b"".join(_I32.pack(a) for a in self.acks),
+            _I32.pack(self.first_frame),
+            _I32.pack(len(self.inputs)),
+            b"".join(_U32.pack(i) for i in self.inputs),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Sync":
+        try:
+            offset = 0
+            (num_acks,) = _I32.unpack_from(body, offset)
+            offset += 4
+            if num_acks < 0 or num_acks > 64:
+                raise DecodeError(f"implausible ack count {num_acks}")
+            acks = [
+                _I32.unpack_from(body, offset + 4 * i)[0] for i in range(num_acks)
+            ]
+            offset += 4 * num_acks
+            (first_frame,) = _I32.unpack_from(body, offset)
+            offset += 4
+            (num_inputs,) = _I32.unpack_from(body, offset)
+            offset += 4
+            if num_inputs < 0:
+                raise DecodeError(f"negative input count {num_inputs}")
+            expected = offset + 4 * num_inputs
+            if len(body) != expected:
+                raise DecodeError(
+                    f"SYNC body length {len(body)} != expected {expected}"
+                )
+            inputs = [
+                _U32.unpack_from(body, offset + 4 * i)[0] for i in range(num_inputs)
+            ]
+        except struct.error as exc:
+            raise DecodeError(f"truncated SYNC body: {exc}") from exc
+        return cls(sender_site, session_id, acks, first_frame, inputs)
+
+
+@dataclass
+class Ping(Message):
+    """RTT probe; ``timestamp`` is the sender's local clock (microseconds)."""
+
+    TYPE_ID: ClassVar[int] = 6
+
+    sender_site: int
+    session_id: int
+    seq: int
+    timestamp_us: int
+
+    def _encode_body(self) -> bytes:
+        return _U32.pack(self.seq) + struct.pack(">q", self.timestamp_us)
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Ping":
+        if len(body) != 12:
+            raise DecodeError(f"PING body must be 12 bytes, got {len(body)}")
+        seq = _U32.unpack_from(body, 0)[0]
+        timestamp = struct.unpack_from(">q", body, 4)[0]
+        return cls(sender_site, session_id, seq, timestamp)
+
+
+@dataclass
+class Pong(Message):
+    """Echo of a PING; carries the original timestamp back unchanged."""
+
+    TYPE_ID: ClassVar[int] = 7
+
+    sender_site: int
+    session_id: int
+    seq: int
+    echo_timestamp_us: int
+
+    def _encode_body(self) -> bytes:
+        return _U32.pack(self.seq) + struct.pack(">q", self.echo_timestamp_us)
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Pong":
+        if len(body) != 12:
+            raise DecodeError(f"PONG body must be 12 bytes, got {len(body)}")
+        seq = _U32.unpack_from(body, 0)[0]
+        timestamp = struct.unpack_from(">q", body, 4)[0]
+        return cls(sender_site, session_id, seq, timestamp)
+
+
+@dataclass
+class StateRequest(Message):
+    """Late joiner asks a donor site for a savestate (journal extension)."""
+
+    TYPE_ID: ClassVar[int] = 8
+
+    sender_site: int
+    session_id: int
+
+    def _encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _decode_body(
+        cls, sender_site: int, session_id: int, body: bytes
+    ) -> "StateRequest":
+        if body:
+            raise DecodeError("STATE_REQUEST carries no body")
+        return cls(sender_site, session_id)
+
+
+@dataclass
+class StateSnapshot(Message):
+    """A donor's savestate taken *after executing* ``frame``, plus backlog.
+
+    The backlog carries, per site, the donor's buffered partial inputs for
+    frames ``frame + 1 .. frame + len(inputs)``.  It closes the late-join
+    gap: peers running ahead of the donor may already have pruned those
+    frames, but the donor provably holds them (its own prune floor is its
+    delivery pointer), and peers provably hold everything *beyond* what the
+    donor has acknowledged.
+    """
+
+    TYPE_ID: ClassVar[int] = 9
+
+    sender_site: int
+    session_id: int
+    frame: int
+    state: bytes
+    #: backlog[site] = donor's buffered inputs for frames frame+1, frame+2, …
+    backlog: List[List[int]] = field(default_factory=list)
+
+    def _encode_body(self) -> bytes:
+        parts = [_I32.pack(self.frame), _U32.pack(len(self.state)), self.state]
+        parts.append(_U32.pack(len(self.backlog)))
+        for inputs in self.backlog:
+            parts.append(_U32.pack(len(inputs)))
+            parts.extend(_U32.pack(i) for i in inputs)
+        return b"".join(parts)
+
+    @classmethod
+    def _decode_body(
+        cls, sender_site: int, session_id: int, body: bytes
+    ) -> "StateSnapshot":
+        try:
+            frame = _I32.unpack_from(body, 0)[0]
+            length = _U32.unpack_from(body, 4)[0]
+            offset = 8
+            state = body[offset : offset + length]
+            if len(state) != length:
+                raise DecodeError(
+                    f"STATE_SNAPSHOT state truncated: header {length}, "
+                    f"got {len(state)}"
+                )
+            offset += length
+            (num_sites,) = _U32.unpack_from(body, offset)
+            offset += 4
+            if num_sites > 64:
+                raise DecodeError(f"implausible backlog site count {num_sites}")
+            backlog: List[List[int]] = []
+            for __ in range(num_sites):
+                (count,) = _U32.unpack_from(body, offset)
+                offset += 4
+                inputs = [
+                    _U32.unpack_from(body, offset + 4 * i)[0] for i in range(count)
+                ]
+                offset += 4 * count
+                backlog.append(inputs)
+            if offset != len(body):
+                raise DecodeError(
+                    f"STATE_SNAPSHOT has {len(body) - offset} trailing bytes"
+                )
+        except struct.error as exc:
+            raise DecodeError(f"truncated STATE_SNAPSHOT: {exc}") from exc
+        return cls(sender_site, session_id, frame, state, backlog)
+
+
+@dataclass
+class Bye(Message):
+    """Graceful leave notification."""
+
+    TYPE_ID: ClassVar[int] = 10
+
+    sender_site: int
+    session_id: int
+
+    def _encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Bye":
+        if body:
+            raise DecodeError("BYE carries no body")
+        return cls(sender_site, session_id)
+
+
+_REGISTRY: dict = {
+    klass.TYPE_ID: klass
+    for klass in (
+        Hello,
+        Welcome,
+        Start,
+        StartAck,
+        Sync,
+        Ping,
+        Pong,
+        StateRequest,
+        StateSnapshot,
+        Bye,
+    )
+}
+
+
+def decode(raw: bytes) -> Message:
+    """Parse a datagram into a message, validating magic and version."""
+    if len(raw) < _HEADER.size:
+        raise DecodeError(f"datagram of {len(raw)} bytes is shorter than header")
+    magic, version, type_id, sender_site, session_id = _HEADER.unpack_from(raw, 0)
+    if magic != MAGIC:
+        raise DecodeError(f"bad magic 0x{magic:04x}")
+    if version != VERSION:
+        raise DecodeError(f"unsupported version {version}")
+    klass: Type[Message] = _REGISTRY.get(type_id)  # type: ignore[assignment]
+    if klass is None:
+        raise DecodeError(f"unknown message type {type_id}")
+    return klass._decode_body(sender_site, session_id, raw[_HEADER.size :])

@@ -1,0 +1,225 @@
+"""Building sessions: two players, N players, observers.
+
+The conference paper assumes two sites; its journal version [16] extends to
+"multiple players and observers".  The generalized lockstep core already
+supports both (per-site ack/receive vectors; observers control no input
+bits and never gate delivery), so this module is the assembly layer: it
+wires machines, input sources, sockets, session control and drivers into a
+ready-to-run set of :class:`~repro.core.vm.DistributedVM` instances on a
+simulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import IdleSource, InputAssignment, InputSource
+from repro.core.vm import DistributedVM, GameMachine, SitePeer, SiteRuntime
+from repro.metrics.timeserver import TimeServer
+from repro.net.netem import NetemConfig
+from repro.net.simnet import SimNetwork
+from repro.sim.eventloop import EventLoop
+
+
+def site_address(site_no: int) -> str:
+    """Canonical simulator address for a site."""
+    return f"site{site_no}"
+
+
+@dataclass
+class SessionPlan:
+    """Everything needed to instantiate one lockstep session."""
+
+    config: SyncConfig
+    assignment: InputAssignment
+    machines: Sequence[GameMachine]
+    sources: Sequence[InputSource]
+    game_id: str = "game"
+    session_id: int = 1
+    max_frames: int = 600
+    frame_compute_time: float = 0.002
+    seed: int = 0
+    #: Extra per-site start delay (models sites booting at different times).
+    start_delays: Optional[Sequence[float]] = None
+    #: Extra per-site delay between START and the first frame (Algorithm 4
+    #: ablation: artificial start-up skew inside the running session).
+    frame_loop_delays: Optional[Sequence[float]] = None
+    #: OS sleep overshoot bound (the paper's testbed: Windows XP, ~10 ms).
+    timer_granularity: float = 0.0
+    #: Sites participating in the start handshake (None = all).  Late
+    #: joiners are excluded here and driven by LateJoinerVM instead.
+    handshake_sites: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.assignment)
+        if len(self.machines) != n:
+            raise ValueError(
+                f"{n} sites but {len(self.machines)} machines supplied"
+            )
+        if len(self.sources) != n:
+            raise ValueError(
+                f"{n} sites but {len(self.sources)} input sources supplied"
+            )
+        if self.start_delays is not None and len(self.start_delays) != n:
+            raise ValueError("start_delays must have one entry per site")
+        if self.frame_loop_delays is not None and len(self.frame_loop_delays) != n:
+            raise ValueError("frame_loop_delays must have one entry per site")
+
+
+@dataclass
+class Session:
+    """A built session: the VMs plus shared infrastructure handles."""
+
+    loop: EventLoop
+    network: SimNetwork
+    vms: List[DistributedVM]
+    time_server: Optional[TimeServer] = None
+    plan: Optional[SessionPlan] = None
+
+    def run(self, horizon: float = 600.0) -> None:
+        """Start every VM and run the event loop until all finish."""
+        for vm in self.vms:
+            vm.start()
+        self.loop.run(until=horizon)
+        for vm in self.vms:
+            if vm.process is not None and vm.process.finished:
+                vm.process.result()  # surface crashes
+        unfinished = [
+            vm.runtime.site_no for vm in self.vms if not vm.finished
+        ]
+        if unfinished:
+            raise RuntimeError(
+                f"sites {unfinished} did not finish {self.max_frames_of(unfinished[0])}"
+                f" frames within the {horizon}s horizon "
+                f"(likely stalled waiting for a peer)"
+            )
+
+    def max_frames_of(self, site: int) -> int:
+        for vm in self.vms:
+            if vm.runtime.site_no == site:
+                return vm.max_frames
+        raise KeyError(site)
+
+    def runtimes(self) -> List[SiteRuntime]:
+        return [vm.runtime for vm in self.vms]
+
+
+def build_session(
+    plan: SessionPlan,
+    netem: NetemConfig,
+    loop: Optional[EventLoop] = None,
+    with_time_server: bool = True,
+    excluded_sites: Optional[Sequence[int]] = None,
+    transport: str = "udp",
+) -> Session:
+    """Wire a full session over a uniformly-impaired mesh network.
+
+    ``excluded_sites`` are part of the assignment but get no VM (used by the
+    late-join harness, which drives them separately).  ``transport`` selects
+    the paper's UDP scheme (``"udp"``) or the TCP-like baseline (``"tcp"``,
+    §3.1 ablation; the time server is disabled there because its reports
+    would ride the reliable stream and distort it).
+    """
+    loop = loop if loop is not None else EventLoop()
+    n = len(plan.assignment)
+    excluded = set(excluded_sites or ())
+
+    if transport == "udp":
+        network = SimNetwork(loop, seed=plan.seed)
+    elif transport == "tcp":
+        from repro.net.tcpsim import TcpLikeNetwork
+
+        network = TcpLikeNetwork(loop, seed=plan.seed)
+        with_time_server = False
+    else:
+        raise ValueError(f"unknown transport {transport!r}; use 'udp' or 'tcp'")
+
+    # Game-traffic mesh.
+    for a in range(n):
+        for b in range(a + 1, n):
+            network.connect(site_address(a), site_address(b), netem)
+
+    time_server = None
+    if with_time_server:
+        time_server = TimeServer(network)
+        for s in range(n):
+            time_server.attach_site(network, site_address(s))
+
+    peers = [SitePeer(s, site_address(s)) for s in range(n)]
+    vms: List[DistributedVM] = []
+    for s in range(n):
+        if s in excluded:
+            continue
+        runtime = SiteRuntime(
+            config=plan.config,
+            site_no=s,
+            assignment=plan.assignment,
+            machine=plan.machines[s],
+            source=plan.sources[s],
+            peers=peers,
+            game_id=plan.game_id,
+            session_id=plan.session_id,
+            handshake_sites=plan.handshake_sites,
+        )
+        vm = DistributedVM(
+            loop=loop,
+            network=network,
+            runtime=runtime,
+            max_frames=plan.max_frames,
+            frame_compute_time=plan.frame_compute_time,
+            seed=plan.seed,
+            time_server_address=time_server.address if time_server else None,
+            start_delay=(
+                plan.start_delays[s] if plan.start_delays is not None else 0.0
+            ),
+            frame_loop_delay=(
+                plan.frame_loop_delays[s]
+                if plan.frame_loop_delays is not None
+                else 0.0
+            ),
+            timer_granularity=plan.timer_granularity,
+        )
+        vms.append(vm)
+    return Session(loop=loop, network=network, vms=vms, time_server=time_server, plan=plan)
+
+
+def two_player_plan(
+    config: SyncConfig,
+    machine_factory: Callable[[], GameMachine],
+    sources: Sequence[InputSource],
+    **kwargs: object,
+) -> SessionPlan:
+    """The paper's configuration: two sites, one player each."""
+    if len(sources) != 2:
+        raise ValueError("two_player_plan needs exactly 2 sources")
+    return SessionPlan(
+        config=config,
+        assignment=InputAssignment.standard(2),
+        machines=[machine_factory(), machine_factory()],
+        sources=list(sources),
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def players_and_observers_plan(
+    config: SyncConfig,
+    machine_factory: Callable[[], GameMachine],
+    player_sources: Sequence[InputSource],
+    num_observers: int,
+    **kwargs: object,
+) -> SessionPlan:
+    """N players plus observer sites that watch but control no bits."""
+    num_players = len(player_sources)
+    assignment = InputAssignment.with_observers(num_players, num_observers)
+    total = num_players + num_observers
+    sources: List[InputSource] = list(player_sources)
+    sources.extend(IdleSource() for __ in range(num_observers))
+    return SessionPlan(
+        config=config,
+        assignment=assignment,
+        machines=[machine_factory() for __ in range(total)],
+        sources=sources,
+        **kwargs,  # type: ignore[arg-type]
+    )

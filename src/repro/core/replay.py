@@ -1,0 +1,184 @@
+"""Input movies: record a session, replay it deterministically.
+
+Lockstep's determinism gives replays for free — the merged input sequence
+*is* the game (§3: same initial state + same inputs ⇒ same states).  This
+module packages that:
+
+* :func:`record_session` — extract a :class:`InputMovie` from a finished
+  session (the merged per-frame inputs plus periodic state checksums),
+* :meth:`InputMovie.replay` — drive a fresh machine through the movie,
+  verifying every checkpoint,
+* :meth:`InputMovie.save` / :meth:`InputMovie.load` — a small JSON-based
+  file format, so movies can be shared like TAS files.
+
+Replays are also the debugging tool for desyncs: a movie recorded at site A
+replayed against site B's trace pinpoints the first divergent frame.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.emulator.machine import Machine, MachineError, create_game
+
+FORMAT_VERSION = 1
+
+#: Store a verification checksum every this many frames.
+DEFAULT_CHECKPOINT_INTERVAL = 60
+
+
+class ReplayError(RuntimeError):
+    """A movie failed to load or a replay diverged from its checkpoints."""
+
+
+@dataclass
+class InputMovie:
+    """A recorded game: merged inputs plus verification checkpoints."""
+
+    game: str
+    inputs: List[int]
+    #: frame → expected machine checksum *after* executing that frame.
+    checkpoints: Dict[int, int] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        machine: Optional[Machine] = None,
+        verify: bool = True,
+        frames: Optional[int] = None,
+    ) -> Machine:
+        """Step a machine through the movie; returns it at the final frame.
+
+        With ``verify`` (default) every stored checkpoint is compared and a
+        mismatch raises :class:`ReplayError` naming the frame — the desync
+        debugging workflow.
+        """
+        if machine is None:
+            machine = create_game(self.game)
+        horizon = len(self.inputs) if frames is None else min(frames, len(self.inputs))
+        for frame in range(horizon):
+            machine.step(self.inputs[frame])
+            if verify and frame in self.checkpoints:
+                expected = self.checkpoints[frame]
+                actual = machine.checksum()
+                if actual != expected:
+                    raise ReplayError(
+                        f"replay diverged at frame {frame}: expected "
+                        f"0x{expected:08x}, got 0x{actual:08x}"
+                    )
+        return machine
+
+    def first_divergence(self, other: "InputMovie") -> Optional[int]:
+        """First frame where two movies' inputs differ (None if none)."""
+        horizon = min(len(self.inputs), len(other.inputs))
+        for frame in range(horizon):
+            if self.inputs[frame] != other.inputs[frame]:
+                return frame
+        if len(self.inputs) != len(other.inputs):
+            return horizon
+        return None
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "format": FORMAT_VERSION,
+            "game": self.game,
+            "inputs": self.inputs,
+            "checkpoints": {str(k): v for k, v in self.checkpoints.items()},
+            "metadata": self.metadata,
+        }
+        body = json.dumps(payload, sort_keys=True)
+        crc = zlib.crc32(body.encode())
+        return json.dumps({"crc32": crc, "movie": payload}, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "InputMovie":
+        try:
+            wrapper = json.loads(text)
+            payload = wrapper["movie"]
+            body = json.dumps(payload, sort_keys=True)
+            if zlib.crc32(body.encode()) != wrapper["crc32"]:
+                raise ReplayError("movie file corrupt: checksum mismatch")
+            if payload["format"] != FORMAT_VERSION:
+                raise ReplayError(
+                    f"unsupported movie format {payload['format']}"
+                )
+            return cls(
+                game=payload["game"],
+                inputs=[int(i) for i in payload["inputs"]],
+                checkpoints={
+                    int(k): int(v) for k, v in payload["checkpoints"].items()
+                },
+                metadata=dict(payload.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            if isinstance(exc, ReplayError):
+                raise
+            raise ReplayError(f"malformed movie file: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "InputMovie":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+def record_session(
+    session,
+    site: int = 0,
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+) -> InputMovie:
+    """Build a movie from a finished simulated session.
+
+    Records the named site's delivered (merged) inputs and its state
+    checksums every ``checkpoint_interval`` frames plus the final frame.
+    """
+    vm = next(v for v in session.vms if v.runtime.site_no == site)
+    trace = vm.runtime.trace
+    if trace.first_frame != 0:
+        raise ReplayError(
+            "cannot record a movie from a late joiner: its trace does not "
+            "start at frame 0"
+        )
+    checkpoints = {
+        frame: trace.checksums[frame]
+        for frame in range(0, trace.frames, max(1, checkpoint_interval))
+    }
+    if trace.frames:
+        checkpoints[trace.frames - 1] = trace.checksums[-1]
+    return InputMovie(
+        game=vm.runtime.game_id,
+        inputs=list(trace.inputs),
+        checkpoints=checkpoints,
+        metadata={"recorded_from_site": str(site)},
+    )
+
+
+def record_machine_run(machine: Machine, source, frames: int) -> InputMovie:
+    """Record a single-machine (local) run driven by an input source."""
+    if machine.frame != 0:
+        raise ReplayError("record_machine_run needs a freshly built machine")
+    inputs: List[int] = []
+    checkpoints: Dict[int, int] = {}
+    for frame in range(frames):
+        word = source.get(frame)
+        machine.step(word)
+        inputs.append(word)
+        if frame % DEFAULT_CHECKPOINT_INTERVAL == 0 or frame == frames - 1:
+            checkpoints[frame] = machine.checksum()
+    name = getattr(machine, "name", "machine")
+    return InputMovie(game=name, inputs=inputs, checkpoints=checkpoints)

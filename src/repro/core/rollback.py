@@ -1,0 +1,286 @@
+"""Timewarp/rollback synchronization — the road the paper did not take.
+
+§5: *"Timewarp needs to rollback application states, which may be used in
+realtime systems if the costs of rolling back are not too high.  It is not
+applicable for solving our problem because rolling back states of a
+distributed game without semantic knowledge can be expensive."*
+
+The Machine contract already gives us game-transparent savestates, so the
+claim is measurable.  :class:`RollbackVM` plays with **zero local lag**:
+
+* local inputs land in their own frame's slot (``BufFrame = 0``),
+* the *speculative* machine executes every frame immediately, predicting
+  missing remote inputs by holding each site's last received pad state,
+* a *shadow* machine executes only confirmed inputs (ordinary lockstep
+  delivery) and therefore always holds a provably consistent state,
+* when a confirmed input contradicts a prediction, the speculative machine
+  is restored from the shadow (one ``save_state``/``load_state`` pair) and
+  the unconfirmed suffix is replayed — classic rollback, with the shadow
+  replacing a snapshot ring, so memory stays O(1).
+
+Logical consistency is *defined* by the shadow: its trace is what the
+consistency checker verifies, and it is byte-identical to what a lockstep
+run would produce.  What rollback buys is responsiveness (0 ms input
+latency instead of the paper's 100 ms); what it costs is exactly the
+replay work measured by :class:`RollbackStats` — the quantity the paper's
+argument hinges on.
+
+Reliable input distribution, acks, retransmission and pruning are all
+reused unchanged from :class:`~repro.core.lockstep.LockstepSync`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment, InputSource
+from repro.core.vm import DistributedVM, GameMachine, SitePeer, SiteRuntime
+from repro.sim.process import Sleep, WaitMessage
+
+
+class RollbackStats:
+    """Cost accounting for the speculation machinery."""
+
+    def __init__(self) -> None:
+        self.speculative_frames = 0
+        self.confirmed_frames = 0
+        self.mispredicted_frames = 0
+        self.rollbacks = 0
+        self.replayed_frames = 0
+        self.max_replay_depth = 0
+        self.speculation_stalls = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class RollbackVM(DistributedVM):
+    """A site that speculates ahead with rollback instead of local lag.
+
+    Construction mirrors :class:`DistributedVM` plus:
+
+    * ``spec_machine`` — a second, identically-constructed machine used for
+      speculation (``runtime.machine`` stays the confirmed shadow),
+    * ``speculation_window`` — how many frames speculation may run ahead of
+      confirmation before the site blocks (bounds replay cost and keeps a
+      network partition from spinning the CPU).
+
+    The session config must use ``buf_frame=0`` (zero local lag is the
+    point of rollback).
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        spec_machine: GameMachine,
+        speculation_window: int = 60,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        if self.runtime.config.buf_frame != 0:
+            raise ValueError(
+                "rollback sessions need SyncConfig(buf_frame=0); local lag "
+                "and speculation are alternative answers to the same latency"
+            )
+        self.spec_machine = spec_machine
+        self.speculation_window = speculation_window
+        self.rollback_stats = RollbackStats()
+        #: Input word the speculative machine used per frame.
+        self._used_inputs: Dict[int, int] = {}
+        #: Merged confirmed inputs, frame-indexed (what lockstep delivered).
+        self._confirmed: List[int] = []
+        #: Last confirmed pad state per site (the prediction).
+        self._held: Dict[int, int] = {
+            s: 0 for s in range(self.runtime.lockstep.num_sites)
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def confirmed_frontier(self) -> int:
+        """Last frame whose inputs are fully confirmed (executed by shadow)."""
+        return len(self._confirmed) - 1
+
+    def _predict_input(self, frame: int) -> int:
+        """Best-known merged input for ``frame``: confirmed partials where
+        received, held pad state where not."""
+        lockstep = self.runtime.lockstep
+        partials = {}
+        for site in range(lockstep.num_sites):
+            value = lockstep.ibuf.get(frame, site)
+            if value is None:
+                value = self._held.get(site, 0)
+            partials[site] = value
+        return lockstep.assignment.merge(partials)
+
+    def _advance_shadow(self) -> Optional[int]:
+        """Deliver any newly confirmed frames into the shadow machine.
+
+        Returns the first mispredicted frame among them, or None.
+        """
+        runtime = self.runtime
+        lockstep = runtime.lockstep
+        first_bad: Optional[int] = None
+        while lockstep.can_deliver() and lockstep.ibuf_pointer <= runtime.frame:
+            frame = lockstep.ibuf_pointer
+            # Remember each site's confirmed pad state before pruning.
+            for site in range(lockstep.num_sites):
+                value = lockstep.ibuf.get(frame, site)
+                if value is not None:
+                    self._held[site] = value
+            merged = lockstep.deliver()
+            self._confirmed.append(merged)
+            runtime.machine.step(merged)
+            runtime.trace.record_frame(
+                merged,
+                runtime.machine.checksum(),
+                stall=0.0,
+                sync_adjust=0.0,
+                lag=0,
+            )
+            self.rollback_stats.confirmed_frames += 1
+            used = self._used_inputs.pop(frame, None)
+            if used is not None and used != merged and first_bad is None:
+                first_bad = frame
+                self.rollback_stats.mispredicted_frames += 1
+        return first_bad
+
+    def _rollback_and_replay(self, first_bad: int) -> None:
+        """Restore speculation from the shadow and replay the suffix."""
+        runtime = self.runtime
+        self.rollback_stats.rollbacks += 1
+        self.spec_machine.load_state(runtime.machine.save_state())
+        replay_from = self.confirmed_frontier + 1
+        depth = runtime.frame - replay_from
+        self.rollback_stats.max_replay_depth = max(
+            self.rollback_stats.max_replay_depth, depth
+        )
+        for frame in range(replay_from, runtime.frame):
+            word = self._predict_input(frame)
+            self._used_inputs[frame] = word
+            self.spec_machine.step(word)
+            self.rollback_stats.replayed_frames += 1
+
+    # ------------------------------------------------------------------
+    def _frame_loop(self) -> Generator:
+        runtime = self.runtime
+        while runtime.frame < self.max_frames:
+            self._drain()
+            now = self.loop.clock.now()
+            sync_adjust = runtime.begin_frame(now)
+            if self.time_server_address is not None:
+                from repro.metrics.timeserver import encode_report
+
+                self.socket.send(
+                    encode_report(runtime.site_no, runtime.frame),
+                    self.time_server_address,
+                )
+            runtime.get_and_buffer_input()  # slot == frame (zero lag)
+
+            first_bad = self._advance_shadow()
+            if first_bad is not None:
+                self._rollback_and_replay(first_bad)
+
+            # Bound speculation: block until confirmations catch up.
+            stall_started = self.loop.clock.now()
+            while runtime.frame - self.confirmed_frontier > self.speculation_window:
+                self.rollback_stats.speculation_stalls += 1
+                envelope = yield WaitMessage(
+                    self.socket.mailbox, timeout=self.SYNC_POLL
+                )
+                self._drain(envelope)
+                first_bad = self._advance_shadow()
+                if first_bad is not None:
+                    self._rollback_and_replay(first_bad)
+            stall = self.loop.clock.now() - stall_started
+
+            # Execute the current frame speculatively, with zero input lag.
+            word = self._predict_input(runtime.frame)
+            self._used_inputs[runtime.frame] = word
+            if self.frame_compute_time > 0:
+                yield Sleep(self.frame_compute_time)
+            self.spec_machine.step(word)
+            self.rollback_stats.speculative_frames += 1
+            runtime.frame += 1
+
+            # The trace's begin-time/pacing path is unchanged.
+            del sync_adjust, stall  # recorded via the shadow, not here
+            wait = runtime.end_frame(self.loop.clock.now())
+            if wait > 0:
+                yield Sleep(wait)
+
+        # Finish: confirm everything that is still in flight.
+        deadline = self.loop.clock.now() + self.LINGER
+        while (
+            self.confirmed_frontier < self.max_frames - 1
+            and self.loop.clock.now() < deadline
+        ):
+            envelope = yield WaitMessage(self.socket.mailbox, timeout=0.02)
+            self._drain(envelope)
+            first_bad = self._advance_shadow()
+            if first_bad is not None:
+                self._rollback_and_replay(first_bad)
+
+
+def build_rollback_session(
+    game_factory,
+    sources: List[InputSource],
+    netem,
+    frames: int = 600,
+    seed: int = 7,
+    speculation_window: int = 60,
+    frame_compute_time: float = 0.002,
+    config: Optional[SyncConfig] = None,
+):
+    """Wire a two-or-more-site rollback session on the simulator.
+
+    Mirrors :func:`repro.core.multisite.build_session` but instantiates
+    :class:`RollbackVM` sites (each with a shadow and a speculative machine
+    from ``game_factory``) under a zero-lag configuration.
+    """
+    from repro.core.multisite import Session, site_address
+    from repro.metrics.timeserver import TimeServer
+    from repro.net.simnet import SimNetwork
+    from repro.sim.eventloop import EventLoop
+
+    config = config if config is not None else SyncConfig(buf_frame=0)
+    num_sites = len(sources)
+    loop = EventLoop()
+    network = SimNetwork(loop, seed=seed)
+    for a in range(num_sites):
+        for b in range(a + 1, num_sites):
+            network.connect(site_address(a), site_address(b), netem)
+    time_server = TimeServer(network)
+    for s in range(num_sites):
+        time_server.attach_site(network, site_address(s))
+
+    assignment = InputAssignment.standard(num_sites)
+    peers = [SitePeer(s, site_address(s)) for s in range(num_sites)]
+    vms = []
+    for s in range(num_sites):
+        runtime = SiteRuntime(
+            config=config,
+            site_no=s,
+            assignment=assignment,
+            machine=game_factory(),  # the confirmed shadow
+            source=sources[s],
+            peers=peers,
+            game_id="rollback",
+            session_id=1,
+        )
+        vms.append(
+            RollbackVM(
+                loop,
+                network,
+                runtime,
+                max_frames=frames,
+                frame_compute_time=frame_compute_time,
+                seed=seed,
+                time_server_address=time_server.address,
+                spec_machine=game_factory(),
+                speculation_window=speculation_window,
+            )
+        )
+    return Session(
+        loop=loop, network=network, vms=vms, time_server=time_server
+    )

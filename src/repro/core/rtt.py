@@ -1,0 +1,76 @@
+"""Round-trip time estimation.
+
+Algorithm 4 estimates the one-way latency as ``RTT / 2`` (§3.2).  The paper
+does not prescribe a measurement scheme; we use the standard ping/pong
+exchange with an exponentially weighted moving average, which is what its
+MAME-based implementation would have obtained from its session layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SyncConfig
+from repro.core.messages import Ping, Pong
+
+
+def to_micros(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def from_micros(micros: int) -> float:
+    return micros / 1_000_000
+
+
+class RttEstimator:
+    """EWMA round-trip estimator fed by PING/PONG exchanges."""
+
+    def __init__(self, config: SyncConfig, site_no: int, session_id: int = 0) -> None:
+        self._config = config
+        self._site_no = site_no
+        self._session_id = session_id
+        self._srtt: Optional[float] = None
+        self._next_seq = 0
+        self.samples = 0
+
+    @property
+    def rtt(self) -> float:
+        """Best current estimate (config's initial value until a sample lands)."""
+        return self._srtt if self._srtt is not None else self._config.initial_rtt
+
+    @property
+    def one_way(self) -> float:
+        """The paper's ``RTT / 2`` one-way latency estimate."""
+        return self.rtt / 2.0
+
+    def make_ping(self, now: float) -> Ping:
+        ping = Ping(
+            sender_site=self._site_no,
+            session_id=self._session_id,
+            seq=self._next_seq,
+            timestamp_us=to_micros(now),
+        )
+        self._next_seq += 1
+        return ping
+
+    @staticmethod
+    def make_pong(ping: Ping, site_no: int) -> Pong:
+        """Build the echo a receiver returns for ``ping``."""
+        return Pong(
+            sender_site=site_no,
+            session_id=ping.session_id,
+            seq=ping.seq,
+            echo_timestamp_us=ping.timestamp_us,
+        )
+
+    def on_pong(self, pong: Pong, now: float) -> Optional[float]:
+        """Fold one sample in; returns it (or None if garbage/negative)."""
+        sample = now - from_micros(pong.echo_timestamp_us)
+        if sample < 0:
+            return None
+        alpha = self._config.rtt_alpha
+        self._srtt = (
+            sample if self._srtt is None else (1 - alpha) * self._srtt + alpha * sample
+        )
+        self.samples += 1
+        return sample

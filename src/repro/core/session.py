@@ -1,0 +1,260 @@
+"""Rendezvous and session control.
+
+§2: *"Some rendezvous mechanism is required for them to find each other,
+such as instant messenger and games lobby. Then a UDP-based communication
+channel will be established."*  §3.2: *"a simple session control protocol is
+implemented to ensure that two sites start at almost the same time, with at
+most one round-trip time deviation."*
+
+* :class:`Lobby` — the rendezvous directory (session name → master address
+  and metadata).  In the simulator it's an in-process registry; a production
+  deployment would back it with a lobby server.
+* :class:`SessionControl` — the start protocol as a sans-IO state machine:
+
+  1. every joiner sends ``HELLO`` (retransmitted) carrying digests of its
+     game image and sync configuration;
+  2. the master validates the digests — a mismatched game image could never
+     stay consistent — and replies ``WELCOME`` with the assigned site number;
+  3. once all expected sites are present the master broadcasts ``START`` and
+     begins frame 0 immediately; joiners begin on receipt and confirm with
+     ``START_ACK`` (the master retransmits ``START`` to unconfirmed sites).
+
+  The resulting start-time skew is at most one one-way latency per site,
+  i.e. within the paper's "at most one round-trip time" bound.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import SyncConfig
+from repro.core.messages import (
+    Hello,
+    Message,
+    Start,
+    StartAck,
+    Welcome,
+)
+
+
+def config_digest(config: SyncConfig) -> int:
+    """Digest of the pacing-relevant configuration fields.
+
+    Two sites disagreeing on CFPS or BufFrame would never converge, so the
+    handshake refuses such pairs up front.
+    """
+    text = f"{config.cfps}|{config.buf_frame}".encode()
+    return zlib.crc32(text)
+
+
+def game_digest(game_id: str) -> int:
+    """Digest standing in for the hash of the replicated game image."""
+    return zlib.crc32(game_id.encode())
+
+
+class SessionError(RuntimeError):
+    """Raised on handshake validation failures (wrong game, wrong config)."""
+
+
+@dataclass
+class LobbyEntry:
+    """One advertised session."""
+
+    name: str
+    master_address: str
+    game_id: str
+    num_sites: int
+    session_id: int
+
+
+class Lobby:
+    """A trivial rendezvous directory."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, LobbyEntry] = {}
+        self._next_session_id = 1
+
+    def advertise(
+        self, name: str, master_address: str, game_id: str, num_sites: int = 2
+    ) -> LobbyEntry:
+        if name in self._entries:
+            raise SessionError(f"session {name!r} already advertised")
+        entry = LobbyEntry(
+            name=name,
+            master_address=master_address,
+            game_id=game_id,
+            num_sites=num_sites,
+            session_id=self._next_session_id,
+        )
+        self._next_session_id += 1
+        self._entries[name] = entry
+        return entry
+
+    def find(self, name: str) -> LobbyEntry:
+        if name not in self._entries:
+            raise SessionError(f"no session {name!r} in lobby")
+        return self._entries[name]
+
+    def withdraw(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def listing(self) -> List[LobbyEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.name)
+
+
+class SessionPhase(Enum):
+    JOINING = "joining"
+    WAITING = "waiting"  # master: waiting for joiners; joiner: for START
+    RUNNING = "running"
+
+
+class SessionControl:
+    """Sans-IO start protocol for one site.
+
+    The driver calls :meth:`poll` periodically to obtain messages to send
+    (handling retransmission), feeds received messages to
+    :meth:`on_message`, and starts the frame loop once :attr:`started`.
+    """
+
+    #: Handshake retransmission period (seconds).
+    RETRY_INTERVAL = 0.05
+
+    def __init__(
+        self,
+        config: SyncConfig,
+        site_no: int,
+        num_sites: int,
+        game_id: str,
+        session_id: int,
+        peer_addresses: Dict[int, str],
+        expected_sites: Optional[List[int]] = None,
+    ) -> None:
+        """``expected_sites`` limits the start handshake to a subset of the
+        assignment — late joiners are part of the input assignment but not of
+        the initial handshake."""
+        self.config = config
+        self.site_no = site_no
+        self.num_sites = num_sites
+        self.game_id = game_id
+        self.session_id = session_id
+        self.peer_addresses = dict(peer_addresses)
+        self.phase = SessionPhase.JOINING if site_no != 0 else SessionPhase.WAITING
+        self.started_at: Optional[float] = None
+        self._welcomed = site_no == 0
+        handshake_sites = (
+            list(expected_sites) if expected_sites is not None else list(range(num_sites))
+        )
+        self._joined: Dict[int, bool] = {
+            s: (s == 0) for s in handshake_sites
+        }
+        self._start_acked: Dict[int, bool] = {
+            s: (s == 0) for s in handshake_sites
+        }
+        self._next_retry = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_master(self) -> bool:
+        return self.site_no == 0
+
+    @property
+    def started(self) -> bool:
+        return self.phase is SessionPhase.RUNNING
+
+    @property
+    def all_joined(self) -> bool:
+        return all(self._joined.values())
+
+    @property
+    def all_acked(self) -> bool:
+        return all(self._start_acked.values())
+
+    # ------------------------------------------------------------------
+    def poll(self, now: float) -> List[Tuple[Message, str]]:
+        """Messages (with destinations) due for (re)transmission."""
+        if now < self._next_retry:
+            return []
+        self._next_retry = now + self.RETRY_INTERVAL
+        out: List[Tuple[Message, str]] = []
+
+        if self.is_master:
+            if self.phase is SessionPhase.WAITING and self.all_joined:
+                # Broadcast START and begin locally at this very instant.
+                self.phase = SessionPhase.RUNNING
+                self.started_at = now
+            if self.phase is SessionPhase.RUNNING and not self.all_acked:
+                for site, acked in self._start_acked.items():
+                    if not acked:
+                        out.append(
+                            (Start(self.site_no, self.session_id),
+                             self.peer_addresses[site])
+                        )
+        else:
+            if not self._welcomed:
+                hello = Hello(
+                    sender_site=self.site_no,
+                    session_id=self.session_id,
+                    game_id=game_digest(self.game_id),
+                    config_digest=config_digest(self.config),
+                )
+                out.append((hello, self.peer_addresses[0]))
+        return out
+
+    def on_message(self, message: Message, now: float) -> List[Tuple[Message, str]]:
+        """Feed a received control message; returns immediate replies."""
+        if message.session_id != self.session_id:
+            return []
+        replies: List[Tuple[Message, str]] = []
+
+        if isinstance(message, Hello) and self.is_master:
+            if message.game_id != game_digest(self.game_id):
+                raise SessionError(
+                    f"site {message.sender_site} offers a different game image"
+                )
+            if message.config_digest != config_digest(self.config):
+                raise SessionError(
+                    f"site {message.sender_site} runs an incompatible SyncConfig"
+                )
+            self._joined[message.sender_site] = True
+            replies.append(
+                (
+                    Welcome(
+                        sender_site=self.site_no,
+                        session_id=self.session_id,
+                        assigned_site=message.sender_site,
+                        num_sites=self.num_sites,
+                    ),
+                    self.peer_addresses[message.sender_site],
+                )
+            )
+
+        elif isinstance(message, Welcome) and not self.is_master:
+            if message.assigned_site != self.site_no:
+                raise SessionError(
+                    f"master assigned site {message.assigned_site}, "
+                    f"we are {self.site_no}"
+                )
+            self._welcomed = True
+            # Duplicate WELCOMEs (the master answers every retransmitted
+            # HELLO) may arrive after START; the phase must never regress.
+            if self.phase is SessionPhase.JOINING:
+                self.phase = SessionPhase.WAITING
+
+        elif isinstance(message, Start) and not self.is_master:
+            if self.phase is not SessionPhase.RUNNING:
+                self.phase = SessionPhase.RUNNING
+                self.started_at = now
+            replies.append(
+                (
+                    StartAck(self.site_no, self.session_id),
+                    self.peer_addresses[0],
+                )
+            )
+
+        elif isinstance(message, StartAck) and self.is_master:
+            self._start_acked[message.sender_site] = True
+
+        return replies

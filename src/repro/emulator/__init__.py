@@ -1,0 +1,30 @@
+"""Deterministic game VM substrate.
+
+The paper extends MAME; its sync layer only requires that the emulated
+machine be a *deterministic black box*: same initial state + same input
+sequence → same state sequence (§3, §5).  This package provides such
+machines built from scratch:
+
+* :mod:`repro.emulator.machine` — the :class:`Machine` contract every game
+  satisfies (step / checksum / savestate), plus a registry.
+* :mod:`repro.emulator.cpu`, :mod:`repro.emulator.memory`,
+  :mod:`repro.emulator.video` — a small fantasy console ("RC-16"): a 16-bit
+  CPU, 64 KiB of memory-mapped RAM, and a framebuffer.
+* :mod:`repro.emulator.assembler` — a two-pass assembler for the RC-16 ISA.
+* :mod:`repro.emulator.console` — the console wired together as a Machine.
+* :mod:`repro.emulator.roms` — games written in RC-16 assembly (Pong).
+* :mod:`repro.emulator.games` — games written directly in Python against
+  the same Machine contract (the fighting game standing in for Street
+  Fighter II, a co-op shooter, and test machines).
+"""
+
+from repro.emulator.machine import Machine, MachineError, available_games, create_game
+from repro.emulator.console import Console
+
+__all__ = [
+    "Console",
+    "Machine",
+    "MachineError",
+    "available_games",
+    "create_game",
+]

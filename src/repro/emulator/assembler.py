@@ -1,0 +1,332 @@
+"""A two-pass assembler for the RC-16 ISA.
+
+Syntax::
+
+    ; comment
+    .equ  INPUT, 0xFF00        ; named constant
+    .org  0x0100               ; load address (once, before any code)
+    start:
+        LDI   r0, 5
+        LDI   r1, INPUT
+        LD    r2, [r1+0]       ; word load
+        STB   [r1+4], r2       ; byte store
+        CMPI  r2, 10
+        JLT   start
+        YIELD
+        JMP   start
+    table:
+        .word 1, 2, 3
+        .byte 0xFF
+
+Labels and ``.equ`` constants are interchangeable with numeric immediates;
+``label+N`` / ``label-N`` offsets are supported.  Pass 1 sizes instructions
+and collects symbols; pass 2 encodes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.emulator import cpu as isa
+from repro.emulator.machine import MachineError
+
+
+class AssemblyError(MachineError):
+    """Syntax or semantic error; message carries the source line number."""
+
+
+_REGISTER = re.compile(r"^[rR](\d{1,2})$")
+_MEMREF = re.compile(r"^\[\s*([rR]\d{1,2})\s*(?:([+-])\s*([^\]\s]+))?\s*\]$")
+_LABEL_EXPR = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*(?:([+-])\s*(\w+))?$")
+
+#: mnemonic → (opcode, operand signature)
+#: signatures: "" none | "ri" reg,imm | "rr" reg,reg | "rm" reg,[mem]
+#: "mr" [mem],reg | "i" imm | "r" reg
+_SPEC: Dict[str, Tuple[int, str]] = {
+    "NOP": (isa.NOP, ""),
+    "HALT": (isa.HALT, ""),
+    "YIELD": (isa.YIELD, ""),
+    "RET": (isa.RET, ""),
+    "LDI": (isa.LDI, "ri"),
+    "MOV": (isa.MOV, "rr"),
+    "LD": (isa.LD, "rm"),
+    "ST": (isa.ST, "mr"),
+    "LDB": (isa.LDB, "rm"),
+    "STB": (isa.STB, "mr"),
+    "ADD": (isa.ADD, "rr"),
+    "SUB": (isa.SUB, "rr"),
+    "AND": (isa.AND, "rr"),
+    "OR": (isa.OR, "rr"),
+    "XOR": (isa.XOR, "rr"),
+    "SHL": (isa.SHL, "rr"),
+    "SHR": (isa.SHR, "rr"),
+    "MUL": (isa.MUL, "rr"),
+    "ADDI": (isa.ADDI, "ri"),
+    "CMP": (isa.CMP, "rr"),
+    "CMPI": (isa.CMPI, "ri"),
+    "JMP": (isa.JMP, "i"),
+    "JZ": (isa.JZ, "i"),
+    "JNZ": (isa.JNZ, "i"),
+    "JLT": (isa.JLT, "i"),
+    "JGE": (isa.JGE, "i"),
+    "JLE": (isa.JLE, "i"),
+    "JGT": (isa.JGT, "i"),
+    "CALL": (isa.CALL, "i"),
+    "PUSH": (isa.PUSH, "r"),
+    "POP": (isa.POP, "r"),
+}
+
+
+@dataclass(frozen=True)
+class Program:
+    """Assembled output: machine code plus its load address and symbols."""
+
+    origin: int
+    code: bytes
+    symbols: Dict[str, int]
+
+    @property
+    def entry(self) -> int:
+        return self.origin
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    operands, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._symbols: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> Program:
+        lines = self._clean(source)
+        origin = self._pass_one(lines)
+        code = self._pass_two(lines, origin)
+        return Program(origin=origin, code=bytes(code), symbols=dict(self._symbols))
+
+    # ------------------------------------------------------------------
+    def _clean(self, source: str) -> List[Tuple[int, str]]:
+        cleaned = []
+        for number, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";", 1)[0].strip()
+            if line:
+                cleaned.append((number, line))
+        return cleaned
+
+    def _value(self, token: str, line: int, allow_symbols: bool = True) -> int:
+        token = token.strip()
+        try:
+            return int(token, 0) & 0xFFFF
+        except ValueError:
+            pass
+        if allow_symbols:
+            match = _LABEL_EXPR.match(token)
+            if match:
+                name, sign, offset = match.groups()
+                if name in self._symbols:
+                    base = self._symbols[name]
+                    if sign:
+                        delta = self._value(offset, line, allow_symbols=False)
+                        base = base + delta if sign == "+" else base - delta
+                    return base & 0xFFFF
+        raise AssemblyError(f"line {line}: cannot resolve value {token!r}")
+
+    def _register(self, token: str, line: int) -> int:
+        match = _REGISTER.match(token.strip())
+        if not match:
+            raise AssemblyError(f"line {line}: expected register, got {token!r}")
+        index = int(match.group(1))
+        if index > 15:
+            raise AssemblyError(f"line {line}: no register r{index}")
+        return index
+
+    def _memref(self, token: str, line: int) -> Tuple[int, str]:
+        """Parse ``[rb+imm]``; the immediate is returned unresolved (pass 2)."""
+        match = _MEMREF.match(token.strip())
+        if not match:
+            raise AssemblyError(f"line {line}: expected [reg+imm], got {token!r}")
+        reg_token, sign, offset = match.groups()
+        register = self._register(reg_token, line)
+        if offset is None:
+            return register, "0"
+        return register, (offset if sign != "-" else f"-{offset}")
+
+    # ------------------------------------------------------------------
+    def _size_of(self, line_no: int, line: str) -> int:
+        """Byte size of one statement (pass 1)."""
+        upper = line.split()[0].upper()
+        if upper == ".ORG" or upper == ".EQU":
+            return 0
+        if upper == ".WORD":
+            return 2 * len(_split_operands(line.split(None, 1)[1]))
+        if upper == ".BYTE":
+            return len(_split_operands(line.split(None, 1)[1]))
+        if upper not in _SPEC:
+            raise AssemblyError(f"line {line_no}: unknown mnemonic {upper!r}")
+        opcode, __sig = _SPEC[upper]
+        return 4 if opcode in isa.HAS_IMMEDIATE else 2
+
+    def _find_origin(self, lines: List[Tuple[int, str]]) -> int:
+        """Locate the single .org directive (default 0x0100).
+
+        Code or data before .org would be homeless, so that is an error.
+        """
+        origin: Optional[int] = None
+        emitted = False
+        label = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*")
+        for number, line in lines:
+            stripped = line
+            while label.match(stripped):
+                stripped = label.sub("", stripped, count=1)
+            if not stripped:
+                continue
+            head = stripped.split()[0].upper()
+            if head == ".ORG":
+                if origin is not None:
+                    raise AssemblyError(f"line {number}: .org may appear only once")
+                if emitted:
+                    raise AssemblyError(
+                        f"line {number}: .org must precede all code and data"
+                    )
+                origin = self._value(
+                    stripped.split(None, 1)[1], number, allow_symbols=False
+                )
+            elif head != ".EQU":
+                emitted = True
+        return origin if origin is not None else 0x0100
+
+    def _pass_one(self, lines: List[Tuple[int, str]]) -> int:
+        self._symbols = {}
+        origin = self._find_origin(lines)
+        location = origin
+        for number, line in lines:
+            while True:  # peel leading labels (possibly several per line)
+                match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$", line)
+                if not match:
+                    break
+                name, line = match.groups()
+                if name in self._symbols:
+                    raise AssemblyError(f"line {number}: duplicate label {name!r}")
+                self._symbols[name] = location
+                if not line:
+                    break
+            if not line:
+                continue
+            head = line.split()[0].upper()
+            if head == ".ORG":
+                continue  # validated and applied by _find_origin
+            if head == ".EQU":
+                operands = _split_operands(line.split(None, 1)[1])
+                if len(operands) != 2:
+                    raise AssemblyError(f"line {number}: .equ NAME, VALUE")
+                name = operands[0]
+                self._symbols[name] = self._value(operands[1], number)
+                continue
+            location += self._size_of(number, line)
+        return origin
+
+    def _pass_two(self, lines: List[Tuple[int, str]], origin: int) -> bytearray:
+        code = bytearray()
+
+        def emit_word(value: int) -> None:
+            value &= 0xFFFF
+            code.append(value & 0xFF)
+            code.append(value >> 8)
+
+        for number, line in lines:
+            while True:
+                match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$", line)
+                if not match:
+                    break
+                line = match.group(2)
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            head = parts[0].upper()
+            rest = parts[1] if len(parts) > 1 else ""
+            if head == ".ORG" or head == ".EQU":
+                continue
+            if head == ".WORD":
+                for token in _split_operands(rest):
+                    emit_word(self._value(token, number))
+                continue
+            if head == ".BYTE":
+                for token in _split_operands(rest):
+                    code.append(self._value(token, number) & 0xFF)
+                continue
+
+            opcode, signature = _SPEC[head]
+            operands = _split_operands(rest) if rest else []
+            ra = rb = 0
+            immediate: Optional[int] = None
+
+            if signature == "":
+                self._expect(operands, 0, head, number)
+            elif signature == "r":
+                self._expect(operands, 1, head, number)
+                ra = self._register(operands[0], number)
+            elif signature == "rr":
+                self._expect(operands, 2, head, number)
+                ra = self._register(operands[0], number)
+                rb = self._register(operands[1], number)
+            elif signature == "ri":
+                self._expect(operands, 2, head, number)
+                ra = self._register(operands[0], number)
+                immediate = self._value(operands[1], number)
+            elif signature == "i":
+                self._expect(operands, 1, head, number)
+                immediate = self._value(operands[0], number)
+            elif signature == "rm":
+                self._expect(operands, 2, head, number)
+                ra = self._register(operands[0], number)
+                rb, offset_token = self._memref(operands[1], number)
+                immediate = self._offset_value(offset_token, number)
+            elif signature == "mr":
+                self._expect(operands, 2, head, number)
+                rb, offset_token = self._memref(operands[0], number)
+                ra = self._register(operands[1], number)
+                immediate = self._offset_value(offset_token, number)
+            else:  # pragma: no cover - spec table is static
+                raise AssemblyError(f"line {number}: bad signature {signature!r}")
+
+            emit_word((opcode << 8) | (ra << 4) | rb)
+            if opcode in isa.HAS_IMMEDIATE:
+                emit_word(immediate if immediate is not None else 0)
+        return code
+
+    def _offset_value(self, token: str, line: int) -> int:
+        negative = token.startswith("-")
+        value = self._value(token[1:] if negative else token, line)
+        return (-value) & 0xFFFF if negative else value
+
+    @staticmethod
+    def _expect(operands: List[str], count: int, head: str, line: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"line {line}: {head} takes {count} operand(s), got {len(operands)}"
+            )
+
+
+def assemble(source: str) -> Program:
+    """Module-level convenience wrapper."""
+    return Assembler().assemble(source)

@@ -1,0 +1,75 @@
+"""The RC-16 audio device — a single programmable tone channel.
+
+§2 of the paper: the VM's "virtual audio/video" modules are part of the
+replicated state.  The RC-16 tone channel is memory-mapped::
+
+    0xFF10..0xFF11   frequency (Hz, word)
+    0xFF12           duration (frames, byte)
+    0xFF13           trigger: any write enqueues a tone
+    0xFF14..0xFF17   rolling CRC of every tone ever played (read-only)
+
+The rolling CRC lives in ordinary RAM, so the audio history is covered by
+the console's existing memory checksum and savestates with zero extra
+machinery — two replicas that ever beeped differently can never check out
+equal.  The host-side :attr:`Audio.frame_events` list (tones triggered in
+the current frame) exists only for presentation and is not machine state.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+from repro.emulator.memory import Memory
+
+FREQ_ADDRESS = 0xFF10
+DURATION_ADDRESS = 0xFF12
+TRIGGER_ADDRESS = 0xFF13
+CRC_ADDRESS = 0xFF14
+
+_EVENT = struct.Struct(">HBB")
+
+
+@dataclass(frozen=True)
+class Tone:
+    """One triggered tone."""
+
+    frequency: int
+    duration: int  # frames
+
+    def describe(self) -> str:
+        return f"{self.frequency}Hz x{self.duration}f"
+
+
+class Audio:
+    """Write-triggered tone channel attached to the memory bus."""
+
+    def __init__(self, memory: Memory) -> None:
+        self._memory = memory
+        #: Tones triggered during the current frame (presentation only).
+        self.frame_events: List[Tone] = []
+        memory.add_hook(
+            TRIGGER_ADDRESS, TRIGGER_ADDRESS + 1, write=self._on_trigger
+        )
+
+    def begin_frame(self) -> None:
+        """Called by the console before each frame's CPU slice."""
+        self.frame_events.clear()
+
+    def _on_trigger(self, address: int, value: int) -> None:
+        frequency = self._memory.read_word(FREQ_ADDRESS)
+        duration = self._memory.read_byte(DURATION_ADDRESS)
+        self.frame_events.append(Tone(frequency, duration))
+        # Fold the event into the rolling CRC (in plain RAM, hence part of
+        # the machine state, checksums and savestates automatically).
+        old = int.from_bytes(
+            self._memory.dump(CRC_ADDRESS, 4), "big"
+        )
+        new = zlib.crc32(_EVENT.pack(frequency, duration, value), old)
+        self._memory.load(CRC_ADDRESS, new.to_bytes(4, "big"))
+
+    def history_crc(self) -> int:
+        """CRC of the complete tone history (the replicated audio state)."""
+        return int.from_bytes(self._memory.dump(CRC_ADDRESS, 4), "big")

@@ -1,0 +1,97 @@
+"""The RC-16 console: CPU + memory + video wired as a :class:`Machine`.
+
+Per-frame behaviour (mirroring a vblank-driven arcade board):
+
+1. the input word and frame counter are latched into their memory-mapped
+   registers (``0xFF00`` and ``0xFF02``),
+2. the CPU runs until it executes ``YIELD`` or exhausts the cycle budget,
+3. whatever the program left in the framebuffer is the frame's video output.
+
+Determinism: the CPU is deterministic, the cycle budget is fixed, and the
+only inputs are the latched registers — so the console satisfies the
+Machine contract by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.emulator.assembler import Program
+from repro.emulator.audio import Audio
+from repro.emulator.cpu import Cpu
+from repro.emulator.machine import Machine, MachineError
+from repro.emulator.memory import MEMORY_SIZE, Memory
+from repro.emulator.video import Video
+
+INPUT_ADDRESS = 0xFF00
+FRAME_COUNTER_ADDRESS = 0xFF02
+
+#: Default per-frame cycle budget ("CPU speed").
+DEFAULT_CYCLE_BUDGET = 20_000
+
+_SAVE_HEADER = struct.Struct(">4sIQ")
+_SAVE_MAGIC = b"RC16"
+
+
+class Console(Machine):
+    """An RC-16 console with a loaded ROM."""
+
+    def __init__(
+        self,
+        program: Program,
+        name: str = "rc16",
+        num_players: int = 2,
+        cycle_budget: int = DEFAULT_CYCLE_BUDGET,
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.num_players = num_players
+        self.cycle_budget = cycle_budget
+        self.memory = Memory()
+        self.cpu = Cpu(self.memory)
+        self.video = Video(self.memory)
+        self.audio = Audio(self.memory)
+        self._program = program
+        self.reset()
+
+    def reset(self) -> None:
+        """Cold boot: clear memory, reload the ROM, reset the CPU."""
+        self.memory.clear()
+        self.memory.load(self._program.origin, self._program.code)
+        self.cpu.reset(self._program.entry)
+        self._frame = 0
+
+    # ------------------------------------------------------------------
+    def _step(self, input_word: int) -> None:
+        self.memory.write_word(INPUT_ADDRESS, input_word & 0xFFFF)
+        self.memory.write_word(FRAME_COUNTER_ADDRESS, self._frame & 0xFFFF)
+        self.audio.begin_frame()
+        self.cpu.run_frame(self.cycle_budget)
+
+    # ------------------------------------------------------------------
+    def checksum(self) -> int:
+        crc = zlib.crc32(self.cpu.save_state())
+        return zlib.crc32(self.memory.dump(), crc)
+
+    def save_state(self) -> bytes:
+        header = _SAVE_HEADER.pack(_SAVE_MAGIC, self._frame, self.cpu.cycles)
+        return header + self.cpu.save_state() + self.memory.dump()
+
+    def load_state(self, blob: bytes) -> None:
+        expected = _SAVE_HEADER.size + Cpu.STATE_SIZE + MEMORY_SIZE
+        if len(blob) != expected:
+            raise MachineError(
+                f"console savestate must be {expected} bytes, got {len(blob)}"
+            )
+        magic, frame, cycles = _SAVE_HEADER.unpack_from(blob, 0)
+        if magic != _SAVE_MAGIC:
+            raise MachineError(f"bad savestate magic {magic!r}")
+        offset = _SAVE_HEADER.size
+        self.cpu.load_state(blob[offset : offset + Cpu.STATE_SIZE])
+        self.cpu.cycles = cycles
+        self.memory.restore(blob[offset + Cpu.STATE_SIZE :])
+        self._frame = frame
+
+    def render_text(self) -> str:
+        return self.video.render_text(downsample=2)

@@ -1,0 +1,273 @@
+"""The RC-16 CPU.
+
+A deliberately small 16-bit fantasy ISA, rich enough to write real games in
+assembly yet simple enough that the emulation is obviously deterministic:
+
+* sixteen 16-bit registers ``R0..R15`` (``R15`` is the stack pointer by
+  convention; the console initializes it to ``0xDFFE``),
+* flags ``Z`` and ``N`` set by ``CMP``/``CMPI`` and arithmetic,
+* little-endian 16-bit words; instructions are one word —
+  ``opcode(8) | ra(4) | rb(4)`` — plus an optional immediate word.
+
+Frame semantics: the console runs the CPU until it executes ``YIELD`` (wait
+for vertical blank) or exhausts the per-frame cycle budget, whichever comes
+first.  ``HALT`` stops the program permanently (the machine keeps stepping,
+frozen).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.emulator.machine import MachineError
+from repro.emulator.memory import Memory
+
+# Opcodes ---------------------------------------------------------------
+NOP = 0x00
+HALT = 0x01
+YIELD = 0x02
+
+LDI = 0x10  # ra = imm
+MOV = 0x11  # ra = rb
+LD = 0x12  # ra = word[rb + imm]
+ST = 0x13  # word[rb + imm] = ra
+LDB = 0x14  # ra = byte[rb + imm]
+STB = 0x15  # byte[rb + imm] = ra
+
+ADD = 0x20
+SUB = 0x21
+AND = 0x22
+OR = 0x23
+XOR = 0x24
+SHL = 0x25
+SHR = 0x26
+MUL = 0x27
+ADDI = 0x28  # ra += imm
+
+CMP = 0x30  # flags(ra - rb)
+CMPI = 0x31  # flags(ra - imm)
+
+JMP = 0x40
+JZ = 0x41
+JNZ = 0x42
+JLT = 0x43
+JGE = 0x44
+CALL = 0x45
+RET = 0x46
+JLE = 0x47
+JGT = 0x48
+
+PUSH = 0x50
+POP = 0x51
+
+#: Opcodes followed by an immediate word.
+HAS_IMMEDIATE = {
+    LDI, LD, ST, LDB, STB, ADDI, CMPI, JMP, JZ, JNZ, JLT, JGE, CALL, JLE, JGT
+}
+
+#: opcode → mnemonic, for the disassembler and error messages.
+MNEMONICS: Dict[int, str] = {
+    NOP: "NOP", HALT: "HALT", YIELD: "YIELD",
+    LDI: "LDI", MOV: "MOV", LD: "LD", ST: "ST", LDB: "LDB", STB: "STB",
+    ADD: "ADD", SUB: "SUB", AND: "AND", OR: "OR", XOR: "XOR",
+    SHL: "SHL", SHR: "SHR", MUL: "MUL", ADDI: "ADDI",
+    CMP: "CMP", CMPI: "CMPI",
+    JMP: "JMP", JZ: "JZ", JNZ: "JNZ", JLT: "JLT", JGE: "JGE",
+    CALL: "CALL", RET: "RET", JLE: "JLE", JGT: "JGT",
+    PUSH: "PUSH", POP: "POP",
+}
+
+SP = 15  # stack pointer register
+INITIAL_SP = 0xDFFE
+
+_STATE = struct.Struct(">16HHBBB")  # regs, pc, z, n, halted
+
+
+class CpuFault(MachineError):
+    """An illegal instruction or stack fault; carries the PC."""
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+class Cpu:
+    """One RC-16 core attached to a :class:`~repro.emulator.memory.Memory`."""
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self.regs = [0] * 16
+        self.pc = 0
+        self.z = False
+        self.n = False
+        self.halted = False
+        self.cycles = 0
+
+    def reset(self, entry: int) -> None:
+        self.regs = [0] * 16
+        self.regs[SP] = INITIAL_SP
+        self.pc = entry & 0xFFFF
+        self.z = False
+        self.n = False
+        self.halted = False
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    def _set_flags(self, value: int) -> None:
+        value &= 0xFFFF
+        self.z = value == 0
+        self.n = bool(value & 0x8000)
+
+    def _fetch_word(self) -> int:
+        word = self.memory.read_word(self.pc)
+        self.pc = (self.pc + 2) & 0xFFFF
+        return word
+
+    def _push(self, value: int) -> None:
+        sp = (self.regs[SP] - 2) & 0xFFFF
+        self.regs[SP] = sp
+        self.memory.write_word(sp, value & 0xFFFF)
+
+    def _pop(self) -> int:
+        sp = self.regs[SP]
+        value = self.memory.read_word(sp)
+        self.regs[SP] = (sp + 2) & 0xFFFF
+        return value
+
+    # ------------------------------------------------------------------
+    def run_frame(self, max_cycles: int) -> int:
+        """Execute until YIELD/HALT or the cycle budget; returns cycles used.
+
+        The fixed budget keeps every frame's work deterministic even for a
+        buggy ROM that never yields — matching how a real console's frame is
+        bounded by the vblank interrupt.
+        """
+        used = 0
+        while used < max_cycles and not self.halted:
+            used += self.step_instruction()
+            if self._yielded:
+                break
+        self.cycles += used
+        return used
+
+    _yielded = False
+
+    def step_instruction(self) -> int:
+        """Execute one instruction; returns its cycle cost."""
+        self._yielded = False
+        word = self._fetch_word()
+        opcode = (word >> 8) & 0xFF
+        ra = (word >> 4) & 0x0F
+        rb = word & 0x0F
+        cost = 1
+        imm = 0
+        if opcode in HAS_IMMEDIATE:
+            imm = self._fetch_word()
+            cost = 2
+
+        regs = self.regs
+        if opcode == NOP:
+            pass
+        elif opcode == HALT:
+            self.halted = True
+        elif opcode == YIELD:
+            self._yielded = True
+        elif opcode == LDI:
+            regs[ra] = imm
+        elif opcode == MOV:
+            regs[ra] = regs[rb]
+        elif opcode == LD:
+            regs[ra] = self.memory.read_word((regs[rb] + imm) & 0xFFFF)
+        elif opcode == ST:
+            self.memory.write_word((regs[rb] + imm) & 0xFFFF, regs[ra])
+        elif opcode == LDB:
+            regs[ra] = self.memory.read_byte((regs[rb] + imm) & 0xFFFF)
+        elif opcode == STB:
+            self.memory.write_byte((regs[rb] + imm) & 0xFFFF, regs[ra])
+        elif opcode == ADD:
+            regs[ra] = (regs[ra] + regs[rb]) & 0xFFFF
+            self._set_flags(regs[ra])
+        elif opcode == SUB:
+            regs[ra] = (regs[ra] - regs[rb]) & 0xFFFF
+            self._set_flags(regs[ra])
+        elif opcode == AND:
+            regs[ra] &= regs[rb]
+            self._set_flags(regs[ra])
+        elif opcode == OR:
+            regs[ra] |= regs[rb]
+            self._set_flags(regs[ra])
+        elif opcode == XOR:
+            regs[ra] ^= regs[rb]
+            self._set_flags(regs[ra])
+        elif opcode == SHL:
+            regs[ra] = (regs[ra] << (regs[rb] & 0x0F)) & 0xFFFF
+            self._set_flags(regs[ra])
+        elif opcode == SHR:
+            regs[ra] = (regs[ra] >> (regs[rb] & 0x0F)) & 0xFFFF
+            self._set_flags(regs[ra])
+        elif opcode == MUL:
+            regs[ra] = (regs[ra] * regs[rb]) & 0xFFFF
+            self._set_flags(regs[ra])
+        elif opcode == ADDI:
+            regs[ra] = (regs[ra] + imm) & 0xFFFF
+            self._set_flags(regs[ra])
+        elif opcode == CMP:
+            self._set_flags(regs[ra] - regs[rb])
+        elif opcode == CMPI:
+            self._set_flags(regs[ra] - imm)
+        elif opcode == JMP:
+            self.pc = imm
+        elif opcode == JZ:
+            if self.z:
+                self.pc = imm
+        elif opcode == JNZ:
+            if not self.z:
+                self.pc = imm
+        elif opcode == JLT:
+            if self.n:
+                self.pc = imm
+        elif opcode == JGE:
+            if not self.n:
+                self.pc = imm
+        elif opcode == JLE:
+            if self.z or self.n:
+                self.pc = imm
+        elif opcode == JGT:
+            if not (self.z or self.n):
+                self.pc = imm
+        elif opcode == CALL:
+            self._push(self.pc)
+            self.pc = imm
+        elif opcode == RET:
+            self.pc = self._pop()
+        elif opcode == PUSH:
+            self._push(regs[ra])
+        elif opcode == POP:
+            regs[ra] = self._pop()
+        else:
+            raise CpuFault(
+                f"illegal opcode 0x{opcode:02x} at pc=0x{(self.pc - cost * 2) & 0xFFFF:04x}"
+            )
+        return cost
+
+    # ------------------------------------------------------------------
+    def save_state(self) -> bytes:
+        return _STATE.pack(
+            *self.regs, self.pc, int(self.z), int(self.n), int(self.halted)
+        )
+
+    def load_state(self, blob: bytes) -> None:
+        if len(blob) != _STATE.size:
+            raise MachineError(
+                f"cpu state must be {_STATE.size} bytes, got {len(blob)}"
+            )
+        fields = _STATE.unpack(blob)
+        self.regs = list(fields[:16])
+        self.pc = fields[16]
+        self.z = bool(fields[17])
+        self.n = bool(fields[18])
+        self.halted = bool(fields[19])
+
+    STATE_SIZE = _STATE.size

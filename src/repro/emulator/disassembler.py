@@ -1,0 +1,106 @@
+"""RC-16 disassembler.
+
+The inverse of :mod:`repro.emulator.assembler`, used by debugging tooling
+(`python -m repro disasm`) and by tests as a round-trip oracle for the
+assembler: ``assemble(disassemble(assemble(src)))`` must be a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.emulator import cpu as isa
+
+#: opcode → operand signature (mirrors the assembler's table).
+_SIGNATURES = {
+    isa.NOP: "", isa.HALT: "", isa.YIELD: "", isa.RET: "",
+    isa.LDI: "ri", isa.MOV: "rr",
+    isa.LD: "rm", isa.ST: "mr", isa.LDB: "rm", isa.STB: "mr",
+    isa.ADD: "rr", isa.SUB: "rr", isa.AND: "rr", isa.OR: "rr",
+    isa.XOR: "rr", isa.SHL: "rr", isa.SHR: "rr", isa.MUL: "rr",
+    isa.ADDI: "ri", isa.CMP: "rr", isa.CMPI: "ri",
+    isa.JMP: "i", isa.JZ: "i", isa.JNZ: "i", isa.JLT: "i",
+    isa.JGE: "i", isa.JLE: "i", isa.JGT: "i", isa.CALL: "i",
+    isa.PUSH: "r", isa.POP: "r",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    address: int
+    opcode: int
+    mnemonic: str
+    text: str
+    size: int  # bytes
+
+    def __str__(self) -> str:
+        return f"{self.address:04X}  {self.text}"
+
+
+class DisassemblyError(ValueError):
+    """Raised for a byte stream that is not valid RC-16 code."""
+
+
+def disassemble_one(code: bytes, offset: int, address: int) -> Instruction:
+    """Decode the instruction at ``offset`` within ``code``."""
+    if offset + 2 > len(code):
+        raise DisassemblyError(f"truncated instruction at 0x{address:04X}")
+    word = code[offset] | (code[offset + 1] << 8)
+    opcode = (word >> 8) & 0xFF
+    ra = (word >> 4) & 0x0F
+    rb = word & 0x0F
+    mnemonic = isa.MNEMONICS.get(opcode)
+    if mnemonic is None:
+        raise DisassemblyError(
+            f"unknown opcode 0x{opcode:02X} at 0x{address:04X}"
+        )
+    signature = _SIGNATURES[opcode]
+    size = 2
+    imm = 0
+    if opcode in isa.HAS_IMMEDIATE:
+        if offset + 4 > len(code):
+            raise DisassemblyError(f"truncated immediate at 0x{address:04X}")
+        imm = code[offset + 2] | (code[offset + 3] << 8)
+        size = 4
+
+    if signature == "":
+        text = mnemonic
+    elif signature == "r":
+        text = f"{mnemonic} r{ra}"
+    elif signature == "rr":
+        text = f"{mnemonic} r{ra}, r{rb}"
+    elif signature == "ri":
+        text = f"{mnemonic} r{ra}, 0x{imm:X}"
+    elif signature == "i":
+        text = f"{mnemonic} 0x{imm:X}"
+    elif signature == "rm":
+        text = f"{mnemonic} r{ra}, [r{rb}+0x{imm:X}]"
+    elif signature == "mr":
+        text = f"{mnemonic} [r{rb}+0x{imm:X}], r{ra}"
+    else:  # pragma: no cover - table is static
+        raise DisassemblyError(f"bad signature {signature!r}")
+    return Instruction(address, opcode, mnemonic, text, size)
+
+
+def disassemble(code: bytes, origin: int = 0x0100) -> List[Instruction]:
+    """Decode a contiguous code region into instructions.
+
+    Data regions interleaved with code will decode as (possibly wrong)
+    instructions or raise — a disassembler cannot tell data from code; use
+    it on the code prefix of a ROM.
+    """
+    instructions = []
+    offset = 0
+    while offset < len(code):
+        instruction = disassemble_one(code, offset, origin + offset)
+        instructions.append(instruction)
+        offset += instruction.size
+    return instructions
+
+
+def listing(code: bytes, origin: int = 0x0100) -> str:
+    """A printable disassembly listing."""
+    return "\n".join(str(i) for i in disassemble(code, origin))

@@ -1,0 +1,32 @@
+"""Games implemented directly in Python against the Machine contract.
+
+Importing this package registers them with the machine registry:
+
+* ``brawler`` — "Street Brawler", a two-player fighting game standing in
+  for the paper's Street Fighter II test game,
+* ``shooter`` — a two-player co-op fixed shooter,
+* ``pong-py`` — Pong as a pure-Python machine (cross-checks the ROM),
+* ``counter`` — a trivial constant-time machine for protocol experiments
+  (the paper: "the actual game does not affect the results").
+"""
+
+from repro.emulator.games.brawler import StreetBrawler
+from repro.emulator.games.counter import CounterMachine
+from repro.emulator.games.pongpy import PongPy
+from repro.emulator.games.shooter import CoopShooter
+from repro.emulator.games.tankpy import TankDuelPy
+from repro.emulator.machine import register_game
+
+register_game("brawler", StreetBrawler)
+register_game("shooter", CoopShooter)
+register_game("pong-py", PongPy)
+register_game("counter", CounterMachine)
+register_game("tankduel-py", TankDuelPy)
+
+__all__ = [
+    "CoopShooter",
+    "CounterMachine",
+    "PongPy",
+    "StreetBrawler",
+    "TankDuelPy",
+]

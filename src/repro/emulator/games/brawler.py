@@ -1,0 +1,268 @@
+"""Street Brawler — a deterministic two-player fighting game.
+
+The paper evaluates with Street Fighter II; this machine reproduces the
+*mechanics that matter to synchronization*: two simultaneously-acting
+players whose frame-precise inputs interact (spacing, pokes, trades,
+blocking), so a single dropped or reordered input frame visibly changes
+the outcome — which is exactly what the consistency checker must never see.
+
+All state is integer (fixed-point where needed); no floats, no RNG — the
+transition is a pure function of (state, input word).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.inputs import Buttons, unpack_buttons
+from repro.emulator.machine import Machine, MachineError
+
+ARENA_WIDTH = 256  # fixed-point pixels (×1)
+WALK_SPEED = 2
+ROUND_FRAMES = 3600  # 60 s at 60 FPS
+MAX_HEALTH = 100
+ROUNDS_TO_WIN = 2
+
+# Fighter action states.
+IDLE = 0
+ATTACK_PUNCH = 1
+ATTACK_KICK = 2
+HITSTUN = 3
+BLOCKING = 4
+
+# Attack frame data: (startup, active, recovery, range, damage, pushback)
+PUNCH = (3, 2, 6, 20, 8, 6)
+KICK = (5, 2, 10, 28, 12, 10)
+
+_FIGHTER = struct.Struct(">hhbBbB")  # x, hp, facing, state, timer, rounds_won
+_HEADER = struct.Struct(">IIhB")  # frame, round_timer, round_no, game_over
+
+
+@dataclass
+class Fighter:
+    """One combatant's state."""
+
+    x: int
+    hp: int = MAX_HEALTH
+    facing: int = 1  # +1 faces right, -1 faces left
+    state: int = IDLE
+    timer: int = 0  # frames remaining in the current state
+    rounds_won: int = 0
+
+    def pack(self) -> bytes:
+        return _FIGHTER.pack(
+            self.x, self.hp, self.facing, self.state, self.timer, self.rounds_won
+        )
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "Fighter":
+        x, hp, facing, state, timer, rounds = _FIGHTER.unpack(blob)
+        return cls(x=x, hp=hp, facing=facing, state=state, timer=timer, rounds_won=rounds)
+
+
+class StreetBrawler(Machine):
+    """Two-player fighting game with frame-data-driven combat."""
+
+    name = "brawler"
+    num_players = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fighters: List[Fighter] = []
+        self.round_timer = 0
+        self.round_no = 0
+        self.game_over = False
+        self._reset_round()
+        self.round_no = 1
+
+    def _reset_round(self) -> None:
+        self.fighters = [
+            Fighter(x=ARENA_WIDTH // 4, facing=1),
+            Fighter(x=3 * ARENA_WIDTH // 4, facing=-1),
+        ]
+        self.round_timer = ROUND_FRAMES
+
+    # ------------------------------------------------------------------
+    # Transition
+    # ------------------------------------------------------------------
+    def _step(self, input_word: int) -> None:
+        if self.game_over:
+            return  # frozen on the victory screen, still deterministic
+
+        pads = [unpack_buttons(input_word, p) for p in range(2)]
+
+        # Phase 1: state timers and input-driven intent.
+        for index, fighter in enumerate(self.fighters):
+            self._advance_state(fighter, pads[index])
+
+        # Phase 2: movement (after both intents, order-independent).
+        for index, fighter in enumerate(self.fighters):
+            self._move(fighter, pads[index])
+
+        # Phase 3: facing always toward the opponent.
+        a, b = self.fighters
+        a.facing = 1 if b.x >= a.x else -1
+        b.facing = 1 if a.x >= b.x else -1
+
+        # Phase 4: resolve attacks symmetrically (trades are possible).
+        hits = [self._attack_lands(i) for i in range(2)]
+        for attacker_index, lands in enumerate(hits):
+            if lands:
+                self._apply_hit(attacker_index)
+
+        # Phase 5: round timer and KO handling.
+        self.round_timer -= 1
+        self._check_round_end()
+
+    def _advance_state(self, fighter: Fighter, pad: int) -> None:
+        if fighter.timer > 0:
+            fighter.timer -= 1
+            if fighter.timer == 0 and fighter.state in (
+                ATTACK_PUNCH,
+                ATTACK_KICK,
+                HITSTUN,
+                BLOCKING,
+            ):
+                fighter.state = IDLE
+            return
+        # Idle: accept a new action.  Button priority: punch over kick over
+        # block, resolving simultaneous presses deterministically.
+        if pad & Buttons.A:
+            fighter.state = ATTACK_PUNCH
+            fighter.timer = sum(PUNCH[:3])
+        elif pad & Buttons.B:
+            fighter.state = ATTACK_KICK
+            fighter.timer = sum(KICK[:3])
+        elif pad & Buttons.DOWN:
+            fighter.state = BLOCKING
+            fighter.timer = 4  # block is sticky for a few frames
+
+    def _move(self, fighter: Fighter, pad: int) -> None:
+        if fighter.state not in (IDLE, BLOCKING):
+            return
+        if fighter.state == BLOCKING:
+            return  # blocking roots the fighter
+        dx = 0
+        if pad & Buttons.LEFT:
+            dx -= WALK_SPEED
+        if pad & Buttons.RIGHT:
+            dx += WALK_SPEED
+        fighter.x = max(0, min(ARENA_WIDTH - 1, fighter.x + dx))
+
+    def _attack_window(self, fighter: Fighter):
+        """Return the attack's frame data iff it is in active frames."""
+        if fighter.state == ATTACK_PUNCH:
+            data = PUNCH
+        elif fighter.state == ATTACK_KICK:
+            data = KICK
+        else:
+            return None
+        startup, active, recovery = data[0], data[1], data[2]
+        # timer counts down from startup+active+recovery.
+        elapsed = (startup + active + recovery) - fighter.timer
+        if startup <= elapsed < startup + active:
+            return data
+        return None
+
+    def _attack_lands(self, attacker_index: int) -> bool:
+        attacker = self.fighters[attacker_index]
+        defender = self.fighters[1 - attacker_index]
+        data = self._attack_window(attacker)
+        if data is None:
+            return False
+        reach = data[3]
+        distance = defender.x - attacker.x
+        # The attack extends in the facing direction only.
+        if attacker.facing > 0:
+            return 0 <= distance <= reach
+        return 0 <= -distance <= reach
+
+    def _apply_hit(self, attacker_index: int) -> None:
+        attacker = self.fighters[attacker_index]
+        defender = self.fighters[1 - attacker_index]
+        data = PUNCH if attacker.state == ATTACK_PUNCH else KICK
+        damage, pushback = data[4], data[5]
+        if defender.state == BLOCKING:
+            damage //= 4  # chip damage
+            pushback //= 2
+        elif defender.state == HITSTUN:
+            damage //= 2  # juggle scaling
+        defender.hp = max(0, defender.hp - damage)
+        defender.state = HITSTUN
+        defender.timer = 12
+        push = pushback if attacker.facing > 0 else -pushback
+        defender.x = max(0, min(ARENA_WIDTH - 1, defender.x + push))
+        # Attacker's active frames end on contact (no multi-hit).
+        recovery = data[2]
+        attacker.timer = min(attacker.timer, recovery)
+
+    def _check_round_end(self) -> None:
+        a, b = self.fighters
+        winner = None
+        if a.hp == 0 and b.hp == 0:
+            winner = 0 if self.round_no % 2 == 1 else 1  # double KO: alternate
+        elif b.hp == 0:
+            winner = 0
+        elif a.hp == 0:
+            winner = 1
+        elif self.round_timer <= 0:
+            if a.hp > b.hp:
+                winner = 0
+            elif b.hp > a.hp:
+                winner = 1
+            else:
+                winner = 0 if self.round_no % 2 == 1 else 1
+        if winner is None:
+            return
+        self.fighters[winner].rounds_won += 1
+        if self.fighters[winner].rounds_won >= ROUNDS_TO_WIN:
+            self.game_over = True
+            return
+        wins = (self.fighters[0].rounds_won, self.fighters[1].rounds_won)
+        self._reset_round()
+        self.fighters[0].rounds_won, self.fighters[1].rounds_won = wins
+        self.round_no += 1
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def save_state(self) -> bytes:
+        header = _HEADER.pack(
+            self._frame, self.round_timer, self.round_no, int(self.game_over)
+        )
+        return header + b"".join(f.pack() for f in self.fighters)
+
+    def load_state(self, blob: bytes) -> None:
+        expected = _HEADER.size + 2 * _FIGHTER.size
+        if len(blob) != expected:
+            raise MachineError(
+                f"brawler state must be {expected} bytes, got {len(blob)}"
+            )
+        frame, round_timer, round_no, game_over = _HEADER.unpack_from(blob, 0)
+        offset = _HEADER.size
+        fighters = []
+        for __ in range(2):
+            fighters.append(Fighter.unpack(blob[offset : offset + _FIGHTER.size]))
+            offset += _FIGHTER.size
+        self._frame = frame
+        self.round_timer = round_timer
+        self.round_no = round_no
+        self.game_over = bool(game_over)
+        self.fighters = fighters
+
+    def checksum(self) -> int:
+        return zlib.crc32(self.save_state())
+
+    def render_text(self) -> str:
+        a, b = self.fighters
+        lane = [" "] * 64
+        lane[min(63, a.x * 64 // ARENA_WIDTH)] = "A"
+        lane[min(63, b.x * 64 // ARENA_WIDTH)] = "B"
+        return (
+            f"R{self.round_no} t={self.round_timer // 60:02d} "
+            f"A:{a.hp:3d}hp({a.rounds_won}) B:{b.hp:3d}hp({b.rounds_won})\n"
+            f"|{''.join(lane)}|"
+        )

@@ -1,0 +1,83 @@
+"""Minimal machines for protocol experiments and tests.
+
+:class:`CounterMachine` folds every frame's input into a 64-bit rolling
+hash — the cheapest possible deterministic ``Transition`` whose state still
+depends on the *entire* input history, so any divergence in delivered
+inputs shows up in the checksum immediately.  The performance harness uses
+it because the paper states "the actual game does not affect the results".
+
+:class:`NondeterministicMachine` deliberately violates the determinism
+contract; tests use it to prove the consistency checker catches divergence.
+It is intentionally *not* registered in the game registry.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+
+from repro.emulator.machine import Machine, MachineError
+
+_STATE = struct.Struct(">QI")
+_MULTIPLIER = 6364136223846793005
+_INCREMENT = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+class CounterMachine(Machine):
+    """State = rolling hash of the delivered input sequence."""
+
+    name = "counter"
+    num_players = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._hash = 0x9E3779B97F4A7C15
+
+    def _step(self, input_word: int) -> None:
+        self._hash = (
+            (self._hash * _MULTIPLIER + _INCREMENT + input_word) & _MASK
+        )
+
+    def checksum(self) -> int:
+        return zlib.crc32(_STATE.pack(self._hash, self._frame))
+
+    def save_state(self) -> bytes:
+        return _STATE.pack(self._hash, self._frame)
+
+    def load_state(self, blob: bytes) -> None:
+        if len(blob) != _STATE.size:
+            raise MachineError(
+                f"counter state must be {_STATE.size} bytes, got {len(blob)}"
+            )
+        self._hash, self._frame = _STATE.unpack(blob)
+
+
+class NondeterministicMachine(Machine):
+    """A broken game: its transition consults an unseeded RNG.
+
+    This models the non-determinism sources §5 warns about (system clocks,
+    environment variables): replicas fed identical inputs still diverge.
+    """
+
+    name = "nondeterministic"
+    num_players = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._hash = 0
+
+    def _step(self, input_word: int) -> None:
+        self._hash = (
+            self._hash * _MULTIPLIER + input_word + random.getrandbits(32)
+        ) & _MASK
+
+    def checksum(self) -> int:
+        return zlib.crc32(_STATE.pack(self._hash, self._frame))
+
+    def save_state(self) -> bytes:
+        return _STATE.pack(self._hash, self._frame)
+
+    def load_state(self, blob: bytes) -> None:
+        self._hash, self._frame = _STATE.unpack(blob)

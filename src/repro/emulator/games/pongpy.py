@@ -1,0 +1,127 @@
+"""Pong as a pure-Python machine.
+
+Mechanically equivalent to the RC-16 Pong ROM (same field, paddle and
+bounce rules) but implemented directly against the Machine contract.  The
+test suite steps both implementations with identical inputs and compares
+paddle/ball/score trajectories, which validates the CPU, the assembler and
+the ROM in one sweep.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.core.inputs import Buttons, unpack_buttons
+from repro.emulator.machine import Machine, MachineError
+
+FIELD_WIDTH = 64
+FIELD_HEIGHT = 48
+PADDLE_HEIGHT = 8
+PADDLE_MAX_Y = FIELD_HEIGHT - PADDLE_HEIGHT  # 40, matching the ROM's clamp
+
+_STATE = struct.Struct(">IhhhhhhHH")
+
+
+class PongPy(Machine):
+    """Two-player Pong; player 0 guards the left edge, player 1 the right."""
+
+    name = "pong-py"
+    num_players = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.paddle_y = [20, 20]
+        self.ball_x = 32
+        self.ball_y = 24
+        self.vel_x = 1
+        self.vel_y = 1
+        self.scores = [0, 0]
+
+    # ------------------------------------------------------------------
+    def _step(self, input_word: int) -> None:
+        # Paddles (mirrors the ROM: up first, then down, clamped).
+        for player in range(2):
+            pad = unpack_buttons(input_word, player)
+            y = self.paddle_y[player]
+            if pad & Buttons.UP and y >= 1:
+                y -= 1
+            if pad & Buttons.DOWN and y < PADDLE_MAX_Y:
+                y += 1
+            self.paddle_y[player] = y
+
+        # Ball.
+        self.ball_x += self.vel_x
+        self.ball_y += self.vel_y
+
+        # Wall bounces (identical clamping to the ROM).
+        if self.ball_y <= 0:
+            self.vel_y = 1
+            self.ball_y = 0
+        if self.ball_y >= FIELD_HEIGHT - 1:
+            self.vel_y = -1
+            self.ball_y = FIELD_HEIGHT - 1
+
+        # Paddle collisions at the ROM's contact columns.
+        if self.ball_x == 2:
+            offset = self.ball_y - self.paddle_y[0]
+            if 0 <= offset < PADDLE_HEIGHT:
+                self.vel_x = 1
+        if self.ball_x == 61:
+            offset = self.ball_y - self.paddle_y[1]
+            if 0 <= offset < PADDLE_HEIGHT:
+                self.vel_x = -1
+
+        # Scoring and re-serve toward the scorer.
+        if self.ball_x <= 0:
+            self.scores[1] += 1
+            self.ball_x, self.ball_y, self.vel_x = 32, 24, 1
+        elif self.ball_x >= FIELD_WIDTH - 1:
+            self.scores[0] += 1
+            self.ball_x, self.ball_y, self.vel_x = 32, 24, -1
+
+    # ------------------------------------------------------------------
+    def save_state(self) -> bytes:
+        return _STATE.pack(
+            self._frame,
+            self.paddle_y[0],
+            self.paddle_y[1],
+            self.ball_x,
+            self.ball_y,
+            self.vel_x,
+            self.vel_y,
+            self.scores[0],
+            self.scores[1],
+        )
+
+    def load_state(self, blob: bytes) -> None:
+        if len(blob) != _STATE.size:
+            raise MachineError(
+                f"pong state must be {_STATE.size} bytes, got {len(blob)}"
+            )
+        fields = _STATE.unpack(blob)
+        self._frame = fields[0]
+        self.paddle_y = [fields[1], fields[2]]
+        self.ball_x, self.ball_y = fields[3], fields[4]
+        self.vel_x, self.vel_y = fields[5], fields[6]
+        self.scores = [fields[7], fields[8]]
+
+    def checksum(self) -> int:
+        return zlib.crc32(self.save_state())
+
+    def render_text(self) -> str:
+        rows = []
+        for y in range(0, FIELD_HEIGHT, 4):
+            row = [" "] * FIELD_WIDTH
+            for band in range(4):
+                yy = y + band
+                if self.paddle_y[0] <= yy < self.paddle_y[0] + PADDLE_HEIGHT:
+                    row[1] = "#"
+                if self.paddle_y[1] <= yy < self.paddle_y[1] + PADDLE_HEIGHT:
+                    row[62] = "#"
+                if yy == self.ball_y:
+                    row[max(0, min(63, self.ball_x))] = "o"
+            rows.append("".join(row))
+        return (
+            f"P0 {self.scores[0]:2d} : {self.scores[1]:2d} P1\n" + "\n".join(rows)
+        )

@@ -1,0 +1,200 @@
+"""Co-op fixed shooter — two ships defend against descending enemies.
+
+Exercises the synchronization layer with *growing, heap-allocated* state
+(bullet and enemy lists) rather than the fixed-size structs of the other
+games, so savestate transfer and checksumming cover variable-length state.
+Enemy spawning uses a 16-bit LFSR stored in the state itself — pseudo-random
+but exactly reproducible, like the frame-seeded RNGs of real arcade boards.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.inputs import Buttons, unpack_buttons
+from repro.emulator.machine import Machine, MachineError
+
+FIELD_WIDTH = 64
+FIELD_HEIGHT = 48
+SHIP_Y = FIELD_HEIGHT - 2
+FIRE_COOLDOWN = 6
+SPAWN_PERIOD = 30
+MAX_BULLETS = 24
+MAX_ENEMIES = 16
+STARTING_LIVES = 5
+
+_HEADER = struct.Struct(">IHHIbBB")  # frame, lfsr, spawn_timer, score, lives, nb, ne
+_SHIP = struct.Struct(">bB")  # x, cooldown
+_POINT = struct.Struct(">bb")  # x, y
+
+
+def lfsr_next(value: int) -> int:
+    """One step of the x^16 + x^14 + x^13 + x^11 Fibonacci LFSR."""
+    bit = ((value >> 0) ^ (value >> 2) ^ (value >> 3) ^ (value >> 5)) & 1
+    return ((value >> 1) | (bit << 15)) & 0xFFFF
+
+
+@dataclass
+class Ship:
+    x: int
+    cooldown: int = 0
+
+
+class CoopShooter(Machine):
+    """Two ships, shared score, shared lives."""
+
+    name = "shooter"
+    num_players = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ships = [Ship(x=FIELD_WIDTH // 3), Ship(x=2 * FIELD_WIDTH // 3)]
+        self.bullets: List[List[int]] = []  # [x, y]
+        self.enemies: List[List[int]] = []  # [x, y]
+        self.lfsr = 0xACE1
+        self.spawn_timer = SPAWN_PERIOD
+        self.score = 0
+        self.lives = STARTING_LIVES
+
+    @property
+    def game_over(self) -> bool:
+        return self.lives <= 0
+
+    # ------------------------------------------------------------------
+    def _step(self, input_word: int) -> None:
+        if self.game_over:
+            return
+
+        # Ships: move and fire.
+        for player, ship in enumerate(self.ships):
+            pad = unpack_buttons(input_word, player)
+            if pad & Buttons.LEFT:
+                ship.x = max(0, ship.x - 1)
+            if pad & Buttons.RIGHT:
+                ship.x = min(FIELD_WIDTH - 1, ship.x + 1)
+            if ship.cooldown > 0:
+                ship.cooldown -= 1
+            elif pad & Buttons.A and len(self.bullets) < MAX_BULLETS:
+                self.bullets.append([ship.x, SHIP_Y - 1])
+                ship.cooldown = FIRE_COOLDOWN
+
+        # Bullets rise.
+        for bullet in self.bullets:
+            bullet[1] -= 2
+        self.bullets = [b for b in self.bullets if b[1] >= 0]
+
+        # Enemies descend every other frame.
+        if self._frame % 2 == 0:
+            for enemy in self.enemies:
+                enemy[1] += 1
+
+        # Spawning.
+        self.spawn_timer -= 1
+        if self.spawn_timer <= 0:
+            self.spawn_timer = SPAWN_PERIOD
+            if len(self.enemies) < MAX_ENEMIES:
+                self.lfsr = lfsr_next(self.lfsr)
+                self.enemies.append([self.lfsr % FIELD_WIDTH, 0])
+
+        # Bullet/enemy collisions (first-bullet-first, deterministic order).
+        surviving_enemies = []
+        for enemy in self.enemies:
+            hit = None
+            for index, bullet in enumerate(self.bullets):
+                if abs(bullet[0] - enemy[0]) <= 1 and abs(bullet[1] - enemy[1]) <= 1:
+                    hit = index
+                    break
+            if hit is None:
+                surviving_enemies.append(enemy)
+            else:
+                del self.bullets[hit]
+                self.score += 10
+        self.enemies = surviving_enemies
+
+        # Enemies reaching the bottom cost a shared life.
+        breached = [e for e in self.enemies if e[1] >= FIELD_HEIGHT]
+        if breached:
+            self.lives = max(0, self.lives - len(breached))
+            self.enemies = [e for e in self.enemies if e[1] < FIELD_HEIGHT]
+
+    # ------------------------------------------------------------------
+    def save_state(self) -> bytes:
+        parts = [
+            _HEADER.pack(
+                self._frame,
+                self.lfsr,
+                self.spawn_timer,
+                self.score,
+                self.lives,
+                len(self.bullets),
+                len(self.enemies),
+            )
+        ]
+        parts.extend(_SHIP.pack(s.x, s.cooldown) for s in self.ships)
+        parts.extend(_POINT.pack(b[0], b[1]) for b in self.bullets)
+        parts.extend(_POINT.pack(e[0], e[1]) for e in self.enemies)
+        return b"".join(parts)
+
+    def load_state(self, blob: bytes) -> None:
+        try:
+            (
+                frame,
+                lfsr,
+                spawn_timer,
+                score,
+                lives,
+                num_bullets,
+                num_enemies,
+            ) = _HEADER.unpack_from(blob, 0)
+            offset = _HEADER.size
+            ships = []
+            for __ in range(2):
+                x, cooldown = _SHIP.unpack_from(blob, offset)
+                ships.append(Ship(x=x, cooldown=cooldown))
+                offset += _SHIP.size
+            bullets = []
+            for __ in range(num_bullets):
+                x, y = _POINT.unpack_from(blob, offset)
+                bullets.append([x, y])
+                offset += _POINT.size
+            enemies = []
+            for __ in range(num_enemies):
+                x, y = _POINT.unpack_from(blob, offset)
+                enemies.append([x, y])
+                offset += _POINT.size
+        except struct.error as exc:
+            raise MachineError(f"corrupt shooter savestate: {exc}") from exc
+        if offset != len(blob):
+            raise MachineError(
+                f"shooter savestate has {len(blob) - offset} trailing bytes"
+            )
+        self._frame = frame
+        self.lfsr = lfsr
+        self.spawn_timer = spawn_timer
+        self.score = score
+        self.lives = lives
+        self.ships = ships
+        self.bullets = bullets
+        self.enemies = enemies
+
+    def checksum(self) -> int:
+        return zlib.crc32(self.save_state())
+
+    def render_text(self) -> str:
+        grid = [[" "] * FIELD_WIDTH for __ in range(FIELD_HEIGHT // 4)]
+
+        def plot(x: int, y: int, glyph: str) -> None:
+            row = min(len(grid) - 1, max(0, y // 4))
+            grid[row][max(0, min(FIELD_WIDTH - 1, x))] = glyph
+
+        for enemy in self.enemies:
+            plot(enemy[0], enemy[1], "V")
+        for bullet in self.bullets:
+            plot(bullet[0], bullet[1], "|")
+        for ship in self.ships:
+            plot(ship.x, SHIP_Y, "^")
+        status = f"score={self.score} lives={self.lives}"
+        return status + "\n" + "\n".join("".join(row) for row in grid)

@@ -1,0 +1,166 @@
+"""Tank Duel as a pure-Python machine — the ROM's validation oracle.
+
+Reimplements `roms/tankduel.py` semantics *exactly* (same update order,
+same clamps, same collision and respawn rules) so the test suite can step
+both with identical inputs and compare trajectories — a frame-exact
+cross-validation of the CPU, the assembler and the ROM, like
+`pongpy` is for the Pong ROM.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.core.inputs import Buttons, unpack_buttons
+from repro.emulator.machine import Machine, MachineError
+
+FIELD_MIN_Y = 2  # the score bar occupies row 0; the ROM stops tanks at y=2
+FIELD_MAX_Y = 46
+FIELD_MIN_X = 0
+FIELD_MAX_X = 62
+
+_TANK = struct.Struct(">hhhh")
+_SHELL = struct.Struct(">hhhhB")
+_HEADER = struct.Struct(">IHH")
+
+
+@dataclass
+class Tank:
+    x: int
+    y: int
+    dx: int
+    dy: int
+
+
+@dataclass
+class Shell:
+    x: int = 0
+    y: int = 0
+    dx: int = 0
+    dy: int = 0
+    on: bool = False
+
+
+class TankDuelPy(Machine):
+    """Pure-Python Tank Duel with ROM-identical semantics."""
+
+    name = "tankduel-py"
+    num_players = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tanks = [Tank(0, 0, 0, 0), Tank(0, 0, 0, 0)]
+        self.shells = [Shell(), Shell()]
+        self.scores = [0, 0]
+        self._respawn()
+
+    def _respawn(self) -> None:
+        """Tanks to opposite sides, facing each other (the ROM's respawn)."""
+        self.tanks[0] = Tank(x=6, y=24, dx=1, dy=0)
+        self.tanks[1] = Tank(x=57, y=24, dx=-1, dy=0)
+
+    # ------------------------------------------------------------------
+    def _steer(self, tank: Tank, nibble: int) -> None:
+        """Mirror of the ROM's `steer`: each pressed direction sets facing
+        (later directions override) and moves if within bounds."""
+        if nibble & Buttons.UP:
+            tank.dx, tank.dy = 0, -1
+            if tank.y > FIELD_MIN_Y:
+                tank.y -= 1
+        if nibble & Buttons.DOWN:
+            tank.dx, tank.dy = 0, 1
+            if tank.y < FIELD_MAX_Y:
+                tank.y += 1
+        if nibble & Buttons.LEFT:
+            tank.dx, tank.dy = -1, 0
+            if tank.x >= 1:
+                tank.x -= 1
+        if nibble & Buttons.RIGHT:
+            tank.dx, tank.dy = 1, 0
+            if tank.x < FIELD_MAX_X:
+                tank.x += 1
+
+    def _fire(self, tank: Tank, shell: Shell) -> None:
+        shell.x, shell.y = tank.x, tank.y
+        shell.dx, shell.dy = tank.dx * 2, tank.dy * 2
+        shell.on = True
+
+    def _fly_shell(self, shell: Shell, target: Tank, scorer: int) -> None:
+        """Mirror of the ROM's `shell`: move, bounds, hit test, respawn."""
+        if not shell.on:
+            return
+        shell.x += shell.dx
+        shell.y += shell.dy
+        if shell.x < 0 or shell.x > 63 or shell.y < 1 or shell.y > 47:
+            shell.on = False
+            return
+        if abs(shell.x - target.x) <= 1 and abs(shell.y - target.y) <= 1:
+            self.scores[scorer] += 1
+            shell.on = False
+            self._respawn()
+
+    # ------------------------------------------------------------------
+    def _step(self, input_word: int) -> None:
+        pads = [unpack_buttons(input_word, p) for p in range(2)]
+
+        self._steer(self.tanks[0], pads[0])
+        self._steer(self.tanks[1], pads[1])
+
+        if pads[0] & Buttons.A and not self.shells[0].on:
+            self._fire(self.tanks[0], self.shells[0])
+        if pads[1] & Buttons.A and not self.shells[1].on:
+            self._fire(self.tanks[1], self.shells[1])
+
+        # ROM order: shell 0 (targets tank 1) before shell 1 (targets
+        # tank 0); a shell-0 hit respawns both tanks before shell 1 flies.
+        self._fly_shell(self.shells[0], self.tanks[1], scorer=0)
+        self._fly_shell(self.shells[1], self.tanks[0], scorer=1)
+
+    # ------------------------------------------------------------------
+    def save_state(self) -> bytes:
+        parts = [_HEADER.pack(self._frame, self.scores[0], self.scores[1])]
+        for tank in self.tanks:
+            parts.append(_TANK.pack(tank.x, tank.y, tank.dx, tank.dy))
+        for shell in self.shells:
+            parts.append(
+                _SHELL.pack(shell.x, shell.y, shell.dx, shell.dy, int(shell.on))
+            )
+        return b"".join(parts)
+
+    def load_state(self, blob: bytes) -> None:
+        expected = _HEADER.size + 2 * _TANK.size + 2 * _SHELL.size
+        if len(blob) != expected:
+            raise MachineError(
+                f"tankduel-py state must be {expected} bytes, got {len(blob)}"
+            )
+        frame, score0, score1 = _HEADER.unpack_from(blob, 0)
+        offset = _HEADER.size
+        tanks = []
+        for __ in range(2):
+            x, y, dx, dy = _TANK.unpack_from(blob, offset)
+            tanks.append(Tank(x, y, dx, dy))
+            offset += _TANK.size
+        shells = []
+        for __ in range(2):
+            x, y, dx, dy, on = _SHELL.unpack_from(blob, offset)
+            shells.append(Shell(x, y, dx, dy, bool(on)))
+            offset += _SHELL.size
+        self._frame = frame
+        self.scores = [score0, score1]
+        self.tanks = tanks
+        self.shells = shells
+
+    def checksum(self) -> int:
+        return zlib.crc32(self.save_state())
+
+    def render_text(self) -> str:
+        grid = [[" "] * 64 for __ in range(12)]
+        for index, tank in enumerate(self.tanks):
+            grid[min(11, tank.y // 4)][tank.x] = "AB"[index]
+        for shell in self.shells:
+            if shell.on and 0 <= shell.y < 48 and 0 <= shell.x < 64:
+                grid[shell.y // 4][shell.x] = "*"
+        status = f"score A:{self.scores[0]} B:{self.scores[1]}"
+        return status + "\n" + "\n".join("".join(row) for row in grid)

@@ -1,0 +1,117 @@
+"""The Machine contract — the paper's deterministic black box.
+
+``S' = Transition(I, S)`` is all the sync layer ever does with a game.  A
+:class:`Machine` packages that transition with the three capabilities the
+distributed VM needs around it:
+
+* :meth:`Machine.step` — execute exactly one frame under an input word,
+* :meth:`Machine.checksum` — digest the *complete* state (consistency
+  verification across sites),
+* :meth:`Machine.save_state` / :meth:`Machine.load_state` — full-fidelity
+  savestates (late joiners).
+
+Determinism is a hard requirement: two machines constructed with the same
+arguments and fed the same input sequence must produce identical checksums
+at every frame.  The property-based test suite enforces this for every
+registered game.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List
+
+
+class MachineError(RuntimeError):
+    """Raised for machine-level faults (bad ROM, corrupt savestate, ...)."""
+
+
+class Machine(ABC):
+    """A deterministic, frame-stepped game machine."""
+
+    #: Human-readable game identifier (doubles as the lobby's game image id).
+    name: str = "machine"
+    #: How many player pads the game reads.
+    num_players: int = 2
+
+    def __init__(self) -> None:
+        self._frame = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def frame(self) -> int:
+        """Number of frames executed since reset."""
+        return self._frame
+
+    def step(self, input_word: int) -> None:
+        """Advance one frame.  ``input_word`` carries all pads (bit string)."""
+        if input_word < 0:
+            raise MachineError(f"input word must be non-negative, got {input_word}")
+        self._step(input_word)
+        self._frame += 1
+
+    @abstractmethod
+    def _step(self, input_word: int) -> None:
+        """Game-specific transition for one frame."""
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def checksum(self) -> int:
+        """CRC32 digest of the complete machine state."""
+
+    @abstractmethod
+    def save_state(self) -> bytes:
+        """Serialize the complete state, including the frame counter."""
+
+    @abstractmethod
+    def load_state(self, blob: bytes) -> None:
+        """Restore :meth:`save_state` output; raises MachineError on garbage."""
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Optional ASCII rendering for the examples; default: a status line."""
+        return f"[{self.name} frame={self.frame} state=0x{self.checksum():08x}]"
+
+
+def state_checksum(*chunks: bytes) -> int:
+    """Helper: CRC32 over concatenated state chunks."""
+    crc = 0
+    for chunk in chunks:
+        crc = zlib.crc32(chunk, crc)
+    return crc
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[[], Machine]] = {}
+
+
+def register_game(name: str, factory: Callable[[], Machine]) -> None:
+    """Register a game factory under ``name`` (used by harness and examples)."""
+    if name in _FACTORIES:
+        raise MachineError(f"game {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def available_games() -> List[str]:
+    """Names of all registered games (importing the games packages first)."""
+    _ensure_builtin_games()
+    return sorted(_FACTORIES)
+
+
+def create_game(name: str) -> Machine:
+    """Instantiate a registered game by name."""
+    _ensure_builtin_games()
+    if name not in _FACTORIES:
+        raise MachineError(
+            f"unknown game {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        )
+    return _FACTORIES[name]()
+
+
+def _ensure_builtin_games() -> None:
+    """Import the built-in game modules so they self-register."""
+    from repro.emulator import games as _games  # noqa: F401
+    from repro.emulator import roms as _roms  # noqa: F401

@@ -1,0 +1,97 @@
+"""The RC-16 memory bus: 64 KiB with memory-mapped I/O hooks.
+
+Memory map (see :mod:`repro.emulator.console` for the full wiring)::
+
+    0x0000 .. 0xDFFF   general RAM (code is loaded at 0x0100)
+    0xE000 .. 0xEBFF   framebuffer (64 × 48, one byte per pixel)
+    0xFF00 .. 0xFF01   input word (little-endian, read-only to the program)
+    0xFF02 .. 0xFF03   frame counter (read-only to the program)
+
+MMIO is implemented with read/write hooks on address ranges so devices stay
+decoupled from the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+MEMORY_SIZE = 0x10000
+
+
+class Memory:
+    """A 64 KiB byte-addressable bus with optional MMIO hooks."""
+
+    def __init__(self) -> None:
+        self._data = bytearray(MEMORY_SIZE)
+        # (start, end_exclusive, read_hook, write_hook)
+        self._hooks: List[
+            Tuple[int, int, Optional[Callable[[int], int]], Optional[Callable[[int, int], None]]]
+        ] = []
+
+    # ------------------------------------------------------------------
+    def add_hook(
+        self,
+        start: int,
+        end: int,
+        read: Optional[Callable[[int], int]] = None,
+        write: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        """Install read/write interceptors for addresses ``start..end-1``."""
+        if not 0 <= start < end <= MEMORY_SIZE:
+            raise ValueError(f"bad hook range {start:#x}..{end:#x}")
+        self._hooks.append((start, end, read, write))
+
+    def _find_hook(self, address: int):
+        for hook in self._hooks:
+            if hook[0] <= address < hook[1]:
+                return hook
+        return None
+
+    # ------------------------------------------------------------------
+    def read_byte(self, address: int) -> int:
+        address &= 0xFFFF
+        hook = self._find_hook(address)
+        if hook is not None and hook[2] is not None:
+            return hook[2](address) & 0xFF
+        return self._data[address]
+
+    def write_byte(self, address: int, value: int) -> None:
+        address &= 0xFFFF
+        hook = self._find_hook(address)
+        if hook is not None:
+            if hook[3] is not None:
+                hook[3](address, value & 0xFF)
+                return
+            if hook[2] is not None:
+                return  # read-only region: writes are ignored, like real MMIO
+        self._data[address] = value & 0xFF
+
+    def read_word(self, address: int) -> int:
+        """Little-endian 16-bit read."""
+        return self.read_byte(address) | (self.read_byte(address + 1) << 8)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write_byte(address, value & 0xFF)
+        self.write_byte(address + 1, (value >> 8) & 0xFF)
+
+    # ------------------------------------------------------------------
+    # Bulk access (loader, savestates, checksums) — bypasses hooks.
+    # ------------------------------------------------------------------
+    def load(self, address: int, blob: bytes) -> None:
+        if address + len(blob) > MEMORY_SIZE:
+            raise ValueError(
+                f"load of {len(blob)} bytes at {address:#x} overflows memory"
+            )
+        self._data[address : address + len(blob)] = blob
+
+    def dump(self, address: int = 0, length: int = MEMORY_SIZE) -> bytes:
+        return bytes(self._data[address : address + length])
+
+    def restore(self, blob: bytes) -> None:
+        if len(blob) != MEMORY_SIZE:
+            raise ValueError(f"snapshot must be {MEMORY_SIZE} bytes, got {len(blob)}")
+        self._data[:] = blob
+
+    def clear(self) -> None:
+        for i in range(MEMORY_SIZE):
+            self._data[i] = 0

@@ -1,0 +1,14 @@
+"""ROMs written in RC-16 assembly.
+
+Importing this package registers the ROM-based games with the machine
+registry (``create_game("pong")``, ``create_game("tankduel")``).
+"""
+
+from repro.emulator.machine import register_game
+from repro.emulator.roms.pong import build_pong
+from repro.emulator.roms.tankduel import build_tankduel
+
+register_game("pong", build_pong)
+register_game("tankduel", build_tankduel)
+
+__all__ = ["build_pong", "build_tankduel"]

@@ -1,0 +1,298 @@
+"""Pong for the RC-16 console, written in its assembly language.
+
+Two paddles (player 0 left, player 1 right) move with UP/DOWN; the ball
+bounces off walls and paddles; a miss scores for the opponent and re-serves
+toward the scorer.  Scores render as bars along the top framebuffer row.
+
+This ROM is the emulated "legacy game" of the reproduction: the sync layer
+never looks inside it, exactly as the paper's system never looks inside the
+MAME ROMs it synchronizes.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.assembler import assemble
+from repro.emulator.console import Console
+
+PONG_SOURCE = """
+; ---- Pong for RC-16 -------------------------------------------------
+.equ INPUT,   0xFF00
+.equ FB,      0xE000
+.equ AFREQ,   0xFF10
+.equ ADUR,    0xFF12
+.equ ATRIG,   0xFF13
+.equ P0Y,     0x0010
+.equ P1Y,     0x0012
+.equ BALLX,   0x0014
+.equ BALLY,   0x0016
+.equ BVX,     0x0018
+.equ BVY,     0x001A
+.equ SCORE0,  0x001C
+.equ SCORE1,  0x001E
+.equ INITFLG, 0x0020
+.equ PREVBX,  0x0022
+.equ PREVBY,  0x0024
+.org 0x0100
+
+start:
+    LDI  r0, 0
+    LD   r1, [r0+INITFLG]
+    CMPI r1, 0
+    JNZ  frame
+    ; ---- one-time init ----
+    LDI  r1, 20
+    ST   [r0+P0Y], r1
+    ST   [r0+P1Y], r1
+    LDI  r1, 32
+    ST   [r0+BALLX], r1
+    ST   [r0+PREVBX], r1
+    LDI  r1, 24
+    ST   [r0+BALLY], r1
+    ST   [r0+PREVBY], r1
+    LDI  r1, 1
+    ST   [r0+BVX], r1
+    ST   [r0+BVY], r1
+    ST   [r0+INITFLG], r1
+    LDI  r1, 0
+    ST   [r0+SCORE0], r1
+    ST   [r0+SCORE1], r1
+
+frame:
+    LDI  r0, 0
+    LD   r2, [r0+INPUT]
+
+    ; ---- player 0 paddle (bits 0=UP, 1=DOWN) ----
+    LD   r3, [r0+P0Y]
+    MOV  r4, r2
+    LDI  r5, 1
+    AND  r4, r5
+    JZ   p0_down
+    CMPI r3, 1
+    JLT  p0_down
+    ADDI r3, -1
+p0_down:
+    MOV  r4, r2
+    LDI  r5, 2
+    AND  r4, r5
+    JZ   p0_store
+    CMPI r3, 40
+    JGE  p0_store
+    ADDI r3, 1
+p0_store:
+    ST   [r0+P0Y], r3
+
+    ; ---- player 1 paddle (bits 8=UP, 9=DOWN) ----
+    LD   r3, [r0+P1Y]
+    MOV  r4, r2
+    LDI  r5, 0x100
+    AND  r4, r5
+    JZ   p1_down
+    CMPI r3, 1
+    JLT  p1_down
+    ADDI r3, -1
+p1_down:
+    MOV  r4, r2
+    LDI  r5, 0x200
+    AND  r4, r5
+    JZ   p1_store
+    CMPI r3, 40
+    JGE  p1_store
+    ADDI r3, 1
+p1_store:
+    ST   [r0+P1Y], r3
+
+    ; ---- ball physics ----
+    LD   r6, [r0+BALLX]
+    ST   [r0+PREVBX], r6
+    LD   r7, [r0+BALLY]
+    ST   [r0+PREVBY], r7
+    LD   r4, [r0+BVX]
+    ADD  r6, r4
+    LD   r5, [r0+BVY]
+    ADD  r7, r5
+
+    CMPI r7, 0
+    JGT  vy_top_ok
+    LDI  r5, 1
+    ST   [r0+BVY], r5
+    LDI  r7, 0
+vy_top_ok:
+    CMPI r7, 47
+    JLT  vy_ok
+    LDI  r5, -1
+    ST   [r0+BVY], r5
+    LDI  r7, 47
+vy_ok:
+
+    ; ---- paddle collisions ----
+    CMPI r6, 2
+    JNZ  not_left_pad
+    LD   r3, [r0+P0Y]
+    MOV  r4, r7
+    SUB  r4, r3
+    JLT  not_left_pad
+    CMPI r4, 8
+    JGE  not_left_pad
+    LDI  r4, 1
+    ST   [r0+BVX], r4
+    CALL beep_pad
+not_left_pad:
+    CMPI r6, 61
+    JNZ  not_right_pad
+    LD   r3, [r0+P1Y]
+    MOV  r4, r7
+    SUB  r4, r3
+    JLT  not_right_pad
+    CMPI r4, 8
+    JGE  not_right_pad
+    LDI  r4, -1
+    ST   [r0+BVX], r4
+    CALL beep_pad
+not_right_pad:
+
+    ; ---- scoring ----
+    CMPI r6, 0
+    JGT  no_score_left
+    LD   r4, [r0+SCORE1]
+    ADDI r4, 1
+    ST   [r0+SCORE1], r4
+    LDI  r6, 32
+    LDI  r7, 24
+    LDI  r4, 1
+    ST   [r0+BVX], r4
+    CALL beep_score
+    JMP  score_done
+no_score_left:
+    CMPI r6, 63
+    JLT  score_done
+    LD   r4, [r0+SCORE0]
+    ADDI r4, 1
+    ST   [r0+SCORE0], r4
+    LDI  r6, 32
+    LDI  r7, 24
+    LDI  r4, -1
+    ST   [r0+BVX], r4
+    CALL beep_score
+score_done:
+    ST   [r0+BALLX], r6
+    ST   [r0+BALLY], r7
+
+    ; ---- draw: erase previous ball pixel ----
+    LD   r4, [r0+PREVBY]
+    LDI  r5, 6
+    SHL  r4, r5
+    LD   r3, [r0+PREVBX]
+    ADD  r4, r3
+    LDI  r3, 0
+    STB  [r4+FB], r3
+
+    ; ---- draw paddles ----
+    LDI  r1, 1
+    LD   r2, [r0+P0Y]
+    CALL draw_col
+    LDI  r1, 62
+    LD   r2, [r0+P1Y]
+    CALL draw_col
+
+    ; ---- draw ball ----
+    LD   r4, [r0+BALLY]
+    LDI  r5, 6
+    SHL  r4, r5
+    LD   r3, [r0+BALLX]
+    ADD  r4, r3
+    LDI  r3, 9
+    STB  [r4+FB], r3
+
+    ; ---- score bars on row 0 ----
+    LDI  r3, 0
+sb_clear:
+    LDI  r5, 0
+    MOV  r4, r3
+    STB  [r4+FB], r5
+    ADDI r3, 1
+    CMPI r3, 64
+    JLT  sb_clear
+    LD   r2, [r0+SCORE0]
+    CMPI r2, 16
+    JLE  sb_p0_clamped
+    LDI  r2, 16
+sb_p0_clamped:
+    LDI  r3, 0
+sb_p0:
+    CMP  r3, r2
+    JGE  sb_p1_start
+    MOV  r4, r3
+    LDI  r5, 3
+    STB  [r4+FB], r5
+    ADDI r3, 1
+    JMP  sb_p0
+sb_p1_start:
+    LD   r2, [r0+SCORE1]
+    CMPI r2, 16
+    JLE  sb_p1_clamped
+    LDI  r2, 16
+sb_p1_clamped:
+    LDI  r3, 0
+sb_p1:
+    CMP  r3, r2
+    JGE  frame_done
+    LDI  r4, 63
+    SUB  r4, r3
+    LDI  r5, 4
+    STB  [r4+FB], r5
+    ADDI r3, 1
+    JMP  sb_p1
+frame_done:
+    YIELD
+    JMP  frame
+
+; ---- subroutines: sound effects -----------------------------------
+; beep_pad: short high blip on a paddle hit.  Clobbers r5.
+beep_pad:
+    LDI  r5, 880
+    ST   [r0+AFREQ], r5
+    LDI  r5, 2
+    STB  [r0+ADUR], r5
+    STB  [r0+ATRIG], r5
+    RET
+
+; beep_score: longer low tone on a point.  Clobbers r5.
+beep_score:
+    LDI  r5, 220
+    ST   [r0+AFREQ], r5
+    LDI  r5, 10
+    STB  [r0+ADUR], r5
+    STB  [r0+ATRIG], r5
+    RET
+
+; ---- subroutine: draw one paddle column --------------------------
+; r1 = x, r2 = paddle top; clobbers r3, r4, r5, r8, r9
+draw_col:
+    LDI  r3, 0
+dc_loop:
+    MOV  r4, r3
+    SUB  r4, r2
+    JLT  dc_zero
+    CMPI r4, 8
+    JGE  dc_zero
+    LDI  r5, 7
+    JMP  dc_store
+dc_zero:
+    LDI  r5, 0
+dc_store:
+    MOV  r8, r3
+    LDI  r9, 6
+    SHL  r8, r9
+    ADD  r8, r1
+    STB  [r8+FB], r5
+    ADDI r3, 1
+    CMPI r3, 48
+    JLT  dc_loop
+    RET
+"""
+
+
+def build_pong() -> Console:
+    """Assemble and boot the Pong ROM."""
+    program = assemble(PONG_SOURCE)
+    return Console(program, name="pong", num_players=2)

@@ -1,0 +1,466 @@
+"""Tank Duel for the RC-16 console — a second game written in assembly.
+
+Two tanks roam the field; each steers with the pad directions (movement
+also sets facing) and fires with A.  One shell per tank may be in flight;
+a shell hitting the opposing tank scores and both tanks respawn at their
+corners.  Scores render as bars along the top row, mirroring Pong.
+
+A second ROM keeps the console honest as a general substrate: Tank Duel
+exercises subroutine-heavy drawing, per-entity state machines and
+signed-coordinate arithmetic that Pong does not.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.assembler import assemble
+from repro.emulator.console import Console
+from repro.emulator.machine import register_game
+
+TANKDUEL_SOURCE = """
+; ---- Tank Duel for RC-16 --------------------------------------------
+.equ INPUT,  0xFF00
+.equ FB,     0xE000
+.equ AFREQ,  0xFF10
+.equ ADUR,   0xFF12
+.equ ATRIG,  0xFF13
+; tank 0 / tank 1 state
+.equ T0X,    0x0030
+.equ T0Y,    0x0032
+.equ T0DX,   0x0034
+.equ T0DY,   0x0036
+.equ T1X,    0x0038
+.equ T1Y,    0x003A
+.equ T1DX,   0x003C
+.equ T1DY,   0x003E
+; shells
+.equ B0X,    0x0040
+.equ B0Y,    0x0042
+.equ B0DX,   0x0044
+.equ B0DY,   0x0046
+.equ B0ON,   0x0048
+.equ B1X,    0x004A
+.equ B1Y,    0x004C
+.equ B1DX,   0x004E
+.equ B1DY,   0x0050
+.equ B1ON,   0x0052
+; scores + bookkeeping
+.equ SC0,    0x0054
+.equ SC1,    0x0056
+.equ INITF,  0x0058
+; previous positions for erasing
+.equ PT0X,   0x005A
+.equ PT0Y,   0x005C
+.equ PT1X,   0x005E
+.equ PT1Y,   0x0060
+.equ PB0X,   0x0062
+.equ PB0Y,   0x0064
+.equ PB1X,   0x0066
+.equ PB1Y,   0x0068
+.org 0x0100
+
+start:
+    LDI  r0, 0
+    LD   r1, [r0+INITF]
+    CMPI r1, 0
+    JNZ  frame
+    CALL respawn
+    LDI  r1, 0
+    ST   [r0+SC0], r1
+    ST   [r0+SC1], r1
+    ST   [r0+B0ON], r1
+    ST   [r0+B1ON], r1
+    LDI  r1, 1
+    ST   [r0+INITF], r1
+
+frame:
+    LDI  r0, 0
+    LD   r2, [r0+INPUT]
+
+    ; remember previous positions for erase
+    LD   r1, [r0+T0X]
+    ST   [r0+PT0X], r1
+    LD   r1, [r0+T0Y]
+    ST   [r0+PT0Y], r1
+    LD   r1, [r0+T1X]
+    ST   [r0+PT1X], r1
+    LD   r1, [r0+T1Y]
+    ST   [r0+PT1Y], r1
+    LD   r1, [r0+B0X]
+    ST   [r0+PB0X], r1
+    LD   r1, [r0+B0Y]
+    ST   [r0+PB0Y], r1
+    LD   r1, [r0+B1X]
+    ST   [r0+PB1X], r1
+    LD   r1, [r0+B1Y]
+    ST   [r0+PB1Y], r1
+
+    ; ---- tank 0 steering (pad bits 0..3) ----
+    MOV  r3, r2
+    LDI  r4, 0x0F
+    AND  r3, r4
+    LDI  r6, T0X
+    CALL steer
+
+    ; ---- tank 1 steering (pad bits 8..11) ----
+    MOV  r3, r2
+    LDI  r4, 8
+    SHR  r3, r4
+    LDI  r4, 0x0F
+    AND  r3, r4
+    LDI  r6, T1X
+    CALL steer
+
+    ; ---- tank 0 fire (bit 4) ----
+    MOV  r3, r2
+    LDI  r4, 0x10
+    AND  r3, r4
+    JZ   t0_nofire
+    LD   r4, [r0+B0ON]
+    CMPI r4, 0
+    JNZ  t0_nofire
+    LDI  r6, T0X
+    LDI  r7, B0X
+    CALL fire
+t0_nofire:
+
+    ; ---- tank 1 fire (bit 12) ----
+    MOV  r3, r2
+    LDI  r4, 0x1000
+    AND  r3, r4
+    JZ   t1_nofire
+    LD   r4, [r0+B1ON]
+    CMPI r4, 0
+    JNZ  t1_nofire
+    LDI  r6, T1X
+    LDI  r7, B1X
+    CALL fire
+t1_nofire:
+
+    ; ---- shell 0 flight + hit on tank 1 ----
+    LDI  r6, B0X
+    LDI  r7, T1X
+    LDI  r3, SC0
+    CALL shell
+
+    ; ---- shell 1 flight + hit on tank 0 ----
+    LDI  r6, B1X
+    LDI  r7, T0X
+    LDI  r3, SC1
+    CALL shell
+
+    ; ---- drawing ----
+    ; erase previous pixels
+    LD   r1, [r0+PT0X]
+    LD   r2, [r0+PT0Y]
+    LDI  r5, 0
+    CALL plot
+    LD   r1, [r0+PT1X]
+    LD   r2, [r0+PT1Y]
+    LDI  r5, 0
+    CALL plot
+    LD   r1, [r0+PB0X]
+    LD   r2, [r0+PB0Y]
+    LDI  r5, 0
+    CALL plot
+    LD   r1, [r0+PB1X]
+    LD   r2, [r0+PB1Y]
+    LDI  r5, 0
+    CALL plot
+    ; draw tanks
+    LD   r1, [r0+T0X]
+    LD   r2, [r0+T0Y]
+    LDI  r5, 5
+    CALL plot
+    LD   r1, [r0+T1X]
+    LD   r2, [r0+T1Y]
+    LDI  r5, 6
+    CALL plot
+    ; draw live shells
+    LD   r4, [r0+B0ON]
+    CMPI r4, 0
+    JZ   skip_draw_b0
+    LD   r1, [r0+B0X]
+    LD   r2, [r0+B0Y]
+    LDI  r5, 9
+    CALL plot
+skip_draw_b0:
+    LD   r4, [r0+B1ON]
+    CMPI r4, 0
+    JZ   skip_draw_b1
+    LD   r1, [r0+B1X]
+    LD   r2, [r0+B1Y]
+    LDI  r5, 9
+    CALL plot
+skip_draw_b1:
+    CALL draw_scores
+    YIELD
+    JMP  frame
+
+; ---------------------------------------------------------------
+; steer: r3 = direction nibble (UP/DOWN/LEFT/RIGHT), r6 = &tank.X
+; layout: X, Y, DX, DY at r6+0, +2, +4, +6.  Clobbers r1, r4, r5.
+steer:
+    MOV  r4, r3
+    LDI  r5, 1          ; UP
+    AND  r4, r5
+    JZ   st_down
+    LDI  r4, 0
+    ST   [r6+4], r4
+    LDI  r4, -1
+    ST   [r6+6], r4
+    LD   r1, [r6+2]
+    CMPI r1, 2          ; keep off the score row
+    JLE  st_down
+    ADDI r1, -1
+    ST   [r6+2], r1
+st_down:
+    MOV  r4, r3
+    LDI  r5, 2          ; DOWN
+    AND  r4, r5
+    JZ   st_left
+    LDI  r4, 0
+    ST   [r6+4], r4
+    LDI  r4, 1
+    ST   [r6+6], r4
+    LD   r1, [r6+2]
+    CMPI r1, 46
+    JGE  st_left
+    ADDI r1, 1
+    ST   [r6+2], r1
+st_left:
+    MOV  r4, r3
+    LDI  r5, 4          ; LEFT
+    AND  r4, r5
+    JZ   st_right
+    LDI  r4, -1
+    ST   [r6+4], r4
+    LDI  r4, 0
+    ST   [r6+6], r4
+    LD   r1, [r6+0]
+    CMPI r1, 1
+    JLT  st_right
+    ADDI r1, -1
+    ST   [r6+0], r1
+st_right:
+    MOV  r4, r3
+    LDI  r5, 8          ; RIGHT
+    AND  r4, r5
+    JZ   st_done
+    LDI  r4, 1
+    ST   [r6+4], r4
+    LDI  r4, 0
+    ST   [r6+6], r4
+    LD   r1, [r6+0]
+    CMPI r1, 62
+    JGE  st_done
+    ADDI r1, 1
+    ST   [r6+0], r1
+st_done:
+    RET
+
+; ---------------------------------------------------------------
+; fire: r6 = &tank.X, r7 = &shell.X
+; shell layout: X, Y, DX, DY, ON at r7+0..+8.  Clobbers r1, r4.
+fire:
+    LD   r1, [r6+0]
+    ST   [r7+0], r1
+    LD   r1, [r6+2]
+    ST   [r7+2], r1
+    ; shell speed = 2 x facing
+    LD   r1, [r6+4]
+    MOV  r4, r1
+    ADD  r1, r4
+    ST   [r7+4], r1
+    LD   r1, [r6+6]
+    MOV  r4, r1
+    ADD  r1, r4
+    ST   [r7+6], r1
+    LDI  r1, 1
+    ST   [r7+8], r1
+    ; muzzle blip
+    LDI  r1, 660
+    ST   [r0+AFREQ], r1
+    LDI  r1, 2
+    STB  [r0+ADUR], r1
+    STB  [r0+ATRIG], r1
+    RET
+
+; ---------------------------------------------------------------
+; shell: r6 = &shell.X, r7 = &target tank.X, r3 = &score word
+; Moves the shell, deactivates out of bounds, scores on hit.
+; Clobbers r1, r4, r5, r8, r9.
+shell:
+    LD   r4, [r6+8]
+    CMPI r4, 0
+    JZ   sh_done
+    ; advance
+    LD   r1, [r6+0]
+    LD   r4, [r6+4]
+    ADD  r1, r4
+    ST   [r6+0], r1
+    LD   r1, [r6+2]
+    LD   r4, [r6+6]
+    ADD  r1, r4
+    ST   [r6+2], r1
+    ; bounds: x in [0,63], y in [1,47]
+    LD   r1, [r6+0]
+    CMPI r1, 0
+    JLT  sh_off
+    CMPI r1, 63
+    JGT  sh_off
+    LD   r1, [r6+2]
+    CMPI r1, 1
+    JLT  sh_off
+    CMPI r1, 47
+    JGT  sh_off
+    ; hit test: |sx-tx| <= 1 and |sy-ty| <= 1
+    LD   r4, [r6+0]
+    LD   r5, [r7+0]
+    SUB  r4, r5
+    JGE  sh_absx
+    LDI  r9, 0
+    SUB  r9, r4
+    MOV  r4, r9
+sh_absx:
+    CMPI r4, 2
+    JGE  sh_done
+    LD   r4, [r6+2]
+    LD   r5, [r7+2]
+    SUB  r4, r5
+    JGE  sh_absy
+    LDI  r9, 0
+    SUB  r9, r4
+    MOV  r4, r9
+sh_absy:
+    CMPI r4, 2
+    JGE  sh_done
+    ; hit!  score, deactivate, respawn both tanks
+    MOV  r8, r3
+    LD   r4, [r8+0]
+    ADDI r4, 1
+    ST   [r8+0], r4
+    LDI  r4, 0
+    ST   [r6+8], r4
+    ; explosion tone
+    LDI  r4, 150
+    ST   [r0+AFREQ], r4
+    LDI  r4, 12
+    STB  [r0+ADUR], r4
+    STB  [r0+ATRIG], r4
+    CALL clear_field
+    CALL respawn
+    RET
+sh_off:
+    LDI  r4, 0
+    ST   [r6+8], r4
+sh_done:
+    RET
+
+; ---------------------------------------------------------------
+; respawn: tanks to opposite corners, facing each other.
+; Clobbers r1.  (Does not touch shells or scores.)
+respawn:
+    LDI  r1, 6
+    ST   [r0+T0X], r1
+    LDI  r1, 24
+    ST   [r0+T0Y], r1
+    LDI  r1, 1
+    ST   [r0+T0DX], r1
+    LDI  r1, 0
+    ST   [r0+T0DY], r1
+    LDI  r1, 57
+    ST   [r0+T1X], r1
+    LDI  r1, 24
+    ST   [r0+T1Y], r1
+    LDI  r1, -1
+    ST   [r0+T1DX], r1
+    LDI  r1, 0
+    ST   [r0+T1DY], r1
+    RET
+
+; ---------------------------------------------------------------
+; clear_field: wipe the playfield rows (y >= 1).  Clobbers r1, r4, r5.
+clear_field:
+    LDI  r4, 64         ; start after row 0 (the score bar)
+    LDI  r5, 0
+cf_loop:
+    MOV  r1, r4
+    STB  [r1+FB], r5
+    ADDI r4, 1
+    CMPI r4, 3072
+    JLT  cf_loop
+    RET
+
+; ---------------------------------------------------------------
+; plot: framebuffer[y*64+x] = color.  r1 = x, r2 = y, r5 = color.
+; Clips to the 64x48 screen (shells fly off-screen before they are
+; deactivated; an unclipped write would wrap into low memory).
+; Clobbers r8, r9.
+plot:
+    CMPI r1, 0
+    JLT  plot_skip
+    CMPI r1, 63
+    JGT  plot_skip
+    CMPI r2, 0
+    JLT  plot_skip
+    CMPI r2, 47
+    JGT  plot_skip
+    MOV  r8, r2
+    LDI  r9, 6
+    SHL  r8, r9
+    ADD  r8, r1
+    STB  [r8+FB], r5
+plot_skip:
+    RET
+
+; ---------------------------------------------------------------
+; draw_scores: bars on row 0 — player 0 from the left (color 3),
+; player 1 from the right (color 4).  Clobbers r1..r5, r8, r9.
+draw_scores:
+    LDI  r3, 0
+ds_clear:
+    LDI  r5, 0
+    MOV  r4, r3
+    STB  [r4+FB], r5
+    ADDI r3, 1
+    CMPI r3, 64
+    JLT  ds_clear
+    LD   r2, [r0+SC0]
+    CMPI r2, 16
+    JLE  ds_p0ok
+    LDI  r2, 16
+ds_p0ok:
+    LDI  r3, 0
+ds_p0:
+    CMP  r3, r2
+    JGE  ds_p1start
+    MOV  r4, r3
+    LDI  r5, 3
+    STB  [r4+FB], r5
+    ADDI r3, 1
+    JMP  ds_p0
+ds_p1start:
+    LD   r2, [r0+SC1]
+    CMPI r2, 16
+    JLE  ds_p1ok
+    LDI  r2, 16
+ds_p1ok:
+    LDI  r3, 0
+ds_p1:
+    CMP  r3, r2
+    JGE  ds_done
+    LDI  r4, 63
+    SUB  r4, r3
+    LDI  r5, 4
+    STB  [r4+FB], r5
+    ADDI r3, 1
+    JMP  ds_p1
+ds_done:
+    RET
+"""
+
+
+def build_tankduel() -> Console:
+    """Assemble and boot the Tank Duel ROM."""
+    program = assemble(TANKDUEL_SOURCE)
+    return Console(program, name="tankduel", num_players=2, cycle_budget=30_000)

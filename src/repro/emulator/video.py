@@ -1,0 +1,49 @@
+"""The RC-16 framebuffer.
+
+64 × 48 pixels, one byte of palette index per pixel, memory-mapped at
+``FRAMEBUFFER_BASE``.  The video module "translates the game outputs into
+target platform dependent outputs" (§2) — here the target platform is a
+terminal, so presentation is an ASCII rendering; experiments never present,
+they only checksum.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.emulator.memory import Memory
+
+WIDTH = 64
+HEIGHT = 48
+FRAMEBUFFER_BASE = 0xE000
+FRAMEBUFFER_SIZE = WIDTH * HEIGHT
+
+#: Palette-index → glyph, for terminal presentation.
+_GLYPHS = " .:-=+*#%@"
+
+
+class Video:
+    """Read-side view of the framebuffer region."""
+
+    def __init__(self, memory: Memory) -> None:
+        self._memory = memory
+
+    def pixel(self, x: int, y: int) -> int:
+        if not (0 <= x < WIDTH and 0 <= y < HEIGHT):
+            raise ValueError(f"pixel ({x}, {y}) outside {WIDTH}x{HEIGHT}")
+        return self._memory.read_byte(FRAMEBUFFER_BASE + y * WIDTH + x)
+
+    def frame_bytes(self) -> bytes:
+        return self._memory.dump(FRAMEBUFFER_BASE, FRAMEBUFFER_SIZE)
+
+    def checksum(self) -> int:
+        return zlib.crc32(self.frame_bytes())
+
+    def render_text(self, downsample: int = 1) -> str:
+        """ASCII art of the framebuffer (optionally skipping rows/cols)."""
+        raw = self.frame_bytes()
+        lines = []
+        for y in range(0, HEIGHT, downsample):
+            row = raw[y * WIDTH : (y + 1) * WIDTH : downsample]
+            lines.append("".join(_GLYPHS[min(v, len(_GLYPHS) - 1)] for v in row))
+        return "\n".join(lines)

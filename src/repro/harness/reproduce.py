@@ -1,0 +1,134 @@
+"""One-command reproduction: run every experiment, emit a report.
+
+``python -m repro reproduce [--frames N] [--full] [--out DIR]`` runs the
+complete evaluation — Figures 1 and 2, the threshold decomposition, the
+loss sweep and all five ablations — then writes:
+
+* ``report.md`` — every table, formatted as in EXPERIMENTS.md,
+* ``results.json`` — the raw numbers, machine-readable, for regression
+  tracking across versions of this repository.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.harness import report as fmt
+from repro.harness.ablations import (
+    run_adaptive_lag_ablation,
+    run_batching_ablation,
+    run_lag_ablation,
+    run_pacing_ablation,
+    run_transport_ablation,
+)
+from repro.harness.experiment import PAPER_RTT_SWEEP
+from repro.harness.series1 import run_series1
+from repro.harness.series2 import run_series2
+from repro.harness.series3 import run_series3
+
+
+def _rows_to_json(rows) -> List[dict]:
+    return [dataclasses.asdict(row) for row in rows]
+
+
+def run_reproduction(
+    frames: int = 600,
+    full_sweep: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run every experiment; returns ``{name: (rows, formatted table)}``-ish.
+
+    ``progress`` (e.g. ``print``) is called before each experiment.
+    """
+    say = progress if progress is not None else (lambda message: None)
+    rtts = (
+        list(PAPER_RTT_SWEEP)
+        if full_sweep
+        else [0.0, 0.040, 0.080, 0.120, 0.140, 0.160, 0.180, 0.200, 0.300]
+    )
+    results: Dict[str, Tuple[list, str]] = {}
+
+    say(f"Figure 1 — frame rates and smoothness ({len(rtts)} RTT points)")
+    rows = run_series1(rtts=rtts, frames=frames)
+    results["figure1"] = (rows, fmt.format_series1(rows))
+
+    say("Figure 2 — synchrony between sites")
+    rows = run_series2(rtts=rtts, frames=frames)
+    results["figure2"] = (rows, fmt.format_series2(rows))
+
+    say("Series 3 — packet loss sweep")
+    rows = run_series3(frames=min(frames, 900))
+    results["loss"] = (rows, fmt.format_series3(rows))
+
+    say("Ablation 1 — Algorithm 4 (master/slave pacing)")
+    rows = run_pacing_ablation(frames=min(frames, 900))
+    results["ablation_pacing"] = (rows, fmt.format_pacing_ablation(rows))
+
+    say("Ablation 2 — transport (UDP vs TCP-like)")
+    rows = run_transport_ablation(frames=min(frames, 900))
+    results["ablation_transport"] = (rows, fmt.format_transport_ablation(rows))
+
+    say("Ablation 3 — local lag sweep")
+    rows = run_lag_ablation(frames=min(frames, 900))
+    results["ablation_lag"] = (rows, fmt.format_lag_ablation(rows))
+
+    say("Ablation 4 — send batching sweep")
+    rows = run_batching_ablation(frames=min(frames, 900))
+    results["ablation_batching"] = (rows, fmt.format_batching_ablation(rows))
+
+    say("Ablation 5 — fixed vs adaptive local lag")
+    rows = run_adaptive_lag_ablation(frames=min(frames, 900))
+    results["ablation_adaptive"] = (rows, fmt.format_adaptive_lag_ablation(rows))
+
+    return {
+        "meta": {
+            "frames": frames,
+            "full_sweep": full_sweep,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "experiments": results,
+    }
+
+
+def write_reproduction(
+    output_dir: str,
+    frames: int = 600,
+    full_sweep: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[str, str]:
+    """Run everything and write report.md + results.json into ``output_dir``.
+
+    Returns the two file paths.
+    """
+    bundle = run_reproduction(frames=frames, full_sweep=full_sweep, progress=progress)
+    os.makedirs(output_dir, exist_ok=True)
+
+    report_path = os.path.join(output_dir, "report.md")
+    json_path = os.path.join(output_dir, "results.json")
+
+    meta = bundle["meta"]
+    experiments: Dict[str, Tuple[list, str]] = bundle["experiments"]  # type: ignore[assignment]
+
+    with open(report_path, "w") as handle:
+        handle.write(
+            "# Reproduction report\n\n"
+            f"Generated {meta['generated_at']}, {meta['frames']} frames per "
+            f"experiment, {'full' if meta['full_sweep'] else 'reduced'} RTT sweep.\n\n"
+        )
+        for name, (__rows, table) in experiments.items():
+            handle.write(f"## {name}\n\n```\n{table}\n```\n\n")
+
+    payload = {
+        "meta": meta,
+        "experiments": {
+            name: _rows_to_json(rows) for name, (rows, __table) in experiments.items()
+        },
+    }
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    return report_path, json_path

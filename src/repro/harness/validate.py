@@ -1,0 +1,221 @@
+"""Validate reproduction results against the paper's claims.
+
+``python -m repro validate results/results.json`` re-checks every
+qualitative claim of the paper (and of this repo's extensions) against a
+previously generated results file — the regression gate for protocol
+changes: if an edit moves a curve enough to break a claim, this fails
+naming the claim.
+
+Claims are deliberately *qualitative* (plateaus, orderings, thresholds),
+matching the reproduction contract: shapes must hold, absolute
+milliseconds may differ from the 2009 testbed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+TPF = 1 / 60
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim} — {self.detail}"
+
+
+class ValidationError(ValueError):
+    """The results file is missing experiments a claim needs."""
+
+
+def _rows(results: dict, experiment: str) -> List[dict]:
+    try:
+        return results["experiments"][experiment]
+    except KeyError as exc:
+        raise ValidationError(
+            f"results file lacks experiment {experiment!r}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Claim checks.  Each returns (passed, detail).
+# ----------------------------------------------------------------------
+def _claim_figure1_plateau(results: dict):
+    rows = [r for r in _rows(results, "figure1") if r["rtt"] <= 0.100]
+    worst = max(abs(r["frame_time_mean"] - TPF) for r in rows)
+    return worst < 0.001, f"max |frame_time − 16.67ms| below RTT 100ms: {worst * 1000:.2f}ms"
+
+
+def _claim_figure1_smooth_below_threshold(results: dict):
+    rows = [r for r in _rows(results, "figure1") if r["rtt"] <= 0.130]
+    worst = max(r["frame_time_mad"] for r in rows)
+    return worst < 0.005, f"max deviation below RTT 130ms: {worst * 1000:.2f}ms"
+
+
+def _claim_figure1_threshold_exists(results: dict):
+    rows = _rows(results, "figure1")
+    jumps = [r["rtt"] for r in rows if r["frame_time_mad"] > 0.008]
+    if not jumps:
+        return False, "no RTT shows the deviation jump"
+    return True, f"deviation jump first seen at RTT {min(jumps) * 1000:.0f}ms"
+
+
+def _claim_figure1_degrades_past_threshold(results: dict):
+    rows = _rows(results, "figure1")
+    last = max(rows, key=lambda r: r["rtt"])
+    return (
+        last["frame_time_mean"] > TPF * 1.15,
+        f"frame time at RTT {last['rtt'] * 1000:.0f}ms: "
+        f"{last['frame_time_mean'] * 1000:.2f}ms",
+    )
+
+
+def _claim_figure2_synchrony_plateau(results: dict):
+    rows = [r for r in _rows(results, "figure2") if r["rtt"] <= 0.130]
+    worst = max(r["synchrony"] for r in rows)
+    return worst < 0.010, f"max synchrony below RTT 130ms: {worst * 1000:.2f}ms"
+
+
+def _claim_figure2_rises_past_threshold(results: dict):
+    rows = _rows(results, "figure2")
+    plateau = max(r["synchrony"] for r in rows if r["rtt"] <= 0.130)
+    peak = max(r["synchrony"] for r in rows)
+    return peak > plateau * 2, (
+        f"peak synchrony {peak * 1000:.1f}ms vs plateau {plateau * 1000:.1f}ms"
+    )
+
+
+def _claim_loss_absorbed(results: dict):
+    rows = _rows(results, "loss")
+    moderate = [r for r in rows if r["loss"] <= 0.05]
+    worst = max(r["frame_time_mean"] for r in moderate)
+    verified = all(r["frames_verified"] > 0 for r in rows)
+    return (
+        worst < TPF * 1.05 and verified,
+        f"frame time at ≤5% loss: {worst * 1000:.2f}ms; all runs verified: {verified}",
+    )
+
+
+def _claim_algorithm4_required(results: dict):
+    rows = _rows(results, "ablation_pacing")
+    skews = sorted({r["start_skew"] for r in rows if r["start_skew"] > 0})
+    if not skews:
+        raise ValidationError("pacing ablation has no skewed runs")
+    skew = skews[-1]
+    with_alg4 = next(
+        r for r in rows if r["start_skew"] == skew and r["master_slave_pacing"]
+    )
+    without = next(
+        r for r in rows if r["start_skew"] == skew and not r["master_slave_pacing"]
+    )
+    return (
+        with_alg4["synchrony"] < without["synchrony"],
+        f"synchrony at {skew * 1000:.0f}ms skew: "
+        f"{with_alg4['synchrony'] * 1000:.1f}ms (on) vs "
+        f"{without['synchrony'] * 1000:.1f}ms (off)",
+    )
+
+
+def _claim_tcp_is_worse_under_loss(results: dict):
+    rows = _rows(results, "ablation_transport")
+    losses = sorted({r["loss"] for r in rows if r["loss"] > 0})
+    if not losses:
+        raise ValidationError("transport ablation has no lossy runs")
+    loss = losses[-1]
+    udp = next(r for r in rows if r["transport"] == "udp" and r["loss"] == loss)
+    tcp = next(r for r in rows if r["transport"] == "tcp" and r["loss"] == loss)
+    return (
+        tcp["frame_time_mad"] > udp["frame_time_mad"],
+        f"MAD at {loss * 100:.0f}% loss: tcp {tcp['frame_time_mad'] * 1000:.2f}ms "
+        f"vs udp {udp['frame_time_mad'] * 1000:.2f}ms",
+    )
+
+
+def _claim_local_lag_is_the_knee(results: dict):
+    rows = _rows(results, "ablation_lag")
+    by_buf = {r["buf_frame"]: r for r in rows}
+    if 0 not in by_buf or 6 not in by_buf:
+        raise ValidationError("lag ablation lacks buf 0 / buf 6 rows")
+    return (
+        by_buf[0]["frame_time_mean"] > by_buf[6]["frame_time_mean"] * 1.2
+        and by_buf[6]["frame_time_mean"] < TPF * 1.05,
+        f"frame time: buf0 {by_buf[0]['frame_time_mean'] * 1000:.1f}ms, "
+        f"buf6 {by_buf[6]['frame_time_mean'] * 1000:.2f}ms",
+    )
+
+
+def _claim_batching_trades_bytes_for_budget(results: dict):
+    rows = _rows(results, "ablation_batching")
+    fastest = min(rows, key=lambda r: r["send_interval"])
+    slowest = max(rows, key=lambda r: r["send_interval"])
+    return (
+        fastest["frame_time_mad"] <= slowest["frame_time_mad"]
+        and fastest["datagrams_sent"] >= slowest["datagrams_sent"],
+        f"{fastest['send_interval'] * 1000:.0f}ms flush: "
+        f"mad {fastest['frame_time_mad'] * 1000:.2f}ms / "
+        f"{fastest['datagrams_sent']} dgrams; "
+        f"{slowest['send_interval'] * 1000:.0f}ms flush: "
+        f"mad {slowest['frame_time_mad'] * 1000:.2f}ms / "
+        f"{slowest['datagrams_sent']} dgrams",
+    )
+
+
+def _claim_adaptive_lag_does_not_pay_off(results: dict):
+    rows = _rows(results, "ablation_adaptive")
+    steady_fixed = next(
+        r for r in rows if r["scenario"] == "steady" and not r["adaptive"]
+    )
+    steady_adaptive = next(
+        r for r in rows if r["scenario"] == "steady" and r["adaptive"]
+    )
+    fluct_adaptive = next(
+        r for r in rows if r["scenario"] == "fluctuating" and r["adaptive"]
+    )
+    return (
+        steady_adaptive.get("frame_time_mad", 1) < steady_fixed["frame_time_mad"]
+        and steady_adaptive["mean_lag"] > steady_fixed["mean_lag"]
+        and fluct_adaptive["lag_changes"] >= 2,
+        f"steady: adaptive rescues pacing at {steady_adaptive['mean_lag'] * 1000:.0f}ms "
+        f"lag; fluctuating: {fluct_adaptive['lag_changes']} lag changes",
+    )
+
+
+CLAIMS: Dict[str, Callable[[dict], tuple]] = {
+    "Figure 1: 60 FPS plateau below RTT 100 ms": _claim_figure1_plateau,
+    "Figure 1: near-zero deviation below the threshold": _claim_figure1_smooth_below_threshold,
+    "Figure 1: a deviation-jump threshold exists": _claim_figure1_threshold_exists,
+    "Figure 1: the game slows past the threshold": _claim_figure1_degrades_past_threshold,
+    "Figure 2: cross-site synchrony < 10 ms below the threshold": _claim_figure2_synchrony_plateau,
+    "Figure 2: synchrony rises quickly past the threshold": _claim_figure2_rises_past_threshold,
+    "Journal: moderate packet loss is absorbed by the lag budget": _claim_loss_absorbed,
+    "§3.2: Algorithm 4 is required under start-up skew": _claim_algorithm4_required,
+    "§3.1: a TCP-like transport is less smooth under loss": _claim_tcp_is_worse_under_loss,
+    "§4.2: 100 ms local lag is the knee of the trade-off": _claim_local_lag_is_the_knee,
+    "§4.2: send batching trades bandwidth for latency budget": _claim_batching_trades_bytes_for_budget,
+    "§4.2: adaptive local lag does not pay off": _claim_adaptive_lag_does_not_pay_off,
+}
+
+
+def validate_results(results: dict) -> List[ClaimResult]:
+    """Check every claim; returns one :class:`ClaimResult` per claim."""
+    outcomes = []
+    for claim, check in CLAIMS.items():
+        try:
+            passed, detail = check(results)
+        except ValidationError as exc:
+            outcomes.append(ClaimResult(claim, False, f"not checkable: {exc}"))
+            continue
+        outcomes.append(ClaimResult(claim, bool(passed), detail))
+    return outcomes
+
+
+def validate_file(path: str) -> List[ClaimResult]:
+    with open(path) as handle:
+        return validate_results(json.load(handle))

@@ -1,0 +1,128 @@
+"""Per-site frame traces and the cross-site consistency checker.
+
+The paper's logical-consistency claim is that all sites produce *the same
+sequence of output states*.  :class:`ConsistencyChecker` enforces that in
+every experiment and integration test by comparing per-frame state checksums
+across sites — a divergence raises immediately with the offending frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class FrameTrace:
+    """Everything one site records about its own frames.
+
+    ``first_frame`` is the absolute frame number of index 0 — zero for
+    sites present from the start, ``snapshot_frame + 1`` for late joiners.
+    """
+
+    def __init__(self, site_no: int, first_frame: int = 0) -> None:
+        self.site_no = site_no
+        self.first_frame = first_frame
+        #: Local clock at each BeginFrameTiming (frame → seconds).
+        self.begin_times: List[float] = []
+        #: Merged input delivered to each frame.
+        self.inputs: List[int] = []
+        #: Machine checksum after executing each frame.
+        self.checksums: List[int] = []
+        #: Seconds spent blocked inside SyncInput per frame.
+        self.sync_stall: List[float] = []
+        #: SyncAdjustTimeDelta applied at each BeginFrameTiming.
+        self.sync_adjusts: List[float] = []
+        #: Local lag (frames) in effect at each frame (varies only under
+        #: adaptive lag).
+        self.lags: List[int] = []
+
+    def record_begin(self, when: float) -> None:
+        self.begin_times.append(when)
+
+    def record_frame(
+        self,
+        merged_input: int,
+        checksum: int,
+        stall: float,
+        sync_adjust: float,
+        lag: int = 0,
+    ) -> None:
+        self.inputs.append(merged_input)
+        self.checksums.append(checksum)
+        self.sync_stall.append(stall)
+        self.sync_adjusts.append(sync_adjust)
+        self.lags.append(lag)
+
+    @property
+    def frames(self) -> int:
+        return len(self.checksums)
+
+    def frame_times(self) -> List[float]:
+        """Per-frame durations: differences of consecutive begin times.
+
+        This is exactly the paper's Series 1 measurement ("we record the
+        beginning time of every frame ... first calculate each frame time").
+        """
+        begins = self.begin_times
+        return [begins[i + 1] - begins[i] for i in range(len(begins) - 1)]
+
+
+class ConsistencyError(AssertionError):
+    """Replicas diverged — the logical-consistency invariant is broken."""
+
+
+class ConsistencyChecker:
+    """Collects (site, frame, checksum) triples and verifies convergence."""
+
+    def __init__(self) -> None:
+        self._by_frame: Dict[int, Dict[int, int]] = {}
+        self.frames_checked = 0
+        self.first_divergence: Optional[int] = None
+
+    def record(self, site: int, frame: int, checksum: int) -> None:
+        """Record one observation; raises on a conflicting checksum."""
+        per_site = self._by_frame.setdefault(frame, {})
+        per_site[site] = checksum
+        values = set(per_site.values())
+        if len(values) > 1:
+            self.first_divergence = (
+                frame
+                if self.first_divergence is None
+                else min(self.first_divergence, frame)
+            )
+            raise ConsistencyError(
+                f"state divergence at frame {frame}: "
+                + ", ".join(
+                    f"site {s}=0x{c:08x}" for s, c in sorted(per_site.items())
+                )
+            )
+        self.frames_checked += 1
+
+    def verify_traces(self, traces: List[FrameTrace]) -> int:
+        """Cross-check complete traces; returns the number of frames compared.
+
+        Traces are aligned on absolute frame numbers, so late-joiner traces
+        (non-zero ``first_frame``) compare over the overlapping window only.
+        """
+        if len(traces) < 2:
+            return 0
+        start = max(t.first_frame for t in traces)
+        end = min(t.first_frame + t.frames for t in traces)
+        for frame in range(start, end):
+            reference_trace = traces[0]
+            reference = reference_trace.checksums[frame - reference_trace.first_frame]
+            reference_input = reference_trace.inputs[frame - reference_trace.first_frame]
+            for trace in traces[1:]:
+                index = frame - trace.first_frame
+                if trace.checksums[index] != reference:
+                    raise ConsistencyError(
+                        f"state divergence at frame {frame}: site "
+                        f"{reference_trace.site_no}=0x{reference:08x}, site "
+                        f"{trace.site_no}=0x{trace.checksums[index]:08x}"
+                    )
+                if trace.inputs[index] != reference_input:
+                    raise ConsistencyError(
+                        f"input divergence at frame {frame}: site "
+                        f"{reference_trace.site_no}=0x{reference_input:x}, site "
+                        f"{trace.site_no}=0x{trace.inputs[index]:x}"
+                    )
+        return max(0, end - start)

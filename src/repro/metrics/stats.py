@@ -1,0 +1,87 @@
+"""The statistics the paper reports.
+
+§4.1 footnotes define them precisely:
+
+* footnote 10: the **average deviation** of ``x1..xn`` is
+  ``(|x1 − x̄| + … + |xn − x̄|) / n`` (mean absolute deviation) — the
+  smoothness metric of Figure 1;
+* footnote 11: the **absolute average** is ``(|x1| + … + |xn|) / n`` — the
+  synchrony metric of Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (an empty series is a bug)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def mean_abs_deviation(values: Sequence[float]) -> float:
+    """Footnote 10: average of absolute deviations from the mean."""
+    center = mean(values)
+    return sum(abs(v - center) for v in values) / len(values)
+
+
+def absolute_average(values: Sequence[float]) -> float:
+    """Footnote 11: average of absolute values."""
+    if not values:
+        raise ValueError("absolute_average of empty sequence")
+    return sum(abs(v) for v in values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    weight = rank - low
+    interpolated = ordered[low] * (1 - weight) + ordered[high] * weight
+    # Guard against float rounding drifting outside the bracketing samples.
+    return min(max(interpolated, ordered[low]), ordered[high])
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary bundle for one measured series."""
+
+    count: int
+    mean: float
+    mad: float  # mean absolute deviation
+    minimum: float
+    maximum: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean * 1000:.2f}ms "
+            f"mad={self.mad * 1000:.2f}ms min={self.minimum * 1000:.2f}ms "
+            f"max={self.maximum * 1000:.2f}ms p95={self.p95 * 1000:.2f}ms"
+        )
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Full summary of a series of times (seconds)."""
+    return SeriesSummary(
+        count=len(values),
+        mean=mean(values),
+        mad=mean_abs_deviation(values),
+        minimum=min(values),
+        maximum=max(values),
+        p95=percentile(values, 95.0),
+    )

@@ -1,0 +1,126 @@
+"""Per-link impairment model, mirroring Linux Netem.
+
+The paper emulates Internet conditions with a Netem box between the two
+gaming PCs (§4).  :class:`NetemConfig` captures the disciplines Netem offers
+that matter for this workload:
+
+* fixed one-way ``delay`` plus uniform ``jitter``,
+* independent Bernoulli ``loss``,
+* Bernoulli ``duplicate``,
+* ``reorder`` (a reordered packet is sent with zero queueing delay, which is
+  how Netem implements reordering),
+* an optional token-bucket ``rate`` limit.
+
+All probabilities are in ``[0, 1]``; times are in seconds.  The experiment
+sweeps configure symmetric links with ``delay = RTT / 2``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class NetemConfig:
+    """Impairments applied independently to each direction of a link."""
+
+    delay: float = 0.0
+    jitter: float = 0.0
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    rate_bytes_per_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        for name in ("loss", "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.rate_bytes_per_s is not None and self.rate_bytes_per_s <= 0:
+            raise ValueError("rate_bytes_per_s must be positive when set")
+
+    @classmethod
+    def for_rtt(cls, rtt: float, **kwargs: object) -> "NetemConfig":
+        """Symmetric link carrying half the round-trip time each way."""
+        return cls(delay=rtt / 2.0, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def lan(cls) -> "NetemConfig":
+        """A sub-millisecond LAN, like the paper's time-server links."""
+        return cls(delay=0.0005)
+
+    def describe(self) -> str:
+        parts = [f"delay={self.delay * 1000:.1f}ms"]
+        if self.jitter:
+            parts.append(f"jitter={self.jitter * 1000:.1f}ms")
+        if self.loss:
+            parts.append(f"loss={self.loss * 100:.1f}%")
+        if self.duplicate:
+            parts.append(f"dup={self.duplicate * 100:.1f}%")
+        if self.reorder:
+            parts.append(f"reorder={self.reorder * 100:.1f}%")
+        if self.rate_bytes_per_s:
+            parts.append(f"rate={self.rate_bytes_per_s / 1000:.0f}kB/s")
+        return " ".join(parts)
+
+
+class LinkScheduler:
+    """Computes per-packet delivery times for one link direction.
+
+    Stateful because reordering and rate limiting depend on history: a
+    rate-limited link serializes packets behind the previous departure, and a
+    non-reordered packet must never overtake an earlier one (Netem keeps a
+    FIFO unless the reorder discipline kicks in).
+    """
+
+    def __init__(self, config: NetemConfig, rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+        self._last_delivery = float("-inf")
+        self._rate_free_at = 0.0
+
+    def plan(self, now: float, size: int) -> "DeliveryPlan":
+        """Decide what happens to a packet entering the link at ``now``."""
+        cfg = self.config
+        if cfg.loss and self.rng.random() < cfg.loss:
+            return DeliveryPlan(times=[], dropped=True)
+
+        times = [self._one_delivery(now, size)]
+        if cfg.duplicate and self.rng.random() < cfg.duplicate:
+            times.append(self._one_delivery(now, size))
+        return DeliveryPlan(times=times, dropped=False)
+
+    def _one_delivery(self, now: float, size: int) -> float:
+        cfg = self.config
+        queue_delay = 0.0
+        if cfg.rate_bytes_per_s:
+            start = max(now, self._rate_free_at)
+            transmit = size / cfg.rate_bytes_per_s
+            self._rate_free_at = start + transmit
+            queue_delay = (start + transmit) - now
+
+        reordered = bool(cfg.reorder) and self.rng.random() < cfg.reorder
+        if reordered:
+            # Netem semantics: a "reordered" packet skips the delay queue.
+            delivery = now + queue_delay
+        else:
+            jitter = self.rng.uniform(-cfg.jitter, cfg.jitter) if cfg.jitter else 0.0
+            delivery = now + queue_delay + max(0.0, cfg.delay + jitter)
+            # Preserve FIFO for the normal path.
+            delivery = max(delivery, self._last_delivery)
+            self._last_delivery = delivery
+        return delivery
+
+
+@dataclass
+class DeliveryPlan:
+    """Outcome for one packet: zero or more delivery times."""
+
+    times: list = field(default_factory=list)
+    dropped: bool = False

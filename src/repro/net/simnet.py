@@ -1,0 +1,148 @@
+"""Simulated UDP network on the discrete-event loop.
+
+A :class:`SimNetwork` connects named sockets with per-direction
+:class:`~repro.net.netem.NetemConfig` impairments.  Each socket owns a
+:class:`~repro.sim.process.Mailbox`, so processes can block on arrival with
+``yield WaitMessage(socket.mailbox)`` — exactly what the site's frame loop
+does while stuck in ``SyncInput``.
+
+Determinism: every link direction draws from its own ``random.Random``
+seeded from the network seed and the (source, destination) pair, so adding a
+link never perturbs another link's packet fate sequence.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.netem import LinkScheduler, NetemConfig
+from repro.net.transport import Address, Datagram, DatagramSocket, TransportStats
+from repro.sim.eventloop import EventLoop
+from repro.sim.process import Mailbox
+
+
+class SimSocket(DatagramSocket):
+    """A simulated UDP endpoint bound to a :class:`SimNetwork` address."""
+
+    def __init__(self, network: "SimNetwork", address: Address) -> None:
+        self._network = network
+        self._address = address
+        self.mailbox = Mailbox(network.loop, name=f"sock:{address}")
+        self.stats = TransportStats()
+        self._closed = False
+
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    def send(self, payload: bytes, destination: Address) -> None:
+        if self._closed:
+            raise RuntimeError(f"socket {self._address!r} is closed")
+        self.stats.record_send(len(payload))
+        self._network.transmit(self._address, destination, payload)
+
+    def receive_all(self) -> List[Datagram]:
+        return [env.payload for env in self.mailbox.drain()]
+
+    def receive_one(self) -> Optional[Datagram]:
+        envelope = self.mailbox.poll()
+        return envelope.payload if envelope is not None else None
+
+    def deliver(self, datagram: Datagram) -> None:
+        """Called by the network when a packet arrives."""
+        if self._closed:
+            return
+        self.stats.record_receive(len(datagram.payload))
+        self.mailbox.deliver(datagram)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class SimNetwork:
+    """A set of named endpoints joined by impaired point-to-point links."""
+
+    def __init__(self, loop: EventLoop, seed: int = 0) -> None:
+        self.loop = loop
+        self.seed = seed
+        self._sockets: Dict[Address, SimSocket] = {}
+        self._links: Dict[Tuple[Address, Address], LinkScheduler] = {}
+        self._default_config: Optional[NetemConfig] = NetemConfig()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def socket(self, address: Address) -> SimSocket:
+        """Create (or fetch) the socket bound to ``address``."""
+        if address not in self._sockets:
+            self._sockets[address] = SimSocket(self, address)
+        return self._sockets[address]
+
+    def set_default_link(self, config: Optional[NetemConfig]) -> None:
+        """Config used for pairs without an explicit link.
+
+        Pass ``None`` to make unconfigured pairs unreachable.
+        """
+        self._default_config = config
+
+    def connect(
+        self,
+        a: Address,
+        b: Address,
+        config: NetemConfig,
+        reverse_config: Optional[NetemConfig] = None,
+    ) -> None:
+        """Install a bidirectional link; asymmetric if ``reverse_config``."""
+        self._install(a, b, config)
+        self._install(b, a, reverse_config if reverse_config is not None else config)
+
+    def _install(self, src: Address, dst: Address, config: NetemConfig) -> None:
+        self._links[(src, dst)] = LinkScheduler(config, self._link_rng(src, dst))
+
+    def _link_rng(self, src: Address, dst: Address) -> random.Random:
+        label = f"{self.seed}|{src}->{dst}".encode()
+        return random.Random(zlib.crc32(label))
+
+    def _scheduler_for(
+        self, src: Address, dst: Address
+    ) -> Optional[LinkScheduler]:
+        scheduler = self._links.get((src, dst))
+        if scheduler is None:
+            if self._default_config is None:
+                return None
+            scheduler = LinkScheduler(self._default_config, self._link_rng(src, dst))
+            self._links[(src, dst)] = scheduler
+        return scheduler
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def transmit(self, source: Address, destination: Address, payload: bytes) -> None:
+        """Route one datagram; silently drops to unknown destinations (UDP)."""
+        scheduler = self._scheduler_for(source, destination)
+        if scheduler is None:
+            return
+        sender = self._sockets.get(source)
+        plan = scheduler.plan(self.loop.clock.now(), len(payload))
+        if plan.dropped:
+            if sender is not None:
+                sender.stats.datagrams_dropped += 1
+            return
+        if len(plan.times) > 1 and sender is not None:
+            sender.stats.datagrams_duplicated += len(plan.times) - 1
+        for when in plan.times:
+            self.loop.call_at(
+                when, self._make_delivery(source, destination, payload, when)
+            )
+
+    def _make_delivery(
+        self, source: Address, destination: Address, payload: bytes, when: float
+    ):
+        def deliver() -> None:
+            target = self._sockets.get(destination)
+            if target is not None:
+                target.deliver(Datagram(payload, source, when))
+
+        return deliver

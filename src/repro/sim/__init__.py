@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate.
+
+The experiments in the paper run two gaming PCs against a Netem box for
+3600 frames per network condition.  Re-running that sweep in wall-clock time
+would take a minute per data point; instead the harness executes the exact
+same (sans-IO) protocol code on a deterministic discrete-event simulator.
+
+The substrate is intentionally small:
+
+* :class:`~repro.sim.clock.Clock` — the time abstraction shared by the
+  simulated and the wall-clock drivers.
+* :class:`~repro.sim.eventloop.EventLoop` — a heapq-based scheduler.
+* :class:`~repro.sim.process.Process` — generator-based cooperative
+  processes that ``yield`` :class:`~repro.sim.process.Sleep`,
+  :class:`~repro.sim.process.WaitMessage` or :class:`~repro.sim.process.Spawn`
+  commands.
+"""
+
+from repro.sim.clock import Clock, SimClock, WallClock
+from repro.sim.eventloop import EventLoop, SimulationError
+from repro.sim.process import (
+    Envelope,
+    Mailbox,
+    Process,
+    ProcessCrashed,
+    Sleep,
+    Spawn,
+    WaitMessage,
+    spawn,
+)
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "EventLoop",
+    "SimulationError",
+    "Envelope",
+    "Mailbox",
+    "Process",
+    "ProcessCrashed",
+    "Sleep",
+    "Spawn",
+    "WaitMessage",
+    "spawn",
+]

@@ -1,0 +1,223 @@
+"""Generator-based cooperative processes for the event loop.
+
+A *process* is a Python generator that yields command objects:
+
+* ``yield Sleep(dt)`` — resume after ``dt`` simulated seconds; the resumed
+  value is ``None``.
+* ``yield WaitMessage(mailbox, timeout=None)`` — resume when the mailbox has
+  a message (resumed with the :class:`Envelope`) or when the timeout expires
+  (resumed with ``None``).
+* ``yield Spawn(generator)`` — start a child process; the resumed value is
+  its :class:`Process` handle.
+
+Processes communicate through :class:`Mailbox` objects.  A mailbox stamps
+each message with its arrival time — the protocol layer needs arrival times
+(``MasterRcvTime`` in Algorithm 4) even when the message is consumed later.
+
+This mirrors the structure of the paper's real implementation, where a
+receive thread fills buffers asynchronously while the VM thread blocks in
+``SyncInput`` or sleeps in ``EndFrameTiming``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Generator, List, Optional
+
+from repro.sim.eventloop import EventLoop, SimulationError
+
+
+class ProcessCrashed(SimulationError):
+    """Raised by :meth:`Process.result` when the generator raised."""
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Command: suspend the process for ``duration`` seconds."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class WaitMessage:
+    """Command: suspend until ``mailbox`` is non-empty or ``timeout`` passes."""
+
+    mailbox: "Mailbox"
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """Command: start a child process from ``generator``."""
+
+    generator: Generator[Any, Any, Any]
+    name: str = "child"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A delivered message plus its arrival time."""
+
+    payload: Any
+    arrived_at: float
+
+
+class Mailbox:
+    """An arrival-time-stamping FIFO connecting processes.
+
+    ``deliver`` may be called from any context (e.g. a network link's
+    delivery callback); if a process is parked on the mailbox it is resumed
+    through the event loop at the current instant, preserving determinism.
+    """
+
+    def __init__(self, loop: EventLoop, name: str = "mailbox") -> None:
+        self._loop = loop
+        self.name = name
+        self._queue: Deque[Envelope] = deque()
+        self._waiters: List[Callable[[], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def deliver(self, payload: Any) -> None:
+        """Enqueue ``payload``, stamping the current simulated time."""
+        self._queue.append(Envelope(payload, self._loop.clock.now()))
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            wake()
+
+    def poll(self) -> Optional[Envelope]:
+        """Non-blocking receive: pop the oldest envelope or return None."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def drain(self) -> List[Envelope]:
+        """Pop and return all queued envelopes (possibly empty)."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+    def add_waiter(self, wake: Callable[[], None]) -> None:
+        self._waiters.append(wake)
+
+    def remove_waiter(self, wake: Callable[[], None]) -> None:
+        if wake in self._waiters:
+            self._waiters.remove(wake)
+
+
+class Process:
+    """Drives one generator on the event loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        generator: Generator[Any, Any, Any],
+        name: str = "proc",
+    ) -> None:
+        self.loop = loop
+        self.name = name
+        self._generator = generator
+        self._finished = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        # A token invalidating stale wakeups: each suspension bumps it, and a
+        # wakeup scheduled for an earlier suspension becomes a no-op.
+        self._wait_token = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def result(self) -> Any:
+        """Return value of the generator; raises if it crashed or is live."""
+        if not self._finished:
+            raise SimulationError(f"process {self.name!r} still running")
+        if self._error is not None:
+            raise ProcessCrashed(
+                f"process {self.name!r} crashed: {self._error!r}"
+            ) from self._error
+        return self._result
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Process":
+        """Schedule the first resumption at the current instant."""
+        self.loop.call_later(0.0, lambda: self._resume(None))
+        return self
+
+    def _resume(self, value: Any) -> None:
+        if self._finished:
+            return
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self._result = stop.value
+            return
+        except BaseException as exc:  # surface via result()
+            self._finished = True
+            self._error = exc
+            return
+        try:
+            self._dispatch(command)
+        except BaseException as exc:  # bad command object
+            self._finished = True
+            self._error = exc
+
+    def _dispatch(self, command: Any) -> None:
+        self._wait_token += 1
+        token = self._wait_token
+
+        if isinstance(command, Sleep):
+            self.loop.call_later(command.duration, lambda: self._resume(None))
+            return
+
+        if isinstance(command, Spawn):
+            child = Process(self.loop, command.generator, command.name).start()
+            # Resume immediately (same instant) with the child handle.
+            self.loop.call_later(0.0, lambda: self._resume(child))
+            return
+
+        if isinstance(command, WaitMessage):
+            mailbox = command.mailbox
+            envelope = mailbox.poll()
+            if envelope is not None:
+                self.loop.call_later(0.0, lambda: self._resume(envelope))
+                return
+
+            timeout_handle: Optional[int] = None
+
+            def wake_with_message() -> None:
+                if token != self._wait_token or self._finished:
+                    return
+                if timeout_handle is not None:
+                    self.loop.cancel(timeout_handle)
+                # The message that woke us may already have been polled by
+                # nobody else (single consumer per mailbox by convention).
+                self._resume(mailbox.poll())
+
+            def wake_with_timeout() -> None:
+                if token != self._wait_token or self._finished:
+                    return
+                mailbox.remove_waiter(wake_with_message)
+                self._resume(None)
+
+            mailbox.add_waiter(wake_with_message)
+            if command.timeout is not None:
+                timeout_handle = self.loop.call_later(
+                    command.timeout, wake_with_timeout
+                )
+            return
+
+        raise SimulationError(
+            f"process {self.name!r} yielded unknown command {command!r}"
+        )
+
+
+def spawn(
+    loop: EventLoop, generator: Generator[Any, Any, Any], name: str = "proc"
+) -> Process:
+    """Convenience: create and start a :class:`Process`."""
+    return Process(loop, generator, name).start()

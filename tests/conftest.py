@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment
+from repro.sim.eventloop import EventLoop
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    """A fresh discrete-event loop."""
+    return EventLoop()
+
+
+@pytest.fixture
+def config() -> SyncConfig:
+    """The paper's default sync configuration."""
+    return SyncConfig.paper_defaults()
+
+
+@pytest.fixture
+def two_sites() -> InputAssignment:
+    """The paper's two-site, one-player-per-site assignment."""
+    return InputAssignment.standard(2)

@@ -1,0 +1,52 @@
+"""Every shipped example must run clean — examples are documentation."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=180):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "identical states for all 600 frames" in out
+
+    def test_street_brawler_wan(self):
+        out = run_example("street_brawler_wan.py")
+        assert "Every profile converged" in out
+        assert "lossy mobile" in out
+
+    def test_divergence_demo(self):
+        out = run_example("divergence_demo.py")
+        assert "DIVERGED at frame" in out
+        assert "identical for all 600 frames" in out
+
+    def test_spectators_and_latejoin(self):
+        out = run_example("spectators_and_latejoin.py")
+        assert "late joiner entered at frame" in out
+        assert "replicas identical" in out
+
+    def test_real_udp_session(self):
+        out = run_example("real_udp_session.py", "--frames", "90", "--fps", "120")
+        assert "converged: 90 frames bit-identical" in out
+
+    def test_rollback_vs_lockstep(self):
+        out = run_example("rollback_vs_lockstep.py")
+        assert "0ms /" in out  # zero-lag column rendered
+        assert "measured" in out

@@ -1,0 +1,161 @@
+"""Integration: N players and observers (journal extension)."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment, PadSource, RandomSource
+from repro.core.multisite import (
+    SessionPlan,
+    build_session,
+    players_and_observers_plan,
+)
+from repro.emulator.machine import create_game
+from repro.metrics.recorder import ConsistencyChecker
+from repro.metrics.stats import mean
+from repro.net.netem import NetemConfig
+
+
+def player_sources(n, seed=20):
+    return [PadSource(RandomSource(seed + i), player=i) for i in range(n)]
+
+
+class TestManyPlayers:
+    @pytest.mark.parametrize("players", [3, 4])
+    def test_n_player_convergence(self, players):
+        plan = SessionPlan(
+            config=SyncConfig.paper_defaults(),
+            assignment=InputAssignment.standard(players),
+            machines=[create_game("counter") for __ in range(players)],
+            sources=player_sources(players),
+            max_frames=180,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.040))
+        session.run(horizon=300.0)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 180
+
+    def test_every_player_contributes(self):
+        plan = SessionPlan(
+            config=SyncConfig.paper_defaults(),
+            assignment=InputAssignment.standard(3),
+            machines=[create_game("counter") for __ in range(3)],
+            sources=player_sources(3),
+            max_frames=180,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.030))
+        session.run(horizon=300.0)
+        inputs = session.vms[0].runtime.trace.inputs
+        for player in range(3):
+            mask = 0xFF << (8 * player)
+            assert any(word & mask for word in inputs), f"player {player} silent"
+
+    def test_slowest_link_gates_everyone(self):
+        """One laggy player slows the whole mesh (lockstep's nature)."""
+        plan = SessionPlan(
+            config=SyncConfig.paper_defaults(),
+            assignment=InputAssignment.standard(3),
+            machines=[create_game("counter") for __ in range(3)],
+            sources=player_sources(3),
+            max_frames=240,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.020))
+        # Overwrite site2's links with a latency well past the threshold.
+        slow = NetemConfig.for_rtt(0.400)
+        session.network.connect("site0", "site2", slow)
+        session.network.connect("site1", "site2", slow)
+        session.run(horizon=600.0)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+        times = session.vms[0].runtime.trace.frame_times()
+        assert mean(times) > 1.2 / 60  # visibly slower than CFPS
+
+
+class TestObservers:
+    def test_observer_sees_identical_states(self):
+        plan = players_and_observers_plan(
+            SyncConfig.paper_defaults(),
+            machine_factory=lambda: create_game("shooter"),
+            player_sources=player_sources(2),
+            num_observers=1,
+            game_id="shooter",
+            max_frames=180,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.040))
+        session.run(horizon=300.0)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert len(traces) == 3
+        assert ConsistencyChecker().verify_traces(traces) == 180
+
+    def test_observer_controls_no_bits(self):
+        plan = players_and_observers_plan(
+            SyncConfig.paper_defaults(),
+            machine_factory=lambda: create_game("counter"),
+            player_sources=player_sources(2),
+            num_observers=1,
+            max_frames=120,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.040))
+        session.run(horizon=300.0)
+        observer = session.vms[2].runtime
+        assert observer.lockstep.is_observer
+        assert observer.lockstep.stats.local_inputs_buffered == 0
+        # Observer inputs never appear in anyone's merged words.
+        inputs = session.vms[0].runtime.trace.inputs
+        assert all(word >> 16 == 0 for word in inputs)
+
+    def test_players_do_not_wait_for_observer(self):
+        """An observer behind a terrible link must not slow the players."""
+        plan = players_and_observers_plan(
+            SyncConfig.paper_defaults(),
+            machine_factory=lambda: create_game("counter"),
+            player_sources=player_sources(2),
+            num_observers=1,
+            max_frames=240,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.020))
+        awful = NetemConfig.for_rtt(0.800)
+        session.network.connect("site0", "site2", awful)
+        session.network.connect("site1", "site2", awful)
+        session.run(horizon=600.0)
+        player_times = session.vms[0].runtime.trace.frame_times()
+        assert mean(player_times) == pytest.approx(1 / 60, rel=0.05)
+
+
+class TestPlanValidation:
+    def test_machine_count_must_match(self):
+        with pytest.raises(ValueError):
+            SessionPlan(
+                config=SyncConfig(),
+                assignment=InputAssignment.standard(2),
+                machines=[create_game("counter")],
+                sources=player_sources(2),
+            )
+
+    def test_source_count_must_match(self):
+        with pytest.raises(ValueError):
+            SessionPlan(
+                config=SyncConfig(),
+                assignment=InputAssignment.standard(2),
+                machines=[create_game("counter") for __ in range(2)],
+                sources=player_sources(1),
+            )
+
+    def test_start_delay_count_must_match(self):
+        with pytest.raises(ValueError):
+            SessionPlan(
+                config=SyncConfig(),
+                assignment=InputAssignment.standard(2),
+                machines=[create_game("counter") for __ in range(2)],
+                sources=player_sources(2),
+                start_delays=[0.0],
+            )
+
+    def test_unknown_transport_rejected(self):
+        plan = SessionPlan(
+            config=SyncConfig(),
+            assignment=InputAssignment.standard(2),
+            machines=[create_game("counter") for __ in range(2)],
+            sources=player_sources(2),
+        )
+        with pytest.raises(ValueError):
+            build_session(plan, NetemConfig(), transport="carrier-pigeon")

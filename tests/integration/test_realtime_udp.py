@@ -1,0 +1,78 @@
+"""Integration: the wall-clock driver over real UDP sockets on localhost.
+
+Short sessions at a high frame rate keep these fast (~1-2 s each) while
+still exercising real sockets, real threads and the monotonic clock.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment, PadSource, RandomSource
+from repro.core.realtime import RealtimeVM
+from repro.core.vm import SitePeer, SiteRuntime
+from repro.emulator.machine import create_game
+from repro.metrics.recorder import ConsistencyChecker
+from repro.metrics.stats import mean
+from repro.net.udp import UdpSocket
+
+
+def run_realtime(frames=90, cfps=120.0, game="counter"):
+    """Two threaded sites over localhost UDP; returns their VMs."""
+    config = SyncConfig(cfps=cfps, buf_frame=6)
+    assignment = InputAssignment.standard(2)
+    sockets = [UdpSocket(), UdpSocket()]
+    peers = [SitePeer(i, sockets[i].address) for i in range(2)]
+    vms = []
+    try:
+        for site in range(2):
+            runtime = SiteRuntime(
+                config=config,
+                site_no=site,
+                assignment=assignment,
+                machine=create_game(game),
+                source=PadSource(RandomSource(70 + site), player=site),
+                peers=peers,
+                game_id=game,
+            )
+            vms.append(RealtimeVM(runtime, sockets[site], max_frames=frames))
+        threads = [threading.Thread(target=vm.run) for vm in vms]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert all(not t.is_alive() for t in threads), "site thread hung"
+        for vm in vms:
+            if vm.error is not None:
+                raise vm.error
+        return vms
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class TestRealtimeSession:
+    def test_replicas_converge_over_real_udp(self):
+        vms = run_realtime()
+        traces = [vm.runtime.trace for vm in vms]
+        assert ConsistencyChecker().verify_traces(traces) == 90
+
+    def test_frame_pacing_near_target(self):
+        vms = run_realtime(frames=120, cfps=120.0)
+        for vm in vms:
+            times = vm.runtime.trace.frame_times()
+            # Real OS scheduling jitter (and CI load) is substantial at an
+            # 8.3 ms budget; require the right order of magnitude, with the
+            # precise pacing guarantees covered by the simulated-time tests.
+            assert mean(times) == pytest.approx(1 / 120, rel=0.5)
+
+    def test_games_play_over_real_udp(self):
+        vms = run_realtime(frames=60, game="pong-py")
+        assert vms[0].runtime.machine.checksum() == vms[1].runtime.machine.checksum()
+
+    def test_rtt_estimated_on_loopback(self):
+        vms = run_realtime(frames=60)
+        for vm in vms:
+            assert vm.runtime.rtt.samples >= 1
+            assert vm.runtime.rtt.rtt < 0.1  # loopback

@@ -1,0 +1,56 @@
+"""Integration: the one-command reproduction runner."""
+
+import json
+import os
+
+from repro.harness.reproduce import run_reproduction, write_reproduction
+
+EXPECTED_EXPERIMENTS = {
+    "figure1",
+    "figure2",
+    "loss",
+    "ablation_pacing",
+    "ablation_transport",
+    "ablation_lag",
+    "ablation_batching",
+    "ablation_adaptive",
+}
+
+
+class TestRunReproduction:
+    def test_all_experiments_present(self):
+        bundle = run_reproduction(frames=120)
+        assert set(bundle["experiments"]) == EXPECTED_EXPERIMENTS
+        for name, (rows, table) in bundle["experiments"].items():
+            assert rows, f"{name} produced no rows"
+            assert isinstance(table, str) and table
+
+    def test_progress_callback_called(self):
+        messages = []
+        run_reproduction(frames=120, progress=messages.append)
+        assert len(messages) == len(EXPECTED_EXPERIMENTS)
+
+
+class TestWriteReproduction:
+    def test_writes_report_and_json(self, tmp_path):
+        report_path, json_path = write_reproduction(str(tmp_path), frames=120)
+        assert os.path.exists(report_path)
+        assert os.path.exists(json_path)
+
+        report = open(report_path).read()
+        assert "Figure 1" in report
+        assert "Ablation 5" in report
+
+        payload = json.load(open(json_path))
+        assert set(payload["experiments"]) == EXPECTED_EXPERIMENTS
+        figure1 = payload["experiments"]["figure1"]
+        assert all("frame_time_mean" in row for row in figure1)
+        assert payload["meta"]["frames"] == 120
+
+    def test_json_is_regression_comparable(self, tmp_path):
+        """Two runs at the same fidelity produce identical numbers."""
+        __, json_a = write_reproduction(str(tmp_path / "a"), frames=120)
+        __, json_b = write_reproduction(str(tmp_path / "b"), frames=120)
+        a = json.load(open(json_a))["experiments"]
+        b = json.load(open(json_b))["experiments"]
+        assert a == b

@@ -1,0 +1,142 @@
+"""Integration: the rollback/timewarp extension."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import PadSource, RandomSource, ScriptedSource
+from repro.core.rollback import RollbackVM, build_rollback_session
+from repro.emulator.machine import create_game
+from repro.metrics.recorder import ConsistencyChecker
+from repro.metrics.stats import mean
+from repro.net.netem import NetemConfig
+
+
+def run_rollback(
+    game="counter", frames=240, rtt=0.060, toggle_p=0.08, seed=5, window=60,
+    loss=0.0,
+):
+    session = build_rollback_session(
+        game_factory=lambda: create_game(game),
+        sources=[
+            PadSource(RandomSource(seed, toggle_p=toggle_p), 0),
+            PadSource(RandomSource(seed + 1, toggle_p=toggle_p), 1),
+        ],
+        netem=NetemConfig(delay=rtt / 2, loss=loss),
+        frames=frames,
+        seed=seed,
+        speculation_window=window,
+    )
+    session.run(horizon=600.0)
+    return session
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("rtt_ms", [0, 40, 120, 240])
+    def test_shadow_replicas_identical(self, rtt_ms):
+        session = run_rollback(rtt=rtt_ms / 1000)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+
+    @pytest.mark.parametrize("game", ["pong-py", "brawler"])
+    def test_real_games_roll_back_consistently(self, game):
+        session = run_rollback(game=game, frames=180)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 180
+
+    def test_rollback_matches_lockstep_outcome(self):
+        """The shadow's state sequence equals a plain lockstep run."""
+        from repro.core.multisite import build_session, two_player_plan
+
+        rollback = run_rollback(frames=200, rtt=0.050, seed=9)
+        plan = two_player_plan(
+            SyncConfig.paper_defaults().with_overrides(buf_frame=0),
+            machine_factory=lambda: create_game("counter"),
+            sources=[
+                PadSource(RandomSource(9, toggle_p=0.08), 0),
+                PadSource(RandomSource(10, toggle_p=0.08), 1),
+            ],
+            game_id="counter",
+            max_frames=200,
+            seed=9,
+        )
+        lockstep = build_session(plan, NetemConfig.for_rtt(0.050))
+        lockstep.run(horizon=600.0)
+        assert (
+            rollback.vms[0].runtime.trace.checksums
+            == lockstep.vms[0].runtime.trace.checksums
+        )
+
+    def test_survives_loss(self):
+        session = run_rollback(frames=240, rtt=0.040, loss=0.15)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+
+
+class TestLatencyAndCost:
+    def test_zero_input_lag(self):
+        """A scripted press appears in the presser's own frame — the whole
+        point of rollback vs the paper's 100 ms local lag."""
+        session = run_rollback(frames=120, rtt=0.080)
+        vm = session.vms[0]
+        # Local inputs land in their own frame's slot.
+        assert vm.runtime.lockstep.local_lag_frames == 0
+
+    def test_paced_at_cfps(self):
+        session = run_rollback(frames=240, rtt=0.080)
+        for vm in session.vms:
+            assert mean(vm.runtime.trace.frame_times()) == pytest.approx(
+                1 / 60, rel=0.03
+            )
+
+    def test_rollback_work_scales_with_rtt(self):
+        near = run_rollback(frames=240, rtt=0.020)
+        far = run_rollback(frames=240, rtt=0.240)
+        assert (
+            far.vms[0].rollback_stats.replayed_frames
+            > near.vms[0].rollback_stats.replayed_frames
+        )
+        assert (
+            far.vms[0].rollback_stats.max_replay_depth
+            >= near.vms[0].rollback_stats.max_replay_depth
+        )
+
+    def test_quiet_inputs_cause_no_rollbacks(self):
+        """Hold-last prediction is perfect when nobody touches the pad."""
+        session = run_rollback(frames=240, rtt=0.120, toggle_p=0.0)
+        for vm in session.vms:
+            assert vm.rollback_stats.rollbacks == 0
+            assert vm.rollback_stats.replayed_frames == 0
+
+    def test_speculation_window_bounds_runahead(self):
+        session = run_rollback(frames=240, rtt=0.400, window=10)
+        for vm in session.vms:
+            stats = vm.rollback_stats
+            assert stats.max_replay_depth <= 10 + 1
+            assert stats.speculation_stalls > 0
+
+
+class TestValidation:
+    def test_nonzero_lag_config_rejected(self):
+        from repro.core.inputs import InputAssignment
+        from repro.core.vm import SitePeer, SiteRuntime
+        from repro.net.simnet import SimNetwork
+        from repro.sim.eventloop import EventLoop
+
+        loop = EventLoop()
+        network = SimNetwork(loop)
+        runtime = SiteRuntime(
+            config=SyncConfig(buf_frame=6),
+            site_no=0,
+            assignment=InputAssignment.standard(2),
+            machine=create_game("counter"),
+            source=PadSource(ScriptedSource({}), 0),
+            peers=[SitePeer(0, "site0"), SitePeer(1, "site1")],
+        )
+        with pytest.raises(ValueError):
+            RollbackVM(
+                loop,
+                network,
+                runtime,
+                max_frames=10,
+                spec_machine=create_game("counter"),
+            )

@@ -1,0 +1,148 @@
+"""Integration: complete two-site sessions over the simulated network.
+
+These exercise the full paper stack — session control, lockstep, pacing,
+send pumps, RTT pings — and assert the paper's two invariants: logical
+consistency (identical state sequences) and real-time consistency (frames
+paced at CFPS under good network conditions).
+"""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import PadSource, RandomSource
+from repro.core.multisite import build_session, two_player_plan
+from repro.emulator.machine import create_game
+from repro.metrics.recorder import ConsistencyChecker
+from repro.metrics.stats import mean
+from repro.net.netem import NetemConfig
+
+
+def run_two_sites(
+    netem, frames=240, game="counter", config=None, seed=3, **plan_kwargs
+):
+    plan = two_player_plan(
+        config or SyncConfig.paper_defaults(),
+        machine_factory=lambda: create_game(game),
+        sources=[
+            PadSource(RandomSource(seed), player=0),
+            PadSource(RandomSource(seed + 1), player=1),
+        ],
+        game_id=game,
+        max_frames=frames,
+        seed=seed,
+        **plan_kwargs,
+    )
+    session = build_session(plan, netem)
+    session.run(horizon=600.0)
+    return session
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("rtt_ms", [0, 20, 60, 100, 160, 300])
+    def test_replicas_identical_across_rtts(self, rtt_ms):
+        session = run_two_sites(NetemConfig.for_rtt(rtt_ms / 1000))
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+
+    @pytest.mark.parametrize("game", ["pong", "pong-py", "brawler", "shooter"])
+    def test_every_game_converges(self, game):
+        session = run_two_sites(NetemConfig.for_rtt(0.040), frames=180, game=game)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 180
+
+    def test_jitter_and_reordering_tolerated(self):
+        netem = NetemConfig(delay=0.03, jitter=0.01, reorder=0.1)
+        session = run_two_sites(netem)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+
+    def test_duplication_tolerated(self):
+        netem = NetemConfig(delay=0.02, duplicate=0.3)
+        session = run_two_sites(netem)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+        stats = session.vms[0].runtime.lockstep.stats
+        assert stats.duplicate_inputs_received > 0
+
+    def test_inputs_from_both_pads_reach_both_machines(self):
+        session = run_two_sites(NetemConfig.for_rtt(0.020))
+        inputs = session.vms[0].runtime.trace.inputs
+        assert any(word & 0x00FF for word in inputs)
+        assert any(word & 0xFF00 for word in inputs)
+
+
+class TestRealTimeConsistency:
+    def test_paced_at_cfps_on_good_network(self):
+        session = run_two_sites(NetemConfig.for_rtt(0.030))
+        for vm in session.vms:
+            times = vm.runtime.trace.frame_times()
+            assert mean(times) == pytest.approx(1 / 60, rel=0.02)
+
+    def test_sites_within_human_tolerance(self):
+        session = run_two_sites(NetemConfig.for_rtt(0.030))
+        a = session.vms[0].runtime.trace.begin_times
+        b = session.vms[1].runtime.trace.begin_times
+        offsets = [abs(x - y) for x, y in zip(a, b)]
+        assert mean(offsets) < 0.020  # paper: <10ms measured; allow slack
+
+    def test_start_skew_absorbed_by_slave(self):
+        """Algorithm 4: with injected start skew the sites re-synchronize."""
+        session = run_two_sites(
+            NetemConfig.for_rtt(0.030),
+            frames=360,
+            frame_loop_delays=[0.0, 0.100],
+        )
+        a = session.vms[0].runtime.trace.begin_times
+        b = session.vms[1].runtime.trace.begin_times
+        early_offset = abs(a[0] - b[0])
+        late_offsets = [abs(x - y) for x, y in zip(a[-60:], b[-60:])]
+        assert early_offset > 0.05
+        assert mean(late_offsets) < 0.02
+
+    def test_time_server_records_both_sites(self):
+        session = run_two_sites(NetemConfig.for_rtt(0.020), frames=120)
+        server = session.time_server
+        assert server.frames_recorded(0) == 120
+        assert server.frames_recorded(1) == 120
+
+    def test_rtt_estimator_converges(self):
+        session = run_two_sites(NetemConfig.for_rtt(0.080), frames=300)
+        for vm in session.vms:
+            assert vm.runtime.rtt.rtt == pytest.approx(0.080, abs=0.015)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_run(self):
+        a = run_two_sites(NetemConfig(delay=0.02, jitter=0.005, loss=0.05), seed=11)
+        b = run_two_sites(NetemConfig(delay=0.02, jitter=0.005, loss=0.05), seed=11)
+        assert (
+            a.vms[0].runtime.trace.checksums == b.vms[0].runtime.trace.checksums
+        )
+        assert (
+            a.vms[0].runtime.trace.begin_times == b.vms[0].runtime.trace.begin_times
+        )
+
+    def test_different_network_seed_same_game_outcome(self):
+        """Network randomness must never leak into game state."""
+        a = run_two_sites(NetemConfig(delay=0.02, jitter=0.005), seed=11)
+        plan_checksums = a.vms[0].runtime.trace.checksums
+
+        b = run_two_sites(NetemConfig(delay=0.05, jitter=0.01), seed=11)
+        assert b.vms[0].runtime.trace.checksums == plan_checksums
+
+
+class TestStatsPlumbing:
+    def test_lockstep_counters_consistent(self):
+        session = run_two_sites(NetemConfig.for_rtt(0.040), frames=120)
+        for vm in session.vms:
+            stats = vm.runtime.lockstep.stats
+            assert stats.frames_delivered == 120
+            assert stats.local_inputs_buffered == 120
+            assert stats.sync_messages_sent > 0
+            assert stats.sync_messages_received > 0
+
+    def test_transport_counters_nonzero(self):
+        session = run_two_sites(NetemConfig.for_rtt(0.040), frames=120)
+        for vm in session.vms:
+            assert vm.socket.stats.datagrams_sent > 0
+            assert vm.socket.stats.bytes_received > 0

@@ -1,0 +1,72 @@
+"""Property tests: InputBuffer invariants under arbitrary operation orders."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.ibuf import InputBuffer
+
+frames = st.integers(min_value=0, max_value=200)
+values = st.integers(min_value=0, max_value=0xFFFF)
+sites = st.integers(min_value=0, max_value=1)
+
+
+@given(st.lists(st.tuples(frames, sites, values), max_size=100))
+def test_first_write_wins(operations):
+    """Whatever the order of (possibly duplicate) puts, the first stored
+    value for a slot is the one retained — or a conflict is raised."""
+    buffer = InputBuffer(2)
+    expected = {}
+    for frame, site, value in operations:
+        key = (frame, site)
+        if key in expected:
+            if expected[key] != value:
+                continue  # conflicting put would raise; skip to keep valid
+            buffer.put(frame, site, value)
+        else:
+            expected[key] = value
+            buffer.put(frame, site, value)
+    for (frame, site), value in expected.items():
+        assert buffer.get(frame, site) == value
+
+
+@given(
+    st.lists(st.tuples(frames, sites, values), max_size=80),
+    st.lists(frames, max_size=10),
+)
+def test_prune_floor_monotonic_and_get_respects_it(operations, prunes):
+    buffer = InputBuffer(2)
+    floors = [0]
+    for frame, site, value in operations:
+        if buffer.get(frame, site) is None:
+            buffer.put(frame, site, value)
+    for cut in prunes:
+        buffer.prune_below(cut)
+        floors.append(buffer.floor)
+    assert floors == sorted(floors)
+    for frame in range(buffer.floor):
+        assert buffer.get(frame, 0) is None
+        assert buffer.get(frame, 1) is None
+
+
+@given(st.lists(st.tuples(frames, values), min_size=1, max_size=60, unique_by=lambda t: t[0]))
+def test_range_for_returns_exactly_stored(pairs):
+    buffer = InputBuffer(2)
+    stored = dict(pairs)
+    low, high = min(stored), max(stored)
+    # Fill gaps so the range is contiguous.
+    for frame in range(low, high + 1):
+        buffer.put(frame, 0, stored.get(frame, 0))
+    result = buffer.range_for(0, low, high)
+    assert result == [stored.get(f, 0) for f in range(low, high + 1)]
+
+
+@given(st.lists(st.tuples(frames, sites, values), max_size=60))
+def test_complete_iff_all_present(operations):
+    buffer = InputBuffer(2)
+    present = set()
+    for frame, site, value in operations:
+        if (frame, site) not in present:
+            buffer.put(frame, site, value)
+            present.add((frame, site))
+    for frame in {f for f, __, __v in operations}:
+        expected = ((frame, 0) in present) and ((frame, 1) in present)
+        assert buffer.complete(frame, [0, 1]) == expected

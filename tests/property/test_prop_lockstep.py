@@ -1,0 +1,135 @@
+"""Property tests: the lockstep protocol converges under adversarial
+message scheduling — arbitrary interleavings of drops, duplicates and
+delays, driven directly at the sans-IO layer."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment
+from repro.core.lockstep import LockstepSync
+
+lockstep_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_sites(num_sites=2, buf_frame=3):
+    config = SyncConfig(buf_frame=buf_frame)
+    assignment = InputAssignment.standard(num_sites)
+    return [
+        LockstepSync(config, site, assignment, session_id=1)
+        for site in range(num_sites)
+    ]
+
+
+@lockstep_settings
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    frames=st.integers(min_value=5, max_value=60),
+    drop_p=st.floats(min_value=0.0, max_value=0.6),
+    dup_p=st.floats(min_value=0.0, max_value=0.4),
+)
+def test_two_sites_converge_under_chaos(seed, frames, drop_p, dup_p):
+    """Drive both protocol instances with a chaotic scheduler: each round,
+    every site buffers an input, flushes (messages may be dropped or
+    duplicated), consumes deliveries in shuffled order, and delivers any
+    ready frames.  Retransmission must defeat every chaos pattern."""
+    rng = random.Random(seed)
+    sites = make_sites()
+    delivered = [[] for __ in sites]
+    in_flight = []
+
+    def flush(site):
+        for peer, message in site.build_all(force=True).items():
+            if rng.random() < drop_p:
+                continue
+            copies = 2 if rng.random() < dup_p else 1
+            for __ in range(copies):
+                in_flight.append((peer, message))
+
+    frame = 0
+    rounds = 0
+    max_rounds = frames * 60  # generous; chaos may need many retries
+    while min(len(d) for d in delivered) < frames and rounds < max_rounds:
+        rounds += 1
+        for site in sites:
+            if frame < frames * 2:
+                site.buffer_local_input(
+                    frame, (frame * 37 + site.site_no) & 0xFFFF
+                )
+        frame += 1
+        for site in sites:
+            flush(site)
+        rng.shuffle(in_flight)
+        keep = []
+        for destination, message in in_flight:
+            # Deliver ~70% now, delay the rest to a later round.
+            if rng.random() < 0.7:
+                sites[destination].on_sync(message, arrived_at=rounds * 0.01)
+            else:
+                keep.append((destination, message))
+        in_flight[:] = keep
+        for index, site in enumerate(sites):
+            while site.can_deliver() and len(delivered[index]) < frames:
+                delivered[index].append(site.deliver())
+
+    assert min(len(d) for d in delivered) >= frames, "protocol livelocked"
+    assert delivered[0][:frames] == delivered[1][:frames]
+
+
+@lockstep_settings
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    num_sites=st.integers(min_value=2, max_value=4),
+)
+def test_n_sites_same_delivery_sequence(seed, num_sites):
+    rng = random.Random(seed)
+    sites = make_sites(num_sites=num_sites)
+    frames = 25
+    delivered = [[] for __ in sites]
+    for frame in range(frames * 3):
+        for site in sites:
+            site.buffer_local_input(frame, (frame + site.site_no * 7) & 0xFF)
+        messages = []
+        for site in sites:
+            for peer, message in site.build_all(force=True).items():
+                messages.append((peer, message))
+        rng.shuffle(messages)
+        for destination, message in messages:
+            if rng.random() < 0.85:  # some loss
+                sites[destination].on_sync(message, 0.0)
+        for index, site in enumerate(sites):
+            while site.can_deliver() and len(delivered[index]) < frames:
+                delivered[index].append(site.deliver())
+        if min(len(d) for d in delivered) >= frames:
+            break
+    sequences = {tuple(d[:frames]) for d in delivered}
+    assert len(sequences) == 1
+
+
+@lockstep_settings
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_acks_eventually_allow_pruning(seed):
+    rng = random.Random(seed)
+    sites = make_sites()
+    for frame in range(120):
+        for site in sites:
+            site.buffer_local_input(frame, frame & 0xFF)
+        for site in sites:
+            for peer, message in site.build_all(force=True).items():
+                if rng.random() < 0.9:
+                    sites[peer].on_sync(message, 0.0)
+        for site in sites:
+            while site.can_deliver() and site.ibuf_pointer <= frame:
+                site.deliver()
+    # One final clean exchange ensures acks land.
+    for __ in range(3):
+        for site in sites:
+            for peer, message in site.build_all(force=True).items():
+                sites[peer].on_sync(message, 0.0)
+    assert all(site.ibuf.floor > 0 for site in sites)
+    assert all(len(site.ibuf) < 60 for site in sites)

@@ -1,0 +1,122 @@
+"""Property tests: every registered game honours the Machine contract.
+
+The contract (§3, §5 of the paper) is what makes the whole system sound:
+
+* determinism — same input sequence ⇒ same checksum sequence,
+* savestate fidelity — save/load at any point ⇒ identical future,
+* checksum sensitivity — the checksum covers the state that inputs affect.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.emulator.machine import available_games, create_game
+
+GAMES = available_games()
+
+input_traces = st.lists(
+    st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=120
+)
+
+machine_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.mark.parametrize("game", GAMES)
+@machine_settings
+@given(trace=input_traces)
+def test_determinism(game, trace):
+    a, b = create_game(game), create_game(game)
+    for word in trace:
+        a.step(word)
+        b.step(word)
+    assert a.checksum() == b.checksum()
+
+
+@pytest.mark.parametrize("game", GAMES)
+@machine_settings
+@given(trace=input_traces, split=st.integers(min_value=0, max_value=119))
+def test_savestate_roundtrip_at_any_point(game, trace, split):
+    split = min(split, len(trace))
+    a = create_game(game)
+    for word in trace[:split]:
+        a.step(word)
+    blob = a.save_state()
+
+    b = create_game(game)
+    b.load_state(blob)
+    assert b.checksum() == a.checksum()
+    assert b.frame == a.frame
+
+    for word in trace[split:]:
+        a.step(word)
+        b.step(word)
+    assert a.checksum() == b.checksum()
+
+
+@pytest.mark.parametrize("game", GAMES)
+@machine_settings
+@given(trace=input_traces)
+def test_save_state_stable_without_step(game, trace):
+    """save_state is a pure observation: calling it twice changes nothing."""
+    machine = create_game(game)
+    for word in trace:
+        machine.step(word)
+    first = machine.save_state()
+    second = machine.save_state()
+    assert first == second
+    assert machine.checksum() == machine.checksum()
+
+
+@pytest.mark.parametrize("game", GAMES)
+@machine_settings
+@given(trace=input_traces)
+def test_frame_counter_tracks_steps(game, trace):
+    machine = create_game(game)
+    for word in trace:
+        machine.step(word)
+    assert machine.frame == len(trace)
+
+
+@pytest.mark.parametrize("game", GAMES)
+def test_negative_input_rejected(game):
+    from repro.emulator.machine import MachineError
+
+    with pytest.raises(MachineError):
+        create_game(game).step(-1)
+
+
+@pytest.mark.parametrize("game", GAMES)
+@machine_settings
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=5, max_size=60),
+    flip_at=st.integers(min_value=0, max_value=4),
+)
+def test_input_change_eventually_observable(game, trace, flip_at):
+    """Two machines fed traces differing in one frame must diverge at that
+    frame or keep matching thereafter deterministically (no hidden state)."""
+    a, b = create_game(game), create_game(game)
+    altered = list(trace)
+    altered[flip_at] = altered[flip_at] ^ 0x0001  # press/release P0 UP
+    diverged = False
+    for word_a, word_b in zip(trace, altered):
+        a.step(word_a)
+        b.step(word_b)
+        if a.checksum() != b.checksum():
+            diverged = True
+            break
+    # Either the flip was observable (usual) or the game provably ignores
+    # that bit in that state; both are fine — what is NOT fine is a crash
+    # or a nondeterministic outcome, which re-running must confirm.
+    a2, b2 = create_game(game), create_game(game)
+    diverged2 = False
+    for word_a, word_b in zip(trace, altered):
+        a2.step(word_a)
+        b2.step(word_b)
+        if a2.checksum() != b2.checksum():
+            diverged2 = True
+            break
+    assert diverged == diverged2

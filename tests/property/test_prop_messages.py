@@ -1,0 +1,102 @@
+"""Property tests: the wire format round-trips arbitrary field values and
+rejects arbitrary garbage without crashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import (
+    DecodeError,
+    Hello,
+    Ping,
+    Pong,
+    StateSnapshot,
+    Sync,
+    decode,
+)
+
+frames = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+input_words = st.lists(u32, max_size=50)
+
+
+@given(
+    u16,
+    u32,
+    st.lists(frames, min_size=1, max_size=8),
+    frames,
+    input_words,
+)
+def test_sync_roundtrip(sender, session, acks, first_frame, inputs):
+    message = Sync(sender, session, acks=acks, first_frame=first_frame, inputs=inputs)
+    decoded = decode(message.encode())
+    assert decoded.sender_site == sender
+    assert decoded.session_id == session
+    assert decoded.acks == acks
+    assert decoded.first_frame == first_frame
+    assert decoded.inputs == inputs
+
+
+@given(u16, u32, u32, u32)
+def test_hello_roundtrip(sender, session, game_id, digest):
+    decoded = decode(Hello(sender, session, game_id, digest).encode())
+    assert (decoded.game_id, decoded.config_digest) == (game_id, digest)
+
+
+@given(u16, u32, u32, st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_ping_pong_roundtrip(sender, session, seq, timestamp):
+    ping = decode(Ping(sender, session, seq, timestamp).encode())
+    assert (ping.seq, ping.timestamp_us) == (seq, timestamp)
+    pong = decode(Pong(sender, session, seq, timestamp).encode())
+    assert (pong.seq, pong.echo_timestamp_us) == (seq, timestamp)
+
+
+@given(
+    u16,
+    u32,
+    frames,
+    st.binary(max_size=2000),
+    st.lists(st.lists(u32, max_size=20), max_size=4),
+)
+def test_snapshot_roundtrip(sender, session, frame, state, backlog):
+    message = StateSnapshot(sender, session, frame, state, backlog)
+    decoded = decode(message.encode())
+    assert decoded.frame == frame
+    assert decoded.state == state
+    assert decoded.backlog == backlog
+
+
+@given(st.binary(max_size=256))
+def test_arbitrary_bytes_never_crash(raw):
+    """decode() must raise DecodeError or return a message — never crash."""
+    try:
+        decode(raw)
+    except DecodeError:
+        pass
+
+
+@given(
+    st.lists(frames, min_size=1, max_size=4),
+    frames,
+    input_words,
+    st.integers(min_value=0, max_value=200),
+)
+def test_truncated_sync_never_crashes(acks, first_frame, inputs, cut):
+    raw = Sync(0, 1, acks, first_frame, inputs).encode()
+    truncated = raw[: max(0, len(raw) - cut)]
+    try:
+        message = decode(truncated)
+    except DecodeError:
+        return
+    # If it decoded, it must be byte-for-byte self-consistent.
+    assert message.encode() == truncated
+
+
+@given(st.binary(min_size=14, max_size=64), st.integers(min_value=0, max_value=13))
+def test_bitflip_detected_or_consistent(raw_tail, position):
+    raw = bytearray(Sync(0, 1, [5, 5], 6, [1, 2]).encode())
+    raw[position % len(raw)] ^= 0xA5
+    try:
+        decode(bytes(raw))
+    except DecodeError:
+        pass  # flagged, good

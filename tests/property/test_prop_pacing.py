@@ -1,0 +1,90 @@
+"""Property tests: frame-pacing invariants (Algorithm 3's rate guarantee)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SyncConfig
+from repro.core.pacing import FramePacer
+
+TPF = 1 / 60
+
+compute_times = st.lists(
+    st.floats(min_value=0.0, max_value=0.050, allow_nan=False),
+    min_size=20,
+    max_size=200,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(compute_times)
+def test_long_run_rate_never_exceeds_cfps(computes):
+    """Whatever the per-frame compute times, the average frame period is at
+    least TimePerFrame — Algorithm 3 only ever *slows down* to the budget,
+    it never runs the game fast."""
+    pacer = FramePacer(SyncConfig(), 0)
+    now = 0.0
+    begins = []
+    for frame, compute in enumerate(computes):
+        pacer.begin_frame(now, frame, None, 0.0)
+        begins.append(now)
+        now += compute
+        now += pacer.end_frame(now)
+    span = begins[-1] - begins[0]
+    assert span >= (len(begins) - 1) * TPF - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(compute_times)
+def test_rate_recovers_to_cfps_when_work_fits(computes):
+    """If every frame's work fits in the budget after a transient, the
+    long-run average recovers to exactly CFPS."""
+    pacer = FramePacer(SyncConfig(), 0)
+    now = 0.0
+    begins = []
+    # A transient burst of slow frames, then all-fast frames.
+    schedule = list(computes[:10]) + [0.001] * 100
+    for frame, compute in enumerate(schedule):
+        pacer.begin_frame(now, frame, None, 0.0)
+        begins.append(now)
+        now += compute
+        now += pacer.end_frame(now)
+    tail = begins[-50:]
+    average = (tail[-1] - tail[0]) / (len(tail) - 1)
+    assert abs(average - TPF) < 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(compute_times)
+def test_wait_never_negative_and_adjust_never_positive(computes):
+    pacer = FramePacer(SyncConfig(), 0)
+    now = 0.0
+    for frame, compute in enumerate(computes):
+        pacer.begin_frame(now, frame, None, 0.0)
+        now += compute
+        wait = pacer.end_frame(now)
+        assert wait >= 0.0
+        assert pacer.adjust_time_delta <= 1e-12
+        now += wait
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    compute_times,
+    st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+)
+def test_slave_offset_bounded_with_algorithm4(computes, skew):
+    """A slave with arbitrary start skew and compute noise stays within a
+    few frames of the master schedule once Algorithm 4 engages."""
+    config = SyncConfig()
+    slave = FramePacer(config, 1)
+    master_start = 0.0
+    now = master_start + skew
+    frame = 0
+    for compute in computes + [0.001] * 120:
+        master_frame_now = (now - master_start) / TPF
+        sample = (int(master_frame_now) + config.buf_frame, now)
+        slave.begin_frame(now, frame, sample, 0.0)
+        now += min(compute, 0.010)
+        now += slave.end_frame(now)
+        frame += 1
+    final_offset = frame - (now - master_start) / TPF
+    assert abs(final_offset) < 3.0

@@ -1,0 +1,71 @@
+"""Property tests: statistics laws (footnotes 10 and 11)."""
+
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import (
+    absolute_average,
+    mean,
+    mean_abs_deviation,
+    percentile,
+)
+
+series = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(series)
+def test_mad_nonnegative(values):
+    assert mean_abs_deviation(values) >= 0
+
+
+@given(series)
+def test_mad_near_zero_for_constant_series(values):
+    constant = [values[0]] * len(values)
+    mad = mean_abs_deviation(constant)
+    # Up to float summation noise, a constant series has zero deviation.
+    assert mad <= 1e-9 * max(1.0, abs(values[0]))
+
+
+@given(series)
+def test_mad_translation_invariant(values):
+    shifted = [v + 123.456 for v in values]
+    assert mean_abs_deviation(shifted) == abs(
+        mean_abs_deviation(values)
+    ) or abs(
+        mean_abs_deviation(shifted) - mean_abs_deviation(values)
+    ) < 1e-6 * max(1.0, abs(mean(values)))
+
+
+@given(series)
+def test_absolute_average_bounds_mean(values):
+    assert absolute_average(values) >= abs(mean(values)) - 1e-9
+
+
+@given(series)
+def test_absolute_average_of_nonnegatives_is_mean(values):
+    positives = [abs(v) for v in values]
+    assert absolute_average(positives) == mean(positives)
+
+
+@given(series, st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(values, q):
+    result = percentile(values, q)
+    assert min(values) <= result <= max(values)
+
+
+@given(series)
+def test_percentile_monotonic_in_q(values):
+    quantiles = [percentile(values, q) for q in (0, 25, 50, 75, 100)]
+    assert quantiles == sorted(quantiles)
+
+
+@given(series, st.floats(min_value=1e-3, max_value=1e3))
+def test_mad_scales_linearly(values, factor):
+    scaled = [v * factor for v in values]
+    expected = mean_abs_deviation(values) * factor
+    assert mean_abs_deviation(scaled) == (
+        expected
+    ) or abs(mean_abs_deviation(scaled) - expected) <= 1e-6 * max(1.0, expected)

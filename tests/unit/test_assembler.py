@@ -1,0 +1,136 @@
+"""Unit tests for the RC-16 assembler."""
+
+import pytest
+
+from repro.emulator.assembler import AssemblyError, assemble
+from repro.emulator import cpu as isa
+
+
+def words(code: bytes):
+    return [code[i] | (code[i + 1] << 8) for i in range(0, len(code), 2)]
+
+
+class TestBasics:
+    def test_default_origin(self):
+        assert assemble("NOP").origin == 0x0100
+
+    def test_explicit_origin(self):
+        program = assemble(".org 0x0200\nNOP")
+        assert program.origin == 0x0200
+        assert program.entry == 0x0200
+
+    def test_duplicate_org_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".org 0x100\n.org 0x200\nNOP")
+
+    def test_encoding_no_operand(self):
+        assert words(assemble("NOP\nHALT\nYIELD\nRET").code) == [
+            isa.NOP << 8,
+            isa.HALT << 8,
+            isa.YIELD << 8,
+            isa.RET << 8,
+        ]
+
+    def test_encoding_ldi(self):
+        code = words(assemble("LDI r3, 0x1234").code)
+        assert code == [(isa.LDI << 8) | (3 << 4), 0x1234]
+
+    def test_encoding_rr(self):
+        code = words(assemble("ADD r2, r5").code)
+        assert code == [(isa.ADD << 8) | (2 << 4) | 5]
+
+    def test_encoding_memref(self):
+        code = words(assemble("LD r1, [r2+0x10]").code)
+        assert code == [(isa.LD << 8) | (1 << 4) | 2, 0x10]
+
+    def test_encoding_store_operand_order(self):
+        code = words(assemble("ST [r2+4], r1").code)
+        assert code == [(isa.ST << 8) | (1 << 4) | 2, 4]
+
+    def test_negative_memref_offset(self):
+        code = words(assemble("LD r1, [r2-2]").code)
+        assert code[1] == 0xFFFE
+
+    def test_bare_memref(self):
+        code = words(assemble("LD r1, [r2]").code)
+        assert code[1] == 0
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("; header\n\nNOP ; trailing\n   \nHALT")
+        assert len(program.code) == 4
+
+    def test_case_insensitive_mnemonics(self):
+        assert assemble("nop").code == assemble("NOP").code
+
+
+class TestSymbols:
+    def test_label_resolution(self):
+        program = assemble("start:\nJMP start")
+        assert words(program.code)[1] == 0x0100
+
+    def test_forward_reference(self):
+        program = assemble("JMP end\nNOP\nend:\nHALT")
+        assert words(program.code)[1] == 0x0100 + 4 + 2
+
+    def test_equ_constant(self):
+        program = assemble(".equ MAGIC, 0xBEEF\nLDI r0, MAGIC")
+        assert words(program.code)[1] == 0xBEEF
+
+    def test_label_plus_offset(self):
+        program = assemble("table:\n.word 1, 2, 3\nLDI r0, table+4")
+        assert words(program.code)[-1] == 0x0100 + 4
+
+    def test_label_minus_offset(self):
+        program = assemble("a:\nNOP\nb:\nLDI r0, b-2")
+        assert words(program.code)[-1] == 0x0100
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nNOP\nx:\nNOP")
+
+    def test_unresolved_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("JMP nowhere")
+
+    def test_symbols_exported(self):
+        program = assemble("start:\nNOP\nlater:\nHALT")
+        assert program.symbols["start"] == 0x0100
+        assert program.symbols["later"] == 0x0102
+
+
+class TestDirectives:
+    def test_word_directive(self):
+        program = assemble(".word 0x1234, 5")
+        assert words(program.code) == [0x1234, 5]
+
+    def test_byte_directive(self):
+        program = assemble(".byte 1, 2, 0xFF")
+        assert program.code == b"\x01\x02\xff"
+
+    def test_equ_requires_two_operands(self):
+        with pytest.raises(AssemblyError):
+            assemble(".equ ONLYNAME")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("FROB r1")
+        assert "line 1" in str(excinfo.value)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("ADD r1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("LDI r16, 1")
+
+    def test_register_where_memref_expected(self):
+        with pytest.raises(AssemblyError):
+            assemble("LD r1, r2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("NOP\nNOP\nBOGUS")
+        assert "line 3" in str(excinfo.value)

@@ -1,0 +1,119 @@
+"""Unit tests for the RC-16 audio device."""
+
+import pytest
+
+from repro.emulator.assembler import assemble
+from repro.emulator.audio import (
+    CRC_ADDRESS,
+    DURATION_ADDRESS,
+    FREQ_ADDRESS,
+    TRIGGER_ADDRESS,
+    Audio,
+    Tone,
+)
+from repro.emulator.console import Console
+from repro.emulator.memory import Memory
+
+BEEP_ROM = """
+.equ AFREQ, 0xFF10
+.equ ADUR,  0xFF12
+.equ ATRIG, 0xFF13
+.org 0x0100
+frame:
+    LDI r0, 0
+    LD  r1, [r0+0xFF00]   ; beep when input bit 0 is held
+    CMPI r1, 0
+    JZ  quiet
+    LDI r2, 440
+    ST  [r0+AFREQ], r2
+    LDI r2, 3
+    STB [r0+ADUR], r2
+    STB [r0+ATRIG], r2
+quiet:
+    YIELD
+    JMP frame
+"""
+
+
+class TestAudioDevice:
+    def test_trigger_records_event(self):
+        memory = Memory()
+        audio = Audio(memory)
+        memory.write_word(FREQ_ADDRESS, 440)
+        memory.write_byte(DURATION_ADDRESS, 5)
+        memory.write_byte(TRIGGER_ADDRESS, 1)
+        assert audio.frame_events == [Tone(440, 5)]
+
+    def test_crc_changes_per_event(self):
+        memory = Memory()
+        audio = Audio(memory)
+        assert audio.history_crc() == 0
+        memory.write_word(FREQ_ADDRESS, 440)
+        memory.write_byte(TRIGGER_ADDRESS, 1)
+        first = audio.history_crc()
+        memory.write_byte(TRIGGER_ADDRESS, 1)
+        assert audio.history_crc() != first
+        assert first != 0
+
+    def test_begin_frame_clears_presentation_events(self):
+        memory = Memory()
+        audio = Audio(memory)
+        memory.write_byte(TRIGGER_ADDRESS, 1)
+        audio.begin_frame()
+        assert audio.frame_events == []
+
+    def test_tone_describe(self):
+        assert Tone(440, 5).describe() == "440Hz x5f"
+
+
+class TestConsoleIntegration:
+    def test_program_can_beep(self):
+        console = Console(assemble(BEEP_ROM), name="beeper")
+        console.step(0)
+        assert console.audio.frame_events == []
+        console.step(1)
+        assert console.audio.frame_events == [Tone(440, 3)]
+        console.step(0)
+        assert console.audio.frame_events == []
+
+    def test_audio_history_in_checksum(self):
+        """Two consoles differing only in audio history must not check out
+        equal — audio is replicated state (§2's virtual audio module)."""
+        quiet = Console(assemble(BEEP_ROM), name="beeper")
+        noisy = Console(assemble(BEEP_ROM), name="beeper")
+        quiet.step(0)
+        noisy.step(1)  # beeps
+        quiet.step(0)
+        noisy.step(0)
+        # Same video, same variables — but different audio history.
+        assert quiet.checksum() != noisy.checksum()
+
+    def test_audio_history_in_savestate(self):
+        console = Console(assemble(BEEP_ROM), name="beeper")
+        console.step(1)
+        crc = console.audio.history_crc()
+        other = Console(assemble(BEEP_ROM), name="beeper")
+        other.load_state(console.save_state())
+        assert other.audio.history_crc() == crc
+
+    def test_pong_beeps_on_score(self):
+        from repro.emulator.roms.pong import build_pong
+
+        pong = build_pong()
+        beeped = False
+        for __ in range(1500):
+            pong.step(0)
+            if pong.audio.frame_events:
+                beeped = True
+                break
+        assert beeped
+        assert pong.memory.dump(CRC_ADDRESS, 4) != b"\x00\x00\x00\x00"
+
+    def test_tankduel_beeps_on_fire(self):
+        from repro.emulator.roms.tankduel import build_tankduel
+        from repro.core.inputs import Buttons, pack_buttons
+
+        tank = build_tankduel()
+        tank.step(0)
+        tank.step(pack_buttons(0, Buttons.A))
+        assert tank.audio.frame_events == [Tone(660, 2)]

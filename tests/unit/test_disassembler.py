@@ -1,0 +1,107 @@
+"""Unit tests for the RC-16 disassembler (assembler round-trip oracle)."""
+
+import pytest
+
+from repro.emulator.assembler import assemble
+from repro.emulator.disassembler import (
+    DisassemblyError,
+    disassemble,
+    disassemble_one,
+    listing,
+)
+
+
+class TestSingleInstructions:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("NOP", "NOP"),
+            ("HALT", "HALT"),
+            ("YIELD", "YIELD"),
+            ("RET", "RET"),
+            ("LDI r3, 0x12", "LDI r3, 0x12"),
+            ("MOV r1, r2", "MOV r1, r2"),
+            ("LD r1, [r2+0x10]", "LD r1, [r2+0x10]"),
+            ("ST [r2+4], r1", "ST [r2+0x4], r1"),
+            ("ADD r4, r5", "ADD r4, r5"),
+            ("JMP 0x200", "JMP 0x200"),
+            ("PUSH r9", "PUSH r9"),
+        ],
+    )
+    def test_roundtrip_text(self, source, expected):
+        code = assemble(source).code
+        instruction = disassemble_one(code, 0, 0x0100)
+        assert instruction.text == expected
+
+    def test_address_recorded(self):
+        code = assemble("NOP\nHALT").code
+        instructions = disassemble(code, origin=0x0100)
+        assert [i.address for i in instructions] == [0x0100, 0x0102]
+
+    def test_immediate_size(self):
+        code = assemble("LDI r0, 5\nNOP").code
+        instructions = disassemble(code)
+        assert instructions[0].size == 4
+        assert instructions[1].size == 2
+
+
+class TestRoundTrip:
+    def test_reassembly_fixpoint(self):
+        """disassemble(assemble(src)) reassembles to identical bytes."""
+        source = """
+        .org 0x0100
+        start:
+            LDI r0, 0
+            LD r1, [r0+0x20]
+            CMPI r1, 3
+            JZ 0x0100
+            ADDI r1, -1
+            ST [r0+0x20], r1
+            CALL 0x0130
+            YIELD
+            JMP 0x0100
+        """
+        original = assemble(source).code
+        text = "\n".join(i.text for i in disassemble(original))
+        reassembled = assemble(".org 0x0100\n" + text).code
+        assert reassembled == original
+
+    def test_pong_rom_disassembles_fully(self):
+        from repro.emulator.roms.pong import PONG_SOURCE
+
+        program = assemble(PONG_SOURCE)
+        instructions = disassemble(program.code, origin=program.origin)
+        assert len(instructions) > 100
+        text = "\n".join(i.text for i in instructions)
+        reassembled = assemble(f".org 0x{program.origin:04X}\n" + text).code
+        assert reassembled == program.code
+
+    def test_tankduel_rom_disassembles_fully(self):
+        from repro.emulator.roms.tankduel import TANKDUEL_SOURCE
+
+        program = assemble(TANKDUEL_SOURCE)
+        instructions = disassemble(program.code, origin=program.origin)
+        reassembled = assemble(
+            f".org 0x{program.origin:04X}\n"
+            + "\n".join(i.text for i in instructions)
+        ).code
+        assert reassembled == program.code
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(DisassemblyError):
+            disassemble_one(b"\x00\xEE", 0, 0)
+
+    def test_truncated_instruction(self):
+        with pytest.raises(DisassemblyError):
+            disassemble_one(b"\x00", 0, 0)
+
+    def test_truncated_immediate(self):
+        code = assemble("LDI r0, 5").code
+        with pytest.raises(DisassemblyError):
+            disassemble_one(code[:-2], 0, 0)
+
+    def test_listing_format(self):
+        text = listing(assemble("NOP\nHALT").code, origin=0x0100)
+        assert text.splitlines()[0] == "0100  NOP"

@@ -1,0 +1,316 @@
+"""Unit tests for repro.core.lockstep — Algorithm 2 line by line."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment
+from repro.core.lockstep import LockstepSync
+from repro.core.messages import Sync
+
+
+def make_pair(buf_frame=6, num_sites=2, observers=0):
+    config = SyncConfig(buf_frame=buf_frame)
+    if observers:
+        assignment = InputAssignment.with_observers(num_sites - observers, observers)
+    else:
+        assignment = InputAssignment.standard(num_sites)
+    return [
+        LockstepSync(config, site, assignment, session_id=1)
+        for site in range(num_sites)
+    ]
+
+
+def pump(sender: LockstepSync, receiver: LockstepSync, now: float = 0.0) -> None:
+    """Move one flush worth of messages from sender to receiver."""
+    message = sender.build_sync_for(receiver.site_no, force=True)
+    if message is not None:
+        receiver.on_sync(message, arrived_at=now)
+
+
+class TestLocalLagBuffering:
+    """Algorithm 2, lines 1–5."""
+
+    def test_input_lands_at_lagged_frame(self):
+        a, _ = make_pair()
+        a.buffer_local_input(0, 0x05)
+        assert a.ibuf.get(6, 0) == 0x05
+        assert a.last_rcv_frame[0] == 6
+
+    def test_repeat_buffering_same_frame_ignored(self):
+        a, _ = make_pair()
+        a.buffer_local_input(0, 0x05)
+        a.buffer_local_input(0, 0x07)  # line 2 guard: LastRcvFrame >= LagF
+        assert a.ibuf.get(6, 0) == 0x05
+
+    def test_foreign_bits_stripped(self):
+        a, _ = make_pair()
+        a.buffer_local_input(0, 0xFFFF)
+        assert a.ibuf.get(6, 0) == 0x00FF  # only SET[0]
+
+    def test_zero_buf_frame(self):
+        a, _ = make_pair(buf_frame=0)
+        a.buffer_local_input(0, 0x05)
+        assert a.ibuf.get(0, 0) == 0x05
+
+    def test_observer_buffers_nothing(self):
+        sites = make_pair(num_sites=3, observers=1)
+        observer = sites[2]
+        assert observer.is_observer
+        observer.buffer_local_input(0, 0xFF)
+        assert len(observer.ibuf) == 0
+
+
+class TestFirstFrames:
+    """'For the first six frames, the exit condition is trivially satisfied
+    and empty inputs are returned.'"""
+
+    def test_first_buf_frames_deliver_empty(self):
+        a, _ = make_pair()
+        for frame in range(6):
+            a.buffer_local_input(frame, 0xFF)
+            assert a.can_deliver()
+            assert a.deliver() == 0
+
+    def test_frame_six_blocks_without_remote(self):
+        a, _ = make_pair()
+        for frame in range(6):
+            a.buffer_local_input(frame, 0xFF)
+            a.deliver()
+        a.buffer_local_input(6, 0xFF)
+        assert not a.can_deliver()
+        assert a.waiting_on() == [1]
+
+    def test_frame_six_unblocks_after_remote(self):
+        a, b = make_pair()
+        for frame in range(7):
+            a.buffer_local_input(frame, 0x01)  # SET[0] bits
+            b.buffer_local_input(frame, 0x0200)  # SET[1] bits
+        for frame in range(6):
+            a.deliver()
+        pump(b, a)
+        assert a.can_deliver()
+        merged = a.deliver()
+        assert merged == 0x0201  # both pads' frame-0 inputs (lagged to 6)
+
+
+class TestMessageExchange:
+    """Lines 7–19."""
+
+    def test_build_sync_carries_unacked_window(self):
+        a, b = make_pair()
+        for frame in range(3):
+            a.buffer_local_input(frame, frame + 1)
+        message = a.build_sync_for(1)
+        assert message.first_frame == 6
+        assert message.inputs == [1, 2, 3]
+        assert message.acks == a.last_rcv_frame
+
+    def test_no_news_returns_none(self):
+        a, _ = make_pair()
+        first = a.build_sync_for(1, force=True)
+        assert first is not None
+        assert a.build_sync_for(1) is None  # nothing changed since
+
+    def test_force_always_sends(self):
+        a, _ = make_pair()
+        a.build_sync_for(1, force=True)
+        assert a.build_sync_for(1, force=True) is not None
+
+    def test_ack_advances_peer_window(self):
+        a, b = make_pair()
+        for frame in range(3):
+            a.buffer_local_input(frame, 1)
+            b.buffer_local_input(frame, 1)
+        pump(a, b)
+        assert b.last_rcv_frame[0] == 8
+        pump(b, a)  # carries b's ack of a's inputs
+        assert a.last_ack_frame[1] == 8
+        # subsequent window starts after the ack
+        message = a.build_sync_for(1, force=True)
+        assert message.first_frame == 9
+
+    def test_duplicate_inputs_counted_once(self):
+        a, b = make_pair()
+        a.buffer_local_input(0, 1)
+        message = a.build_sync_for(1, force=True)
+        b.on_sync(message, 0.0)
+        b.on_sync(message, 0.1)  # duplicate datagram
+        assert b.stats.duplicate_inputs_received >= 1
+        assert b.ibuf.get(6, 0) == 1
+
+    def test_gapped_window_does_not_advance_cursor(self):
+        a, b = make_pair()
+        # Hand-craft a window starting beyond contiguity.
+        message = Sync(0, 1, acks=[5, 5], first_frame=20, inputs=[1, 2])
+        b.on_sync(message, 0.0)
+        assert b.last_rcv_frame[0] == 5  # guard rejected the gap
+
+    def test_wrong_session_ignored(self):
+        a, b = make_pair()
+        a.buffer_local_input(0, 1)
+        message = a.build_sync_for(1, force=True)
+        message.session_id = 999
+        b.on_sync(message, 0.0)
+        assert b.last_rcv_frame[0] == 5
+
+    def test_message_from_self_ignored(self):
+        a, _ = make_pair()
+        message = Sync(0, 1, acks=[5, 5], first_frame=6, inputs=[1])
+        a.on_sync(message, 0.0)  # sender == own site
+        assert a.stats.sync_messages_received == 0
+
+    def test_out_of_range_sender_ignored(self):
+        a, _ = make_pair()
+        message = Sync(9, 1, acks=[5, 5], first_frame=6, inputs=[1])
+        a.on_sync(message, 0.0)
+        assert a.stats.sync_messages_received == 0
+
+    def test_received_message_marks_ack_dirty(self):
+        a, b = make_pair()
+        a.buffer_local_input(0, 1)
+        pump(a, b)
+        # b has no inputs of its own but must re-ack.
+        reply = b.build_sync_for(0)
+        assert reply is not None
+        assert reply.acks[0] == 6
+
+    def test_max_inputs_per_message_caps_window(self):
+        config = SyncConfig(max_inputs_per_message=5)
+        assignment = InputAssignment.standard(2)
+        a = LockstepSync(config, 0, assignment, session_id=1)
+        for frame in range(20):
+            a.buffer_local_input(frame, 1)
+        message = a.build_sync_for(1)
+        assert len(message.inputs) == 5
+
+
+class TestDelivery:
+    """Lines 21–23."""
+
+    def test_deliver_before_ready_raises(self):
+        a, _ = make_pair(buf_frame=0)
+        a.buffer_local_input(0, 1)
+        with pytest.raises(RuntimeError):
+            a.deliver()
+
+    def test_lockstep_convergence_over_many_frames(self):
+        a, b = make_pair()
+        merged_a, merged_b = [], []
+        for frame in range(50):
+            a.buffer_local_input(frame, frame & 0xFF)
+            b.buffer_local_input(frame, (frame * 3) & 0xFF)
+            pump(a, b, now=frame / 60)
+            pump(b, a, now=frame / 60)
+            merged_a.append(a.deliver())
+            merged_b.append(b.deliver())
+        assert merged_a == merged_b
+
+    def test_master_sample_tracked_on_slave(self):
+        a, b = make_pair()
+        a.buffer_local_input(0, 1)
+        pump(a, b, now=0.123)
+        assert b.master_sample == (6, 0.123)
+
+    def test_master_has_no_master_sample(self):
+        a, b = make_pair()
+        b.buffer_local_input(0, 1)
+        pump(b, a, now=0.5)
+        assert a.master_sample is None
+
+
+class TestPruning:
+    def test_prune_after_deliver_and_ack(self):
+        a, b = make_pair()
+        for frame in range(20):
+            a.buffer_local_input(frame, 1)
+            b.buffer_local_input(frame, 1)
+            pump(a, b)
+            pump(b, a)
+            a.deliver()
+            b.deliver()
+        # acks flow with every pump; old frames must be gone.
+        assert a.ibuf.floor > 0
+        assert a.stats.pruned_frames > 0
+
+    def test_unacked_frames_retained(self):
+        a, b = make_pair()
+        for frame in range(20):
+            a.buffer_local_input(frame, 1)
+        # b never acks; a must retain everything for retransmission.
+        assert a.ibuf.floor == 0
+        assert a.ibuf.get(6, 0) is not None
+
+
+class TestAbsentAndLateJoin:
+    def test_absent_site_not_gating(self):
+        sites = make_pair(num_sites=3)
+        a = sites[0]
+        a.mark_absent(2)
+        for frame in range(7):
+            a.buffer_local_input(frame, 1)
+        for __ in range(6):
+            a.deliver()  # the trivial local-lag frames
+        # Frame 6 needs site 1's input but NOT absent site 2's.
+        assert a.waiting_on() == [1]
+
+    def test_absent_site_skipped_in_build_all(self):
+        sites = make_pair(num_sites=3)
+        a = sites[0]
+        a.mark_absent(2)
+        a.buffer_local_input(0, 1)
+        messages = a.build_all(force=True)
+        assert set(messages) == {1}
+
+    def test_cannot_mark_self_absent(self):
+        a, _ = make_pair()
+        with pytest.raises(ValueError):
+            a.mark_absent(0)
+
+    def test_admit_after_absent(self):
+        sites = make_pair(num_sites=3)
+        a = sites[0]
+        a.mark_absent(2)
+        a.admit_site(2, 50, ack_hint=43)
+        assert not a.is_absent(2)
+        assert a.gate_from[2] == 50
+        assert a.last_ack_frame[2] == 43
+        assert a.last_rcv_frame[2] == 49  # virtual history received
+
+    def test_admit_below_pointer_raises(self):
+        sites = make_pair(num_sites=3)
+        a = sites[0]
+        a.mark_absent(2)
+        for frame in range(10):
+            a.buffer_local_input(frame, 1)
+        # deliver the first lag frames (pointer advances to 6)
+        for __ in range(6):
+            a.deliver()
+        with pytest.raises(ValueError):
+            a.admit_site(2, 3)
+
+    def test_seed_from_snapshot_pointers(self):
+        a, _ = make_pair()
+        a.seed_from_snapshot(100)
+        assert a.ibuf_pointer == 101
+        assert a.last_rcv_frame[1] == 100
+        assert a.last_rcv_frame[0] == 106  # virtual own history
+        assert a.last_ack_frame[1] == 106
+
+    def test_seed_with_backlog(self):
+        a, _ = make_pair()
+        a.seed_from_snapshot(100, backlog=[[0], [7, 8, 9]])
+        assert a.last_rcv_frame[1] == 103
+        assert a.ibuf.get(101, 1) == 7
+        assert a.ibuf.get(103, 1) == 9
+
+    def test_site_out_of_range_admit(self):
+        a, _ = make_pair()
+        with pytest.raises(ValueError):
+            a.admit_site(7, 0)
+
+
+class TestConstruction:
+    def test_bad_site_number(self):
+        config = SyncConfig()
+        with pytest.raises(ValueError):
+            LockstepSync(config, 5, InputAssignment.standard(2))

@@ -1,0 +1,102 @@
+"""Unit tests for repro.emulator.memory."""
+
+import pytest
+
+from repro.emulator.memory import MEMORY_SIZE, Memory
+
+
+class TestByteAccess:
+    def test_read_write_byte(self):
+        memory = Memory()
+        memory.write_byte(0x1234, 0xAB)
+        assert memory.read_byte(0x1234) == 0xAB
+
+    def test_byte_masked_to_8_bits(self):
+        memory = Memory()
+        memory.write_byte(0, 0x1FF)
+        assert memory.read_byte(0) == 0xFF
+
+    def test_address_wraps_16_bits(self):
+        memory = Memory()
+        memory.write_byte(0x10000, 0x42)  # wraps to 0
+        assert memory.read_byte(0) == 0x42
+
+    def test_initial_memory_zero(self):
+        memory = Memory()
+        assert all(memory.read_byte(a) == 0 for a in range(0, 0x1000, 97))
+
+
+class TestWordAccess:
+    def test_little_endian(self):
+        memory = Memory()
+        memory.write_word(0x100, 0xBEEF)
+        assert memory.read_byte(0x100) == 0xEF
+        assert memory.read_byte(0x101) == 0xBE
+        assert memory.read_word(0x100) == 0xBEEF
+
+    def test_word_masked(self):
+        memory = Memory()
+        memory.write_word(0, 0x12345)
+        assert memory.read_word(0) == 0x2345
+
+
+class TestBulk:
+    def test_load_and_dump(self):
+        memory = Memory()
+        memory.load(0x200, b"\x01\x02\x03")
+        assert memory.dump(0x200, 3) == b"\x01\x02\x03"
+
+    def test_load_overflow_rejected(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.load(MEMORY_SIZE - 1, b"\x01\x02")
+
+    def test_restore_roundtrip(self):
+        memory = Memory()
+        memory.write_byte(5, 99)
+        snapshot = memory.dump()
+        other = Memory()
+        other.restore(snapshot)
+        assert other.read_byte(5) == 99
+
+    def test_restore_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().restore(b"tiny")
+
+    def test_clear(self):
+        memory = Memory()
+        memory.write_byte(5, 99)
+        memory.clear()
+        assert memory.read_byte(5) == 0
+
+
+class TestHooks:
+    def test_read_hook_intercepts(self):
+        memory = Memory()
+        memory.add_hook(0x8000, 0x8010, read=lambda addr: addr & 0xFF)
+        assert memory.read_byte(0x8005) == 0x05
+
+    def test_write_hook_intercepts(self):
+        memory = Memory()
+        written = {}
+        memory.add_hook(0x8000, 0x8010, write=lambda a, v: written.update({a: v}))
+        memory.write_byte(0x8003, 7)
+        assert written == {0x8003: 7}
+        # Backing store untouched.
+        assert memory.dump(0x8003, 1) == b"\x00"
+
+    def test_read_only_region_ignores_writes(self):
+        memory = Memory()
+        memory.add_hook(0x8000, 0x8010, read=lambda addr: 0x42)
+        memory.write_byte(0x8000, 0x99)
+        assert memory.read_byte(0x8000) == 0x42
+
+    def test_outside_hook_unaffected(self):
+        memory = Memory()
+        memory.add_hook(0x8000, 0x8010, read=lambda addr: 0x42)
+        memory.write_byte(0x7FFF, 1)
+        assert memory.read_byte(0x7FFF) == 1
+
+    def test_bad_hook_range(self):
+        with pytest.raises(ValueError):
+            Memory().add_hook(10, 5)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.core.messages (wire format)."""
+
+import pytest
+
+from repro.core.messages import (
+    Bye,
+    DecodeError,
+    Hello,
+    Ping,
+    Pong,
+    Start,
+    StartAck,
+    StateRequest,
+    StateSnapshot,
+    Sync,
+    Welcome,
+    decode,
+)
+
+
+def roundtrip(message):
+    decoded = decode(message.encode())
+    assert type(decoded) is type(message)
+    return decoded
+
+
+class TestRoundtrips:
+    def test_hello(self):
+        msg = roundtrip(Hello(1, 7, game_id=0xDEADBEEF, config_digest=0x1234))
+        assert msg.sender_site == 1
+        assert msg.session_id == 7
+        assert msg.game_id == 0xDEADBEEF
+        assert msg.config_digest == 0x1234
+
+    def test_welcome(self):
+        msg = roundtrip(Welcome(0, 7, assigned_site=3, num_sites=4))
+        assert msg.assigned_site == 3
+        assert msg.num_sites == 4
+
+    def test_start_and_ack(self):
+        assert roundtrip(Start(0, 9)).session_id == 9
+        assert roundtrip(StartAck(1, 9)).sender_site == 1
+
+    def test_sync_with_inputs(self):
+        msg = roundtrip(
+            Sync(1, 7, acks=[10, -1], first_frame=6, inputs=[0, 5, 0xFFFF])
+        )
+        assert msg.acks == [10, -1]
+        assert msg.first_frame == 6
+        assert msg.inputs == [0, 5, 0xFFFF]
+        assert msg.last_frame == 8
+
+    def test_sync_pure_ack(self):
+        msg = roundtrip(Sync(0, 7, acks=[5, 5], first_frame=6, inputs=[]))
+        assert msg.inputs == []
+        assert msg.last_frame == 5  # first_frame - 1 when empty
+
+    def test_sync_negative_frames(self):
+        msg = roundtrip(Sync(0, 7, acks=[-1, -1], first_frame=-1, inputs=[7]))
+        assert msg.first_frame == -1
+
+    def test_ping_pong(self):
+        ping = roundtrip(Ping(0, 7, seq=3, timestamp_us=123456789))
+        assert ping.seq == 3
+        assert ping.timestamp_us == 123456789
+        pong = roundtrip(Pong(1, 7, seq=3, echo_timestamp_us=123456789))
+        assert pong.echo_timestamp_us == 123456789
+
+    def test_state_request(self):
+        assert roundtrip(StateRequest(2, 7)).sender_site == 2
+
+    def test_state_snapshot_plain(self):
+        msg = roundtrip(StateSnapshot(0, 7, frame=100, state=b"\x01\x02\x03"))
+        assert msg.frame == 100
+        assert msg.state == b"\x01\x02\x03"
+        assert msg.backlog == []
+
+    def test_state_snapshot_with_backlog(self):
+        msg = roundtrip(
+            StateSnapshot(
+                0, 7, frame=100, state=b"st", backlog=[[1, 2, 3], [], [9]]
+            )
+        )
+        assert msg.backlog == [[1, 2, 3], [], [9]]
+
+    def test_state_snapshot_empty_state(self):
+        msg = roundtrip(StateSnapshot(0, 7, frame=0, state=b""))
+        assert msg.state == b""
+
+    def test_bye(self):
+        assert roundtrip(Bye(1, 7)).sender_site == 1
+
+
+class TestValidation:
+    def test_short_datagram(self):
+        with pytest.raises(DecodeError):
+            decode(b"abc")
+
+    def test_bad_magic(self):
+        raw = bytearray(Start(0, 1).encode())
+        raw[0] ^= 0xFF
+        with pytest.raises(DecodeError):
+            decode(bytes(raw))
+
+    def test_bad_version(self):
+        raw = bytearray(Start(0, 1).encode())
+        raw[2] = 99
+        with pytest.raises(DecodeError):
+            decode(bytes(raw))
+
+    def test_unknown_type(self):
+        raw = bytearray(Start(0, 1).encode())
+        raw[3] = 250
+        with pytest.raises(DecodeError):
+            decode(bytes(raw))
+
+    def test_truncated_sync_body(self):
+        raw = Sync(0, 1, acks=[1, 2], first_frame=0, inputs=[1, 2, 3]).encode()
+        with pytest.raises(DecodeError):
+            decode(raw[:-2])
+
+    def test_start_with_body_rejected(self):
+        raw = Start(0, 1).encode() + b"junk"
+        with pytest.raises(DecodeError):
+            decode(raw)
+
+    def test_snapshot_truncated_backlog(self):
+        raw = StateSnapshot(0, 1, frame=5, state=b"s", backlog=[[1, 2]]).encode()
+        with pytest.raises(DecodeError):
+            decode(raw[:-3])
+
+    def test_hello_wrong_length(self):
+        raw = Hello(0, 1, 2, 3).encode() + b"x"
+        with pytest.raises(DecodeError):
+            decode(raw)
+
+    def test_implausible_ack_count(self):
+        import struct
+
+        # Hand-craft a SYNC with a bogus ack count.
+        header = struct.pack(">HBBHI", 0x5247, 1, 5, 0, 1)
+        body = struct.pack(">i", 1000)
+        with pytest.raises(DecodeError):
+            decode(header + body)
+
+    def test_garbage_is_decode_error_not_crash(self):
+        for garbage in (b"\x00" * 20, bytes(range(64)), b"RG" + b"\xff" * 30):
+            with pytest.raises(DecodeError):
+                decode(garbage)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.net.netem (the link impairment model)."""
+
+import random
+
+import pytest
+
+from repro.net.netem import DeliveryPlan, LinkScheduler, NetemConfig
+
+
+class TestNetemConfig:
+    def test_defaults_are_clean_link(self):
+        config = NetemConfig()
+        assert config.delay == 0.0
+        assert config.loss == 0.0
+        assert config.duplicate == 0.0
+
+    def test_for_rtt_halves(self):
+        assert NetemConfig.for_rtt(0.100).delay == 0.050
+
+    def test_lan_is_submillisecond(self):
+        assert NetemConfig.lan().delay < 0.001
+
+    @pytest.mark.parametrize("field", ["loss", "duplicate", "reorder"])
+    def test_probability_bounds(self, field):
+        with pytest.raises(ValueError):
+            NetemConfig(**{field: 1.5})
+        with pytest.raises(ValueError):
+            NetemConfig(**{field: -0.1})
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            NetemConfig(delay=-1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            NetemConfig(jitter=-0.1)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            NetemConfig(rate_bytes_per_s=0)
+
+    def test_describe_mentions_set_fields(self):
+        text = NetemConfig(delay=0.05, loss=0.1, duplicate=0.02).describe()
+        assert "50.0ms" in text
+        assert "loss=10.0%" in text
+        assert "dup=2.0%" in text
+
+    def test_frozen(self):
+        config = NetemConfig()
+        with pytest.raises(AttributeError):
+            config.delay = 1.0  # type: ignore[misc]
+
+
+class TestLinkScheduler:
+    def _scheduler(self, **kwargs) -> LinkScheduler:
+        return LinkScheduler(NetemConfig(**kwargs), random.Random(42))
+
+    def test_fixed_delay(self):
+        scheduler = self._scheduler(delay=0.05)
+        plan = scheduler.plan(now=1.0, size=100)
+        assert plan.times == [1.05]
+        assert not plan.dropped
+
+    def test_loss_one_drops_everything(self):
+        scheduler = self._scheduler(loss=1.0)
+        for __ in range(50):
+            assert scheduler.plan(0.0, 100).dropped
+
+    def test_loss_zero_drops_nothing(self):
+        scheduler = self._scheduler(loss=0.0)
+        assert not any(scheduler.plan(0.0, 100).dropped for __ in range(50))
+
+    def test_loss_rate_approximate(self):
+        scheduler = self._scheduler(loss=0.3)
+        drops = sum(scheduler.plan(0.0, 100).dropped for __ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_duplicate_one_always_two_copies(self):
+        scheduler = self._scheduler(duplicate=1.0)
+        plan = scheduler.plan(0.0, 100)
+        assert len(plan.times) == 2
+
+    def test_fifo_preserved_without_reorder(self):
+        scheduler = self._scheduler(delay=0.05, jitter=0.04)
+        deliveries = [scheduler.plan(t * 0.001, 100).times[0] for t in range(100)]
+        assert deliveries == sorted(deliveries)
+
+    def test_reorder_skips_delay(self):
+        scheduler = self._scheduler(delay=0.5, reorder=1.0)
+        plan = scheduler.plan(now=1.0, size=100)
+        assert plan.times == [1.0]  # reordered packets bypass the queue
+
+    def test_jitter_varies_delivery(self):
+        scheduler = self._scheduler(delay=0.05, jitter=0.02)
+        times = set()
+        for __ in range(20):
+            scheduler._last_delivery = float("-inf")  # isolate samples
+            times.add(scheduler.plan(0.0, 100).times[0])
+        assert len(times) > 1
+        assert all(0.03 - 1e-9 <= t <= 0.07 + 1e-9 for t in times)
+
+    def test_rate_limit_serializes(self):
+        # 1000 B/s: each 500-byte packet takes 0.5 s on the wire.
+        scheduler = self._scheduler(rate_bytes_per_s=1000.0)
+        first = scheduler.plan(0.0, 500).times[0]
+        second = scheduler.plan(0.0, 500).times[0]
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+
+    def test_rate_limit_idle_resets(self):
+        scheduler = self._scheduler(rate_bytes_per_s=1000.0)
+        scheduler.plan(0.0, 500)
+        late = scheduler.plan(10.0, 500).times[0]
+        assert late == pytest.approx(10.5)
+
+    def test_plan_deterministic_with_same_seed(self):
+        a = LinkScheduler(NetemConfig(loss=0.5, delay=0.01, jitter=0.005), random.Random(7))
+        b = LinkScheduler(NetemConfig(loss=0.5, delay=0.01, jitter=0.005), random.Random(7))
+        for i in range(200):
+            pa = a.plan(i * 0.01, 64)
+            pb = b.plan(i * 0.01, 64)
+            assert pa.dropped == pb.dropped
+            assert pa.times == pb.times
+
+
+class TestDeliveryPlan:
+    def test_default_empty(self):
+        plan = DeliveryPlan()
+        assert plan.times == []
+        assert not plan.dropped

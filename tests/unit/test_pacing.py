@@ -1,0 +1,167 @@
+"""Unit tests for repro.core.pacing — Algorithms 3 and 4."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.pacing import FramePacer
+
+TPF = 1 / 60
+
+
+def make_pacer(site=0, **overrides):
+    return FramePacer(SyncConfig(**overrides), site)
+
+
+class TestAlgorithm3:
+    """EndFrameTiming."""
+
+    def test_fast_frame_waits_out_remainder(self):
+        pacer = make_pacer()
+        pacer.begin_frame(10.0, 0, None, 0.0)
+        wait = pacer.end_frame(10.0 + 0.002)  # frame took 2 ms
+        assert wait == pytest.approx(TPF - 0.002)
+        assert pacer.adjust_time_delta == 0.0
+
+    def test_exact_frame_no_wait(self):
+        pacer = make_pacer()
+        pacer.begin_frame(0.0, 0, None, 0.0)
+        wait = pacer.end_frame(TPF)
+        assert wait == pytest.approx(0.0)
+
+    def test_overrun_carries_negative_adjust(self):
+        pacer = make_pacer()
+        pacer.begin_frame(0.0, 0, None, 0.0)
+        wait = pacer.end_frame(0.030)  # 13.3 ms over
+        assert wait == 0.0
+        assert pacer.adjust_time_delta == pytest.approx(TPF - 0.030)
+        assert pacer.stats.overruns == 1
+
+    def test_following_frame_compensates(self):
+        """A 30 ms frame followed by fast frames recovers the schedule."""
+        pacer = make_pacer()
+        now = 0.0
+        pacer.begin_frame(now, 0, None, 0.0)
+        now = 0.030
+        pacer.end_frame(now)
+        # Next frame executes instantly; its wait shrinks by the debt.
+        pacer.begin_frame(now, 1, None, 0.0)
+        wait = pacer.end_frame(now)
+        assert wait == pytest.approx(2 * TPF - 0.030)
+
+    def test_long_term_rate_is_cfps(self):
+        """Alternating slow/fast frames must average to CFPS exactly."""
+        pacer = make_pacer()
+        now = 0.0
+        begins = []
+        for frame in range(100):
+            pacer.begin_frame(now, frame, None, 0.0)
+            begins.append(now)
+            compute = 0.005 if frame % 2 else 0.020  # every other frame overruns
+            now += compute
+            now += pacer.end_frame(now)
+        span = begins[-1] - begins[0]
+        assert span / 99 == pytest.approx(TPF, rel=0.02)
+
+    def test_end_before_begin_raises(self):
+        pacer = make_pacer()
+        with pytest.raises(RuntimeError):
+            pacer.end_frame(0.0)
+
+    def test_stats_accumulate(self):
+        pacer = make_pacer()
+        for frame in range(5):
+            pacer.begin_frame(frame * TPF, frame, None, 0.0)
+            pacer.end_frame(frame * TPF + 0.001)
+        assert pacer.stats.frames == 5
+        assert pacer.stats.total_wait > 0
+
+
+class TestAlgorithm4:
+    """BeginFrameTiming: master/slave rate sync."""
+
+    def test_master_never_adjusts(self):
+        pacer = make_pacer(site=0)
+        adjust = pacer.begin_frame(1.0, 10, master_sample=(30, 0.9), rtt=0.05)
+        assert adjust == 0.0
+        assert pacer.is_master
+
+    def test_slave_without_sample_does_not_adjust(self):
+        pacer = make_pacer(site=1)
+        assert pacer.begin_frame(1.0, 10, None, 0.05) == 0.0
+
+    def test_slave_in_sync_zero_adjust(self):
+        """Perfectly synchronized slave: SyncAdjustTimeDelta == 0."""
+        pacer = make_pacer(site=1)
+        rtt = 0.060
+        # Master's input for master-frame 10 (buffered at 16) sent at t=0.5,
+        # received at 0.5 + rtt/2 = 0.53.  At now, the master has advanced
+        # (now - 0.5) / TPF frames beyond 10; the slave sits exactly there.
+        now = 0.55
+        master_frame_then = 10
+        slave_frame = master_frame_then + round((now - 0.5) / TPF)
+        sample = (master_frame_then + 6, 0.5 + rtt / 2)
+        adjust = pacer.begin_frame(now, slave_frame, sample, rtt)
+        assert adjust == pytest.approx(0.0, abs=0.002)
+
+    def test_slave_behind_speeds_up(self):
+        """Slave behind the master: negative adjust (shorter frames)."""
+        pacer = make_pacer(site=1)
+        sample = (16, 0.53)  # master at frame 10 at t=0.50 (rtt 0.06)
+        # Slave only at frame 8 when the master should be ~13.
+        adjust = pacer.begin_frame(0.55, 8, sample, 0.060)
+        assert adjust < 0
+
+    def test_slave_ahead_slows_down(self):
+        pacer = make_pacer(site=1)
+        sample = (16, 0.53)
+        adjust = pacer.begin_frame(0.55, 20, sample, 0.060)
+        assert adjust > 0
+
+    def test_clamp_bounds_adjust(self):
+        pacer = make_pacer(site=1, sync_adjust_clamp_frames=3.0)
+        sample = (16, 0.53)
+        adjust = pacer.begin_frame(0.55, 200, sample, 0.060)  # wildly ahead
+        assert adjust == pytest.approx(3 * TPF)
+        assert pacer.stats.sync_adjust_clamped == 1
+
+    def test_no_clamp_when_disabled(self):
+        pacer = make_pacer(site=1, sync_adjust_clamp_frames=None)
+        sample = (16, 0.53)
+        adjust = pacer.begin_frame(0.55, 200, sample, 0.060)
+        assert adjust > 3 * TPF
+
+    def test_pacing_disabled_by_config(self):
+        pacer = make_pacer(site=1, master_slave_pacing=False)
+        sample = (16, 0.53)
+        assert pacer.begin_frame(0.55, 200, sample, 0.060) == 0.0
+
+    def test_adjust_folds_into_adjust_time_delta(self):
+        """Line 9: AdjustTimeDelta += SyncAdjustTimeDelta."""
+        pacer = make_pacer(site=1)
+        sample = (16, 0.53)
+        adjust = pacer.begin_frame(0.55, 20, sample, 0.060)
+        assert pacer.adjust_time_delta == pytest.approx(adjust)
+
+
+class TestConvergence:
+    def test_skewed_slave_converges_to_master_schedule(self):
+        """Simulate Algorithm 4's closed loop: a slave starting 80 ms late
+        catches up with the master within a few frames."""
+        config = SyncConfig()
+        slave = FramePacer(config, 1)
+        skew = 0.080
+        master_start = 0.0
+        now = master_start + skew  # slave begins late
+        frame = 0
+        offsets = []
+        for __ in range(60):
+            master_frame_now = (now - master_start) / TPF
+            # Sample: the master's newest input arrived essentially fresh.
+            sample = (int(master_frame_now) + config.buf_frame, now)
+            slave.begin_frame(now, frame, sample, 0.0)
+            offsets.append(frame - master_frame_now)
+            now += slave.end_frame(now)  # instant compute
+            frame += 1
+        # Early offset ≈ -skew/TPF ≈ -4.8 frames; final ≈ 0.
+        assert offsets[0] < -3
+        assert abs(offsets[-1]) < 1.0

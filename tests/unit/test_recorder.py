@@ -1,0 +1,98 @@
+"""Unit tests for repro.metrics.recorder."""
+
+import pytest
+
+from repro.metrics.recorder import ConsistencyChecker, ConsistencyError, FrameTrace
+
+
+def make_trace(site, checksums, first_frame=0, inputs=None):
+    trace = FrameTrace(site, first_frame=first_frame)
+    for i, checksum in enumerate(checksums):
+        trace.record_begin(i / 60)
+        trace.record_frame(
+            inputs[i] if inputs else 0, checksum, stall=0.0, sync_adjust=0.0
+        )
+    return trace
+
+
+class TestFrameTrace:
+    def test_frame_times_are_diffs(self):
+        trace = FrameTrace(0)
+        for t in (0.0, 0.016, 0.034):
+            trace.record_begin(t)
+        assert trace.frame_times() == pytest.approx([0.016, 0.018])
+
+    def test_frames_counts_recorded(self):
+        trace = make_trace(0, [1, 2, 3])
+        assert trace.frames == 3
+
+    def test_empty_trace(self):
+        trace = FrameTrace(0)
+        assert trace.frame_times() == []
+        assert trace.frames == 0
+
+
+class TestConsistencyCheckerRecord:
+    def test_matching_records_accumulate(self):
+        checker = ConsistencyChecker()
+        checker.record(0, 0, 0xAA)
+        checker.record(1, 0, 0xAA)
+        assert checker.frames_checked == 2
+        assert checker.first_divergence is None
+
+    def test_divergence_raises_with_frame(self):
+        checker = ConsistencyChecker()
+        checker.record(0, 7, 0xAA)
+        with pytest.raises(ConsistencyError) as excinfo:
+            checker.record(1, 7, 0xBB)
+        assert "frame 7" in str(excinfo.value)
+        assert checker.first_divergence == 7
+
+
+class TestVerifyTraces:
+    def test_identical_traces_pass(self):
+        traces = [make_trace(0, [1, 2, 3]), make_trace(1, [1, 2, 3])]
+        assert ConsistencyChecker().verify_traces(traces) == 3
+
+    def test_checksum_divergence_detected(self):
+        traces = [make_trace(0, [1, 2, 3]), make_trace(1, [1, 9, 3])]
+        with pytest.raises(ConsistencyError) as excinfo:
+            ConsistencyChecker().verify_traces(traces)
+        assert "frame 1" in str(excinfo.value)
+
+    def test_input_divergence_detected(self):
+        traces = [
+            make_trace(0, [1, 2], inputs=[5, 5]),
+            make_trace(1, [1, 2], inputs=[5, 6]),
+        ]
+        with pytest.raises(ConsistencyError):
+            ConsistencyChecker().verify_traces(traces)
+
+    def test_offset_traces_align_on_absolute_frames(self):
+        full = make_trace(0, [10, 11, 12, 13, 14])
+        late = make_trace(1, [12, 13, 14], first_frame=2)
+        assert ConsistencyChecker().verify_traces([full, late]) == 3
+
+    def test_offset_divergence_detected(self):
+        full = make_trace(0, [10, 11, 12, 13, 14])
+        late = make_trace(1, [12, 99, 14], first_frame=2)
+        with pytest.raises(ConsistencyError) as excinfo:
+            ConsistencyChecker().verify_traces([full, late])
+        assert "frame 3" in str(excinfo.value)
+
+    def test_single_trace_trivially_ok(self):
+        assert ConsistencyChecker().verify_traces([make_trace(0, [1])]) == 0
+
+    def test_disjoint_windows_compare_nothing(self):
+        a = make_trace(0, [1, 2], first_frame=0)
+        b = make_trace(1, [9, 9], first_frame=10)
+        assert ConsistencyChecker().verify_traces([a, b]) == 0
+
+    def test_three_way_divergence(self):
+        traces = [
+            make_trace(0, [1, 2, 3]),
+            make_trace(1, [1, 2, 3]),
+            make_trace(2, [1, 2, 4]),
+        ]
+        with pytest.raises(ConsistencyError):
+            ConsistencyChecker().verify_traces(traces)

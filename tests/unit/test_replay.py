@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.replay (input movies)."""
+
+import pytest
+
+from repro.core.inputs import PadSource, RandomSource
+from repro.core.replay import (
+    InputMovie,
+    ReplayError,
+    record_machine_run,
+    record_session,
+)
+from repro.emulator.machine import create_game
+
+
+def make_movie(game="counter", frames=100, seed=3):
+    machine = create_game(game)
+    source = PadSource(RandomSource(seed), player=0)
+    return record_machine_run(machine, source, frames)
+
+
+class TestRecordMachineRun:
+    def test_records_all_frames(self):
+        movie = make_movie(frames=100)
+        assert len(movie) == 100
+        assert movie.game == "counter"
+        assert 0 in movie.checkpoints
+        assert 99 in movie.checkpoints
+
+    def test_requires_fresh_machine(self):
+        machine = create_game("counter")
+        machine.step(0)
+        with pytest.raises(ReplayError):
+            record_machine_run(machine, PadSource(RandomSource(1), 0), 10)
+
+
+class TestReplay:
+    @pytest.mark.parametrize("game", ["counter", "pong-py", "brawler", "pong"])
+    def test_replay_verifies(self, game):
+        movie = make_movie(game=game, frames=80)
+        machine = movie.replay()
+        assert machine.frame == 80
+        assert machine.checksum() == movie.checkpoints[79]
+
+    def test_replay_partial(self):
+        movie = make_movie(frames=100)
+        machine = movie.replay(frames=50)
+        assert machine.frame == 50
+
+    def test_tampered_inputs_detected(self):
+        movie = make_movie(frames=100)
+        movie.inputs[30] ^= 0x01
+        with pytest.raises(ReplayError) as excinfo:
+            movie.replay()
+        # Divergence reported at the first checkpoint after frame 30.
+        assert "frame 60" in str(excinfo.value)
+
+    def test_replay_without_verify_ignores_tampering(self):
+        movie = make_movie(frames=100)
+        movie.inputs[30] ^= 0x01
+        machine = movie.replay(verify=False)
+        assert machine.frame == 100
+
+    def test_first_divergence(self):
+        a = make_movie(frames=50)
+        b = InputMovie(game=a.game, inputs=list(a.inputs))
+        assert a.first_divergence(b) is None
+        b.inputs[17] ^= 0x04
+        assert a.first_divergence(b) == 17
+        c = InputMovie(game=a.game, inputs=a.inputs[:30])
+        assert a.first_divergence(c) == 30
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        movie = make_movie(frames=60)
+        restored = InputMovie.from_json(movie.to_json())
+        assert restored.game == movie.game
+        assert restored.inputs == movie.inputs
+        assert restored.checkpoints == movie.checkpoints
+
+    def test_file_roundtrip(self, tmp_path):
+        movie = make_movie(frames=60)
+        path = str(tmp_path / "movie.json")
+        movie.save(path)
+        assert InputMovie.load(path).inputs == movie.inputs
+
+    def test_corrupt_file_detected(self):
+        text = make_movie(frames=10).to_json()
+        tampered = text.replace('"inputs": [', '"inputs": [9999, ', 1)
+        with pytest.raises(ReplayError):
+            InputMovie.from_json(tampered)
+
+    def test_garbage_file(self):
+        with pytest.raises(ReplayError):
+            InputMovie.from_json("not json at all")
+        with pytest.raises(ReplayError):
+            InputMovie.from_json("{}")
+
+
+class TestRecordSession:
+    def _session(self, frames=120):
+        from repro.core.config import SyncConfig
+        from repro.core.multisite import build_session, two_player_plan
+        from repro.net.netem import NetemConfig
+
+        plan = two_player_plan(
+            SyncConfig.paper_defaults(),
+            machine_factory=lambda: create_game("counter"),
+            sources=[
+                PadSource(RandomSource(1), player=0),
+                PadSource(RandomSource(2), player=1),
+            ],
+            game_id="counter",
+            max_frames=frames,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.030))
+        session.run(horizon=300.0)
+        return session
+
+    def test_session_movie_replays_to_same_state(self):
+        session = self._session()
+        movie = record_session(session)
+        machine = movie.replay()
+        live = session.vms[0].runtime.machine
+        assert machine.checksum() == live.checksum()
+
+    def test_movie_identical_from_either_site(self):
+        session = self._session()
+        movie0 = record_session(session, site=0)
+        movie1 = record_session(session, site=1)
+        assert movie0.first_divergence(movie1) is None
+        assert movie0.checkpoints == movie1.checkpoints

@@ -1,0 +1,58 @@
+"""Unit tests for repro.core.rtt."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.rtt import RttEstimator, from_micros, to_micros
+
+
+class TestMicros:
+    def test_roundtrip(self):
+        assert from_micros(to_micros(1.234567)) == pytest.approx(1.234567)
+
+    def test_zero(self):
+        assert to_micros(0.0) == 0
+
+
+class TestEstimator:
+    def test_initial_value_from_config(self):
+        estimator = RttEstimator(SyncConfig(initial_rtt=0.25), 0)
+        assert estimator.rtt == 0.25
+        assert estimator.one_way == 0.125
+
+    def test_first_sample_adopted(self):
+        estimator = RttEstimator(SyncConfig(), 0)
+        ping = estimator.make_ping(now=1.0)
+        pong = RttEstimator.make_pong(ping, site_no=1)
+        estimator.on_pong(pong, now=1.08)
+        assert estimator.rtt == pytest.approx(0.08)
+        assert estimator.samples == 1
+
+    def test_ewma_smoothing(self):
+        config = SyncConfig(rtt_alpha=0.125)
+        estimator = RttEstimator(config, 0)
+        ping = estimator.make_ping(0.0)
+        estimator.on_pong(RttEstimator.make_pong(ping, 1), 0.100)
+        ping = estimator.make_ping(1.0)
+        estimator.on_pong(RttEstimator.make_pong(ping, 1), 1.200)
+        assert estimator.rtt == pytest.approx(0.875 * 0.100 + 0.125 * 0.200)
+
+    def test_negative_sample_rejected(self):
+        estimator = RttEstimator(SyncConfig(), 0)
+        ping = estimator.make_ping(5.0)
+        assert estimator.on_pong(RttEstimator.make_pong(ping, 1), 4.0) is None
+        assert estimator.samples == 0
+
+    def test_ping_sequence_increments(self):
+        estimator = RttEstimator(SyncConfig(), 0)
+        assert estimator.make_ping(0.0).seq == 0
+        assert estimator.make_ping(0.1).seq == 1
+
+    def test_pong_echoes_timestamp(self):
+        estimator = RttEstimator(SyncConfig(), 0, session_id=4)
+        ping = estimator.make_ping(2.5)
+        pong = RttEstimator.make_pong(ping, site_no=1)
+        assert pong.echo_timestamp_us == ping.timestamp_us
+        assert pong.seq == ping.seq
+        assert pong.session_id == 4
+        assert pong.sender_site == 1

@@ -1,0 +1,95 @@
+"""Unit tests for repro.metrics.stats (the paper's footnote-10/11 metrics)."""
+
+import pytest
+
+from repro.metrics.stats import (
+    absolute_average,
+    mean,
+    mean_abs_deviation,
+    percentile,
+    summarize,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestMeanAbsDeviation:
+    """Footnote 10: (|x1 − x̄| + … + |xn − x̄|) / n."""
+
+    def test_constant_series_is_zero(self):
+        assert mean_abs_deviation([4.0] * 10) == 0.0
+
+    def test_known_value(self):
+        # mean = 2; deviations 1, 0, 1 -> 2/3
+        assert mean_abs_deviation([1.0, 2.0, 3.0]) == pytest.approx(2 / 3)
+
+    def test_symmetric(self):
+        assert mean_abs_deviation([-5.0, 5.0]) == 5.0
+
+
+class TestAbsoluteAverage:
+    """Footnote 11: (|x1| + … + |xn|) / n."""
+
+    def test_all_positive(self):
+        assert absolute_average([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mixed_signs(self):
+        assert absolute_average([-1.0, 1.0]) == 1.0
+        assert absolute_average([-3.0, 0.0, 3.0]) == 2.0
+
+    def test_differs_from_mean_for_oscillation(self):
+        """The whole point of footnote 11: oscillating offsets don't cancel."""
+        series = [-0.01, 0.01] * 50
+        assert abs(mean(series)) < 1e-12
+        assert absolute_average(series) == pytest.approx(0.01)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            absolute_average([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_endpoints(self):
+        data = [3.0, 1.0, 2.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_single_element(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([0.016, 0.017, 0.018])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.017)
+        assert summary.minimum == 0.016
+        assert summary.maximum == 0.018
+
+    def test_str_formats_milliseconds(self):
+        text = str(summarize([0.016, 0.018]))
+        assert "17.00ms" in text

@@ -1,0 +1,142 @@
+"""Behavioural tests for the Tank Duel ROM."""
+
+import pytest
+
+from repro.core.inputs import Buttons, pack_buttons
+from repro.core.inputs import PadSource, RandomSource
+from repro.emulator.machine import create_game
+from repro.emulator.roms.tankduel import build_tankduel
+
+# Game-variable addresses from the ROM source.
+T0X, T0Y, T0DX, T0DY = 0x30, 0x32, 0x34, 0x36
+T1X, T1Y = 0x38, 0x3A
+B0ON, B1ON = 0x48, 0x52
+SC0, SC1 = 0x54, 0x56
+
+
+def word(game, address):
+    return game.memory.read_word(address)
+
+
+def signed(value):
+    return value - 0x10000 if value & 0x8000 else value
+
+
+class TestMovement:
+    def test_initial_spawn_positions(self):
+        game = build_tankduel()
+        game.step(0)
+        assert (word(game, T0X), word(game, T0Y)) == (6, 24)
+        assert (word(game, T1X), word(game, T1Y)) == (57, 24)
+
+    @pytest.mark.parametrize(
+        "button, dx, dy",
+        [
+            (Buttons.UP, 0, -1),
+            (Buttons.DOWN, 0, 1),
+            (Buttons.LEFT, -1, 0),
+            (Buttons.RIGHT, 1, 0),
+        ],
+    )
+    def test_direction_moves_and_faces(self, button, dx, dy):
+        game = build_tankduel()
+        game.step(0)  # spawn
+        x0, y0 = word(game, T0X), word(game, T0Y)
+        game.step(pack_buttons(0, button))
+        assert word(game, T0X) == x0 + dx
+        assert word(game, T0Y) == y0 + dy
+        assert signed(word(game, T0DX)) == dx
+        assert signed(word(game, T0DY)) == dy
+
+    def test_walls_clamp(self):
+        game = build_tankduel()
+        for __ in range(100):
+            game.step(pack_buttons(0, Buttons.LEFT) | pack_buttons(1, Buttons.RIGHT))
+        assert word(game, T0X) == 0
+        assert word(game, T1X) == 62
+
+    def test_score_row_protected(self):
+        game = build_tankduel()
+        for __ in range(100):
+            game.step(pack_buttons(0, Buttons.UP))
+        assert word(game, T0Y) == 2  # never enters the score bar row
+
+
+class TestShells:
+    def test_fire_spawns_single_shell(self):
+        game = build_tankduel()
+        game.step(0)
+        game.step(pack_buttons(0, Buttons.A))
+        assert word(game, B0ON) == 1
+        game.step(pack_buttons(0, Buttons.A))  # held: still one shell
+        assert word(game, B0ON) == 1
+
+    def test_shell_expires_off_field(self):
+        game = build_tankduel()
+        game.step(0)
+        # Face up (away from the opponent) and fire.
+        game.step(pack_buttons(0, Buttons.UP))
+        game.step(pack_buttons(0, Buttons.A))
+        for __ in range(40):
+            game.step(0)
+        assert word(game, B0ON) == 0
+        assert word(game, SC0) == 0
+
+    def test_direct_hit_scores_and_respawns(self):
+        game = build_tankduel()
+        game.step(0)  # spawn: both tanks on row 24, facing each other
+        game.step(pack_buttons(0, Buttons.A))  # fire right
+        for __ in range(40):
+            game.step(0)
+            if word(game, SC0) == 1:
+                break
+        assert word(game, SC0) == 1
+        assert word(game, SC1) == 0
+        # Tanks respawned to their corners.
+        assert (word(game, T0X), word(game, T0Y)) == (6, 24)
+        assert (word(game, T1X), word(game, T1Y)) == (57, 24)
+
+    def test_dodged_shell_misses(self):
+        game = build_tankduel()
+        game.step(0)
+        game.step(pack_buttons(0, Buttons.A))  # shell incoming on row 24
+        for __ in range(10):
+            game.step(pack_buttons(1, Buttons.UP))  # tank 1 dodges upward
+        for __ in range(40):
+            game.step(0)
+        assert word(game, SC0) == 0
+
+
+class TestRobustness:
+    def test_survives_random_mashing(self):
+        """Regression: off-screen shell erasure once smashed the CPU stack."""
+        game = build_tankduel()
+        s0 = PadSource(RandomSource(7), 0)
+        s1 = PadSource(RandomSource(8), 1)
+        for frame in range(3000):
+            game.step(s0.get(frame) | s1.get(frame))
+        assert word(game, SC0) + word(game, SC1) > 0
+
+    def test_registered_and_deterministic(self):
+        a = create_game("tankduel")
+        b = create_game("tankduel")
+        s0 = PadSource(RandomSource(3), 0)
+        s1 = PadSource(RandomSource(4), 1)
+        for frame in range(400):
+            w = s0.get(frame) | s1.get(frame)
+            a.step(w)
+            b.step(w)
+        assert a.checksum() == b.checksum()
+
+    def test_savestate_roundtrip(self):
+        a = build_tankduel()
+        s0 = PadSource(RandomSource(5), 0)
+        for frame in range(200):
+            a.step(s0.get(frame))
+        b = build_tankduel()
+        b.load_state(a.save_state())
+        for frame in range(200, 300):
+            w = s0.get(frame)
+            a.step(w)
+            b.step(w)
+        assert a.checksum() == b.checksum()

@@ -1,0 +1,121 @@
+"""Unit tests for repro.net.tcpsim (the TCP-like baseline transport)."""
+
+import pytest
+
+from repro.net.netem import NetemConfig
+from repro.net.tcpsim import MIN_RTO, TcpLikeNetwork
+
+
+@pytest.fixture
+def network(loop):
+    return TcpLikeNetwork(loop, seed=1)
+
+
+def payloads(socket):
+    return [d.payload for d in socket.receive_all()]
+
+
+class TestReliableDelivery:
+    def test_basic_delivery(self, loop, network):
+        a = network.socket("a")
+        b = network.socket("b")
+        network.connect("a", "b", NetemConfig(delay=0.01))
+        a.send(b"hello", "b")
+        loop.run(until=1.0)
+        assert payloads(b) == [b"hello"]
+
+    def test_in_order_delivery(self, loop, network):
+        a = network.socket("a")
+        b = network.socket("b")
+        network.connect("a", "b", NetemConfig(delay=0.01))
+        for i in range(20):
+            a.send(bytes([i]), "b")
+        loop.run(until=2.0)
+        assert payloads(b) == [bytes([i]) for i in range(20)]
+
+    def test_survives_total_loss_burst(self, loop, network):
+        """Every first transmission lost; RTO recovery still delivers."""
+        a = network.socket("a")
+        b = network.socket("b")
+        # 50% loss: retransmissions eventually get through.
+        network.connect("a", "b", NetemConfig(delay=0.01, loss=0.5))
+        for i in range(10):
+            a.send(bytes([i]), "b")
+        loop.run(until=30.0)
+        assert payloads(b) == [bytes([i]) for i in range(10)]
+
+    def test_reordered_segments_buffered(self, loop, network):
+        a = network.socket("a")
+        b = network.socket("b")
+        network.connect("a", "b", NetemConfig(delay=0.05, reorder=0.3))
+        for i in range(30):
+            loop.call_at(i * 0.001, lambda i=i: a.send(bytes([i]), "b"))
+        loop.run(until=10.0)
+        assert payloads(b) == [bytes([i]) for i in range(30)]
+
+    def test_duplicates_suppressed(self, loop, network):
+        a = network.socket("a")
+        b = network.socket("b")
+        network.connect("a", "b", NetemConfig(delay=0.01, duplicate=0.5))
+        for i in range(20):
+            a.send(bytes([i]), "b")
+        loop.run(until=10.0)
+        assert payloads(b) == [bytes([i]) for i in range(20)]
+
+
+class TestHeadOfLineBlocking:
+    def test_lost_head_delays_rest(self, loop, network):
+        """The §3.1 argument: one loss stalls all later messages ~an RTO."""
+        a = network.socket("a")
+        b = network.socket("b")
+        # Drop exactly the first transmission by using a scripted scheduler:
+        # loss=0.5 with the fixed seed drops some; instead measure latency
+        # spread under loss vs no loss.
+        network.connect("a", "b", NetemConfig(delay=0.01, loss=0.3))
+        for i in range(50):
+            loop.call_at(i * 0.01, lambda i=i: a.send(bytes([i]), "b"))
+        loop.run(until=30.0)
+        datagrams = b.receive_all()
+        assert len(datagrams) == 50
+        latencies = [d.arrived_at - i * 0.01 for i, d in enumerate(datagrams)]
+        # Some messages must have waited for at least one RTO (recovery or
+        # head-of-line), far above the 10 ms one-way latency.
+        assert max(latencies) >= MIN_RTO
+
+    def test_rto_tracks_srtt(self, loop, network):
+        # RTT 0.16 s stays under MIN_RTO, so the first ACK samples cleanly.
+        a = network.socket("a")
+        b = network.socket("b")
+        network.connect("a", "b", NetemConfig(delay=0.08))
+        assert a.rto("b") == MIN_RTO  # before any sample
+        a.send(b"x", "b")
+        loop.run(until=5.0)
+        assert a.rto("b") == pytest.approx(2 * 0.16, rel=0.1)
+
+    def test_karns_rule_skips_retransmitted_samples(self, loop, network):
+        # RTT 0.4 s exceeds MIN_RTO: every segment retransmits spuriously,
+        # so no RTT sample may be taken (Karn's algorithm).
+        a = network.socket("a")
+        b = network.socket("b")
+        network.connect("a", "b", NetemConfig(delay=0.2))
+        a.send(b"x", "b")
+        loop.run(until=5.0)
+        assert a.rto("b") == MIN_RTO
+
+
+class TestLifecycle:
+    def test_closed_socket_rejects_send(self, loop, network):
+        a = network.socket("a")
+        a.close()
+        with pytest.raises(RuntimeError):
+            a.send(b"x", "b")
+
+    def test_stats_count_messages(self, loop, network):
+        a = network.socket("a")
+        b = network.socket("b")
+        network.connect("a", "b", NetemConfig(delay=0.01))
+        a.send(b"abc", "b")
+        loop.run(until=1.0)
+        b.receive_all()
+        assert a.stats.datagrams_sent == 1
+        assert b.stats.datagrams_received == 1

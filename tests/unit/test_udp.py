@@ -1,0 +1,102 @@
+"""Unit tests for repro.net.udp (real sockets on localhost)."""
+
+import time
+
+import pytest
+
+from repro.net.udp import MAX_DATAGRAM, UdpSocket, format_address, parse_address
+
+
+class TestAddressing:
+    def test_parse_roundtrip(self):
+        assert parse_address("127.0.0.1:8000") == ("127.0.0.1", 8000)
+        assert format_address("127.0.0.1", 8000) == "127.0.0.1:8000"
+
+    @pytest.mark.parametrize("bad", ["localhost", "1.2.3.4:", ":99", "a:b:c"])
+    def test_parse_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestUdpSocket:
+    def test_send_receive_roundtrip(self):
+        a, b = UdpSocket(), UdpSocket()
+        try:
+            a.send(b"hello-udp", b.address)
+            datagram = b.receive_blocking(timeout=2.0)
+            assert datagram is not None
+            assert datagram.payload == b"hello-udp"
+            assert datagram.source == a.address
+        finally:
+            a.close()
+            b.close()
+
+    def test_receive_all_drains(self):
+        a, b = UdpSocket(), UdpSocket()
+        try:
+            for i in range(5):
+                a.send(bytes([i]), b.address)
+            deadline = time.time() + 2.0
+            collected = []
+            while len(collected) < 5 and time.time() < deadline:
+                collected.extend(b.receive_all())
+                time.sleep(0.01)
+            assert sorted(d.payload for d in collected) == [bytes([i]) for i in range(5)]
+        finally:
+            a.close()
+            b.close()
+
+    def test_receive_one_empty(self):
+        a = UdpSocket()
+        try:
+            assert a.receive_one() is None
+        finally:
+            a.close()
+
+    def test_oversized_datagram_rejected(self):
+        a = UdpSocket()
+        try:
+            with pytest.raises(ValueError):
+                a.send(b"x" * (MAX_DATAGRAM + 1), a.address)
+        finally:
+            a.close()
+
+    def test_closed_socket_rejects_send(self):
+        a = UdpSocket()
+        a.close()
+        with pytest.raises(RuntimeError):
+            a.send(b"x", "127.0.0.1:9")
+
+    def test_close_idempotent(self):
+        a = UdpSocket()
+        a.close()
+        a.close()
+
+    def test_arrival_timestamps_monotonic(self):
+        a, b = UdpSocket(), UdpSocket()
+        try:
+            for __ in range(3):
+                a.send(b"t", b.address)
+                time.sleep(0.01)
+            deadline = time.time() + 2.0
+            stamps = []
+            while len(stamps) < 3 and time.time() < deadline:
+                datagram = b.receive_one()
+                if datagram:
+                    stamps.append(datagram.arrived_at)
+            assert stamps == sorted(stamps)
+        finally:
+            a.close()
+            b.close()
+
+    def test_stats(self):
+        a, b = UdpSocket(), UdpSocket()
+        try:
+            a.send(b"12345", b.address)
+            assert b.receive_blocking(2.0) is not None
+            assert a.stats.datagrams_sent == 1
+            assert a.stats.bytes_sent == 5
+            assert b.stats.datagrams_received == 1
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,129 @@
+"""Unit tests for SiteRuntime and DistributedVM plumbing."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment, PadSource, RandomSource, ScriptedSource
+from repro.core.messages import (
+    Ping,
+    Pong,
+    StateRequest,
+    StateSnapshot,
+    Sync,
+    decode,
+)
+from repro.core.rtt import to_micros
+from repro.core.vm import SitePeer, SiteRuntime
+from repro.emulator.machine import create_game
+
+
+def make_runtime(site=0, num_sites=2, config=None, **kwargs):
+    peers = [SitePeer(s, f"site{s}") for s in range(num_sites)]
+    return SiteRuntime(
+        config=config or SyncConfig.paper_defaults(),
+        site_no=site,
+        assignment=InputAssignment.standard(num_sites),
+        machine=create_game("counter"),
+        source=PadSource(RandomSource(1), player=site),
+        peers=peers,
+        game_id="counter",
+        session_id=1,
+        **kwargs,
+    )
+
+
+class TestHandleDatagram:
+    def test_garbage_ignored(self):
+        runtime = make_runtime()
+        assert runtime.handle_datagram(b"\x00" * 30, 0.0, 0.0) == []
+        assert runtime.handle_datagram(b"", 0.0, 0.0) == []
+
+    def test_ping_answered_with_pong(self):
+        runtime = make_runtime(site=0)
+        ping = Ping(sender_site=1, session_id=1, seq=5, timestamp_us=to_micros(1.0))
+        replies = runtime.handle_datagram(ping.encode(), 1.02, 1.02)
+        assert len(replies) == 1
+        payload, destination = replies[0]
+        assert destination == "site1"
+        pong = decode(payload)
+        assert isinstance(pong, Pong)
+        assert pong.seq == 5
+        assert pong.echo_timestamp_us == ping.timestamp_us
+
+    def test_ping_from_unknown_site_dropped(self):
+        runtime = make_runtime()
+        ping = Ping(sender_site=9, session_id=1, seq=0, timestamp_us=0)
+        assert runtime.handle_datagram(ping.encode(), 0.0, 0.0) == []
+
+    def test_pong_feeds_rtt(self):
+        runtime = make_runtime()
+        pong = Pong(sender_site=1, session_id=1, seq=0, echo_timestamp_us=to_micros(1.0))
+        runtime.handle_datagram(pong.encode(), 1.05, 1.05)
+        assert runtime.rtt.rtt == pytest.approx(0.05)
+
+    def test_sync_message_feeds_lockstep(self):
+        runtime = make_runtime(site=0)
+        sync = Sync(sender_site=1, session_id=1, acks=[5, 5], first_frame=6, inputs=[0x0100])
+        runtime.handle_datagram(sync.encode(), 0.5, 0.5)
+        assert runtime.lockstep.last_rcv_frame[1] == 6
+
+    def test_state_request_gated_by_flag(self):
+        runtime = make_runtime(site=0)
+        request = StateRequest(sender_site=1, session_id=1)
+        runtime.handle_datagram(request.encode(), 0.0, 0.0)
+        assert runtime.take_state_request() is None
+        runtime.allow_state_requests = True
+        runtime.handle_datagram(request.encode(), 0.0, 0.0)
+        assert runtime.take_state_request() == 1
+        assert runtime.take_state_request() is None  # consumed
+
+    def test_snapshot_keeps_highest_frame(self):
+        runtime = make_runtime(site=1)
+        low = StateSnapshot(0, 1, frame=10, state=b"a")
+        high = StateSnapshot(0, 1, frame=20, state=b"b")
+        runtime.handle_datagram(high.encode(), 0.0, 0.0)
+        runtime.handle_datagram(low.encode(), 0.0, 0.0)
+        assert runtime.latest_snapshot.frame == 20
+
+
+class TestOutboundHelpers:
+    def test_sync_broadcast_addresses_peers(self):
+        runtime = make_runtime(site=0, num_sites=3)
+        runtime.get_and_buffer_input()
+        batch = runtime.sync_broadcast(force=True)
+        destinations = sorted(dest for __, dest in batch)
+        assert destinations == ["site1", "site2"]
+
+    def test_ping_messages_one_per_peer(self):
+        runtime = make_runtime(site=0, num_sites=3)
+        pings = runtime.ping_messages(1.0)
+        assert len(pings) == 2
+
+    def test_all_inputs_acked_initially_true(self):
+        runtime = make_runtime()
+        assert runtime.all_inputs_acked()
+        runtime.get_and_buffer_input()
+        assert not runtime.all_inputs_acked()
+
+
+class TestFrameSteps:
+    def test_begin_frame_records_trace(self):
+        runtime = make_runtime()
+        runtime.begin_frame(1.5)
+        assert runtime.trace.begin_times == [1.5]
+
+    def test_run_transition_advances_everything(self):
+        runtime = make_runtime()
+        checksum_before = runtime.machine.checksum()
+        runtime.run_transition(0x0101, stall=0.001, sync_adjust=0.0)
+        assert runtime.frame == 1
+        assert runtime.machine.frame == 1
+        assert runtime.trace.inputs == [0x0101]
+        assert runtime.trace.checksums[0] != checksum_before
+        assert runtime.trace.lags == [6]
+
+    def test_scripted_source_flows_into_lockstep(self):
+        runtime = make_runtime()
+        runtime.source = PadSource(ScriptedSource({0: 0x3}), player=0)
+        runtime.get_and_buffer_input()
+        assert runtime.lockstep.ibuf.get(6, 0) == 0x3
