@@ -9,11 +9,17 @@ prints the underlying table (run with ``-s`` to see it, or check
 * ``REPRO_BENCH_FULL=1`` — run the paper's complete RTT sweep
   (25 points) instead of the reduced 9-point sweep.
 
-A full-fidelity Figure 1 + Figure 2 run:
+Everything collected from this directory is auto-marked ``bench``, and
+the repository-wide ``addopts`` excludes that marker — so benchmark runs
+must opt back in with ``-m bench``.  A full-fidelity Figure 1 + Figure 2
+run:
 
     REPRO_BENCH_FULL=1 REPRO_BENCH_FRAMES=3600 \
         pytest benchmarks/bench_figure1.py benchmarks/bench_figure2.py \
-        --benchmark-only -s
+        --benchmark-only -m bench -s
+
+For the plain throughput/regression numbers (no pytest involved) use
+``python benchmarks/run_bench.py``; see docs/performance.md.
 """
 
 import os
@@ -21,6 +27,12 @@ import os
 import pytest
 
 from repro.harness.experiment import PAPER_RTT_SWEEP
+
+
+def pytest_collection_modifyitems(items):
+    """Every test in benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 def bench_frames() -> int:

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""The regression benchmark: one command, one dated JSON result.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --out results/
+
+Writes ``BENCH_<date>.json`` (schema in :mod:`repro.metrics.bench`) and
+prints a human summary with the seed baseline alongside, so a perf
+regression shows up as a ratio in plain sight.  ``--quick`` shrinks every
+measurement to a smoke test: it validates the harness end-to-end (and is
+exercised by the tier-1 suite) but its numbers are not comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.emulator.machine import available_games, create_game
+from repro.metrics.bench import (
+    SEED_BASELINE,
+    measure_game_fps,
+    measure_lockstep_roundtrips,
+    measure_rollback_session,
+    measure_snapshot_costs,
+    write_bench_json,
+)
+
+#: Console games also measured under the retained reference interpreter.
+CONSOLE_GAMES = ("pong", "tankduel")
+
+
+def run(quick: bool) -> dict:
+    frames = 60 if quick else 600
+    repeats = 1 if quick else 3
+
+    game_fps = {}
+    reference_fps = {}
+    for name in available_games():
+        game_fps[name] = round(
+            measure_game_fps(name, frames=frames, repeats=repeats), 1
+        )
+        if name in CONSOLE_GAMES:
+            reference_fps[name] = round(
+                measure_game_fps(
+                    name, frames=frames, repeats=repeats, interpreter="reference"
+                ),
+                1,
+            )
+
+    snapshot = {
+        name: {
+            key: round(value, 2)
+            for key, value in measure_snapshot_costs(
+                create_game(name), repeats=repeats
+            ).items()
+        }
+        for name in ("pong", "brawler")
+    }
+
+    lockstep = round(
+        measure_lockstep_roundtrips(cycles=30 if quick else 300, repeats=repeats), 1
+    )
+
+    rollback = measure_rollback_session(frames=60 if quick else 240)
+    rollback["wall_seconds"] = round(rollback["wall_seconds"], 3)
+
+    return {
+        "quick": quick,
+        "game_fps": game_fps,
+        "reference_fps": reference_fps,
+        "lockstep_roundtrips_per_s": lockstep,
+        "snapshot": snapshot,
+        "rollback_session": rollback,
+    }
+
+
+def summarize(results: dict) -> str:
+    lines = ["== RC-16 benchmark =="]
+    if results["quick"]:
+        lines.append("(--quick: smoke-test sizes, numbers not comparable)")
+    baseline = SEED_BASELINE["game_fps"]
+    lines.append("-- emulated frames/sec (fast interpreter) --")
+    for name, fps in sorted(results["game_fps"].items()):
+        extra = ""
+        if name in baseline:
+            extra = f"  seed={baseline[name]:.0f}  ({fps / baseline[name]:.2f}x)"
+        if name in results["reference_fps"]:
+            extra += f"  reference={results['reference_fps'][name]:.0f}"
+        lines.append(f"  {name:12s} {fps:12.0f}{extra}")
+    lines.append(
+        f"-- lockstep round-trips/sec: {results['lockstep_roundtrips_per_s']:.0f}"
+    )
+    lines.append("-- snapshot/checksum costs (us) --")
+    for name, costs in sorted(results["snapshot"].items()):
+        pairs = "  ".join(f"{k}={v:g}" for k, v in sorted(costs.items()))
+        lines.append(f"  {name:12s} {pairs}")
+    rb = results["rollback_session"]
+    lines.append(
+        "-- rollback session: "
+        f"{rb['rollbacks']} rollbacks, {rb['replayed_frames']} replayed frames, "
+        f"{rb['snapshot_bytes_copied']} delta bytes copied "
+        f"(full savestates would be {rb['snapshot_bytes_full']})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test sizes: validates the harness, numbers not comparable",
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        help="directory for BENCH_<date>.json (default: current directory)",
+    )
+    parser.add_argument(
+        "--no-json",
+        action="store_true",
+        help="print the summary only, write nothing",
+    )
+    options = parser.parse_args(argv)
+
+    results = run(quick=options.quick)
+    print(summarize(results))
+    if not options.no_json:
+        path = write_bench_json(results, directory=options.out)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,13 @@ comers".  The mechanism implemented here:
 Observers join with zero impact on players; joining players briefly stall
 peers only if the snapshot transfer outlives their input buffers' lag
 window, exactly as a real deployment would.
+
+Note on snapshot cost: the transfer deliberately uses a *full*
+``save_state`` blob, not the delta protocol from docs/performance.md — a
+cold joiner shares no lineage with the donor, so there is no common base
+state for a delta to patch.  The donor pays this once per join; its
+per-frame checksum/trace costs are unaffected (those ride the incremental
+page-CRC path).
 """
 
 from __future__ import annotations

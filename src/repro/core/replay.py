@@ -60,15 +60,20 @@ class InputMovie:
 
         With ``verify`` (default) every stored checkpoint is compared and a
         mismatch raises :class:`ReplayError` naming the frame — the desync
-        debugging workflow.
+        debugging workflow.  Checkpoint verification rides the machines'
+        incremental checksums (docs/performance.md), so checking every few
+        frames costs pages-written, not full-state hashing.
         """
         if machine is None:
             machine = create_game(self.game)
         horizon = len(self.inputs) if frames is None else min(frames, len(self.inputs))
+        inputs = self.inputs
+        checkpoints = self.checkpoints if verify else {}
+        step = machine.step
         for frame in range(horizon):
-            machine.step(self.inputs[frame])
-            if verify and frame in self.checkpoints:
-                expected = self.checkpoints[frame]
+            step(inputs[frame])
+            if frame in checkpoints:
+                expected = checkpoints[frame]
                 actual = machine.checksum()
                 if actual != expected:
                     raise ReplayError(

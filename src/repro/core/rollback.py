@@ -14,9 +14,14 @@ claim is measurable.  :class:`RollbackVM` plays with **zero local lag**:
 * a *shadow* machine executes only confirmed inputs (ordinary lockstep
   delivery) and therefore always holds a provably consistent state,
 * when a confirmed input contradicts a prediction, the speculative machine
-  is restored from the shadow (one ``save_state``/``load_state`` pair) and
-  the unconfirmed suffix is replayed — classic rollback, with the shadow
-  replacing a snapshot ring, so memory stays O(1).
+  is restored from the shadow and the unconfirmed suffix is replayed —
+  classic rollback, with the shadow replacing a snapshot ring, so memory
+  stays O(1).  The restore uses the Machine contract's delta snapshots
+  (``save_delta``/``apply_delta``): only pages either machine dirtied
+  since their last sync are copied, so a typical restore moves a few KiB
+  instead of the full 64 KiB state (``RollbackStats`` reports the bytes
+  actually copied); machines without page tracking transparently fall
+  back to full ``save_state``/``load_state``.
 
 Logical consistency is *defined* by the shadow: its trace is what the
 consistency checker verifies, and it is byte-identical to what a lockstep
@@ -39,6 +44,18 @@ from repro.core.vm import DistributedVM, GameMachine, SitePeer, SiteRuntime
 from repro.sim.process import Sleep, WaitMessage
 
 
+def _state_mark(machine: GameMachine) -> int:
+    """Duck-typed ``Machine.state_mark`` (0 for protocol-only machines)."""
+    mark = getattr(machine, "state_mark", None)
+    return mark() if mark is not None else 0
+
+
+def _dirty_pages(machine: GameMachine, mark: int) -> Optional[List[int]]:
+    """Duck-typed ``Machine.dirty_pages_since`` (None ⇒ no page tracking)."""
+    dirty = getattr(machine, "dirty_pages_since", None)
+    return dirty(mark) if dirty is not None else None
+
+
 class RollbackStats:
     """Cost accounting for the speculation machinery."""
 
@@ -50,6 +67,12 @@ class RollbackStats:
         self.replayed_frames = 0
         self.max_replay_depth = 0
         self.speculation_stalls = 0
+        #: Snapshot traffic of the shadow→speculative restores: number of
+        #: syncs, bytes actually serialized, and what full savestates would
+        #: have cost instead (the paper's "rolling back is expensive" cost).
+        self.snapshot_syncs = 0
+        self.snapshot_bytes_copied = 0
+        self.snapshot_bytes_full = 0
 
     def as_dict(self) -> dict:
         return dict(vars(self))
@@ -86,6 +109,12 @@ class RollbackVM(DistributedVM):
         self.spec_machine = spec_machine
         self.speculation_window = speculation_window
         self.rollback_stats = RollbackStats()
+        # Delta-snapshot marks: pages either machine dirties after these
+        # marks are exactly what the next shadow→spec restore must copy
+        # (both machines are freshly built and identical right now).
+        self._shadow_mark = _state_mark(self.runtime.machine)
+        self._spec_mark = _state_mark(spec_machine)
+        self._full_state_size: Optional[int] = None
         #: Input word the speculative machine used per frame.
         self._used_inputs: Dict[int, int] = {}
         #: Merged confirmed inputs, frame-indexed (what lockstep delivered).
@@ -145,11 +174,39 @@ class RollbackVM(DistributedVM):
                 self.rollback_stats.mispredicted_frames += 1
         return first_bad
 
+    def _sync_spec_from_shadow(self) -> None:
+        """Make the speculative machine bit-identical to the shadow.
+
+        Fast path: copy only the pages either machine has dirtied since
+        their last sync (their states agree everywhere else by induction).
+        Machines that do not track dirty pages fall back to a full
+        ``save_state``/``load_state`` pair.
+        """
+        shadow = self.runtime.machine
+        spec = self.spec_machine
+        stats = self.rollback_stats
+        shadow_pages = _dirty_pages(shadow, self._shadow_mark)
+        spec_pages = _dirty_pages(spec, self._spec_mark)
+        if shadow_pages is None or spec_pages is None:
+            blob = shadow.save_state()
+            spec.load_state(blob)
+            self._full_state_size = len(blob)
+        else:
+            blob = shadow.save_delta(pages=set(shadow_pages) | set(spec_pages))
+            spec.apply_delta(blob)
+            if self._full_state_size is None:
+                self._full_state_size = len(shadow.save_state())
+        stats.snapshot_bytes_full += self._full_state_size
+        stats.snapshot_syncs += 1
+        stats.snapshot_bytes_copied += len(blob)
+        self._shadow_mark = _state_mark(shadow)
+        self._spec_mark = _state_mark(spec)
+
     def _rollback_and_replay(self, first_bad: int) -> None:
         """Restore speculation from the shadow and replay the suffix."""
         runtime = self.runtime
         self.rollback_stats.rollbacks += 1
-        self.spec_machine.load_state(runtime.machine.save_state())
+        self._sync_spec_from_shadow()
         replay_from = self.confirmed_frontier + 1
         depth = runtime.frame - replay_from
         self.rollback_stats.max_replay_depth = max(

@@ -13,6 +13,18 @@ Frame semantics: the console runs the CPU until it executes ``YIELD`` (wait
 for vertical blank) or exhausts the per-frame cycle budget, whichever comes
 first.  ``HALT`` stops the program permanently (the machine keeps stepping,
 frozen).
+
+Two interpreters execute the same ISA (see docs/performance.md):
+
+* :meth:`Cpu.run_frame` — the fast path: a 256-entry dispatch table of
+  handlers, a decoded-instruction cache keyed by ``(pc, word)``, and
+  fetches inlined against plain-RAM pages,
+* :meth:`Cpu.run_frame_reference` / :meth:`Cpu.step_instruction` — the
+  straight-line reference interpreter retained verbatim from the original
+  implementation.
+
+The determinism contract — enforced by the golden-trace tests — is that
+both paths produce bit-identical machine states for any program.
 """
 
 from __future__ import annotations
@@ -93,6 +105,242 @@ def _signed(value: int) -> int:
     return value - 0x10000 if value & 0x8000 else value
 
 
+# ----------------------------------------------------------------------
+# The fast interpreter's dispatch table.
+#
+# ``DISPATCH[opcode]`` is a factory that, given the decoded register
+# fields, returns a specialized handler closure ``fn(cpu, imm, next_pc)``.
+# The closure returns ``None`` to fall through to ``next_pc``, a new PC for
+# taken jumps/calls/returns, or ``-1`` to end the frame (YIELD/HALT).
+# Closures are built once per distinct ``(pc, instruction word)`` and kept
+# in the per-CPU decoded-instruction cache, so straight-line code pays no
+# per-step decode cost.  Flag updates are inlined (``value >= 0x8000`` ≡
+# ``bool(value & 0x8000)`` for 16-bit values).
+# ----------------------------------------------------------------------
+
+def _make_nop(ra, rb):
+    def op(cpu, imm, pc):
+        return None
+    return op
+
+
+def _make_halt(ra, rb):
+    def op(cpu, imm, pc):
+        cpu.halted = True
+        return -1
+    return op
+
+
+def _make_yield(ra, rb):
+    def op(cpu, imm, pc):
+        cpu._yielded = True
+        return -1
+    return op
+
+
+def _make_ldi(ra, rb):
+    def op(cpu, imm, pc):
+        cpu.regs[ra] = imm
+    return op
+
+
+def _make_mov(ra, rb):
+    def op(cpu, imm, pc):
+        regs = cpu.regs
+        regs[ra] = regs[rb]
+    return op
+
+
+def _make_ld(ra, rb):
+    def op(cpu, imm, pc):
+        regs = cpu.regs
+        memory = cpu.memory
+        address = (regs[rb] + imm) & 0xFFFF
+        if memory._plain_word[address]:
+            data = memory._data
+            regs[ra] = data[address] | (data[address + 1] << 8)
+        else:
+            regs[ra] = memory.read_word(address)
+    return op
+
+
+def _make_st(ra, rb):
+    def op(cpu, imm, pc):
+        regs = cpu.regs
+        cpu.memory.write_word((regs[rb] + imm) & 0xFFFF, regs[ra])
+    return op
+
+
+def _make_ldb(ra, rb):
+    def op(cpu, imm, pc):
+        regs = cpu.regs
+        regs[ra] = cpu.memory.read_byte((regs[rb] + imm) & 0xFFFF)
+    return op
+
+
+def _make_stb(ra, rb):
+    def op(cpu, imm, pc):
+        regs = cpu.regs
+        cpu.memory.write_byte((regs[rb] + imm) & 0xFFFF, regs[ra])
+    return op
+
+
+def _make_binary_alu(combine):
+    def make(ra, rb):
+        def op(cpu, imm, pc):
+            regs = cpu.regs
+            value = combine(regs[ra], regs[rb])
+            regs[ra] = value
+            cpu.z = value == 0
+            cpu.n = value >= 0x8000
+        return op
+    return make
+
+
+_make_add = _make_binary_alu(lambda a, b: (a + b) & 0xFFFF)
+_make_sub = _make_binary_alu(lambda a, b: (a - b) & 0xFFFF)
+_make_and = _make_binary_alu(lambda a, b: a & b)
+_make_or = _make_binary_alu(lambda a, b: a | b)
+_make_xor = _make_binary_alu(lambda a, b: (a ^ b))
+_make_shl = _make_binary_alu(lambda a, b: (a << (b & 0x0F)) & 0xFFFF)
+_make_shr = _make_binary_alu(lambda a, b: (a >> (b & 0x0F)) & 0xFFFF)
+_make_mul = _make_binary_alu(lambda a, b: (a * b) & 0xFFFF)
+
+
+def _make_addi(ra, rb):
+    def op(cpu, imm, pc):
+        regs = cpu.regs
+        value = (regs[ra] + imm) & 0xFFFF
+        regs[ra] = value
+        cpu.z = value == 0
+        cpu.n = value >= 0x8000
+    return op
+
+
+def _make_cmp(ra, rb):
+    def op(cpu, imm, pc):
+        regs = cpu.regs
+        value = (regs[ra] - regs[rb]) & 0xFFFF
+        cpu.z = value == 0
+        cpu.n = value >= 0x8000
+    return op
+
+
+def _make_cmpi(ra, rb):
+    def op(cpu, imm, pc):
+        value = (cpu.regs[ra] - imm) & 0xFFFF
+        cpu.z = value == 0
+        cpu.n = value >= 0x8000
+    return op
+
+
+def _make_jmp(ra, rb):
+    def op(cpu, imm, pc):
+        return imm
+    return op
+
+
+def _make_jz(ra, rb):
+    def op(cpu, imm, pc):
+        return imm if cpu.z else None
+    return op
+
+
+def _make_jnz(ra, rb):
+    def op(cpu, imm, pc):
+        return None if cpu.z else imm
+    return op
+
+
+def _make_jlt(ra, rb):
+    def op(cpu, imm, pc):
+        return imm if cpu.n else None
+    return op
+
+
+def _make_jge(ra, rb):
+    def op(cpu, imm, pc):
+        return None if cpu.n else imm
+    return op
+
+
+def _make_jle(ra, rb):
+    def op(cpu, imm, pc):
+        return imm if (cpu.z or cpu.n) else None
+    return op
+
+
+def _make_jgt(ra, rb):
+    def op(cpu, imm, pc):
+        return None if (cpu.z or cpu.n) else imm
+    return op
+
+
+def _make_call(ra, rb):
+    def op(cpu, imm, pc):
+        cpu._push(pc)
+        return imm
+    return op
+
+
+def _make_ret(ra, rb):
+    def op(cpu, imm, pc):
+        return cpu._pop()
+    return op
+
+
+def _make_push(ra, rb):
+    def op(cpu, imm, pc):
+        cpu._push(cpu.regs[ra])
+    return op
+
+
+def _make_pop(ra, rb):
+    def op(cpu, imm, pc):
+        cpu.regs[ra] = cpu._pop()
+    return op
+
+
+def _build_dispatch():
+    """256-entry opcode → handler-factory table (None marks illegal)."""
+    table = [None] * 256
+    table[NOP] = _make_nop
+    table[HALT] = _make_halt
+    table[YIELD] = _make_yield
+    table[LDI] = _make_ldi
+    table[MOV] = _make_mov
+    table[LD] = _make_ld
+    table[ST] = _make_st
+    table[LDB] = _make_ldb
+    table[STB] = _make_stb
+    table[ADD] = _make_add
+    table[SUB] = _make_sub
+    table[AND] = _make_and
+    table[OR] = _make_or
+    table[XOR] = _make_xor
+    table[SHL] = _make_shl
+    table[SHR] = _make_shr
+    table[MUL] = _make_mul
+    table[ADDI] = _make_addi
+    table[CMP] = _make_cmp
+    table[CMPI] = _make_cmpi
+    table[JMP] = _make_jmp
+    table[JZ] = _make_jz
+    table[JNZ] = _make_jnz
+    table[JLT] = _make_jlt
+    table[JGE] = _make_jge
+    table[CALL] = _make_call
+    table[RET] = _make_ret
+    table[JLE] = _make_jle
+    table[JGT] = _make_jgt
+    table[PUSH] = _make_push
+    table[POP] = _make_pop
+    return table
+
+
+DISPATCH = _build_dispatch()
+
+
 class Cpu:
     """One RC-16 core attached to a :class:`~repro.emulator.memory.Memory`."""
 
@@ -104,6 +352,11 @@ class Cpu:
         self.n = False
         self.halted = False
         self.cycles = 0
+        # Decoded-instruction cache: (pc << 16 | word) →
+        # (handler, ra, rb, has_immediate).  Decoding is a pure function of
+        # the word, so entries never go stale — self-modifying code changes
+        # the word and therefore the key.
+        self._decoded: Dict[int, tuple] = {}
 
     def reset(self, entry: int) -> None:
         self.regs = [0] * 16
@@ -143,7 +396,69 @@ class Cpu:
         The fixed budget keeps every frame's work deterministic even for a
         buggy ROM that never yields — matching how a real console's frame is
         bounded by the vblank interrupt.
+
+        This is the table-dispatched fast path; it is bit-for-bit equivalent
+        to :meth:`run_frame_reference`.
         """
+        self._yielded = False
+        if self.halted:
+            return 0
+        used = 0
+        memory = self.memory
+        data = memory._data
+        plain_word = memory._plain_word
+        read_word = memory.read_word
+        decoded = self._decoded
+        dispatch = DISPATCH
+        pc = self.pc
+        try:
+            while used < max_cycles:
+                if plain_word[pc]:
+                    word = data[pc] | (data[pc + 1] << 8)
+                else:
+                    word = read_word(pc)
+                key = (pc << 16) | word
+                entry = decoded.get(key)
+                if entry is None:
+                    opcode = word >> 8
+                    factory = dispatch[opcode]
+                    if factory is None:
+                        pc = (pc + 2) & 0xFFFF
+                        raise CpuFault(
+                            f"illegal opcode 0x{opcode:02x} at pc=0x{(pc - 2) & 0xFFFF:04x}"
+                        )
+                    entry = (
+                        factory((word >> 4) & 0x0F, word & 0x0F),
+                        opcode in HAS_IMMEDIATE,
+                    )
+                    decoded[key] = entry
+                fn, has_imm = entry
+                if has_imm:
+                    pc2 = (pc + 2) & 0xFFFF
+                    if plain_word[pc2]:
+                        imm = data[pc2] | (data[pc2 + 1] << 8)
+                    else:
+                        imm = read_word(pc2)
+                    pc = (pc2 + 2) & 0xFFFF
+                    used += 2
+                else:
+                    imm = 0
+                    pc = (pc + 2) & 0xFFFF
+                    used += 1
+                res = fn(self, imm, pc)
+                if res is not None:
+                    if res == -1:
+                        break
+                    pc = res
+        finally:
+            self.pc = pc
+        self.cycles += used
+        return used
+
+    def run_frame_reference(self, max_cycles: int) -> int:
+        """The original if/elif interpreter, retained as the golden
+        reference for the determinism contract (and as the seed baseline
+        for the benchmark trajectory)."""
         used = 0
         while used < max_cycles and not self.halted:
             used += self.step_instruction()
@@ -155,7 +470,7 @@ class Cpu:
     _yielded = False
 
     def step_instruction(self) -> int:
-        """Execute one instruction; returns its cycle cost."""
+        """Execute one instruction (reference path); returns its cycle cost."""
         self._yielded = False
         word = self._fetch_word()
         opcode = (word >> 8) & 0xFF

@@ -17,7 +17,7 @@ import zlib
 from dataclasses import dataclass
 from typing import List
 
-from repro.core.inputs import Buttons, unpack_buttons
+from repro.core.inputs import Buttons
 from repro.emulator.machine import Machine, MachineError
 
 ARENA_WIDTH = 256  # fixed-point pixels (×1)
@@ -36,6 +36,10 @@ BLOCKING = 4
 # Attack frame data: (startup, active, recovery, range, damage, pushback)
 PUNCH = (3, 2, 6, 20, 8, 6)
 KICK = (5, 2, 10, 28, 12, 10)
+
+# Derived constants hoisted out of the per-frame hot loop.
+_PUNCH_TOTAL = sum(PUNCH[:3])
+_KICK_TOTAL = sum(KICK[:3])
 
 _FIGHTER = struct.Struct(">hhbBbB")  # x, hp, facing, state, timer, rounds_won
 _HEADER = struct.Struct(">IIhB")  # frame, round_timer, round_no, game_over
@@ -89,33 +93,71 @@ class StreetBrawler(Machine):
     # Transition
     # ------------------------------------------------------------------
     def _step(self, input_word: int) -> None:
+        """One frame of combat.
+
+        This is the synchronization benchmark's hot loop, so the per-fighter
+        phase helpers (:meth:`_advance_state`, :meth:`_move`,
+        :meth:`_attack_lands`) are inlined here with the same semantics —
+        the helpers remain the readable specification (and are still
+        exercised directly by the unit tests).
+        """
         if self.game_over:
             return  # frozen on the victory screen, still deterministic
 
-        pads = [unpack_buttons(input_word, p) for p in range(2)]
+        a, b = self.fighters
+        pad_a = input_word & 0xFF
+        pad_b = (input_word >> 8) & 0xFF
 
-        # Phase 1: state timers and input-driven intent.
-        for index, fighter in enumerate(self.fighters):
-            self._advance_state(fighter, pads[index])
-
-        # Phase 2: movement (after both intents, order-independent).
-        for index, fighter in enumerate(self.fighters):
-            self._move(fighter, pads[index])
+        # Phases 1+2 fused per fighter: state timers, input-driven intent,
+        # then movement.  Each fighter's advance+move reads only its own
+        # state, so fusing the two loops preserves the original ordering.
+        for fighter, pad in ((a, pad_a), (b, pad_b)):
+            timer = fighter.timer
+            if timer > 0:
+                fighter.timer = timer - 1
+                if timer == 1 and fighter.state in (
+                    ATTACK_PUNCH, ATTACK_KICK, HITSTUN, BLOCKING
+                ):
+                    fighter.state = IDLE
+            elif pad & 0x10:  # Buttons.A: punch over kick over block
+                fighter.state = ATTACK_PUNCH
+                fighter.timer = _PUNCH_TOTAL
+            elif pad & 0x20:  # Buttons.B
+                fighter.state = ATTACK_KICK
+                fighter.timer = _KICK_TOTAL
+            elif pad & 0x02:  # Buttons.DOWN
+                fighter.state = BLOCKING
+                fighter.timer = 4  # block is sticky for a few frames
+            # Movement: only an IDLE fighter walks (blocking roots it).
+            if fighter.state == IDLE and pad & 0x0C:
+                dx = 0
+                if pad & 0x04:  # Buttons.LEFT
+                    dx -= WALK_SPEED
+                if pad & 0x08:  # Buttons.RIGHT
+                    dx += WALK_SPEED
+                x = fighter.x + dx
+                fighter.x = 0 if x < 0 else (ARENA_WIDTH - 1 if x >= ARENA_WIDTH else x)
 
         # Phase 3: facing always toward the opponent.
-        a, b = self.fighters
-        a.facing = 1 if b.x >= a.x else -1
-        b.facing = 1 if a.x >= b.x else -1
+        ax = a.x
+        bx = b.x
+        a.facing = 1 if bx >= ax else -1
+        b.facing = 1 if ax >= bx else -1
 
         # Phase 4: resolve attacks symmetrically (trades are possible).
-        hits = [self._attack_lands(i) for i in range(2)]
-        for attacker_index, lands in enumerate(hits):
-            if lands:
-                self._apply_hit(attacker_index)
+        hit_a = a.state in (ATTACK_PUNCH, ATTACK_KICK) and self._attack_lands(0)
+        hit_b = b.state in (ATTACK_PUNCH, ATTACK_KICK) and self._attack_lands(1)
+        if hit_a:
+            self._apply_hit(0)
+        if hit_b:
+            self._apply_hit(1)
 
-        # Phase 5: round timer and KO handling.
-        self.round_timer -= 1
-        self._check_round_end()
+        # Phase 5: round timer and KO handling.  _check_round_end only acts
+        # on a KO or an expired timer; skip the call on ordinary frames.
+        timer = self.round_timer - 1
+        self.round_timer = timer
+        if a.hp == 0 or b.hp == 0 or timer <= 0:
+            self._check_round_end()
 
     def _advance_state(self, fighter: Fighter, pad: int) -> None:
         if fighter.timer > 0:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 
 class MachineError(RuntimeError):
@@ -58,7 +58,7 @@ class Machine(ABC):
     # ------------------------------------------------------------------
     @abstractmethod
     def checksum(self) -> int:
-        """CRC32 digest of the complete machine state."""
+        """CRC32-based digest of the complete machine state."""
 
     @abstractmethod
     def save_state(self) -> bytes:
@@ -67,6 +67,40 @@ class Machine(ABC):
     @abstractmethod
     def load_state(self, blob: bytes) -> None:
         """Restore :meth:`save_state` output; raises MachineError on garbage."""
+
+    # ------------------------------------------------------------------
+    # Delta snapshots (optional fast path; see docs/performance.md).
+    #
+    # The default implementation is correct for any machine: a "delta" is
+    # simply a tagged full savestate.  Machines with large state and a
+    # natural page structure (the RC-16 console) override all four methods
+    # so synchronizing two replicas copies only the pages either one has
+    # touched since the last sync.
+    # ------------------------------------------------------------------
+    _DELTA_FULL_TAG = b"FULL"
+
+    def state_mark(self) -> int:
+        """Begin a dirty-tracking epoch; pass the result to
+        :meth:`dirty_pages_since`.  Marks are independent of each other."""
+        return 0
+
+    def dirty_pages_since(self, mark: int) -> Optional[List[int]]:
+        """Pages mutated since ``mark``, or ``None`` if this machine does
+        not track pages (callers must then fall back to full snapshots)."""
+        return None
+
+    def save_delta(self, pages: Optional[Iterable[int]] = None) -> bytes:
+        """Serialize enough state to bring a replica whose divergence is
+        confined to ``pages`` back in sync (``None`` ⇒ everything)."""
+        return self._DELTA_FULL_TAG + self.save_state()
+
+    def apply_delta(self, blob: bytes) -> None:
+        """Apply :meth:`save_delta` output produced by an identical machine."""
+        if bytes(blob[:4]) != self._DELTA_FULL_TAG:
+            raise MachineError(
+                f"{self.name}: unrecognized delta header {bytes(blob[:4])!r}"
+            )
+        self.load_state(blob[4:])
 
     # ------------------------------------------------------------------
     def render_text(self) -> str:

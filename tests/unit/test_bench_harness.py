@@ -1,0 +1,85 @@
+"""The benchmark harness itself is tier-1 tested (numbers are not).
+
+The real benchmark run is manual (``python benchmarks/run_bench.py``);
+these tests only guarantee it cannot rot: the measurement helpers return
+sane values at smoke sizes, the JSON file round-trips, and the CLI's
+``--quick`` path executes end to end.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.emulator.machine import create_game
+from repro.metrics.bench import (
+    SEED_BASELINE,
+    bench_filename,
+    load_bench_history,
+    measure_game_fps,
+    measure_snapshot_costs,
+    time_call,
+    write_bench_json,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_time_call_returns_positive_seconds():
+    assert 0 < time_call(lambda: sum(range(100)), repeats=2, inner=5) < 1.0
+
+
+def test_measure_game_fps_smoke():
+    fps = measure_game_fps("counter", frames=30, repeats=1)
+    assert fps > 0
+
+
+def test_measure_snapshot_costs_console_reports_delta():
+    costs = measure_snapshot_costs(create_game("pong"), repeats=1)
+    for key in ("save_us", "load_us", "checksum_cold_us", "checksum_warm_us"):
+        assert costs[key] > 0
+    # The console tracks pages, so the delta metrics must be present and
+    # a steady-state delta must be far smaller than a full savestate.
+    assert costs["delta_bytes"] < costs["full_state_bytes"] / 4
+
+
+def test_measure_snapshot_costs_python_game_skips_delta():
+    costs = measure_snapshot_costs(create_game("brawler"), repeats=1)
+    assert "delta_roundtrip_us" not in costs
+
+
+def test_write_and_load_bench_json(tmp_path):
+    path = write_bench_json({"game_fps": {"pong": 1.0}}, directory=str(tmp_path))
+    assert os.path.basename(path) == bench_filename()
+    payload = json.loads(open(path).read())
+    assert payload["schema"] == 1
+    assert payload["baseline"] == SEED_BASELINE
+    assert payload["results"]["game_fps"]["pong"] == 1.0
+    history = load_bench_history(str(tmp_path))
+    assert len(history) == 1 and history[0] == payload
+
+
+def test_run_bench_quick_cli(tmp_path):
+    """End-to-end smoke: the CLI runs and writes a valid result file."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(REPO_ROOT, "benchmarks", "run_bench.py"),
+            "--quick",
+            "--out",
+            str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "RC-16 benchmark" in proc.stdout
+    history = load_bench_history(str(tmp_path))
+    assert len(history) == 1
+    results = history[0]["results"]
+    assert results["quick"] is True
+    assert set(results["reference_fps"]) == {"pong", "tankduel"}
+    assert results["rollback_session"]["snapshot_syncs"] >= 0

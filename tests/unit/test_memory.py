@@ -100,3 +100,93 @@ class TestHooks:
     def test_bad_hook_range(self):
         with pytest.raises(ValueError):
             Memory().add_hook(10, 5)
+
+
+class TestWordFastPath:
+    """The per-address word routing table (docs/performance.md)."""
+
+    def test_word_wraps_at_top_of_memory(self):
+        memory = Memory()
+        memory.write_byte(0xFFFF, 0x34)
+        memory.write_byte(0x0000, 0x12)
+        assert memory.read_word(0xFFFF) == 0x1234
+        memory.write_word(0xFFFF, 0xBEEF)
+        assert memory.read_byte(0xFFFF) == 0xEF
+        assert memory.read_byte(0x0000) == 0xBE
+
+    def test_word_spanning_into_hooked_page_uses_hooks(self):
+        memory = Memory()
+        memory.add_hook(0x0200, 0x0300, read=lambda a: 0x77)
+        # Low byte on the plain page, high byte inside the hooked page.
+        memory.write_byte(0x01FF, 0x11)
+        assert memory.read_word(0x01FF) == (0x77 << 8) | 0x11
+
+    def test_hook_added_after_writes_still_intercepts(self):
+        memory = Memory()
+        memory.write_word(0x3000, 0xAAAA)  # page is plain at write time
+        memory.add_hook(0x3000, 0x3002, read=lambda a: 0x55)
+        assert memory.read_word(0x3000) == 0x5555
+
+    def test_hook_spanning_pages_covers_both(self):
+        seen = []
+        memory = Memory()
+        memory.add_hook(0x04F0, 0x0510, write=lambda a, v: seen.append((a, v)))
+        memory.write_byte(0x04F8, 1)  # first page
+        memory.write_byte(0x0503, 2)  # second page
+        assert seen == [(0x04F8, 1), (0x0503, 2)]
+
+
+class TestDirtyTracking:
+    def test_dirty_pages_since_mark(self):
+        memory = Memory()
+        mark = memory.mark()
+        memory.write_byte(0x0105, 1)
+        memory.write_word(0x30FF, 0xBEEF)  # straddles pages 0x30 and 0x31
+        assert memory.dirty_pages_since(mark) == [0x01, 0x30, 0x31]
+
+    def test_marks_are_independent(self):
+        memory = Memory()
+        first = memory.mark()
+        memory.write_byte(0x0100, 1)
+        second = memory.mark()
+        memory.write_byte(0x0200, 1)
+        assert memory.dirty_pages_since(first) == [0x01, 0x02]
+        assert memory.dirty_pages_since(second) == [0x02]
+
+    def test_bulk_mutations_mark_dirty(self):
+        memory = Memory()
+        mark = memory.mark()
+        memory.load(0x01FE, b"abcd")
+        assert memory.dirty_pages_since(mark) == [0x01, 0x02]
+        mark = memory.mark()
+        memory.clear()
+        assert len(memory.dirty_pages_since(mark)) == 256
+        mark = memory.mark()
+        memory.restore(bytes(MEMORY_SIZE))
+        assert len(memory.dirty_pages_since(mark)) == 256
+
+    def test_page_digest_stable_then_sensitive(self):
+        memory = Memory()
+        first = memory.page_digest()
+        assert memory.page_digest() == first  # no writes: identical
+        memory.write_byte(0x1234, 9)
+        second = memory.page_digest()
+        assert second != first
+        # Only the written page's 4-byte slot changed.
+        page = 0x1234 >> 8
+        for p in range(256):
+            slot = slice(p * 4, p * 4 + 4)
+            if p == page:
+                assert second[slot] != first[slot]
+            else:
+                assert second[slot] == first[slot]
+
+    def test_view_is_zero_copy_and_readonly(self):
+        memory = Memory()
+        memory.write_byte(0x0100, 0xAB)
+        view = memory.view(0x0100, 4)
+        assert view[0] == 0xAB
+        memory.write_byte(0x0100, 0xCD)
+        assert view[0] == 0xCD  # aliases live memory
+        with pytest.raises(TypeError):
+            view[0] = 0
