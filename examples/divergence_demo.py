@@ -16,7 +16,6 @@ and show the first frame where the naive replicas disagree.
 
 from repro import (
     ConsistencyChecker,
-    ConsistencyError,
     NetemConfig,
     PadSource,
     RandomSource,

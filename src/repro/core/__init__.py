@@ -13,9 +13,13 @@ Layout mirrors the paper's structure:
 * :mod:`repro.core.rtt` — RTT estimation feeding Algorithm 4's ``RTT/2``.
 * :mod:`repro.core.session` — rendezvous and the session control protocol
   that starts both sites within one round trip.
-* :mod:`repro.core.vm` — Algorithm 1, the distributed VM frame loop, with
-  its discrete-event driver.
+* :mod:`repro.core.engine` — Algorithm 1 as a sans-IO engine:
+  ``handle(event) -> [effects]`` / ``poll(now) -> [effects]``, hosting the
+  whole orchestration (handshake, pumps, frame loop, linger) exactly once.
+* :mod:`repro.core.driver` — driver-support helpers shared by all shells.
+* :mod:`repro.core.vm` — the discrete-event driver (simulator).
 * :mod:`repro.core.realtime` — the wall-clock driver over real UDP.
+* :mod:`repro.core.aio` — the asyncio driver: many sessions, one process.
 * :mod:`repro.core.multisite` — N players and observers (journal extension).
 * :mod:`repro.core.latejoin` — late joiners via savestate + replay.
 * :mod:`repro.core.replay` — input movies (record / verify / replay).
@@ -35,6 +39,7 @@ from repro.core.inputs import (
     RecordedSource,
     ScriptedSource,
 )
+from repro.core.engine import SiteEngine
 from repro.core.lockstep import LockstepSync
 from repro.core.pacing import FramePacer
 from repro.core.vm import DistributedVM, SitePeer, SiteRuntime
@@ -53,6 +58,7 @@ __all__ = [
     "RandomSource",
     "RecordedSource",
     "ScriptedSource",
+    "SiteEngine",
     "SitePeer",
     "SiteRuntime",
     "SyncConfig",

@@ -1,0 +1,166 @@
+"""Asyncio driver — many lockstep sessions multiplexed on one process.
+
+The ROADMAP's lobby-server shape: a site is not a thread but a coroutine,
+so one event loop hosts every site of every concurrent session.  Each
+:class:`AioSite` couples a :class:`~repro.core.engine.SiteEngine` to an
+:class:`~repro.net.udp.AsyncUdpEndpoint` and does nothing but
+
+    wait until (next engine deadline) or (datagram arrives)
+    feed the engine, apply its effects
+
+— the same ~30-line shell as the simulator and thread drivers, proving
+the sans-IO seam: the protocol neither knows nor cares which of the three
+runtimes is underneath.
+
+:func:`host_sessions` wires N independent two-site sessions (distinct
+UDP ports, distinct session ids) onto the running loop and drives them
+all to completion concurrently.  Because merged input words depend only
+on the input sources and the configured lag — never on wall-clock timing —
+the per-frame checksums of a hosted session equal those of the simulator
+for the same seeds (:func:`simulator_checksums` computes the twin).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import SyncConfig
+from repro.core.driver import apply_effects, feed_datagrams
+from repro.core.engine import SiteEngine, SitePeer, SiteRuntime
+from repro.core.inputs import InputAssignment, PadSource, RandomSource
+from repro.net.udp import AsyncUdpEndpoint
+
+
+class AioSite:
+    """Drives one engine as a coroutine on the running event loop."""
+
+    def __init__(
+        self,
+        runtime: SiteRuntime,
+        endpoint: AsyncUdpEndpoint,
+        max_frames: int,
+        linger: float = 2.0,
+    ) -> None:
+        self.runtime = runtime
+        self.endpoint = endpoint
+        self.engine = SiteEngine(runtime, max_frames, linger=linger)
+        self.finished = False
+
+    async def run(self) -> None:
+        loop = asyncio.get_running_loop()
+        engine = self.engine
+        effects = engine.start(loop.time())
+        while self._apply(effects):
+            deadline = engine.next_deadline()
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - loop.time())
+            await self.endpoint.wait(timeout)
+            effects = feed_datagrams(
+                engine, self.endpoint.receive_all(), loop.time()
+            )
+
+    def _apply(self, effects) -> bool:
+        running = apply_effects(effects, self.endpoint.send)
+        if self.engine.frames_complete:
+            self.finished = True
+        return running
+
+
+@dataclass
+class AioSessionSpec:
+    """One two-site session to host: game, length, input seed, config."""
+
+    game: str = "counter"
+    frames: int = 120
+    seed: int = 0
+    config: Optional[SyncConfig] = None
+    session_id: int = 1
+    #: Post-game pump budget (a peer may exit before its final ack lands,
+    #: leaving the other site to wait this bound out — same as the other
+    #: drivers).
+    linger: float = 2.0
+
+    def resolved_config(self) -> SyncConfig:
+        return self.config if self.config is not None else SyncConfig()
+
+    def sources(self) -> List[PadSource]:
+        return [
+            PadSource(RandomSource(self.seed + site), site) for site in (0, 1)
+        ]
+
+
+async def host_sessions(
+    specs: List[AioSessionSpec], host: str = "127.0.0.1"
+) -> List[List[SiteRuntime]]:
+    """Run every session concurrently on the current event loop.
+
+    Returns the runtimes grouped per session (two per spec), with their
+    traces complete.  All sites of all sessions share the one loop — the
+    many-sessions-per-process shape a lobby server needs.
+    """
+    from repro.emulator.machine import create_game
+
+    sites: List[AioSite] = []
+    grouped: List[List[SiteRuntime]] = []
+    try:
+        for spec in specs:
+            config = spec.resolved_config()
+            sources = spec.sources()
+            endpoints = [await AsyncUdpEndpoint.open(host) for _ in range(2)]
+            peers = [SitePeer(s, endpoints[s].address) for s in range(2)]
+            session_id = spec.session_id
+            runtimes = []
+            for s in range(2):
+                runtime = SiteRuntime(
+                    config=config,
+                    site_no=s,
+                    assignment=InputAssignment.standard(2),
+                    machine=create_game(spec.game),
+                    source=sources[s],
+                    peers=peers,
+                    game_id=spec.game,
+                    session_id=session_id,
+                )
+                runtimes.append(runtime)
+                sites.append(
+                    AioSite(
+                        runtime, endpoints[s], spec.frames, linger=spec.linger
+                    )
+                )
+            grouped.append(runtimes)
+        await asyncio.gather(*(site.run() for site in sites))
+    finally:
+        for site in sites:
+            site.endpoint.close()
+    return grouped
+
+
+def run_sessions(
+    specs: List[AioSessionSpec], host: str = "127.0.0.1"
+) -> List[List[SiteRuntime]]:
+    """Synchronous entry point: host the sessions on a fresh event loop."""
+    return asyncio.run(host_sessions(specs, host=host))
+
+
+def simulator_checksums(spec: AioSessionSpec, rtt: float = 0.040) -> List[int]:
+    """Per-frame checksums of the same session on the discrete-event driver.
+
+    The asyncio-hosted session must reproduce these exactly: merged inputs
+    depend only on the sources and the lag, not on timing.
+    """
+    from repro.core.multisite import build_session, two_player_plan
+    from repro.emulator.machine import create_game
+    from repro.net.netem import NetemConfig
+
+    plan = two_player_plan(
+        spec.resolved_config(),
+        machine_factory=lambda: create_game(spec.game),
+        sources=spec.sources(),
+        max_frames=spec.frames,
+    )
+    session = build_session(plan, NetemConfig.for_rtt(rtt))
+    session.run()
+    return list(session.vms[0].runtime.trace.checksums)

@@ -7,7 +7,7 @@ an extra ~5 ms thread-slice delay (§4.2's delay budget).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,68 @@
+"""Driver-support layer shared by the sim, thread and asyncio drivers.
+
+Each driver owns exactly two jobs: move received datagrams into the engine
+as :class:`~repro.core.engine.DatagramReceived` events, and apply the
+effects the engine returns.  Both jobs are identical across runtimes, so
+they live here once — the per-driver code is only the waiting primitive
+(event-loop process, blocking socket, coroutine).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.engine import (
+    DatagramReceived,
+    Effect,
+    Finished,
+    Send,
+    ServeState,
+    SiteEngine,
+)
+from repro.net.transport import Datagram
+
+
+def apply_effects(
+    effects: Iterable[Effect],
+    send: Callable[[bytes, str], None],
+    on_serve_state: Optional[Callable[[int, int], None]] = None,
+) -> bool:
+    """Apply one batch of engine effects; False once ``Finished`` appears.
+
+    ``Send`` goes out through ``send``; ``ServeState`` fires the harness
+    admission hook.  ``SetTimer`` is deliberately ignored — the bundled
+    drivers pull ``engine.next_deadline()`` instead — and ``Present`` /
+    ``Stall`` are presentation-layer notifications these headless drivers
+    have no screen for.
+    """
+    running = True
+    for effect in effects:
+        if isinstance(effect, Send):
+            send(effect.payload, effect.destination)
+        elif isinstance(effect, ServeState):
+            if on_serve_state is not None:
+                on_serve_state(effect.site, effect.frame)
+        elif isinstance(effect, Finished):
+            running = False
+    return running
+
+
+def feed_datagrams(
+    engine: SiteEngine,
+    datagrams: Iterable[Datagram],
+    now: float,
+) -> List[Effect]:
+    """Feed received datagrams into the engine, then poll it once.
+
+    The trailing poll matters even for an empty batch: the caller usually
+    woke up because a timer came due.
+    """
+    effects: List[Effect] = []
+    for datagram in datagrams:
+        effects.extend(
+            engine.handle(
+                DatagramReceived(datagram.payload, datagram.arrived_at, now)
+            )
+        )
+    effects.extend(engine.poll(now))
+    return effects

@@ -1,0 +1,776 @@
+"""The sans-IO protocol engine: Algorithm 1 as events in, effects out.
+
+The paper's frame loop::
+
+    repeat
+        BeginFrameTiming();
+        I  = GetInput();
+        I' = SyncInput(I, Frame);
+        S  = Transition(I', S);
+        translate and present S;
+        EndFrameTiming();
+        Frame++;
+    until end of game;
+
+Three layers live here:
+
+* :class:`SiteRuntime` — the sans-IO aggregate of one site's protocol state
+  (session control, lockstep, pacer, RTT estimator, machine, input source,
+  trace).  It turns received datagrams into state updates plus reply
+  datagrams, and builds outbound sync messages.
+* :class:`SiteEngine` — the orchestration that used to be copy-pasted into
+  every driver: the start handshake, the send pump (the paper's 20 ms
+  outbound batching and ~5 ms thread-slice delay, §4.2), the ping pump, the
+  frame loop with its SyncInput gate, late-join state serving, and the
+  linger phase.  The engine is a pure state machine: drivers feed it
+  :class:`Event` objects (datagrams, timer ticks, shutdown) and apply the
+  :class:`Effect` objects it returns (datagrams to send, timers to arm,
+  frames to present).  It contains no clocks, no sockets and no sleeping.
+* The drivers — :class:`repro.core.vm.DistributedVM` (discrete-event),
+  :class:`repro.core.realtime.RealtimeVM` (wall clock + UDP) and
+  :class:`repro.core.aio.AioSite` (asyncio, many sessions per process) —
+  are thin shells that move bytes and time between their runtime and the
+  engine.
+
+``Transition`` is a black box: any object satisfying :class:`GameMachine`
+works, and the sync layer never inspects it (the paper's "game
+transparency").
+
+Event/effect protocol
+---------------------
+
+Drivers interact with the engine through exactly two entry points::
+
+    effects = engine.handle(event)   # a DatagramReceived / InputSampled /
+                                     # Shutdown happened
+    effects = engine.poll(now)       # time passed (a timer may be due)
+
+and one scheduling query, ``engine.next_deadline()`` — the earliest time at
+which ``poll`` must be called again.  ``SetTimer`` effects carry the same
+information for drivers that prefer push-style scheduling; the bundled
+drivers use the pull-style query.  All ``now`` values must come from one
+monotonically non-decreasing clock per engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple, Union
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment, InputSource
+from repro.core.lockstep import LockstepSync
+from repro.core.messages import (
+    Message,
+    Ping,
+    Pong,
+    StateRequest,
+    StateSnapshot,
+    Sync,
+    decode,
+    DecodeError,
+)
+from repro.core.pacing import FramePacer
+from repro.core.rtt import RttEstimator
+from repro.core.session import SessionControl
+from repro.metrics.recorder import FrameTrace
+from repro.metrics.timeserver import encode_report
+
+
+class GameMachine(Protocol):
+    """What the sync layer requires of a game: a deterministic black box."""
+
+    def step(self, input_word: int) -> None:
+        """Advance exactly one frame under ``input_word``."""
+
+    def checksum(self) -> int:
+        """A digest of the complete machine state."""
+
+    def save_state(self) -> bytes:
+        """Serialize the full state (for late joiners)."""
+
+    def load_state(self, blob: bytes) -> None:
+        """Restore a state produced by :meth:`save_state`."""
+
+
+@dataclass(frozen=True)
+class SitePeer:
+    """Address book entry: where a given site number lives."""
+
+    site_no: int
+    address: str
+
+
+class SiteRuntime:
+    """One site's complete sans-IO protocol state."""
+
+    def __init__(
+        self,
+        config: SyncConfig,
+        site_no: int,
+        assignment: InputAssignment,
+        machine: GameMachine,
+        source: InputSource,
+        peers: List[SitePeer],
+        game_id: str = "game",
+        session_id: int = 1,
+        handshake_sites: Optional[List[int]] = None,
+    ) -> None:
+        self.config = config
+        self.site_no = site_no
+        self.assignment = assignment
+        self.machine = machine
+        self.source = source
+        self.game_id = game_id
+        self.session_id = session_id
+        self.address_of: Dict[int, str] = {p.site_no: p.address for p in peers}
+        self.peer_sites: List[int] = [
+            p.site_no for p in peers if p.site_no != site_no
+        ]
+
+        self.lockstep = LockstepSync(config, site_no, assignment, session_id)
+        self.pacer = FramePacer(config, site_no)
+        self.rtt = RttEstimator(config, site_no, session_id)
+        self.session = SessionControl(
+            config,
+            site_no,
+            num_sites=len(assignment),
+            game_id=game_id,
+            session_id=session_id,
+            peer_addresses=self.address_of,
+            expected_sites=handshake_sites,
+        )
+        self.trace = FrameTrace(site_no)
+        #: Frame counter of Algorithm 1.
+        self.frame = 0
+        #: Set when the site should answer STATE_REQUESTs (late-join donor).
+        self.allow_state_requests = False
+        self._pending_state_request: Optional[int] = None
+        #: Latest received savestate (consumed by the late-join engine).
+        self.latest_snapshot: Optional[StateSnapshot] = None
+
+    # ------------------------------------------------------------------
+    # Receive path (shared by all drivers)
+    # ------------------------------------------------------------------
+    def handle_datagram(
+        self, payload: bytes, arrived_at: float, now: float
+    ) -> List[Tuple[bytes, str]]:
+        """Process one datagram; returns (payload, destination) replies."""
+        try:
+            message = decode(payload)
+        except DecodeError:
+            return []  # stray traffic; UDP ports see garbage in real life
+        return self.handle_message(message, arrived_at, now)
+
+    def handle_message(
+        self, message: Message, arrived_at: float, now: float
+    ) -> List[Tuple[bytes, str]]:
+        replies: List[Tuple[bytes, str]] = []
+
+        if isinstance(message, Sync):
+            self.lockstep.on_sync(message, arrived_at)
+        elif isinstance(message, Ping):
+            pong = RttEstimator.make_pong(message, self.site_no)
+            destination = self.address_of.get(message.sender_site)
+            if destination is not None:
+                replies.append((pong.encode(), destination))
+        elif isinstance(message, Pong):
+            self.rtt.on_pong(message, now)
+            if self.config.adaptive_lag and self.rtt.samples:
+                self._adapt_lag()
+        elif isinstance(message, StateRequest):
+            if self.allow_state_requests:
+                self._pending_state_request = message.sender_site
+        elif isinstance(message, StateSnapshot):
+            if (
+                self.latest_snapshot is None
+                or message.frame > self.latest_snapshot.frame
+            ):
+                self.latest_snapshot = message
+        else:
+            for reply, destination in self.session.on_message(message, now):
+                replies.append((reply.encode(), destination))
+        return replies
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def control_messages(self, now: float) -> List[Tuple[bytes, str]]:
+        """Session-control (re)transmissions due now."""
+        return [
+            (message.encode(), destination)
+            for message, destination in self.session.poll(now)
+        ]
+
+    def sync_broadcast(self, force: bool = False) -> List[Tuple[bytes, str]]:
+        """The flush: per-peer sd messages (lines 7–11, N-site form)."""
+        return [
+            (message.encode(), self.address_of[peer])
+            for peer, message in self.lockstep.build_all(force=force).items()
+        ]
+
+    def ping_messages(self, now: float) -> List[Tuple[bytes, str]]:
+        """One RTT probe per peer."""
+        out = []
+        for site in self.peer_sites:
+            out.append((self.rtt.make_ping(now).encode(), self.address_of[site]))
+        return out
+
+    def _adapt_lag(self) -> None:
+        """Resize local lag to the current one-way estimate (§4.2's rejected
+        alternative, implemented for the ablation)."""
+        import math
+
+        config = self.config
+        needed = math.ceil(
+            (self.rtt.one_way + config.adaptive_margin) * config.cfps
+        )
+        needed = max(config.adaptive_min_buf, min(config.adaptive_max_buf, needed))
+        self.lockstep.set_local_lag(needed)
+
+    def take_state_request(self) -> Optional[int]:
+        """Pop the pending late-join request (site number) if any."""
+        request, self._pending_state_request = self._pending_state_request, None
+        return request
+
+    # ------------------------------------------------------------------
+    # Frame-loop steps (Algorithm 1, minus the waiting)
+    # ------------------------------------------------------------------
+    def begin_frame(self, now: float) -> float:
+        """BeginFrameTiming: Algorithm 4; returns the sync adjust applied."""
+        self.trace.record_begin(now)
+        return self.pacer.begin_frame(
+            now, self.frame, self.lockstep.master_sample, self.rtt.rtt
+        )
+
+    def get_and_buffer_input(self) -> None:
+        """GetInput + Algorithm 2 lines 1–5.
+
+        Sources must produce bits already positioned in the full input word
+        (wrap pad-byte sources in :class:`~repro.core.inputs.PadSource`).
+        """
+        local_bits = self.source.get(self.frame)
+        self.lockstep.buffer_local_input(self.frame, local_bits)
+
+    def try_deliver(self) -> Optional[int]:
+        """The line-21 exit check: merged input if ready, else None."""
+        if self.lockstep.can_deliver():
+            return self.lockstep.deliver()
+        return None
+
+    def run_transition(self, merged_input: int, stall: float, sync_adjust: float) -> None:
+        """Transition + present: step the machine and record the trace."""
+        self.machine.step(merged_input)
+        self.trace.record_frame(
+            merged_input,
+            self.machine.checksum(),
+            stall,
+            sync_adjust,
+            lag=self.lockstep.local_lag_frames,
+        )
+        self.frame += 1
+
+    def end_frame(self, now: float) -> float:
+        """EndFrameTiming: Algorithm 3; returns the wait the driver owes."""
+        return self.pacer.end_frame(now)
+
+    def end_frame_deadline(self, now: float) -> Optional[float]:
+        """EndFrameTiming as an absolute deadline (None: begin at once)."""
+        return self.pacer.end_frame_deadline(now)
+
+    # ------------------------------------------------------------------
+    def all_inputs_acked(self) -> bool:
+        """True when every peer has acked all our buffered inputs."""
+        mine = self.lockstep.last_rcv_frame[self.site_no]
+        return all(
+            self.lockstep.last_ack_frame[s] >= mine for s in self.peer_sites
+        )
+
+
+# ----------------------------------------------------------------------
+# Events: what a driver tells the engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DatagramReceived:
+    """A datagram arrived.  ``arrived_at`` is the receive timestamp (used by
+    Algorithm 4's rate estimation); ``now`` is the processing time."""
+
+    payload: bytes
+    arrived_at: float
+    now: float
+
+
+@dataclass(frozen=True)
+class FrameTick:
+    """Time passed: a timer the engine armed may be due.  Equivalent to
+    calling :meth:`SiteEngine.poll`."""
+
+    now: float
+
+
+@dataclass(frozen=True)
+class InputSampled:
+    """A driver-supplied input word for ``frame``, overriding the pull from
+    ``runtime.source`` (e.g. a UI thread sampling a real controller)."""
+
+    frame: int
+    bits: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Stop the engine now: clear all timers and emit ``Finished``."""
+
+    now: float
+
+
+Event = Union[DatagramReceived, FrameTick, InputSampled, Shutdown]
+
+
+# ----------------------------------------------------------------------
+# Effects: what the engine tells a driver to do
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Send:
+    """Transmit ``payload`` to ``destination``."""
+
+    payload: bytes
+    destination: str
+
+
+@dataclass(frozen=True)
+class SetTimer:
+    """Timer ``kind`` is (re)armed for ``deadline``; the engine wants a
+    ``poll`` no later than that.  ``engine.next_deadline()`` carries the
+    same information for pull-style drivers."""
+
+    kind: str
+    deadline: float
+
+
+@dataclass(frozen=True)
+class Present:
+    """A frame committed: render ``frame`` executed under ``merged_input``."""
+
+    frame: int
+    merged_input: int
+
+
+@dataclass(frozen=True)
+class Stall:
+    """SyncInput is blocking ``frame`` on the listed gating sites (§4.1's
+    freeze).  Emitted once per blocked frame."""
+
+    frame: int
+    waiting_on: Tuple[int, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class ServeState:
+    """A savestate for late-joiner ``site`` was snapshot at ``frame`` (the
+    harness uses this to broadcast the admission)."""
+
+    site: int
+    frame: int
+
+
+@dataclass(frozen=True)
+class Finished:
+    """The engine is done (frames executed and linger elapsed, or shutdown);
+    no further events are needed."""
+
+    frame: int
+
+
+Effect = Union[Send, SetTimer, Present, Stall, ServeState, Finished]
+
+
+# ----------------------------------------------------------------------
+# Timer kinds and phases
+# ----------------------------------------------------------------------
+TIMER_SEND = "send"  # the 20 ms outbound batching period
+TIMER_FLUSH = "flush"  # §4.2 thread-slice delay before the flush
+TIMER_PING = "ping"  # RTT probe period
+TIMER_RETRY = "retry"  # session-control retransmission
+TIMER_GATE = "gate"  # SyncInput poll while blocked
+TIMER_COMPUTE = "compute"  # Transition's simulated compute time
+TIMER_FRAME = "frame"  # EndFrameTiming wait / frame-loop start delay
+TIMER_LINGER = "linger"  # linger-phase poll
+
+PHASE_IDLE = "idle"
+PHASE_HANDSHAKE = "handshake"
+PHASE_GATE = "gate"
+PHASE_COMPUTE = "compute"
+PHASE_FRAME_WAIT = "frame-wait"
+PHASE_LINGER = "linger"
+PHASE_DONE = "done"
+# Variant-engine phases (kept here so `phase` values stay one namespace):
+PHASE_CATCHUP = "catchup"  # rollback: confirming in-flight frames
+PHASE_ACQUIRE = "acquire"  # late join: waiting for a state snapshot
+
+
+class SiteEngine:
+    """Drives one :class:`SiteRuntime` through a whole session, sans IO.
+
+    The engine owns every wait the old drivers hand-coded — handshake
+    retries, the send/ping pumps, the SyncInput gate, frame pacing and the
+    linger phase — expressed as named timers.  Drivers feed events and
+    apply effects; see the module docstring for the contract.
+    """
+
+    #: SyncInput re-poll period while blocked; bounds how long a site waits
+    #: when a wakeup was lost (the peer's pump re-sends every 20 ms anyway).
+    SYNC_POLL = 0.004
+
+    def __init__(
+        self,
+        runtime: SiteRuntime,
+        max_frames: int,
+        *,
+        frame_compute_time: float = 0.0,
+        linger: float = 5.0,
+        seed: int = 0,
+        time_server_address: Optional[str] = None,
+        frame_loop_delay: float = 0.0,
+        timer_granularity: float = 0.0,
+    ) -> None:
+        self.runtime = runtime
+        self.max_frames = max_frames
+        self.frame_compute_time = frame_compute_time
+        #: How long to keep pumping after the last frame so peers still
+        #: waiting on our inputs (or retransmissions) can finish.
+        self.linger = linger
+        self.time_server_address = time_server_address
+        #: Extra delay between session start and the first frame — models
+        #: §3.2's "two sites cannot begin at exactly the same time" beyond
+        #: what the start protocol already bounds (used by the Algorithm 4
+        #: ablation).
+        self.frame_loop_delay = frame_loop_delay
+        #: OS sleep overshoot bound for the send pump's flush period.  The
+        #: paper's testbed is Windows XP (~10 ms timer granularity); a late
+        #: flush delays the whole unacked-input window, eating into the
+        #: §4.2 latency budget.
+        self.timer_granularity = timer_granularity
+        self._rng = random.Random((seed << 8) ^ runtime.site_no)
+
+        self.phase = PHASE_IDLE
+        #: True once every frame has executed (the linger phase may still
+        #: be pumping retransmissions for peers).
+        self.frames_complete = False
+        #: True once ``Finished`` has been emitted.
+        self.done = False
+        self.on_snapshot_served = None  # set via the driver facade
+        #: Per-joiner cached snapshot: repeated STATE_REQUESTs (the joiner
+        #: retries until one arrives) must all answer with the *same* frame,
+        #: or the admission bookkeeping would race the joiner's choice.
+        self.snapshot_cache: Dict[int, StateSnapshot] = {}
+
+        self._timers: Dict[str, float] = {}
+        self._sampled: Dict[int, int] = {}
+        self._merged: Optional[int] = None
+        self._stall = 0.0
+        self._stall_started = 0.0
+        self._stalled = False
+        self._sync_adjust = 0.0
+        self._linger_deadline = 0.0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def start(self, now: float) -> List[Effect]:
+        """Begin the session at ``now``; returns the first effects."""
+        effects: List[Effect] = []
+        self.phase = PHASE_HANDSHAKE
+        self._arm_send(now, effects)
+        self._set(TIMER_PING, now, effects)
+        self._set(TIMER_RETRY, now, effects)
+        return self._pump(now, effects)
+
+    def handle(self, event: Event) -> List[Effect]:
+        """Feed one event; returns the effects it triggered."""
+        if self.done:
+            return []
+        if isinstance(event, DatagramReceived):
+            effects: List[Effect] = []
+            replies = self.runtime.handle_datagram(
+                event.payload, event.arrived_at, event.now
+            )
+            self._emit_sends(replies, effects)
+            self._on_datagram(event.now, effects)
+            return self._pump(event.now, effects)
+        if isinstance(event, FrameTick):
+            return self._pump(event.now, [])
+        if isinstance(event, InputSampled):
+            self._sampled[event.frame] = event.bits
+            return []
+        if isinstance(event, Shutdown):
+            self._timers.clear()
+            self.phase = PHASE_DONE
+            self.done = True
+            return [Finished(self.runtime.frame)]
+        raise TypeError(f"unknown event {event!r}")
+
+    def poll(self, now: float) -> List[Effect]:
+        """Fire any timers due at ``now``; returns their effects."""
+        if self.done:
+            return []
+        return self._pump(now, [])
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest armed timer deadline, or None when the engine is done."""
+        if not self._timers:
+            return None
+        return min(self._timers.values())
+
+    # ------------------------------------------------------------------
+    # Timer plumbing
+    # ------------------------------------------------------------------
+    def _set(self, kind: str, deadline: float, effects: List[Effect]) -> None:
+        self._timers[kind] = deadline
+        effects.append(SetTimer(kind, deadline))
+
+    def _clear(self, kind: str) -> None:
+        self._timers.pop(kind, None)
+
+    def _emit_sends(
+        self, batch: List[Tuple[bytes, str]], effects: List[Effect]
+    ) -> None:
+        for payload, destination in batch:
+            effects.append(Send(payload, destination))
+
+    def _pump(self, now: float, effects: List[Effect]) -> List[Effect]:
+        """Fire due timers in deadline order, then advance the phase."""
+        while self._timers and not self.done:
+            kind = min(self._timers, key=lambda k: (self._timers[k], k))
+            if self._timers[kind] > now:
+                break
+            del self._timers[kind]
+            self._on_timer(kind, now, effects)
+        if not self.done:
+            self._advance(now, effects)
+        return effects
+
+    def _on_timer(self, kind: str, now: float, effects: List[Effect]) -> None:
+        if kind == TIMER_SEND:
+            if self.runtime.config.slice_delay > 0:
+                delay = self._rng.uniform(
+                    0.0, 2.0 * self.runtime.config.slice_delay
+                )
+                self._set(TIMER_FLUSH, now + delay, effects)
+            else:
+                self._flush(now, effects)
+                self._arm_send(now, effects)
+        elif kind == TIMER_FLUSH:
+            self._flush(now, effects)
+            self._arm_send(now, effects)
+        elif kind == TIMER_PING:
+            self._emit_sends(self.runtime.ping_messages(now), effects)
+            self._set(TIMER_PING, now + self.runtime.config.ping_interval, effects)
+        elif kind == TIMER_RETRY:
+            if self.phase == PHASE_HANDSHAKE:
+                self._emit_sends(self.runtime.control_messages(now), effects)
+                self._set(
+                    TIMER_RETRY, self.runtime.session.retry_deadline(), effects
+                )
+        elif kind == TIMER_GATE:
+            pass  # _advance re-checks the gate below
+        elif kind == TIMER_COMPUTE:
+            if self.phase == PHASE_COMPUTE and self._commit_frame(now, effects):
+                self._frame_cycle(now, effects)
+        elif kind == TIMER_FRAME:
+            if self.phase == PHASE_FRAME_WAIT:
+                self._frame_cycle(now, effects)
+        elif kind == TIMER_LINGER:
+            if self.phase == PHASE_LINGER:
+                self._set(TIMER_LINGER, now + 0.05, effects)
+
+    def _arm_send(self, now: float, effects: List[Effect]) -> None:
+        """The paper's batching sender: flush every ``send_interval``, with
+        the sender thread's sleep landing late on a coarse OS timer."""
+        period = self.runtime.config.send_interval
+        if self.timer_granularity > 0:
+            period += self._rng.uniform(0.0, self.timer_granularity)
+        self._set(TIMER_SEND, now + period, effects)
+
+    def _flush(self, now: float, effects: List[Effect]) -> None:
+        # Session-control retransmissions (e.g. START to a peer whose copy
+        # was lost) must continue after this site enters its frame loop —
+        # a peer may still be waiting on them.
+        self._emit_sends(self.runtime.control_messages(now), effects)
+        if self.runtime.session.started:
+            self._emit_sends(self.runtime.sync_broadcast(), effects)
+
+    # ------------------------------------------------------------------
+    # Phase machine
+    # ------------------------------------------------------------------
+    def _advance(self, now: float, effects: List[Effect]) -> None:
+        if self.phase == PHASE_HANDSHAKE:
+            self._emit_sends(self.runtime.control_messages(now), effects)
+            if self.runtime.session.started:
+                self._clear(TIMER_RETRY)
+                if self.frame_loop_delay > 0:
+                    self.phase = PHASE_FRAME_WAIT
+                    self._set(TIMER_FRAME, now + self.frame_loop_delay, effects)
+                else:
+                    self._frame_cycle(now, effects)
+        elif self.phase == PHASE_GATE:
+            if self._check_gate(now, effects):
+                self._frame_cycle(now, effects)
+        elif self.phase == PHASE_LINGER:
+            self._maybe_finish_linger(now, effects)
+
+    def _on_datagram(self, now: float, effects: List[Effect]) -> None:
+        """Hook: called after each datagram is absorbed (before the pump)."""
+
+    def _frame_cycle(self, now: float, effects: List[Effect]) -> None:
+        """Run frame iterations until one blocks (gate/compute/wait) or the
+        horizon is reached.  Iterative on purpose: a zero-compute zero-wait
+        frame must not recurse."""
+        runtime = self.runtime
+        while True:
+            if self._frames_done():
+                self._enter_linger(now, effects)
+                return
+            self._sync_adjust = runtime.begin_frame(now)
+            if self.time_server_address is not None:
+                effects.append(
+                    Send(
+                        encode_report(runtime.site_no, runtime.frame),
+                        self.time_server_address,
+                    )
+                )
+            self._sample_input()
+            self._stall_started = now
+            self._stalled = False
+            self.phase = PHASE_GATE
+            if not self._check_gate(now, effects):
+                return
+
+    def _sample_input(self) -> None:
+        """GetInput: a pushed ``InputSampled`` word wins over the source."""
+        bits = self._sampled.pop(self.runtime.frame, None)
+        if bits is None:
+            self.runtime.get_and_buffer_input()
+        else:
+            self.runtime.lockstep.buffer_local_input(self.runtime.frame, bits)
+
+    def _check_gate(self, now: float, effects: List[Effect]) -> bool:
+        """SyncInput's blocking check (lines 6–21).  True: the frame
+        committed and the next one should begin immediately."""
+        merged = self._try_ready(now)
+        if merged is None:
+            if not self._stalled:
+                self._stalled = True
+                effects.append(
+                    Stall(
+                        self.runtime.frame,
+                        tuple(self.runtime.lockstep.waiting_on()),
+                    )
+                )
+            self._set(TIMER_GATE, now + self.SYNC_POLL, effects)
+            return False
+        self._clear(TIMER_GATE)
+        self._merged = merged
+        self._stall = now - self._stall_started
+        if self.frame_compute_time > 0:
+            self.phase = PHASE_COMPUTE
+            self._set(TIMER_COMPUTE, now + self.frame_compute_time, effects)
+            return False
+        return self._commit_frame(now, effects)
+
+    def _commit_frame(self, now: float, effects: List[Effect]) -> bool:
+        """Transition + present + EndFrameTiming.  True: begin the next
+        frame immediately (no wait owed)."""
+        self._commit(self._merged, self._stall, self._sync_adjust, now, effects)
+        request = self.runtime.take_state_request()
+        if request is not None:
+            self._serve_state(request, effects)
+        deadline = self.runtime.end_frame_deadline(now)
+        if self._frames_done():
+            self._enter_linger(now, effects)
+            return False
+        if deadline is not None:
+            self.phase = PHASE_FRAME_WAIT
+            self._set(TIMER_FRAME, deadline, effects)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Hooks (overridden by rollback / late-join engines)
+    # ------------------------------------------------------------------
+    def _try_ready(self, now: float) -> Optional[int]:
+        """The line-21 exit check; None while delivery is blocked."""
+        return self.runtime.try_deliver()
+
+    def _commit(
+        self,
+        merged: int,
+        stall: float,
+        sync_adjust: float,
+        now: float,
+        effects: List[Effect],
+    ) -> None:
+        """Transition + present for one frame."""
+        frame = self.runtime.frame
+        self.runtime.run_transition(merged, stall, sync_adjust)
+        effects.append(Present(frame, merged))
+
+    def _frames_done(self) -> bool:
+        return self.runtime.frame >= self.max_frames
+
+    # ------------------------------------------------------------------
+    # Late-join donor duties (outside the hot path in spirit)
+    # ------------------------------------------------------------------
+    def _serve_state(self, requester_site: int, effects: List[Effect]) -> None:
+        """Send a savestate to a late joiner (journal extension).
+
+        The first request snapshots the machine; retried requests re-send
+        the identical snapshot, keeping admission deterministic even when
+        the first reply is lost.
+        """
+        runtime = self.runtime
+        snapshot = self.snapshot_cache.get(requester_site)
+        if snapshot is None:
+            snapshot_frame = runtime.frame - 1  # state after the last executed frame
+            lockstep = runtime.lockstep
+            backlog = []
+            for site in range(lockstep.num_sites):
+                last = lockstep.last_rcv_frame[site]
+                if site == requester_site or last <= snapshot_frame:
+                    backlog.append([])
+                else:
+                    backlog.append(
+                        lockstep.ibuf.range_for(site, snapshot_frame + 1, last)
+                    )
+            snapshot = StateSnapshot(
+                sender_site=runtime.site_no,
+                session_id=runtime.session_id,
+                frame=snapshot_frame,
+                state=runtime.machine.save_state(),
+                backlog=backlog,
+            )
+            self.snapshot_cache[requester_site] = snapshot
+            effects.append(ServeState(requester_site, snapshot.frame))
+            if self.on_snapshot_served is not None:
+                self.on_snapshot_served(requester_site, snapshot.frame)
+        destination = runtime.address_of.get(requester_site)
+        if destination is not None:
+            effects.append(Send(snapshot.encode(), destination))
+
+    # ------------------------------------------------------------------
+    # Linger
+    # ------------------------------------------------------------------
+    def _enter_linger(self, now: float, effects: List[Effect]) -> None:
+        self.frames_complete = True
+        self.phase = PHASE_LINGER
+        self._linger_deadline = now + self.linger
+        self._set(TIMER_LINGER, now + 0.05, effects)
+        self._maybe_finish_linger(now, effects)
+
+    def _maybe_finish_linger(self, now: float, effects: List[Effect]) -> None:
+        if self.runtime.all_inputs_acked() or now >= self._linger_deadline:
+            self._timers.clear()
+            self.phase = PHASE_DONE
+            self.done = True
+            effects.append(Finished(self.runtime.frame))

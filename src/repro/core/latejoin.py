@@ -27,28 +27,38 @@ cold joiner shares no lineage with the donor, so there is no common base
 state for a delta to patch.  The donor pays this once per join; its
 per-frame checksum/trace costs are unaffected (those ride the incremental
 page-CRC path).
+
+With the sans-IO refactor the joiner is :class:`LateJoinEngine` — the
+ordinary :class:`~repro.core.engine.SiteEngine` with the start handshake
+replaced by an *acquire* phase (request timer + snapshot wait).  Any
+driver can host it; :class:`LateJoinerVM` is the discrete-event shell.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import List, Optional
 
+from repro.core.engine import (
+    Effect,
+    PHASE_ACQUIRE,
+    Send,
+    SiteEngine,
+    SiteRuntime,
+    TIMER_PING,
+)
 from repro.core.messages import StateRequest
 from repro.core.session import SessionPhase
 from repro.core.vm import DistributedVM
-from repro.sim.process import Sleep, Spawn, WaitMessage
+
+TIMER_REQUEST = "state-request"
 
 
 class LateJoinError(RuntimeError):
     """The joiner could not obtain a snapshot."""
 
 
-class LateJoinerVM(DistributedVM):
-    """A site that joins a running session at ``join_time``.
-
-    Construction mirrors :class:`DistributedVM`; the donor site must have
-    ``runtime.allow_state_requests = True``.
-    """
+class LateJoinEngine(SiteEngine):
+    """A site that joins a running session from a donor's savestate."""
 
     #: How often the joiner re-sends STATE_REQUEST.
     REQUEST_INTERVAL = 0.1
@@ -57,55 +67,106 @@ class LateJoinerVM(DistributedVM):
 
     def __init__(
         self,
+        runtime: SiteRuntime,
+        max_frames: int,
+        *,
+        donor_site: int = 0,
+        **options: object,
+    ) -> None:
+        super().__init__(runtime, max_frames, **options)  # type: ignore[arg-type]
+        self.donor_site = donor_site
+        self.joined_at_frame: Optional[int] = None
+        self._acquire_deadline = 0.0
+
+    def start(self, now: float) -> List[Effect]:
+        """Skip the start handshake: request state until a snapshot lands."""
+        effects: List[Effect] = []
+        self.phase = PHASE_ACQUIRE
+        self._acquire_deadline = now + self.REQUEST_TIMEOUT
+        self._arm_send(now, effects)
+        self._set(TIMER_PING, now, effects)
+        self._set(TIMER_REQUEST, now, effects)
+        return self._pump(now, effects)
+
+    def _on_timer(self, kind: str, now: float, effects: List[Effect]) -> None:
+        if kind == TIMER_REQUEST:
+            if self.phase != PHASE_ACQUIRE:
+                return
+            if now >= self._acquire_deadline:
+                raise LateJoinError(
+                    f"site {self.runtime.site_no}: no snapshot from donor "
+                    f"{self.donor_site} within {self.REQUEST_TIMEOUT}s"
+                )
+            request = StateRequest(
+                self.runtime.site_no, self.runtime.session_id
+            ).encode()
+            effects.append(
+                Send(request, self.runtime.address_of[self.donor_site])
+            )
+            self._set(TIMER_REQUEST, now + self.REQUEST_INTERVAL, effects)
+            return
+        super()._on_timer(kind, now, effects)
+
+    def _advance(self, now: float, effects: List[Effect]) -> None:
+        if self.phase == PHASE_ACQUIRE:
+            runtime = self.runtime
+            snapshot = runtime.latest_snapshot
+            if snapshot is None:
+                return
+            runtime.machine.load_state(snapshot.state)
+            # The admission gate peers apply is snapshot + 1 + the
+            # *configured* BufFrame; pin our lag there so our first input
+            # lands exactly on it (adaptive lag, if enabled, resumes
+            # afterwards).
+            runtime.lockstep.set_local_lag(runtime.config.buf_frame)
+            runtime.lockstep.seed_from_snapshot(snapshot.frame, snapshot.backlog)
+            runtime.frame = snapshot.frame + 1
+            runtime.trace.first_frame = runtime.frame
+            self.joined_at_frame = runtime.frame
+            # The joiner never ran the start handshake; it is live now.
+            runtime.session.phase = SessionPhase.RUNNING
+            runtime.session.started_at = now
+            self._clear(TIMER_REQUEST)
+            self._frame_cycle(now, effects)
+            return
+        super()._advance(now, effects)
+
+
+class LateJoinerVM(DistributedVM):
+    """Discrete-event shell: a site that joins at ``join_time``.
+
+    Construction mirrors :class:`DistributedVM`; the donor site must have
+    ``runtime.allow_state_requests = True``.
+    """
+
+    def __init__(
+        self,
         *args: object,
         join_time: float = 1.0,
         donor_site: int = 0,
         **kwargs: object,
     ) -> None:
+        self._donor_site = donor_site
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
         self.join_time = join_time
-        self.donor_site = donor_site
-        self.joined_at_frame: Optional[int] = None
+        self.start_delay = join_time
 
-    def _main(self) -> Generator:
-        yield Sleep(self.join_time)
-        yield Spawn(self._send_pump(), f"pump{self.runtime.site_no}")
-        yield Spawn(self._ping_pump(), f"ping{self.runtime.site_no}")
-        yield from self._acquire_state()
-        yield from self._frame_loop()
-        yield from self._linger()
+    def _build_engine(self, **options: object) -> LateJoinEngine:
+        return LateJoinEngine(
+            self.runtime,
+            self.max_frames,
+            linger=self.LINGER,
+            donor_site=self._donor_site,
+            **options,
+        )
 
-    def _acquire_state(self) -> Generator:
-        runtime = self.runtime
-        donor_address = runtime.address_of[self.donor_site]
-        deadline = self.loop.clock.now() + self.REQUEST_TIMEOUT
-        request = StateRequest(runtime.site_no, runtime.session_id).encode()
+    @property
+    def donor_site(self) -> int:
+        return self.engine.donor_site
 
-        while runtime.latest_snapshot is None:
-            if self.loop.clock.now() >= deadline:
-                raise LateJoinError(
-                    f"site {runtime.site_no}: no snapshot from donor "
-                    f"{self.donor_site} within {self.REQUEST_TIMEOUT}s"
-                )
-            self.socket.send(request, donor_address)
-            envelope = yield WaitMessage(
-                self.socket.mailbox, timeout=self.REQUEST_INTERVAL
-            )
-            self._drain(envelope)
-
-        snapshot = runtime.latest_snapshot
-        runtime.machine.load_state(snapshot.state)
-        # The admission gate peers apply is snapshot + 1 + the *configured*
-        # BufFrame; pin our lag there so our first input lands exactly on
-        # it (adaptive lag, if enabled, resumes afterwards).
-        runtime.lockstep.set_local_lag(runtime.config.buf_frame)
-        runtime.lockstep.seed_from_snapshot(snapshot.frame, snapshot.backlog)
-        runtime.frame = snapshot.frame + 1
-        runtime.trace.first_frame = runtime.frame
-        self.joined_at_frame = runtime.frame
-        # The joiner never ran the start handshake; it is live now.
-        runtime.session.phase = SessionPhase.RUNNING
-        runtime.session.started_at = self.loop.clock.now()
+    @property
+    def joined_at_frame(self) -> Optional[int]:
+        return self.engine.joined_at_frame
 
 
 def register_late_join(session_vms, donor_vm, joiner_site: int) -> None:

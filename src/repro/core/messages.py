@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import ClassVar, List, Tuple, Type
+from typing import ClassVar, List, Type
 
 MAGIC = 0x5247  # "RG": Retro Gaming
 VERSION = 1

@@ -11,8 +11,8 @@ simulated network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.config import SyncConfig
 from repro.core.inputs import IdleSource, InputAssignment, InputSource

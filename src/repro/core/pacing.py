@@ -18,7 +18,7 @@ actual waiting, so the identical code runs in simulated and wall-clock time.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.config import SyncConfig
 
@@ -126,3 +126,15 @@ class FramePacer:
         wait = curr_frame_end - now
         self.stats.total_wait += wait
         return wait
+
+    def end_frame_deadline(self, now: float) -> Optional[float]:
+        """Algorithm 3 as an absolute deadline for timer-based drivers.
+
+        Returns when the next frame should begin, or ``None`` when the
+        frame overran and the next one must begin immediately (the debt is
+        carried in ``AdjustTimeDelta`` exactly as in :meth:`end_frame`).
+        """
+        wait = self.end_frame(now)
+        if wait > 0:
+            return now + wait
+        return None

@@ -1,34 +1,37 @@
 """Wall-clock driver over real UDP sockets.
 
 This is the deployment shape of the paper's system: each site is a real
-process (here: a thread for demo purposes) exchanging UDP datagrams, with
+process (here: a thread for demo purposes) exchanging UDP datagrams.  The
+handshake, the 20 ms outbound batching, RTT probes, Algorithm 1 and the
+linger phase all come from the shared :class:`~repro.core.engine.SiteEngine`;
+this driver only blocks on the socket's receive queue until the engine's
+next timer deadline and moves bytes in and out.
 
-* a **sender thread** flushing one sync message per ``send_interval``
-  (the paper's 20 ms outbound batching; the OS scheduler supplies the
-  thread-slice jitter the paper budgets 5 ms for),
-* the **frame-loop thread** running Algorithm 1 against the monotonic
-  clock, blocking in ``SyncInput`` on the socket's receive queue and
-  sleeping out the frame remainder in ``EndFrameTiming``.
-
-The protocol state is the very same :class:`~repro.core.vm.SiteRuntime`
-that the simulator drives; a lock serializes the two threads' access.
+The engine made the old two-thread design (a separate sender thread plus a
+lock around the runtime) unnecessary: one thread services timers and
+datagrams alike, so there is no cross-thread state to guard — and no
+second thread whose exceptions could be silently swallowed.  Any failure
+(socket errors included) is captured into :attr:`RealtimeVM.error` and
+re-raised from :meth:`RealtimeVM.run`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Tuple
+from typing import Optional
 
-from repro.core.session import SessionControl
-from repro.core.vm import SiteRuntime
+from repro.core.driver import apply_effects, feed_datagrams
+from repro.core.engine import Shutdown, SiteEngine, SiteRuntime
 from repro.net.udp import UdpSocket
 from repro.sim.clock import WallClock
 
 
 class RealtimeVM:
-    """Runs one site's frame loop in real time over a real UDP socket."""
+    """Runs one site's engine in real time over a real UDP socket."""
 
-    SYNC_POLL = 0.004
+    #: Cap on each blocking receive so ``stop()`` stays responsive even
+    #: when the engine's next deadline is far away.
+    MAX_BLOCK = 0.05
 
     def __init__(
         self,
@@ -42,130 +45,51 @@ class RealtimeVM:
         self.socket = socket
         self.max_frames = max_frames
         self.clock = clock if clock is not None else socket.clock
-        self.linger = linger
+        self.engine = SiteEngine(runtime, max_frames, linger=linger)
         self.finished = False
-        self._lock = threading.Lock()
         self._stop = threading.Event()
-        self._sender: Optional[threading.Thread] = None
         self.error: Optional[BaseException] = None
-
-    # ------------------------------------------------------------------
-    def _send_many(self, batch: List[Tuple[bytes, str]]) -> None:
-        for payload, destination in batch:
-            try:
-                self.socket.send(payload, destination)
-            except (OSError, RuntimeError):
-                if not self._stop.is_set():
-                    raise
-
-    def _drain(self) -> None:
-        now = self.clock.now()
-        for datagram in self.socket.receive_all():
-            with self._lock:
-                replies = self.runtime.handle_datagram(
-                    datagram.payload, datagram.arrived_at, now
-                )
-            self._send_many(replies)
-
-    def _sender_loop(self) -> None:
-        config = self.runtime.config
-        next_ping = 0.0
-        while not self._stop.is_set():
-            self.clock.sleep(config.send_interval)
-            with self._lock:
-                now = self.clock.now()
-                # Keep retransmitting session control (e.g. START) for
-                # peers whose copy was lost.
-                batch = self.runtime.control_messages(now)
-                if self.runtime.session.started:
-                    batch.extend(self.runtime.sync_broadcast())
-                if now >= next_ping:
-                    batch.extend(self.runtime.ping_messages(now))
-                    next_ping = now + config.ping_interval
-            self._send_many(batch)
 
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Blocking: handshake, frame loop, linger.  Raises on failure."""
-        self._sender = threading.Thread(
-            target=self._sender_loop,
-            name=f"sender-site{self.runtime.site_no}",
-            daemon=True,
-        )
-        self._sender.start()
+        engine = self.engine
         try:
-            self._handshake()
-            self._frame_loop()
-            self._linger_phase()
-            self.finished = True
+            effects = engine.start(self.clock.now())
+            while self._apply(effects):
+                if self._stop.is_set():
+                    effects = engine.handle(Shutdown(self.clock.now()))
+                    continue
+                deadline = engine.next_deadline()
+                timeout = self.MAX_BLOCK
+                if deadline is not None:
+                    timeout = min(
+                        max(deadline - self.clock.now(), 0.0), self.MAX_BLOCK
+                    )
+                datagram = self.socket.receive_blocking(timeout)
+                pending = [] if datagram is None else [datagram]
+                pending.extend(self.socket.receive_all())
+                effects = feed_datagrams(engine, pending, self.clock.now())
         except BaseException as exc:
             self.error = exc
             raise
         finally:
             self._stop.set()
-            self._sender.join(timeout=1.0)
 
-    def _handshake(self) -> None:
-        runtime = self.runtime
-        while not runtime.session.started and not self._stop.is_set():
-            self._drain()
-            with self._lock:
-                batch = runtime.control_messages(self.clock.now())
-                started = runtime.session.started
-            self._send_many(batch)
-            if started:
-                return
-            datagram = self.socket.receive_blocking(
-                SessionControl.RETRY_INTERVAL / 2
-            )
-            if datagram is not None:
-                with self._lock:
-                    replies = runtime.handle_datagram(
-                        datagram.payload, datagram.arrived_at, self.clock.now()
-                    )
-                self._send_many(replies)
+    def _apply(self, effects) -> bool:
+        running = apply_effects(effects, self._send)
+        if self.engine.frames_complete:
+            self.finished = True
+        return running
 
-    def _frame_loop(self) -> None:
-        runtime = self.runtime
-        while runtime.frame < self.max_frames and not self._stop.is_set():
-            self._drain()
-            with self._lock:
-                sync_adjust = runtime.begin_frame(self.clock.now())
-                runtime.get_and_buffer_input()
-                merged = runtime.try_deliver()
-            stall_started = self.clock.now()
-            while merged is None:
-                datagram = self.socket.receive_blocking(self.SYNC_POLL)
-                if datagram is not None:
-                    with self._lock:
-                        replies = runtime.handle_datagram(
-                            datagram.payload,
-                            datagram.arrived_at,
-                            self.clock.now(),
-                        )
-                    self._send_many(replies)
-                self._drain()
-                with self._lock:
-                    merged = runtime.try_deliver()
-            stall = self.clock.now() - stall_started
-            with self._lock:
-                runtime.run_transition(merged, stall, sync_adjust)
-                wait = runtime.end_frame(self.clock.now())
-            self.clock.sleep(wait)
-
-    def _linger_phase(self) -> None:
-        deadline = self.clock.now() + self.linger
-        while self.clock.now() < deadline:
-            with self._lock:
-                if self.runtime.all_inputs_acked():
-                    return
-            datagram = self.socket.receive_blocking(0.05)
-            if datagram is not None:
-                with self._lock:
-                    self.runtime.handle_datagram(
-                        datagram.payload, datagram.arrived_at, self.clock.now()
-                    )
-            self._drain()
+    def _send(self, payload: bytes, destination: str) -> None:
+        try:
+            self.socket.send(payload, destination)
+        except (OSError, RuntimeError):
+            # A socket torn down by stop() mid-batch is expected; anything
+            # else must surface.
+            if not self._stop.is_set():
+                raise
 
     def stop(self) -> None:
         self._stop.set()

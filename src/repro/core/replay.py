@@ -22,7 +22,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.emulator.machine import Machine, MachineError, create_game
+from repro.emulator.machine import Machine, create_game
 
 FORMAT_VERSION = 1
 

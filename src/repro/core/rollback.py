@@ -6,7 +6,8 @@ applicable for solving our problem because rolling back states of a
 distributed game without semantic knowledge can be expensive."*
 
 The Machine contract already gives us game-transparent savestates, so the
-claim is measurable.  :class:`RollbackVM` plays with **zero local lag**:
+claim is measurable.  :class:`RollbackEngine` plays with **zero local
+lag**:
 
 * local inputs land in their own frame's slot (``BufFrame = 0``),
 * the *speculative* machine executes every frame immediately, predicting
@@ -31,17 +32,30 @@ replay work measured by :class:`RollbackStats` — the quantity the paper's
 argument hinges on.
 
 Reliable input distribution, acks, retransmission and pruning are all
-reused unchanged from :class:`~repro.core.lockstep.LockstepSync`.
+reused unchanged from :class:`~repro.core.lockstep.LockstepSync`; the
+engine subclass only replaces the SyncInput gate (speculation-window
+check instead of delivery) and the commit (speculative step instead of
+``run_transition``), plus a catch-up phase confirming in-flight frames
+before the ordinary linger.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import SyncConfig
+from repro.core.engine import (
+    Effect,
+    GameMachine,
+    PHASE_CATCHUP,
+    Present,
+    SitePeer,
+    SiteEngine,
+    SiteRuntime,
+    TIMER_LINGER,
+)
 from repro.core.inputs import InputAssignment, InputSource
-from repro.core.vm import DistributedVM, GameMachine, SitePeer, SiteRuntime
-from repro.sim.process import Sleep, WaitMessage
+from repro.core.vm import DistributedVM
 
 
 def _state_mark(machine: GameMachine) -> int:
@@ -78,10 +92,10 @@ class RollbackStats:
         return dict(vars(self))
 
 
-class RollbackVM(DistributedVM):
+class RollbackEngine(SiteEngine):
     """A site that speculates ahead with rollback instead of local lag.
 
-    Construction mirrors :class:`DistributedVM` plus:
+    Construction mirrors :class:`SiteEngine` plus:
 
     * ``spec_machine`` — a second, identically-constructed machine used for
       speculation (``runtime.machine`` stays the confirmed shadow),
@@ -93,15 +107,21 @@ class RollbackVM(DistributedVM):
     point of rollback).
     """
 
+    #: Catch-up phase poll period (confirming in-flight frames after the
+    #: speculative horizon is reached).
+    CATCHUP_POLL = 0.02
+
     def __init__(
         self,
-        *args: object,
+        runtime: SiteRuntime,
+        max_frames: int,
+        *,
         spec_machine: GameMachine,
         speculation_window: int = 60,
-        **kwargs: object,
+        **options: object,
     ) -> None:
-        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
-        if self.runtime.config.buf_frame != 0:
+        super().__init__(runtime, max_frames, **options)  # type: ignore[arg-type]
+        if runtime.config.buf_frame != 0:
             raise ValueError(
                 "rollback sessions need SyncConfig(buf_frame=0); local lag "
                 "and speculation are alternative answers to the same latency"
@@ -112,7 +132,7 @@ class RollbackVM(DistributedVM):
         # Delta-snapshot marks: pages either machine dirties after these
         # marks are exactly what the next shadow→spec restore must copy
         # (both machines are freshly built and identical right now).
-        self._shadow_mark = _state_mark(self.runtime.machine)
+        self._shadow_mark = _state_mark(runtime.machine)
         self._spec_mark = _state_mark(spec_machine)
         self._full_state_size: Optional[int] = None
         #: Input word the speculative machine used per frame.
@@ -121,8 +141,9 @@ class RollbackVM(DistributedVM):
         self._confirmed: List[int] = []
         #: Last confirmed pad state per site (the prediction).
         self._held: Dict[int, int] = {
-            s: 0 for s in range(self.runtime.lockstep.num_sites)
+            s: 0 for s in range(runtime.lockstep.num_sites)
         }
+        self._catchup_deadline = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -218,65 +239,114 @@ class RollbackVM(DistributedVM):
             self.spec_machine.step(word)
             self.rollback_stats.replayed_frames += 1
 
+    def _confirm_pending(self) -> None:
+        """Shadow-advance plus rollback — the per-wakeup confirmation step."""
+        first_bad = self._advance_shadow()
+        if first_bad is not None:
+            self._rollback_and_replay(first_bad)
+
     # ------------------------------------------------------------------
-    def _frame_loop(self) -> Generator:
+    # Engine hook overrides
+    # ------------------------------------------------------------------
+    def _try_ready(self, now: float) -> Optional[int]:
+        """Replace SyncInput's delivery gate with the speculation-window
+        bound; the returned word is the zero-lag *prediction*."""
+        self._confirm_pending()
         runtime = self.runtime
-        while runtime.frame < self.max_frames:
-            self._drain()
-            now = self.loop.clock.now()
-            sync_adjust = runtime.begin_frame(now)
-            if self.time_server_address is not None:
-                from repro.metrics.timeserver import encode_report
+        if runtime.frame - self.confirmed_frontier > self.speculation_window:
+            self.rollback_stats.speculation_stalls += 1
+            return None
+        word = self._predict_input(runtime.frame)
+        self._used_inputs[runtime.frame] = word
+        return word
 
-                self.socket.send(
-                    encode_report(runtime.site_no, runtime.frame),
-                    self.time_server_address,
-                )
-            runtime.get_and_buffer_input()  # slot == frame (zero lag)
+    def _commit(
+        self,
+        merged: int,
+        stall: float,
+        sync_adjust: float,
+        now: float,
+        effects: List[Effect],
+    ) -> None:
+        """Execute the current frame speculatively, with zero input lag."""
+        del stall, sync_adjust  # recorded via the shadow, not here
+        frame = self.runtime.frame
+        self.spec_machine.step(merged)
+        self.rollback_stats.speculative_frames += 1
+        self.runtime.frame += 1
+        effects.append(Present(frame, merged))
 
-            first_bad = self._advance_shadow()
-            if first_bad is not None:
-                self._rollback_and_replay(first_bad)
+    def _enter_linger(self, now: float, effects: List[Effect]) -> None:
+        """Finish: confirm everything still in flight, then linger."""
+        if self.confirmed_frontier < self.max_frames - 1:
+            self.phase = PHASE_CATCHUP
+            self._catchup_deadline = now + self.linger
+            self._set(TIMER_LINGER, now + self.CATCHUP_POLL, effects)
+            return
+        super()._enter_linger(now, effects)
 
-            # Bound speculation: block until confirmations catch up.
-            stall_started = self.loop.clock.now()
-            while runtime.frame - self.confirmed_frontier > self.speculation_window:
-                self.rollback_stats.speculation_stalls += 1
-                envelope = yield WaitMessage(
-                    self.socket.mailbox, timeout=self.SYNC_POLL
-                )
-                self._drain(envelope)
-                first_bad = self._advance_shadow()
-                if first_bad is not None:
-                    self._rollback_and_replay(first_bad)
-            stall = self.loop.clock.now() - stall_started
+    def _on_timer(self, kind: str, now: float, effects: List[Effect]) -> None:
+        if kind == TIMER_LINGER and self.phase == PHASE_CATCHUP:
+            self._set(TIMER_LINGER, now + self.CATCHUP_POLL, effects)
+            return
+        super()._on_timer(kind, now, effects)
 
-            # Execute the current frame speculatively, with zero input lag.
-            word = self._predict_input(runtime.frame)
-            self._used_inputs[runtime.frame] = word
-            if self.frame_compute_time > 0:
-                yield Sleep(self.frame_compute_time)
-            self.spec_machine.step(word)
-            self.rollback_stats.speculative_frames += 1
-            runtime.frame += 1
+    def _advance(self, now: float, effects: List[Effect]) -> None:
+        if self.phase == PHASE_CATCHUP:
+            self._confirm_pending()
+            if (
+                self.confirmed_frontier >= self.max_frames - 1
+                or now >= self._catchup_deadline
+            ):
+                self._clear(TIMER_LINGER)
+                SiteEngine._enter_linger(self, now, effects)
+            return
+        super()._advance(now, effects)
 
-            # The trace's begin-time/pacing path is unchanged.
-            del sync_adjust, stall  # recorded via the shadow, not here
-            wait = runtime.end_frame(self.loop.clock.now())
-            if wait > 0:
-                yield Sleep(wait)
 
-        # Finish: confirm everything that is still in flight.
-        deadline = self.loop.clock.now() + self.LINGER
-        while (
-            self.confirmed_frontier < self.max_frames - 1
-            and self.loop.clock.now() < deadline
-        ):
-            envelope = yield WaitMessage(self.socket.mailbox, timeout=0.02)
-            self._drain(envelope)
-            first_bad = self._advance_shadow()
-            if first_bad is not None:
-                self._rollback_and_replay(first_bad)
+class RollbackVM(DistributedVM):
+    """Discrete-event shell around :class:`RollbackEngine`.
+
+    Construction mirrors :class:`DistributedVM` plus ``spec_machine`` and
+    ``speculation_window`` (see :class:`RollbackEngine`).
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        spec_machine: GameMachine,
+        speculation_window: int = 60,
+        **kwargs: object,
+    ) -> None:
+        self._spec_machine = spec_machine
+        self._speculation_window = speculation_window
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+
+    def _build_engine(self, **options: object) -> RollbackEngine:
+        return RollbackEngine(
+            self.runtime,
+            self.max_frames,
+            linger=self.LINGER,
+            spec_machine=self._spec_machine,
+            speculation_window=self._speculation_window,
+            **options,
+        )
+
+    @property
+    def spec_machine(self) -> GameMachine:
+        return self.engine.spec_machine
+
+    @property
+    def speculation_window(self) -> int:
+        return self.engine.speculation_window
+
+    @property
+    def rollback_stats(self) -> RollbackStats:
+        return self.engine.rollback_stats
+
+    @property
+    def confirmed_frontier(self) -> int:
+        return self.engine.confirmed_frontier
 
 
 def build_rollback_session(

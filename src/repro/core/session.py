@@ -173,6 +173,14 @@ class SessionControl:
         return all(self._start_acked.values())
 
     # ------------------------------------------------------------------
+    def retry_deadline(self) -> float:
+        """When :meth:`poll` will next transmit — the engine's RETRY timer.
+
+        ``poll`` calls earlier than this return nothing, so a driver gains
+        nothing by polling sooner.
+        """
+        return self._next_retry
+
     def poll(self, now: float) -> List[Tuple[Message, str]]:
         """Messages (with destinations) due for (re)transmission."""
         if now < self._next_retry:

@@ -1,275 +1,43 @@
-"""Algorithm 1 — the distributed VM frame loop.
+"""Discrete-event driver for the sans-IO :class:`SiteEngine`.
 
-The paper's loop::
+The Algorithm 1 orchestration itself — handshake, send/ping pumps, the
+frame loop and the linger phase — lives in :mod:`repro.core.engine`; this
+module only adapts it to the discrete-event world: one simulator process
+per site that sleeps until the engine's next timer deadline or an incoming
+datagram, whichever is first.
 
-    repeat
-        BeginFrameTiming();
-        I  = GetInput();
-        I' = SyncInput(I, Frame);
-        S  = Transition(I', S);
-        translate and present S;
-        EndFrameTiming();
-        Frame++;
-    until end of game;
-
-Two layers live here:
-
-* :class:`SiteRuntime` — the sans-IO aggregate of one site's protocol state
-  (session control, lockstep, pacer, RTT estimator, machine, input source,
-  trace).  It turns received datagrams into state updates plus reply
-  datagrams, and builds outbound sync messages.  It contains no clocks, no
-  sockets and no sleeping, so the discrete-event driver below and the
-  threaded wall-clock driver (:mod:`repro.core.realtime`) share it.
-* :class:`DistributedVM` — the discrete-event driver: one main frame-loop
-  process per site plus a send-pump process (modelling the paper's 20 ms
-  outbound batching and ~5 ms thread-slice delay, §4.2) and a ping process.
-
-``Transition`` is a black box: any object satisfying :class:`GameMachine`
-works, and the sync layer never inspects it (the paper's "game
-transparency").
+:class:`SiteRuntime`, :class:`SitePeer` and :class:`GameMachine` moved to
+:mod:`repro.core.engine` with the extraction; they are re-exported here
+unchanged for compatibility.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Protocol, Tuple
+from typing import Dict, Generator, Optional
 
-from repro.core.config import SyncConfig
-from repro.core.inputs import InputAssignment, InputSource
-from repro.core.lockstep import LockstepSync
-from repro.core.messages import (
-    Message,
-    Ping,
-    Pong,
-    StateRequest,
-    StateSnapshot,
-    Sync,
-    decode,
-    DecodeError,
+from repro.core.driver import apply_effects, feed_datagrams
+from repro.core.engine import (
+    GameMachine,
+    Shutdown,
+    SiteEngine,
+    SitePeer,
+    SiteRuntime,
 )
-from repro.core.pacing import FramePacer
-from repro.core.rtt import RttEstimator
-from repro.core.session import SessionControl
-from repro.metrics.recorder import FrameTrace
-from repro.metrics.timeserver import encode_report
+from repro.core.messages import StateSnapshot
 from repro.net.simnet import SimNetwork, SimSocket
 from repro.sim.eventloop import EventLoop
-from repro.sim.process import Process, Sleep, Spawn, WaitMessage, spawn
+from repro.sim.process import Process, Sleep, WaitMessage, spawn
 
-
-class GameMachine(Protocol):
-    """What the sync layer requires of a game: a deterministic black box."""
-
-    def step(self, input_word: int) -> None:
-        """Advance exactly one frame under ``input_word``."""
-
-    def checksum(self) -> int:
-        """A digest of the complete machine state."""
-
-    def save_state(self) -> bytes:
-        """Serialize the full state (for late joiners)."""
-
-    def load_state(self, blob: bytes) -> None:
-        """Restore a state produced by :meth:`save_state`."""
-
-
-@dataclass(frozen=True)
-class SitePeer:
-    """Address book entry: where a given site number lives."""
-
-    site_no: int
-    address: str
-
-
-class SiteRuntime:
-    """One site's complete sans-IO protocol state."""
-
-    def __init__(
-        self,
-        config: SyncConfig,
-        site_no: int,
-        assignment: InputAssignment,
-        machine: GameMachine,
-        source: InputSource,
-        peers: List[SitePeer],
-        game_id: str = "game",
-        session_id: int = 1,
-        handshake_sites: Optional[List[int]] = None,
-    ) -> None:
-        self.config = config
-        self.site_no = site_no
-        self.assignment = assignment
-        self.machine = machine
-        self.source = source
-        self.game_id = game_id
-        self.session_id = session_id
-        self.address_of: Dict[int, str] = {p.site_no: p.address for p in peers}
-        self.peer_sites: List[int] = [
-            p.site_no for p in peers if p.site_no != site_no
-        ]
-
-        self.lockstep = LockstepSync(config, site_no, assignment, session_id)
-        self.pacer = FramePacer(config, site_no)
-        self.rtt = RttEstimator(config, site_no, session_id)
-        self.session = SessionControl(
-            config,
-            site_no,
-            num_sites=len(assignment),
-            game_id=game_id,
-            session_id=session_id,
-            peer_addresses=self.address_of,
-            expected_sites=handshake_sites,
-        )
-        self.trace = FrameTrace(site_no)
-        #: Frame counter of Algorithm 1.
-        self.frame = 0
-        #: Set when the site should answer STATE_REQUESTs (late-join donor).
-        self.allow_state_requests = False
-        self._pending_state_request: Optional[int] = None
-        #: Latest received savestate (consumed by the late-join driver).
-        self.latest_snapshot: Optional[StateSnapshot] = None
-
-    # ------------------------------------------------------------------
-    # Receive path (shared by all drivers)
-    # ------------------------------------------------------------------
-    def handle_datagram(
-        self, payload: bytes, arrived_at: float, now: float
-    ) -> List[Tuple[bytes, str]]:
-        """Process one datagram; returns (payload, destination) replies."""
-        try:
-            message = decode(payload)
-        except DecodeError:
-            return []  # stray traffic; UDP ports see garbage in real life
-        return self.handle_message(message, arrived_at, now)
-
-    def handle_message(
-        self, message: Message, arrived_at: float, now: float
-    ) -> List[Tuple[bytes, str]]:
-        replies: List[Tuple[bytes, str]] = []
-
-        if isinstance(message, Sync):
-            self.lockstep.on_sync(message, arrived_at)
-        elif isinstance(message, Ping):
-            pong = RttEstimator.make_pong(message, self.site_no)
-            destination = self.address_of.get(message.sender_site)
-            if destination is not None:
-                replies.append((pong.encode(), destination))
-        elif isinstance(message, Pong):
-            self.rtt.on_pong(message, now)
-            if self.config.adaptive_lag and self.rtt.samples:
-                self._adapt_lag()
-        elif isinstance(message, StateRequest):
-            if self.allow_state_requests:
-                self._pending_state_request = message.sender_site
-        elif isinstance(message, StateSnapshot):
-            if (
-                self.latest_snapshot is None
-                or message.frame > self.latest_snapshot.frame
-            ):
-                self.latest_snapshot = message
-        else:
-            for reply, destination in self.session.on_message(message, now):
-                replies.append((reply.encode(), destination))
-        return replies
-
-    # ------------------------------------------------------------------
-    # Send path
-    # ------------------------------------------------------------------
-    def control_messages(self, now: float) -> List[Tuple[bytes, str]]:
-        """Session-control (re)transmissions due now."""
-        return [
-            (message.encode(), destination)
-            for message, destination in self.session.poll(now)
-        ]
-
-    def sync_broadcast(self, force: bool = False) -> List[Tuple[bytes, str]]:
-        """The flush: per-peer sd messages (lines 7–11, N-site form)."""
-        return [
-            (message.encode(), self.address_of[peer])
-            for peer, message in self.lockstep.build_all(force=force).items()
-        ]
-
-    def ping_messages(self, now: float) -> List[Tuple[bytes, str]]:
-        """One RTT probe per peer."""
-        out = []
-        for site in self.peer_sites:
-            out.append((self.rtt.make_ping(now).encode(), self.address_of[site]))
-        return out
-
-    def _adapt_lag(self) -> None:
-        """Resize local lag to the current one-way estimate (§4.2's rejected
-        alternative, implemented for the ablation)."""
-        import math
-
-        config = self.config
-        needed = math.ceil(
-            (self.rtt.one_way + config.adaptive_margin) * config.cfps
-        )
-        needed = max(config.adaptive_min_buf, min(config.adaptive_max_buf, needed))
-        self.lockstep.set_local_lag(needed)
-
-    def take_state_request(self) -> Optional[int]:
-        """Pop the pending late-join request (site number) if any."""
-        request, self._pending_state_request = self._pending_state_request, None
-        return request
-
-    # ------------------------------------------------------------------
-    # Frame-loop steps (Algorithm 1, minus the waiting)
-    # ------------------------------------------------------------------
-    def begin_frame(self, now: float) -> float:
-        """BeginFrameTiming: Algorithm 4; returns the sync adjust applied."""
-        self.trace.record_begin(now)
-        return self.pacer.begin_frame(
-            now, self.frame, self.lockstep.master_sample, self.rtt.rtt
-        )
-
-    def get_and_buffer_input(self) -> None:
-        """GetInput + Algorithm 2 lines 1–5.
-
-        Sources must produce bits already positioned in the full input word
-        (wrap pad-byte sources in :class:`~repro.core.inputs.PadSource`).
-        """
-        local_bits = self.source.get(self.frame)
-        self.lockstep.buffer_local_input(self.frame, local_bits)
-
-    def try_deliver(self) -> Optional[int]:
-        """The line-21 exit check: merged input if ready, else None."""
-        if self.lockstep.can_deliver():
-            return self.lockstep.deliver()
-        return None
-
-    def run_transition(self, merged_input: int, stall: float, sync_adjust: float) -> None:
-        """Transition + present: step the machine and record the trace."""
-        self.machine.step(merged_input)
-        self.trace.record_frame(
-            merged_input,
-            self.machine.checksum(),
-            stall,
-            sync_adjust,
-            lag=self.lockstep.local_lag_frames,
-        )
-        self.frame += 1
-
-    def end_frame(self, now: float) -> float:
-        """EndFrameTiming: Algorithm 3; returns the wait the driver owes."""
-        return self.pacer.end_frame(now)
-
-    # ------------------------------------------------------------------
-    def all_inputs_acked(self) -> bool:
-        """True when every peer has acked all our buffered inputs."""
-        mine = self.lockstep.last_rcv_frame[self.site_no]
-        return all(
-            self.lockstep.last_ack_frame[s] >= mine for s in self.peer_sites
-        )
+__all__ = [
+    "DistributedVM",
+    "GameMachine",
+    "SitePeer",
+    "SiteRuntime",
+]
 
 
 class DistributedVM:
-    """Discrete-event driver running one :class:`SiteRuntime` to completion."""
-
-    #: Timeout for each blocking wait inside SyncInput; bounds how long a
-    #: site sleeps when the wakeup message was lost (the pump re-sends).
-    SYNC_POLL = 0.004
+    """Runs one :class:`SiteEngine` to completion on the event loop."""
 
     #: How long to keep pumping after the last frame so peers still waiting
     #: on our inputs (or retransmissions) can finish.
@@ -291,212 +59,80 @@ class DistributedVM:
         self.loop = loop
         self.runtime = runtime
         self.max_frames = max_frames
-        self.frame_compute_time = frame_compute_time
-        self.time_server_address = time_server_address
         self.start_delay = start_delay
-        #: Extra delay between session start and the first frame — models
-        #: §3.2's "two sites cannot begin at exactly the same time" beyond
-        #: what the start protocol already bounds (used by the Algorithm 4
-        #: ablation).
-        self.frame_loop_delay = frame_loop_delay
-        #: OS sleep overshoot bound for the sender thread's flush sleep.
-        #: The paper's testbed is Windows XP (~10 ms timer granularity); a
-        #: late flush delays the whole unacked-input window, eating into the
-        #: §4.2 latency budget.  (The frame loop itself is assumed to pace
-        #: on a precise multimedia timer, as 60 FPS emulators must.)
-        self.timer_granularity = timer_granularity
         self.socket: SimSocket = network.socket(
             runtime.address_of[runtime.site_no]
         )
-        self._rng = random.Random((seed << 8) ^ runtime.site_no)
+        self.engine = self._build_engine(
+            frame_compute_time=frame_compute_time,
+            seed=seed,
+            time_server_address=time_server_address,
+            frame_loop_delay=frame_loop_delay,
+            timer_granularity=timer_granularity,
+        )
         self.finished = False
-        self._stopped = False
         self.process: Optional[Process] = None
-        #: Harness hook fired when this site serves a savestate:
-        #: ``callback(joiner_site, snapshot_frame)``.  Stands in for the
-        #: session-control broadcast announcing the joiner.
-        self.on_snapshot_served = None
-        #: Per-joiner cached snapshot: repeated STATE_REQUESTs (the joiner
-        #: retries until one arrives) must all answer with the *same* frame,
-        #: or the admission bookkeeping would race the joiner's choice.
-        self._snapshot_cache: Dict[int, StateSnapshot] = {}
+        self._stop_requested = False
+
+    def _build_engine(self, **options: object) -> SiteEngine:
+        """Factory hook: variant drivers substitute their engine subclass."""
+        return SiteEngine(
+            self.runtime, self.max_frames, linger=self.LINGER, **options
+        )
+
+    # ------------------------------------------------------------------
+    # Engine facade (harness and test compatibility)
+    # ------------------------------------------------------------------
+    @property
+    def on_snapshot_served(self):
+        """Harness hook fired when this site serves a savestate:
+        ``callback(joiner_site, snapshot_frame)``.  Stands in for the
+        session-control broadcast announcing the joiner."""
+        return self.engine.on_snapshot_served
+
+    @on_snapshot_served.setter
+    def on_snapshot_served(self, callback) -> None:
+        self.engine.on_snapshot_served = callback
+
+    @property
+    def _snapshot_cache(self) -> Dict[int, StateSnapshot]:
+        return self.engine.snapshot_cache
 
     # ------------------------------------------------------------------
     def start(self) -> Process:
-        """Spawn all of this site's processes on the event loop."""
+        """Spawn this site's process on the event loop."""
         name = f"site{self.runtime.site_no}"
         self.process = spawn(self.loop, self._main(), name=name)
         return self.process
 
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _send_many(self, batch: List[Tuple[bytes, str]]) -> None:
-        for payload, destination in batch:
-            self.socket.send(payload, destination)
-
-    def _drain(self, envelope=None) -> None:
-        """Process every datagram that has arrived (the 'receive thread').
-
-        ``envelope`` is an already-popped mailbox envelope from a
-        ``WaitMessage`` wakeup — it must be handled too, not dropped.
-        """
-        now = self.loop.clock.now()
-        pending = []
-        if envelope is not None:
-            pending.append(envelope.payload)
-        pending.extend(self.socket.receive_all())
-        for datagram in pending:
-            replies = self.runtime.handle_datagram(
-                datagram.payload, datagram.arrived_at, now
-            )
-            self._send_many(replies)
-
-    # ------------------------------------------------------------------
-    # Processes
-    # ------------------------------------------------------------------
-    def _send_pump(self) -> Generator:
-        """The paper's batching sender: flush every ``send_interval``.
-
-        Each flush is additionally delayed by a uniform 0..2·slice_delay —
-        the producer/consumer thread hand-off of §4.2.
-        """
-        config = self.runtime.config
-        while not self._stopped:
-            period = config.send_interval
-            if self.timer_granularity > 0:
-                # The sender thread's sleep lands late on a coarse OS timer.
-                period += self._rng.uniform(0.0, self.timer_granularity)
-            yield Sleep(period)
-            slice_delay = config.slice_delay
-            if slice_delay > 0:
-                yield Sleep(self._rng.uniform(0.0, 2.0 * slice_delay))
-            if self._stopped:
-                break
-            # Session-control retransmissions (e.g. START to a peer whose
-            # copy was lost) must continue after this site enters its frame
-            # loop — a peer may still be waiting on them.
-            self._send_many(
-                self.runtime.control_messages(self.loop.clock.now())
-            )
-            if self.runtime.session.started:
-                self._send_many(self.runtime.sync_broadcast())
-
-    def _ping_pump(self) -> Generator:
-        config = self.runtime.config
-        while not self._stopped:
-            self._send_many(self.runtime.ping_messages(self.loop.clock.now()))
-            yield Sleep(config.ping_interval)
-
     def _main(self) -> Generator:
         if self.start_delay > 0:
             yield Sleep(self.start_delay)
-        yield Spawn(self._send_pump(), f"pump{self.runtime.site_no}")
-        yield Spawn(self._ping_pump(), f"ping{self.runtime.site_no}")
-        yield from self._startup()
-        if self.frame_loop_delay > 0:
-            yield Sleep(self.frame_loop_delay)
-        yield from self._frame_loop()
-        yield from self._linger()
+        engine = self.engine
+        effects = engine.start(self._now())
+        while self._apply(effects):
+            deadline = engine.next_deadline()
+            timeout = 0.05
+            if deadline is not None:
+                timeout = max(0.0, deadline - self._now())
+            envelope = yield WaitMessage(self.socket.mailbox, timeout=timeout)
+            if self._stop_requested and not engine.done:
+                effects = engine.handle(Shutdown(self._now()))
+                continue
+            pending = [] if envelope is None else [envelope.payload]
+            pending.extend(self.socket.receive_all())
+            effects = feed_datagrams(engine, pending, self._now())
 
-    def _startup(self) -> Generator:
-        """Session establishment: run the start protocol to completion."""
-        while not self.runtime.session.started:
-            self._drain()
-            self._send_many(self.runtime.control_messages(self.loop.clock.now()))
-            if self.runtime.session.started:
-                break
-            envelope = yield WaitMessage(
-                self.socket.mailbox, timeout=SessionControl.RETRY_INTERVAL / 2
-            )
-            self._drain(envelope)
+    def _apply(self, effects) -> bool:
+        running = apply_effects(effects, self.socket.send)
+        if self.engine.frames_complete:
+            self.finished = True
+        return running
 
-    def _frame_loop(self) -> Generator:
-        # ---- Frame loop (Algorithm 1) ---------------------------------
-        runtime = self.runtime
-        while runtime.frame < self.max_frames:
-            self._drain()
-            now = self.loop.clock.now()
-            sync_adjust = runtime.begin_frame(now)
-            if self.time_server_address is not None:
-                self.socket.send(
-                    encode_report(runtime.site_no, runtime.frame),
-                    self.time_server_address,
-                )
-            runtime.get_and_buffer_input()
-
-            # SyncInput's blocking loop (lines 6–21).
-            stall_started = self.loop.clock.now()
-            merged = runtime.try_deliver()
-            while merged is None:
-                envelope = yield WaitMessage(
-                    self.socket.mailbox, timeout=self.SYNC_POLL
-                )
-                self._drain(envelope)
-                merged = runtime.try_deliver()
-            stall = self.loop.clock.now() - stall_started
-
-            if self.frame_compute_time > 0:
-                yield Sleep(self.frame_compute_time)
-            runtime.run_transition(merged, stall, sync_adjust)
-
-            # Late-join donor duties (outside the hot path in spirit).
-            request = runtime.take_state_request()
-            if request is not None:
-                self._serve_state(request)
-
-            wait = runtime.end_frame(self.loop.clock.now())
-            if wait > 0:
-                yield Sleep(wait)
-
-    def _linger(self) -> Generator:
-        # ---- Linger so peers can finish -------------------------------
-        self.finished = True
-        deadline = self.loop.clock.now() + self.LINGER
-        while (
-            self.loop.clock.now() < deadline
-            and not self.runtime.all_inputs_acked()
-        ):
-            envelope = yield WaitMessage(self.socket.mailbox, timeout=0.05)
-            self._drain(envelope)
-        self._stopped = True
-
-    def _serve_state(self, requester_site: int) -> None:
-        """Send a savestate to a late joiner (journal extension).
-
-        The first request snapshots the machine; retried requests re-send
-        the identical snapshot, keeping admission deterministic even when
-        the first reply is lost.
-        """
-        runtime = self.runtime
-        snapshot = self._snapshot_cache.get(requester_site)
-        if snapshot is None:
-            snapshot_frame = runtime.frame - 1  # state after the last executed frame
-            lockstep = runtime.lockstep
-            backlog = []
-            for site in range(lockstep.num_sites):
-                last = lockstep.last_rcv_frame[site]
-                if site == requester_site or last <= snapshot_frame:
-                    backlog.append([])
-                else:
-                    backlog.append(
-                        lockstep.ibuf.range_for(site, snapshot_frame + 1, last)
-                    )
-            snapshot = StateSnapshot(
-                sender_site=runtime.site_no,
-                session_id=runtime.session_id,
-                frame=snapshot_frame,
-                state=runtime.machine.save_state(),
-                backlog=backlog,
-            )
-            self._snapshot_cache[requester_site] = snapshot
-            if self.on_snapshot_served is not None:
-                self.on_snapshot_served(requester_site, snapshot.frame)
-        destination = runtime.address_of.get(requester_site)
-        if destination is not None:
-            self.socket.send(snapshot.encode(), destination)
+    def _now(self) -> float:
+        return self.loop.clock.now()
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
-        """Ask the pumps to wind down (main loop stops at frame horizon)."""
-        self._stopped = True
+        """Ask the site to wind down at its next wakeup."""
+        self._stop_requested = True

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from repro.emulator.assembler import assemble
 from repro.emulator.console import Console
-from repro.emulator.machine import register_game
 
 TANKDUEL_SOURCE = """
 ; ---- Tank Duel for RC-16 --------------------------------------------

@@ -7,7 +7,7 @@ shape is visible in a terminal), which is what the benchmark harness emits.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

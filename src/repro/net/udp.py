@@ -1,10 +1,16 @@
-"""Real UDP sockets for the wall-clock driver.
+"""Real UDP sockets for the wall-clock and asyncio drivers.
 
 This is the transport the paper actually deploys: the sync messages ride
 plain UDP datagrams, and all reliability lives in the sync module itself.
-A background thread moves arriving datagrams into a thread-safe queue so the
-frame loop can drain them without blocking (mirroring the paper's two-thread
-produce/consume design, §4.2).
+Two receive disciplines share the module:
+
+* :class:`UdpSocket` — a background thread moves arriving datagrams into a
+  thread-safe queue so the frame loop can drain them without blocking
+  (mirroring the paper's two-thread produce/consume design, §4.2).
+* :class:`AsyncUdpEndpoint` — a nonblocking ``asyncio.DatagramProtocol``
+  endpoint for :mod:`repro.core.aio`: arrivals buffer on the event loop's
+  own thread and wake whichever site coroutine is awaiting them, so many
+  sessions share one loop without any thread per site.
 
 Addresses are ``"host:port"`` strings to stay interchangeable with the
 simulator's string addresses.
@@ -12,6 +18,7 @@ simulator's string addresses.
 
 from __future__ import annotations
 
+import asyncio
 import queue
 import socket
 import threading
@@ -123,3 +130,92 @@ class UdpSocket(DatagramSocket):
         self._closed.set()
         self._sock.close()
         self._thread.join(timeout=1.0)
+
+
+class AsyncUdpEndpoint(asyncio.DatagramProtocol, DatagramSocket):
+    """A nonblocking UDP endpoint living on an asyncio event loop.
+
+    Datagrams are stamped with ``loop.time()`` on arrival — the same clock
+    the asyncio driver feeds the engine — and buffered until the owning
+    site coroutine drains them with :meth:`receive_all` after
+    :meth:`wait` wakes it.  Create instances with :meth:`open`.
+    """
+
+    def __init__(self) -> None:
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._address: Address = ""
+        self._pending: List[Datagram] = []
+        self._wake = asyncio.Event()
+        self.stats = TransportStats()
+
+    @classmethod
+    async def open(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncUdpEndpoint":
+        """Bind a datagram endpoint on the running loop."""
+        loop = asyncio.get_running_loop()
+        _, protocol = await loop.create_datagram_endpoint(
+            cls, local_addr=(host, port)
+        )
+        return protocol
+
+    # ------------------------------------------------------------------
+    # asyncio.DatagramProtocol callbacks
+    # ------------------------------------------------------------------
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+        self._loop = asyncio.get_event_loop()
+        host, port = transport.get_extra_info("sockname")[:2]
+        self._address = format_address(host, port)
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.stats.record_receive(len(data))
+        self._pending.append(
+            Datagram(
+                payload=data,
+                source=format_address(addr[0], addr[1]),
+                arrived_at=self._loop.time(),
+            )
+        )
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # DatagramSocket interface
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    def send(self, payload: bytes, destination: Address) -> None:
+        if self._transport is None or self._transport.is_closing():
+            raise RuntimeError("endpoint is closed")
+        if len(payload) > MAX_DATAGRAM:
+            raise ValueError(
+                f"datagram of {len(payload)} bytes exceeds MAX_DATAGRAM={MAX_DATAGRAM}"
+            )
+        self.stats.record_send(len(payload))
+        self._transport.sendto(payload, parse_address(destination))
+
+    def receive_all(self) -> List[Datagram]:
+        drained, self._pending = self._pending, []
+        self._wake.clear()
+        return drained
+
+    def receive_one(self) -> Optional[Datagram]:
+        if not self._pending:
+            return None
+        return self._pending.pop(0)
+
+    async def wait(self, timeout: Optional[float]) -> None:
+        """Sleep until a datagram arrives or ``timeout`` elapses."""
+        if self._pending:
+            return
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import SyncConfig
 from repro.harness.ablations import (
     run_adaptive_lag_ablation,
     run_batching_ablation,

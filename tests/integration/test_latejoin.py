@@ -1,6 +1,5 @@
 """Integration: late joiners via savestate transfer (journal extension)."""
 
-import pytest
 
 from repro.core.config import SyncConfig
 from repro.core.inputs import IdleSource, InputAssignment, PadSource, RandomSource

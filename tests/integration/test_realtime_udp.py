@@ -52,6 +52,34 @@ def run_realtime(frames=90, cfps=120.0, game="counter"):
             sock.close()
 
 
+class FailingSocket:
+    """Delegates to a real socket but every ``send`` raises — models a NIC
+    or socket torn down underneath the driver."""
+
+    def __init__(self):
+        self.inner = UdpSocket()
+
+    @property
+    def address(self):
+        return self.inner.address
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    def send(self, payload, destination):
+        raise OSError("injected send failure")
+
+    def receive_all(self):
+        return self.inner.receive_all()
+
+    def receive_blocking(self, timeout):
+        return self.inner.receive_blocking(timeout)
+
+    def close(self):
+        self.inner.close()
+
+
 class TestRealtimeSession:
     def test_replicas_converge_over_real_udp(self):
         vms = run_realtime()
@@ -76,3 +104,38 @@ class TestRealtimeSession:
         for vm in vms:
             assert vm.runtime.rtt.samples >= 1
             assert vm.runtime.rtt.rtt < 0.1  # loopback
+
+    def test_send_failure_surfaces_instead_of_hanging(self):
+        """Regression: the old two-thread driver swallowed sender-thread
+        exceptions, leaving the site stalled forever.  A send failure must
+        terminate ``run()``, land on ``vm.error`` and re-raise."""
+        sock = FailingSocket()
+        try:
+            peers = [SitePeer(0, "127.0.0.1:9"), SitePeer(1, sock.address)]
+            runtime = SiteRuntime(
+                config=SyncConfig(cfps=120, buf_frame=6),
+                site_no=1,  # the joiner sends HELLO immediately
+                assignment=InputAssignment.standard(2),
+                machine=create_game("counter"),
+                source=PadSource(RandomSource(71), player=1),
+                peers=peers,
+                game_id="counter",
+            )
+            vm = RealtimeVM(runtime, sock, max_frames=30)
+            raised = []
+
+            def target():
+                try:
+                    vm.run()
+                except OSError as exc:
+                    raised.append(exc)
+
+            thread = threading.Thread(target=target)
+            thread.start()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive(), "driver hung after send failure"
+            assert raised, "run() swallowed the send failure"
+            assert isinstance(vm.error, OSError)
+            assert vm.error is raised[0]
+        finally:
+            sock.close()

@@ -4,11 +4,10 @@ import json
 
 import pytest
 
-from repro.harness.reproduce import run_reproduction, write_reproduction
+from repro.harness.reproduce import write_reproduction
 from repro.harness.validate import (
     CLAIMS,
     ClaimResult,
-    ValidationError,
     validate_file,
     validate_results,
 )

@@ -1,7 +1,6 @@
 """Property tests: the wire format round-trips arbitrary field values and
 rejects arbitrary garbage without crashing."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.messages import (

@@ -1,6 +1,5 @@
 """Unit tests for the RC-16 audio device."""
 
-import pytest
 
 from repro.emulator.assembler import assemble
 from repro.emulator.audio import (

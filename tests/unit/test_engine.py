@@ -1,0 +1,303 @@
+"""The sans-IO engine driven directly: events in, effects out.
+
+A tiny deterministic mesh stands in for a driver: it keeps one virtual
+clock, routes ``Send`` effects between engines with a fixed link latency,
+and advances time to whichever comes first — the next in-flight datagram
+or the earliest ``next_deadline()``.  No sockets, no threads, no sleeping:
+these tests exercise exactly the surface the three real drivers use.
+
+Covered here (and nowhere else at this level):
+
+* the session handshake through the engine's RETRY timer — START is
+  retransmitted until START_ACK, and digest-mismatched joiners are
+  rejected rather than admitted;
+* lockstep delivery gating under simulated loss — observers never gate,
+  and a frame is not delivered until every gating site's input arrives.
+"""
+
+import heapq
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.engine import (
+    DatagramReceived,
+    Finished,
+    InputSampled,
+    Present,
+    Send,
+    SiteEngine,
+    SitePeer,
+    SiteRuntime,
+    Stall,
+)
+from repro.core.inputs import IdleSource, InputAssignment, PadSource, RandomSource
+from repro.core.messages import Start, Sync, Welcome, decode
+from repro.core.session import SessionError
+from repro.emulator.machine import create_game
+
+
+class EngineMesh:
+    """Routes effects between engines under one deterministic virtual clock."""
+
+    def __init__(self, engines, latency=0.005, loss=None):
+        self.now = 0.0
+        self.latency = latency
+        #: ``loss(src_addr, dst_addr, payload, now) -> bool`` — True drops.
+        self.loss = loss if loss is not None else (lambda *a: False)
+        self.engines = {}
+        self.effects = {}
+        self._inflight = []
+        self._seq = 0
+        for engine in engines:
+            address = engine.runtime.address_of[engine.runtime.site_no]
+            self.engines[address] = engine
+            self.effects[address] = []
+
+    # ------------------------------------------------------------------
+    def start(self):
+        for address, engine in self.engines.items():
+            self._absorb(address, engine.start(self.now))
+
+    def _absorb(self, address, effects):
+        self.effects[address].extend(effects)
+        for effect in effects:
+            if not isinstance(effect, Send):
+                continue
+            if effect.destination not in self.engines:
+                continue
+            if self.loss(address, effect.destination, effect.payload, self.now):
+                continue
+            self._seq += 1
+            heapq.heappush(
+                self._inflight,
+                (self.now + self.latency, self._seq, effect.destination, effect.payload),
+            )
+
+    def _next_time(self):
+        times = [self._inflight[0][0]] if self._inflight else []
+        for engine in self.engines.values():
+            deadline = engine.next_deadline()
+            if deadline is not None:
+                times.append(deadline)
+        return min(times) if times else None
+
+    def _step(self):
+        self.now = max(self.now, self._next_time())
+        while self._inflight and self._inflight[0][0] <= self.now:
+            _, _, destination, payload = heapq.heappop(self._inflight)
+            engine = self.engines[destination]
+            self._absorb(
+                destination,
+                engine.handle(DatagramReceived(payload, self.now, self.now)),
+            )
+        for address, engine in self.engines.items():
+            deadline = engine.next_deadline()
+            if deadline is not None and deadline <= self.now:
+                self._absorb(address, engine.poll(self.now))
+
+    # ------------------------------------------------------------------
+    def run(self, horizon=60.0):
+        """Drive every engine to Finished (or fail at the horizon)."""
+        while not all(engine.done for engine in self.engines.values()):
+            next_time = self._next_time()
+            assert next_time is not None, "mesh idle with engines unfinished"
+            assert next_time <= horizon, f"mesh passed horizon at t={next_time:.3f}"
+            self._step()
+
+    def run_until(self, instant):
+        """Advance the virtual clock to ``instant`` and stop there."""
+        while True:
+            next_time = self._next_time()
+            if next_time is None or next_time > instant:
+                self.now = max(self.now, instant)
+                return
+            self._step()
+
+    # ------------------------------------------------------------------
+    def presents(self, address):
+        return [e for e in self.effects[address] if isinstance(e, Present)]
+
+    def stalls(self, address):
+        return [e for e in self.effects[address] if isinstance(e, Stall)]
+
+    def sent(self, address, message_type):
+        return [
+            e
+            for e in self.effects[address]
+            if isinstance(e, Send) and isinstance(decode(e.payload), message_type)
+        ]
+
+
+def build_engines(
+    num_sites=2,
+    frames=40,
+    assignment=None,
+    configs=None,
+    game_ids=None,
+    linger=5.0,
+    seed=5,
+):
+    """One engine per site, addressed ``site0..siteN`` for the mesh."""
+    if assignment is None:
+        assignment = InputAssignment.standard(num_sites)
+    if configs is None:
+        # slice_delay=0 keeps the flush schedule free of jitter draws.
+        configs = [SyncConfig(slice_delay=0.0)] * num_sites
+    peers = [SitePeer(site, f"site{site}") for site in range(num_sites)]
+    engines = []
+    for site in range(num_sites):
+        source = (
+            PadSource(RandomSource(seed + site), player=site)
+            if assignment.mask(site)
+            else IdleSource()
+        )
+        runtime = SiteRuntime(
+            config=configs[site],
+            site_no=site,
+            assignment=assignment,
+            machine=create_game("counter"),
+            source=source,
+            peers=peers,
+            game_id=game_ids[site] if game_ids else "counter",
+        )
+        engines.append(SiteEngine(runtime, frames, linger=linger))
+    return engines
+
+
+class TestEngineSession:
+    def test_two_site_session_completes_and_converges(self):
+        engines = build_engines(frames=40)
+        mesh = EngineMesh(engines)
+        mesh.start()
+        mesh.run()
+        for site, engine in enumerate(engines):
+            assert engine.done and engine.frames_complete
+            presents = mesh.presents(f"site{site}")
+            assert [p.frame for p in presents] == list(range(40))
+            assert any(
+                isinstance(e, Finished) for e in mesh.effects[f"site{site}"]
+            )
+        traces = [engine.runtime.trace for engine in engines]
+        assert list(traces[0].checksums) == list(traces[1].checksums)
+
+    def test_pushed_input_overrides_source(self):
+        engines = build_engines(frames=30)
+        lag = engines[0].runtime.config.buf_frame
+        for frame in range(30):
+            assert engines[0].handle(InputSampled(frame, 0x01)) == []
+        mesh = EngineMesh(engines)
+        mesh.start()
+        mesh.run()
+        # Site 0's pushed word lands ``lag`` frames later at both replicas.
+        for present in mesh.presents("site1"):
+            if present.frame >= lag:
+                assert present.merged_input & 0x01
+
+
+class TestSessionControlThroughEngine:
+    def test_master_retransmits_start_until_acked(self):
+        engines = build_engines(frames=20)
+        dropped = []
+
+        def loss(src, dst, payload, now):
+            if src == "site0" and len(dropped) < 3 and isinstance(decode(payload), Start):
+                dropped.append(now)
+                return True
+            return False
+
+        mesh = EngineMesh(engines, loss=loss)
+        mesh.start()
+        mesh.run()
+        assert len(dropped) == 3
+        # The RETRY timer kept re-sending START until the ack arrived...
+        assert len(mesh.sent("site0", Start)) >= 4
+        assert engines[0].runtime.session.all_acked
+        # ...and the session still ran to completion on both sites.
+        for site in range(2):
+            assert len(mesh.presents(f"site{site}")) == 20
+
+    def test_joiner_with_wrong_game_image_rejected(self):
+        engines = build_engines(frames=10, game_ids=["counter", "pong"])
+        mesh = EngineMesh(engines)
+        mesh.start()
+        with pytest.raises(SessionError, match="different game image"):
+            mesh.run(horizon=1.0)
+        master = engines[0].runtime.session
+        assert not master.all_joined
+        assert not master.started
+        assert mesh.sent("site0", Welcome) == []
+
+    def test_joiner_with_wrong_config_rejected(self):
+        configs = [
+            SyncConfig(slice_delay=0.0, buf_frame=6),
+            SyncConfig(slice_delay=0.0, buf_frame=3),
+        ]
+        engines = build_engines(frames=10, configs=configs)
+        mesh = EngineMesh(engines)
+        mesh.start()
+        with pytest.raises(SessionError, match="incompatible SyncConfig"):
+            mesh.run(horizon=1.0)
+        assert not engines[0].runtime.session.all_joined
+        assert mesh.sent("site0", Welcome) == []
+
+
+class TestDeliveryGatingUnderLoss:
+    def test_observer_sync_loss_never_stalls_players(self):
+        assignment = InputAssignment.with_observers(2, 1)
+        engines = build_engines(
+            num_sites=3, frames=40, assignment=assignment, linger=0.3
+        )
+
+        def loss(src, dst, payload, now):
+            # The observer's sync traffic (acks only; it controls no bits)
+            # never reaches anyone.
+            return src == "site2" and isinstance(decode(payload), Sync)
+
+        mesh = EngineMesh(engines, loss=loss)
+        mesh.start()
+        mesh.run()
+        for site in (0, 1):
+            assert len(mesh.presents(f"site{site}")) == 40
+        for address in mesh.effects:
+            for stall in mesh.stalls(address):
+                assert 2 not in stall.waiting_on
+
+    def test_delivery_blocks_until_gating_input_arrives(self):
+        assignment = InputAssignment.with_observers(2, 1)
+        engines = build_engines(
+            num_sites=3, frames=120, assignment=assignment, linger=0.3
+        )
+        outage = (1.0, 1.5)
+
+        def loss(src, dst, payload, now):
+            return (
+                src == "site1"
+                and dst == "site0"
+                and outage[0] <= now < outage[1]
+                and isinstance(decode(payload), Sync)
+            )
+
+        mesh = EngineMesh(engines, loss=loss)
+        mesh.start()
+        mesh.run_until(outage[1])
+
+        stalls = [s for s in mesh.stalls("site0") if 1 in s.waiting_on]
+        assert stalls, "site 0 should stall on site 1 during the outage"
+        # Delivery is gated: site 0 froze at the stalled frame instead of
+        # reaching the ~90 frames an unimpeded run sees by t=1.5.
+        frame_at_heal = engines[0].runtime.frame
+        assert frame_at_heal <= stalls[-1].frame
+        assert frame_at_heal < 80
+
+        # Once the link heals, site 1's periodic flush retransmits the whole
+        # unacked window and every site finishes with identical traces.
+        mesh.run()
+        for site in (0, 1):
+            assert len(mesh.presents(f"site{site}")) == 120
+        traces = [engine.runtime.trace for engine in engines]
+        assert list(traces[0].checksums) == list(traces[1].checksums)
+        # Observers never appear as a gating site, at any replica.
+        for address in mesh.effects:
+            for stall in mesh.stalls(address):
+                assert 2 not in stall.waiting_on

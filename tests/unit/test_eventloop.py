@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.eventloop import EventLoop, SimulationError
+from repro.sim.eventloop import SimulationError
 
 
 class TestScheduling:

@@ -266,7 +266,6 @@ class TestShooter:
             if game.game_over:
                 break
         assert game.game_over
-        checksum = game.checksum()
         frame = game.frame
         game.step(0xFFFF)
         assert game.frame == frame + 1  # frame counter still ticks

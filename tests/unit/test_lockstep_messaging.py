@@ -1,6 +1,5 @@
 """Unit tests for lockstep's per-peer messaging layer (build_all etc.)."""
 
-import pytest
 
 from repro.core.config import SyncConfig
 from repro.core.inputs import InputAssignment

@@ -5,9 +5,8 @@ game variables validates the CPU, the assembler and the ROM in one sweep —
 any emulation bug shows up as a trajectory divergence.
 """
 
-import pytest
 
-from repro.core.inputs import Buttons, pack_buttons
+from repro.core.inputs import pack_buttons
 from repro.emulator.games.pongpy import PongPy
 from repro.emulator.machine import create_game
 from repro.emulator.roms.pong import build_pong

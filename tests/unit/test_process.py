@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.sim.eventloop import EventLoop, SimulationError
+from repro.sim.eventloop import SimulationError
 from repro.sim.process import (
     Mailbox,
-    Process,
     ProcessCrashed,
     Sleep,
     Spawn,

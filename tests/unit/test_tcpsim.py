@@ -85,7 +85,7 @@ class TestHeadOfLineBlocking:
     def test_rto_tracks_srtt(self, loop, network):
         # RTT 0.16 s stays under MIN_RTO, so the first ACK samples cleanly.
         a = network.socket("a")
-        b = network.socket("b")
+        network.socket("b")  # receiver must exist for delivery
         network.connect("a", "b", NetemConfig(delay=0.08))
         assert a.rto("b") == MIN_RTO  # before any sample
         a.send(b"x", "b")
@@ -96,7 +96,7 @@ class TestHeadOfLineBlocking:
         # RTT 0.4 s exceeds MIN_RTO: every segment retransmits spuriously,
         # so no RTT sample may be taken (Karn's algorithm).
         a = network.socket("a")
-        b = network.socket("b")
+        network.socket("b")  # receiver must exist for delivery
         network.connect("a", "b", NetemConfig(delay=0.2))
         a.send(b"x", "b")
         loop.run(until=5.0)
