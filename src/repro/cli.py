@@ -14,6 +14,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -29,9 +30,9 @@ from repro.harness.report import format_series1, format_series2, format_series3
 from repro.harness.series1 import run_series1
 from repro.harness.series2 import run_series2
 from repro.harness.series3 import run_series3
-from repro.metrics.recorder import ConsistencyChecker
 from repro.metrics.stats import mean
 from repro.net.netem import NetemConfig
+from repro.obs.postmortem import verify_with_postmortem
 
 
 def _run_session(game: str, frames: int, rtt: float, seed: int, loss: float = 0.0):
@@ -61,8 +62,11 @@ def cmd_games(args: argparse.Namespace) -> int:
 
 def cmd_play(args: argparse.Namespace) -> int:
     session = _run_session(args.game, args.frames, args.rtt / 1000, args.seed)
-    traces = [vm.runtime.trace for vm in session.vms]
-    verified = ConsistencyChecker().verify_traces(traces)
+    # On divergence this writes a postmortem bundle (both sites' full frame
+    # rows, trace records and registries) next to the raised error.
+    verified = verify_with_postmortem(
+        session.vms, artifact_path=args.postmortem, last_n=None
+    )
     machine = session.vms[0].runtime.machine
     print(machine.render_text())
     print()
@@ -113,6 +117,54 @@ def cmd_aio(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Host concurrent aio sessions and dump their telemetry, or run the
+    metric-catalog check CI uses (``--check``)."""
+    if args.check:
+        from repro.obs.catalog import run_catalog_check
+
+        problems, info = run_catalog_check(
+            frames=args.frames, loss=args.loss, seed=args.seed
+        )
+        truth = info["ground_truth"]
+        print(
+            f"catalog check: {args.frames} frames at {args.loss:.0%} loss "
+            f"(ground truth: {truth['sent']} sent, {truth['dropped']} dropped, "
+            f"{truth['duplicated']} duplicated)"
+        )
+        if problems:
+            for problem in problems:
+                print(f"  FAIL {problem}", file=sys.stderr)
+            return 1
+        print("  all catalog metrics present and monotone across scrapes")
+        return 0
+
+    from repro.core.aio import AioSessionSpec, SessionHost, run_sessions
+
+    host = SessionHost()
+    config = SyncConfig(cfps=args.cfps)
+    specs = [
+        AioSessionSpec(
+            game=args.game,
+            frames=args.frames,
+            seed=args.seed + 10 * index,
+            config=config,
+            session_id=index + 1,
+            linger=0.5,
+        )
+        for index in range(args.sessions)
+    ]
+    run_sessions(specs, session_host=host, raise_errors=False)
+    if args.format in ("json", "both"):
+        print(json.dumps(host.snapshot(), indent=2, sort_keys=True))
+    if args.format in ("prom", "both"):
+        print(host.prometheus())
+    errors = host.errors()
+    for error in errors:
+        print(f"session error: {error!r}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def cmd_figure1(args: argparse.Namespace) -> int:
     rtts = PAPER_RTT_SWEEP if args.full else [r / 1000 for r in range(0, 201, 40)]
     rows = run_series1(rtts=rtts, frames=args.frames, game=args.game)
@@ -158,6 +210,32 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
+    if args.from_bundle:
+        from repro.core.replay import movie_from_trace
+        from repro.metrics.recorder import FrameTrace
+        from repro.obs.postmortem import DesyncPostmortem
+
+        bundle = DesyncPostmortem.load(args.movie)
+        entry = next(
+            (e for e in bundle.sites if e.get("site") == args.site), None
+        )
+        if entry is None:
+            print(f"bundle has no site {args.site}", file=sys.stderr)
+            return 1
+        trace = FrameTrace.from_rows(args.site, entry["frame_rows"])
+        movie = movie_from_trace(
+            trace,
+            game=entry["game"],
+            metadata={"from_bundle": args.movie, "site": str(args.site)},
+        )
+        machine = movie.replay()
+        print(machine.render_text())
+        print(
+            f"replayed {len(movie)} frames of {movie.game} from site "
+            f"{args.site}'s postmortem rows; divergence was at frame "
+            f"{bundle.divergence_frame}"
+        )
+        return 0
     movie = InputMovie.load(args.movie)
     machine = movie.replay()
     print(machine.render_text())
@@ -207,7 +285,35 @@ def build_parser() -> argparse.ArgumentParser:
     play = sub.add_parser("play", help="run a two-site session, show the result")
     add_common(play)
     play.add_argument("--rtt", type=float, default=40.0, help="round trip, ms")
+    play.add_argument(
+        "--postmortem",
+        default="desync-postmortem.json",
+        help="where to write the desync postmortem bundle if replicas diverge",
+    )
     play.set_defaults(fn=cmd_play)
+
+    stats = sub.add_parser(
+        "stats",
+        help="host aio sessions and dump telemetry as JSON + Prometheus text",
+    )
+    stats.add_argument("--sessions", type=int, default=8)
+    stats.add_argument("--game", default="counter")
+    stats.add_argument("--frames", type=int, default=120)
+    stats.add_argument("--cfps", type=int, default=120)
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument(
+        "--format", choices=("json", "prom", "both"), default="both"
+    )
+    stats.add_argument(
+        "--check",
+        action="store_true",
+        help="instead: run the metric-catalog check on a lossy simulated "
+        "session (CI gate); uses --frames/--seed/--loss",
+    )
+    stats.add_argument(
+        "--loss", type=float, default=0.05, help="loss rate for --check"
+    )
+    stats.set_defaults(fn=cmd_stats)
 
     aio = sub.add_parser(
         "aio",
@@ -248,7 +354,16 @@ def build_parser() -> argparse.ArgumentParser:
     record.set_defaults(fn=cmd_record)
 
     replay = sub.add_parser("replay", help="verify and show an input movie")
-    replay.add_argument("movie")
+    replay.add_argument("movie", help="movie file (or bundle with --from-bundle)")
+    replay.add_argument(
+        "--from-bundle",
+        action="store_true",
+        help="treat the argument as a desync postmortem bundle and replay "
+        "one site's captured frame rows",
+    )
+    replay.add_argument(
+        "--site", type=int, default=0, help="which site's rows to replay"
+    )
     replay.set_defaults(fn=cmd_replay)
 
     reproduce = sub.add_parser(

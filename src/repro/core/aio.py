@@ -28,9 +28,10 @@ from typing import List, Optional
 
 from repro.core.config import SyncConfig
 from repro.core.driver import apply_effects, feed_datagrams
-from repro.core.engine import SiteEngine, SitePeer, SiteRuntime
+from repro.core.engine import SiteEngine, SitePeer, SiteRuntime, Shutdown
 from repro.core.inputs import InputAssignment, PadSource, RandomSource
 from repro.net.udp import AsyncUdpEndpoint
+from repro.obs.registry import aggregate_snapshots, to_prometheus
 
 
 class AioSite:
@@ -47,6 +48,10 @@ class AioSite:
         self.endpoint = endpoint
         self.engine = SiteEngine(runtime, max_frames, linger=linger)
         self.finished = False
+        #: Set when :meth:`run` died; the host process stays up and the
+        #: snapshot API reports the failure instead.
+        self.error: Optional[BaseException] = None
+        self._stop_requested = False
 
     async def run(self) -> None:
         loop = asyncio.get_running_loop()
@@ -58,15 +63,104 @@ class AioSite:
             if deadline is not None:
                 timeout = max(0.0, deadline - loop.time())
             await self.endpoint.wait(timeout)
+            if self._stop_requested and not engine.done:
+                effects = engine.handle(Shutdown(loop.time()))
+                continue
             effects = feed_datagrams(
                 engine, self.endpoint.receive_all(), loop.time()
             )
+
+    def request_stop(self) -> None:
+        """Ask the site to wind down at its next wakeup (and wake it)."""
+        self._stop_requested = True
+        self.endpoint.poke()
+
+    def snapshot(self) -> dict:
+        """This site's registries plus liveness/error state as one dict."""
+        snap = self.engine.snapshot()
+        snap["finished"] = self.finished
+        snap["error"] = repr(self.error) if self.error is not None else None
+        return snap
 
     def _apply(self, effects) -> bool:
         running = apply_effects(effects, self.endpoint.send)
         if self.engine.frames_complete:
             self.finished = True
         return running
+
+
+class SessionHost:
+    """The sessions one process hosts, with a live introspection surface.
+
+    :meth:`run` drives every site to completion with per-session fault
+    isolation: a site coroutine that raises records the error on its
+    :class:`AioSite` (visible through :meth:`snapshot`) and stops its
+    session siblings, while every *other* session keeps running — one
+    crashed session must never take the host down.
+    """
+
+    def __init__(self) -> None:
+        self.sessions: List[List[AioSite]] = []
+
+    def add_session(self, sites: List[AioSite]) -> None:
+        self.sessions.append(sites)
+
+    @property
+    def sites(self) -> List[AioSite]:
+        return [site for group in self.sessions for site in group]
+
+    def errors(self) -> List[BaseException]:
+        return [site.error for site in self.sites if site.error is not None]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All hosted sessions' registries as one JSON-ready dict."""
+        groups = [
+            {
+                "session": group[0].runtime.session_id if group else None,
+                "sites": [site.snapshot() for site in group],
+            }
+            for group in self.sessions
+        ]
+        flat = [site for group in groups for site in group["sites"]]
+        return {"sessions": groups, "aggregate": aggregate_snapshots(flat)}
+
+    def prometheus(self) -> str:
+        """All hosted sessions' registries as Prometheus text exposition."""
+        from repro.obs.catalog import catalog_help
+
+        return to_prometheus(
+            [site.snapshot() for site in self.sites], help_text=catalog_help()
+        )
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        await asyncio.gather(
+            *(
+                self._run_guarded(site, group)
+                for group in self.sessions
+                for site in group
+            )
+        )
+
+    async def _run_guarded(self, site: AioSite, group: List[AioSite]) -> None:
+        try:
+            await site.run()
+        except Exception as exc:
+            site.error = exc
+            site.runtime.events.emit(
+                "error",
+                asyncio.get_running_loop().time(),
+                site.runtime.frame,
+                message=str(exc),
+            )
+            # The sibling would otherwise stall at the SyncInput gate until
+            # its linger never comes; stop the whole session cleanly.
+            for sibling in group:
+                if sibling is not site:
+                    sibling.request_stop()
 
 
 @dataclass
@@ -93,17 +187,30 @@ class AioSessionSpec:
 
 
 async def host_sessions(
-    specs: List[AioSessionSpec], host: str = "127.0.0.1"
+    specs: List[AioSessionSpec],
+    host: str = "127.0.0.1",
+    raise_errors: bool = True,
+    session_host: Optional[SessionHost] = None,
+    machine_factory=None,
 ) -> List[List[SiteRuntime]]:
     """Run every session concurrently on the current event loop.
 
     Returns the runtimes grouped per session (two per spec), with their
     traces complete.  All sites of all sessions share the one loop — the
     many-sessions-per-process shape a lobby server needs.
+
+    A crashed site no longer kills the host: its error lands on the
+    :class:`AioSite` (and in the :class:`SessionHost` snapshot) and its
+    session winds down, while other sessions run to completion.  With
+    ``raise_errors`` (the default) the first error is re-raised *after*
+    all sessions settle; pass ``session_host`` to keep the live
+    introspection handle, and ``machine_factory(game_id)`` to substitute
+    game construction (fault-injection tests).
     """
     from repro.emulator.machine import create_game
 
-    sites: List[AioSite] = []
+    build_machine = machine_factory if machine_factory is not None else create_game
+    hosted = session_host if session_host is not None else SessionHost()
     grouped: List[List[SiteRuntime]] = []
     try:
         for spec in specs:
@@ -113,36 +220,54 @@ async def host_sessions(
             peers = [SitePeer(s, endpoints[s].address) for s in range(2)]
             session_id = spec.session_id
             runtimes = []
+            group: List[AioSite] = []
             for s in range(2):
                 runtime = SiteRuntime(
                     config=config,
                     site_no=s,
                     assignment=InputAssignment.standard(2),
-                    machine=create_game(spec.game),
+                    machine=build_machine(spec.game),
                     source=sources[s],
                     peers=peers,
                     game_id=spec.game,
                     session_id=session_id,
                 )
                 runtimes.append(runtime)
-                sites.append(
+                group.append(
                     AioSite(
                         runtime, endpoints[s], spec.frames, linger=spec.linger
                     )
                 )
+            hosted.add_session(group)
             grouped.append(runtimes)
-        await asyncio.gather(*(site.run() for site in sites))
+        await hosted.run()
     finally:
-        for site in sites:
+        for site in hosted.sites:
             site.endpoint.close()
+    if raise_errors:
+        errors = hosted.errors()
+        if errors:
+            raise errors[0]
     return grouped
 
 
 def run_sessions(
-    specs: List[AioSessionSpec], host: str = "127.0.0.1"
+    specs: List[AioSessionSpec],
+    host: str = "127.0.0.1",
+    raise_errors: bool = True,
+    session_host: Optional[SessionHost] = None,
+    machine_factory=None,
 ) -> List[List[SiteRuntime]]:
     """Synchronous entry point: host the sessions on a fresh event loop."""
-    return asyncio.run(host_sessions(specs, host=host))
+    return asyncio.run(
+        host_sessions(
+            specs,
+            host=host,
+            raise_errors=raise_errors,
+            session_host=session_host,
+            machine_factory=machine_factory,
+        )
+    )
 
 
 def simulator_checksums(spec: AioSessionSpec, rtt: float = 0.040) -> List[int]:

@@ -76,6 +76,8 @@ from repro.core.rtt import RttEstimator
 from repro.core.session import SessionControl
 from repro.metrics.recorder import FrameTrace
 from repro.metrics.timeserver import encode_report
+from repro.obs.site import SiteMetrics
+from repro.obs.trace import EventTrace
 
 
 class GameMachine(Protocol):
@@ -142,6 +144,9 @@ class SiteRuntime:
             expected_sites=handshake_sites,
         )
         self.trace = FrameTrace(site_no)
+        #: Telemetry: counters/histograms plus the protocol event ring.
+        self.metrics = SiteMetrics(site_no, session_id)
+        self.events = EventTrace()
         #: Frame counter of Algorithm 1.
         self.frame = 0
         #: Set when the site should answer STATE_REQUESTs (late-join donor).
@@ -169,8 +174,28 @@ class SiteRuntime:
         replies: List[Tuple[bytes, str]] = []
 
         if isinstance(message, Sync):
+            self.events.emit(
+                "rx",
+                now,
+                self.frame,
+                msg="Sync",
+                peer=message.sender_site,
+                first=message.first_frame,
+                last=message.last_frame,
+                ack=message.acks[self.site_no]
+                if self.site_no < len(message.acks)
+                else None,
+            )
             self.lockstep.on_sync(message, arrived_at)
-        elif isinstance(message, Ping):
+            return replies
+        self.events.emit(
+            "rx",
+            now,
+            self.frame,
+            msg=type(message).__name__,
+            peer=getattr(message, "sender_site", None),
+        )
+        if isinstance(message, Ping):
             pong = RttEstimator.make_pong(message, self.site_no)
             destination = self.address_of.get(message.sender_site)
             if destination is not None:
@@ -178,7 +203,7 @@ class SiteRuntime:
         elif isinstance(message, Pong):
             self.rtt.on_pong(message, now)
             if self.config.adaptive_lag and self.rtt.samples:
-                self._adapt_lag()
+                self._adapt_lag(now)
         elif isinstance(message, StateRequest):
             if self.allow_state_requests:
                 self._pending_state_request = message.sender_site
@@ -198,26 +223,45 @@ class SiteRuntime:
     # ------------------------------------------------------------------
     def control_messages(self, now: float) -> List[Tuple[bytes, str]]:
         """Session-control (re)transmissions due now."""
-        return [
-            (message.encode(), destination)
-            for message, destination in self.session.poll(now)
-        ]
+        out: List[Tuple[bytes, str]] = []
+        for message, destination in self.session.poll(now):
+            self.events.emit(
+                "tx",
+                now,
+                self.frame,
+                msg=type(message).__name__,
+                dest=destination,
+            )
+            out.append((message.encode(), destination))
+        return out
 
-    def sync_broadcast(self, force: bool = False) -> List[Tuple[bytes, str]]:
+    def sync_broadcast(
+        self, force: bool = False, now: float = 0.0
+    ) -> List[Tuple[bytes, str]]:
         """The flush: per-peer sd messages (lines 7–11, N-site form)."""
-        return [
-            (message.encode(), self.address_of[peer])
-            for peer, message in self.lockstep.build_all(force=force).items()
-        ]
+        out: List[Tuple[bytes, str]] = []
+        for peer, message in self.lockstep.build_all(force=force).items():
+            self.events.emit(
+                "tx",
+                now,
+                self.frame,
+                msg="Sync",
+                peer=peer,
+                first=message.first_frame,
+                last=message.last_frame,
+            )
+            out.append((message.encode(), self.address_of[peer]))
+        return out
 
     def ping_messages(self, now: float) -> List[Tuple[bytes, str]]:
         """One RTT probe per peer."""
         out = []
         for site in self.peer_sites:
+            self.events.emit("tx", now, self.frame, msg="Ping", peer=site)
             out.append((self.rtt.make_ping(now).encode(), self.address_of[site]))
         return out
 
-    def _adapt_lag(self) -> None:
+    def _adapt_lag(self, now: float = 0.0) -> None:
         """Resize local lag to the current one-way estimate (§4.2's rejected
         alternative, implemented for the ablation)."""
         import math
@@ -227,7 +271,12 @@ class SiteRuntime:
             (self.rtt.one_way + config.adaptive_margin) * config.cfps
         )
         needed = max(config.adaptive_min_buf, min(config.adaptive_max_buf, needed))
+        before = self.lockstep.local_lag_frames
         self.lockstep.set_local_lag(needed)
+        if needed != before:
+            self.events.emit(
+                "lag", now, self.frame, **{"from": before, "to": needed}
+            )
 
     def take_state_request(self) -> Optional[int]:
         """Pop the pending late-join request (site number) if any."""
@@ -240,6 +289,7 @@ class SiteRuntime:
     def begin_frame(self, now: float) -> float:
         """BeginFrameTiming: Algorithm 4; returns the sync adjust applied."""
         self.trace.record_begin(now)
+        self.metrics.on_begin_frame(now)
         return self.pacer.begin_frame(
             now, self.frame, self.lockstep.master_sample, self.rtt.rtt
         )
@@ -269,6 +319,7 @@ class SiteRuntime:
             sync_adjust,
             lag=self.lockstep.local_lag_frames,
         )
+        self.metrics.on_commit(stall, sync_adjust)
         self.frame += 1
 
     def end_frame(self, now: float) -> float:
@@ -466,6 +517,7 @@ class SiteEngine:
         #: or the admission bookkeeping would race the joiner's choice.
         self.snapshot_cache: Dict[int, StateSnapshot] = {}
 
+        self._observed_phase = self.phase
         self._timers: Dict[str, float] = {}
         self._sampled: Dict[int, int] = {}
         self._merged: Optional[int] = None
@@ -492,6 +544,9 @@ class SiteEngine:
         if self.done:
             return []
         if isinstance(event, DatagramReceived):
+            metrics = self.runtime.metrics
+            metrics.datagrams_received.inc()
+            metrics.bytes_received.inc(len(event.payload))
             effects: List[Effect] = []
             replies = self.runtime.handle_datagram(
                 event.payload, event.arrived_at, event.now
@@ -508,6 +563,13 @@ class SiteEngine:
             self._timers.clear()
             self.phase = PHASE_DONE
             self.done = True
+            self.runtime.events.emit(
+                "phase",
+                event.now,
+                self.runtime.frame,
+                **{"from": self._observed_phase, "to": PHASE_DONE},
+            )
+            self._observed_phase = PHASE_DONE
             return [Finished(self.runtime.frame)]
         raise TypeError(f"unknown event {event!r}")
 
@@ -522,6 +584,20 @@ class SiteEngine:
         if not self._timers:
             return None
         return min(self._timers.values())
+
+    def snapshot(self) -> dict:
+        """Introspection: the registry snapshot plus live engine state.
+
+        Mirrors the sync layer's authoritative totals into the registry
+        first, so this is the one call every driver's snapshot API and the
+        postmortem builder share.
+        """
+        snap = self.runtime.metrics.snapshot(self.runtime)
+        snap["phase"] = self.phase
+        snap["frame"] = self.runtime.frame
+        snap["done"] = self.done
+        snap["trace_records"] = len(self.runtime.events)
+        return snap
 
     # ------------------------------------------------------------------
     # Timer plumbing
@@ -549,9 +625,50 @@ class SiteEngine:
             self._on_timer(kind, now, effects)
         if not self.done:
             self._advance(now, effects)
+        self._observe(now, effects)
         return effects
 
+    def _observe(self, now: float, effects: List[Effect]) -> None:
+        """Telemetry funnel: every effect batch passes through here once.
+
+        Counting ``Send``/``Present``/``Stall`` effects centrally keeps the
+        phase machine itself observation-free; phase transitions are
+        detected by comparison so subclass engines that assign ``phase``
+        directly (catchup, acquire) are captured too.
+        """
+        runtime = self.runtime
+        metrics = runtime.metrics
+        for effect in effects:
+            kind = type(effect)
+            if kind is Send:
+                metrics.datagrams_sent.inc()
+                metrics.bytes_sent.inc(len(effect.payload))
+            elif kind is Present:
+                metrics.frames.inc()
+            elif kind is Stall:
+                metrics.stalls.inc()
+                runtime.events.emit(
+                    "stall",
+                    now,
+                    effect.frame,
+                    waiting_on=list(effect.waiting_on),
+                )
+        if self.phase != self._observed_phase:
+            runtime.events.emit(
+                "phase",
+                now,
+                runtime.frame,
+                **{"from": self._observed_phase, "to": self.phase},
+            )
+            self._observed_phase = self.phase
+
     def _on_timer(self, kind: str, now: float, effects: List[Effect]) -> None:
+        if kind != TIMER_GATE:
+            # GATE re-polls every few ms while blocked and would flood the
+            # ring; the Stall record already marks the blockage.
+            self.runtime.events.emit(
+                "timer", now, self.runtime.frame, timer=kind
+            )
         if kind == TIMER_SEND:
             if self.runtime.config.slice_delay > 0:
                 delay = self._rng.uniform(
@@ -599,7 +716,7 @@ class SiteEngine:
         # a peer may still be waiting on them.
         self._emit_sends(self.runtime.control_messages(now), effects)
         if self.runtime.session.started:
-            self._emit_sends(self.runtime.sync_broadcast(), effects)
+            self._emit_sends(self.runtime.sync_broadcast(now=now), effects)
 
     # ------------------------------------------------------------------
     # Phase machine
@@ -685,7 +802,7 @@ class SiteEngine:
         self._commit(self._merged, self._stall, self._sync_adjust, now, effects)
         request = self.runtime.take_state_request()
         if request is not None:
-            self._serve_state(request, effects)
+            self._serve_state(request, effects, now=now)
         deadline = self.runtime.end_frame_deadline(now)
         if self._frames_done():
             self._enter_linger(now, effects)
@@ -722,7 +839,9 @@ class SiteEngine:
     # ------------------------------------------------------------------
     # Late-join donor duties (outside the hot path in spirit)
     # ------------------------------------------------------------------
-    def _serve_state(self, requester_site: int, effects: List[Effect]) -> None:
+    def _serve_state(
+        self, requester_site: int, effects: List[Effect], now: float = 0.0
+    ) -> None:
         """Send a savestate to a late joiner (journal extension).
 
         The first request snapshots the machine; retried requests re-send
@@ -752,8 +871,17 @@ class SiteEngine:
             )
             self.snapshot_cache[requester_site] = snapshot
             effects.append(ServeState(requester_site, snapshot.frame))
+            runtime.events.emit(
+                "state_serve",
+                now,
+                runtime.frame,
+                peer=requester_site,
+                snapshot_frame=snapshot.frame,
+                bytes=len(snapshot.state),
+            )
             if self.on_snapshot_served is not None:
                 self.on_snapshot_served(requester_site, snapshot.frame)
+        runtime.metrics.on_state_served(len(snapshot.state))
         destination = runtime.address_of.get(requester_site)
         if destination is not None:
             effects.append(Send(snapshot.encode(), destination))

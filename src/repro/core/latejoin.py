@@ -114,6 +114,14 @@ class LateJoinEngine(SiteEngine):
             if snapshot is None:
                 return
             runtime.machine.load_state(snapshot.state)
+            runtime.metrics.on_state_acquired(len(snapshot.state))
+            runtime.events.emit(
+                "state_acquire",
+                now,
+                snapshot.frame + 1,
+                snapshot_frame=snapshot.frame,
+                bytes=len(snapshot.state),
+            )
             # The admission gate peers apply is snapshot + 1 + the
             # *configured* BufFrame; pin our lag there so our first input
             # lands exactly on it (adaptive lag, if enabled, resumes

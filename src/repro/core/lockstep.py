@@ -40,6 +40,7 @@ class LockstepStats:
         self.sync_messages_sent = 0
         self.sync_messages_received = 0
         self.duplicate_inputs_received = 0
+        self.out_of_window_inputs = 0
         self.inputs_sent = 0
         self.inputs_retransmitted = 0
         self.pruned_frames = 0
@@ -280,6 +281,10 @@ class LockstepSync:
                     self.last_rcv_frame[sender] = new_last
                     if sender == 0 and self.site_no != 0:
                         self.master_sample = (new_last, arrived_at)
+            else:
+                # A gap: earlier frames of the window were lost; the buffered
+                # inputs wait until a retransmission fills the hole.
+                self.stats.out_of_window_inputs += 1
 
         # Lines 17–19: the sender's ack for *our* inputs.
         if self.site_no < len(message.acks):

@@ -93,3 +93,10 @@ class RealtimeVM:
 
     def stop(self) -> None:
         self._stop.set()
+
+    def snapshot(self) -> dict:
+        """This site's telemetry registries plus liveness/error state."""
+        snap = self.engine.snapshot()
+        snap["finished"] = self.finished
+        snap["error"] = repr(self.error) if self.error is not None else None
+        return snap

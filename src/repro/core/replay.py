@@ -142,18 +142,18 @@ class InputMovie:
             return cls.from_json(handle.read())
 
 
-def record_session(
-    session,
-    site: int = 0,
+def movie_from_trace(
+    trace,
+    game: str,
     checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    metadata: Optional[Dict[str, str]] = None,
 ) -> InputMovie:
-    """Build a movie from a finished simulated session.
+    """Build a movie from any :class:`~repro.metrics.recorder.FrameTrace`.
 
-    Records the named site's delivered (merged) inputs and its state
-    checksums every ``checkpoint_interval`` frames plus the final frame.
+    The single trace→movie conversion shared by :func:`record_session` and
+    ``repro replay --from-bundle`` (postmortem bundles carry traces as
+    :meth:`FrameTrace.to_rows` rows, which round-trip back to a trace).
     """
-    vm = next(v for v in session.vms if v.runtime.site_no == site)
-    trace = vm.runtime.trace
     if trace.first_frame != 0:
         raise ReplayError(
             "cannot record a movie from a late joiner: its trace does not "
@@ -166,9 +166,28 @@ def record_session(
     if trace.frames:
         checkpoints[trace.frames - 1] = trace.checksums[-1]
     return InputMovie(
-        game=vm.runtime.game_id,
+        game=game,
         inputs=list(trace.inputs),
         checkpoints=checkpoints,
+        metadata=dict(metadata or {}),
+    )
+
+
+def record_session(
+    session,
+    site: int = 0,
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+) -> InputMovie:
+    """Build a movie from a finished simulated session.
+
+    Records the named site's delivered (merged) inputs and its state
+    checksums every ``checkpoint_interval`` frames plus the final frame.
+    """
+    vm = next(v for v in session.vms if v.runtime.site_no == site)
+    return movie_from_trace(
+        vm.runtime.trace,
+        game=vm.runtime.game_id,
+        checkpoint_interval=checkpoint_interval,
         metadata={"recorded_from_site": str(site)},
     )
 

@@ -223,15 +223,26 @@ class RollbackEngine(SiteEngine):
         self._shadow_mark = _state_mark(shadow)
         self._spec_mark = _state_mark(spec)
 
-    def _rollback_and_replay(self, first_bad: int) -> None:
+    def _rollback_and_replay(self, first_bad: int, now: float = 0.0) -> None:
         """Restore speculation from the shadow and replay the suffix."""
         runtime = self.runtime
         self.rollback_stats.rollbacks += 1
+        copied_before = self.rollback_stats.snapshot_bytes_copied
         self._sync_spec_from_shadow()
         replay_from = self.confirmed_frontier + 1
         depth = runtime.frame - replay_from
         self.rollback_stats.max_replay_depth = max(
             self.rollback_stats.max_replay_depth, depth
+        )
+        runtime.metrics.on_rollback(
+            depth, self.rollback_stats.snapshot_bytes_copied - copied_before
+        )
+        runtime.events.emit(
+            "rollback",
+            now,
+            runtime.frame,
+            depth=depth,
+            **{"from": first_bad, "to": runtime.frame},
         )
         for frame in range(replay_from, runtime.frame):
             word = self._predict_input(frame)
@@ -239,11 +250,11 @@ class RollbackEngine(SiteEngine):
             self.spec_machine.step(word)
             self.rollback_stats.replayed_frames += 1
 
-    def _confirm_pending(self) -> None:
+    def _confirm_pending(self, now: float = 0.0) -> None:
         """Shadow-advance plus rollback — the per-wakeup confirmation step."""
         first_bad = self._advance_shadow()
         if first_bad is not None:
-            self._rollback_and_replay(first_bad)
+            self._rollback_and_replay(first_bad, now)
 
     # ------------------------------------------------------------------
     # Engine hook overrides
@@ -251,7 +262,7 @@ class RollbackEngine(SiteEngine):
     def _try_ready(self, now: float) -> Optional[int]:
         """Replace SyncInput's delivery gate with the speculation-window
         bound; the returned word is the zero-lag *prediction*."""
-        self._confirm_pending()
+        self._confirm_pending(now)
         runtime = self.runtime
         if runtime.frame - self.confirmed_frontier > self.speculation_window:
             self.rollback_stats.speculation_stalls += 1
@@ -293,7 +304,7 @@ class RollbackEngine(SiteEngine):
 
     def _advance(self, now: float, effects: List[Effect]) -> None:
         if self.phase == PHASE_CATCHUP:
-            self._confirm_pending()
+            self._confirm_pending(now)
             if (
                 self.confirmed_frontier >= self.max_frames - 1
                 or now >= self._catchup_deadline

@@ -136,3 +136,9 @@ class DistributedVM:
     def stop(self) -> None:
         """Ask the site to wind down at its next wakeup."""
         self._stop_requested = True
+
+    def snapshot(self) -> dict:
+        """This site's telemetry registries plus liveness as one dict."""
+        snap = self.engine.snapshot()
+        snap["finished"] = self.finished
+        return snap

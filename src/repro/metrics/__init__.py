@@ -17,6 +17,7 @@ from repro.metrics.stats import (
     mean_abs_deviation,
     percentile,
     summarize,
+    validate_quantile,
 )
 from repro.metrics.timeserver import TimeServer
 
@@ -37,5 +38,6 @@ __all__ = [
     "percentile",
     "summarize",
     "time_call",
+    "validate_quantile",
     "write_bench_json",
 ]

@@ -8,7 +8,7 @@ across sites — a divergence raises immediately with the offending frame.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 class FrameTrace:
@@ -65,6 +65,66 @@ class FrameTrace:
         begins = self.begin_times
         return [begins[i + 1] - begins[i] for i in range(len(begins) - 1)]
 
+    # ------------------------------------------------------------------
+    # Row (JSONL) round-trip — the one serialization shared by postmortem
+    # bundles, `repro replay --from-bundle` and movie recording.
+    # ------------------------------------------------------------------
+    def to_rows(self, last_n: Optional[int] = None) -> List[dict]:
+        """One JSON-ready dict per frame, in frame order.
+
+        A frame that has begun (``record_begin``) but not yet committed
+        (``record_frame``) — possible when a site is mid-frame at capture
+        time — yields a trailing row with only ``frame`` and ``begin``.
+        ``last_n`` keeps just the most recent rows (postmortem bundles).
+        """
+        rows: List[dict] = []
+        begins = self.begin_times
+        for index in range(len(self.checksums)):
+            rows.append(
+                {
+                    "frame": self.first_frame + index,
+                    "begin": begins[index] if index < len(begins) else None,
+                    "input": self.inputs[index],
+                    "checksum": self.checksums[index],
+                    "stall": self.sync_stall[index],
+                    "adjust": self.sync_adjusts[index],
+                    "lag": self.lags[index],
+                }
+            )
+        for index in range(len(self.checksums), len(begins)):
+            rows.append({"frame": self.first_frame + index, "begin": begins[index]})
+        if last_n is not None:
+            rows = rows[-last_n:]
+        return rows
+
+    @classmethod
+    def from_rows(cls, site_no: int, rows: Iterable[dict]) -> "FrameTrace":
+        """Rebuild a trace from :meth:`to_rows` output.
+
+        Rows must be contiguous and in frame order (as ``to_rows`` emits
+        them); the first row's frame number becomes ``first_frame``.
+        """
+        materialized = list(rows)
+        first = int(materialized[0]["frame"]) if materialized else 0
+        trace = cls(site_no, first_frame=first)
+        for offset, row in enumerate(materialized):
+            if int(row["frame"]) != first + offset:
+                raise ValueError(
+                    f"trace rows not contiguous: expected frame {first + offset}, "
+                    f"got {row['frame']}"
+                )
+            if row.get("begin") is not None:
+                trace.begin_times.append(float(row["begin"]))
+            if "checksum" in row:
+                trace.record_frame(
+                    int(row["input"]),
+                    int(row["checksum"]),
+                    float(row.get("stall", 0.0)),
+                    float(row.get("adjust", 0.0)),
+                    int(row.get("lag", 0)),
+                )
+        return trace
+
 
 class ConsistencyError(AssertionError):
     """Replicas diverged — the logical-consistency invariant is broken."""
@@ -114,12 +174,22 @@ class ConsistencyChecker:
             for trace in traces[1:]:
                 index = frame - trace.first_frame
                 if trace.checksums[index] != reference:
+                    self.first_divergence = (
+                        frame
+                        if self.first_divergence is None
+                        else min(self.first_divergence, frame)
+                    )
                     raise ConsistencyError(
                         f"state divergence at frame {frame}: site "
                         f"{reference_trace.site_no}=0x{reference:08x}, site "
                         f"{trace.site_no}=0x{trace.checksums[index]:08x}"
                     )
                 if trace.inputs[index] != reference_input:
+                    self.first_divergence = (
+                        frame
+                        if self.first_divergence is None
+                        else min(self.first_divergence, frame)
+                    )
                     raise ConsistencyError(
                         f"input divergence at frame {frame}: site "
                         f"{reference_trace.site_no}=0x{reference_input:x}, site "

@@ -36,12 +36,29 @@ def absolute_average(values: Sequence[float]) -> float:
     return sum(abs(v) for v in values) / len(values)
 
 
+def validate_quantile(q: float) -> float:
+    """Validate a percentile rank: ``q`` must be a finite number in [0, 100].
+
+    Shared by :func:`percentile` and the histogram quantile summaries in
+    :mod:`repro.obs.registry`, so both reject a bad ``q`` with the same
+    clear error instead of indexing off the end of the sample.
+    """
+    try:
+        q = float(q)
+    except (TypeError, ValueError):
+        raise ValueError(f"q must be a number in [0, 100], got {q!r}") from None
+    # NaN fails every comparison, so the range check below catches it too;
+    # `not (min <= q <= max)` is the NaN-safe phrasing of the bounds test.
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return q
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile, ``q`` in [0, 100]."""
     if not values:
         raise ValueError("percentile of empty sequence")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q must be in [0, 100], got {q}")
+    q = validate_quantile(q)
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]

@@ -70,6 +70,10 @@ class SimNetwork:
         self._sockets: Dict[Address, SimSocket] = {}
         self._links: Dict[Tuple[Address, Address], LinkScheduler] = {}
         self._default_config: Optional[NetemConfig] = NetemConfig()
+        #: Per-direction ground truth of every packet fate the impairment
+        #: model decided — the reference the telemetry tests compare the
+        #: protocol's own counters against.
+        self._truth: Dict[Tuple[Address, Address], Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -124,14 +128,19 @@ class SimNetwork:
         scheduler = self._scheduler_for(source, destination)
         if scheduler is None:
             return
+        truth = self._link_truth(source, destination)
+        truth["sent"] += 1
         sender = self._sockets.get(source)
         plan = scheduler.plan(self.loop.clock.now(), len(payload))
         if plan.dropped:
+            truth["dropped"] += 1
             if sender is not None:
                 sender.stats.datagrams_dropped += 1
             return
-        if len(plan.times) > 1 and sender is not None:
-            sender.stats.datagrams_duplicated += len(plan.times) - 1
+        if len(plan.times) > 1:
+            truth["duplicated"] += len(plan.times) - 1
+            if sender is not None:
+                sender.stats.datagrams_duplicated += len(plan.times) - 1
         for when in plan.times:
             self.loop.call_at(
                 when, self._make_delivery(source, destination, payload, when)
@@ -142,7 +151,45 @@ class SimNetwork:
     ):
         def deliver() -> None:
             target = self._sockets.get(destination)
-            if target is not None:
+            if target is not None and not target._closed:
+                self._link_truth(source, destination)["delivered"] += 1
                 target.deliver(Datagram(payload, source, when))
 
         return deliver
+
+    # ------------------------------------------------------------------
+    # Ground truth (telemetry verification)
+    # ------------------------------------------------------------------
+    def _link_truth(self, source: Address, destination: Address) -> Dict[str, int]:
+        key = (source, destination)
+        truth = self._truth.get(key)
+        if truth is None:
+            truth = self._truth[key] = {
+                "sent": 0,
+                "dropped": 0,
+                "duplicated": 0,
+                "delivered": 0,
+            }
+        return truth
+
+    def ground_truth(
+        self,
+        source: Optional[Address] = None,
+        destination: Optional[Address] = None,
+    ) -> Dict[str, int]:
+        """Packet-fate totals, optionally filtered by link endpoint.
+
+        Once all scheduled deliveries have executed (the loop drained) and
+        no receiving socket was closed mid-flight, the counts obey
+        ``delivered == sent - dropped + duplicated`` — the conservation law
+        the observability tests assert against the runtimes' own counters.
+        """
+        totals = {"sent": 0, "dropped": 0, "duplicated": 0, "delivered": 0}
+        for (src, dst), truth in self._truth.items():
+            if source is not None and src != source:
+                continue
+            if destination is not None and dst != destination:
+                continue
+            for key, value in truth.items():
+                totals[key] += value
+        return totals

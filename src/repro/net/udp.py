@@ -216,6 +216,14 @@ class AsyncUdpEndpoint(asyncio.DatagramProtocol, DatagramSocket):
         except asyncio.TimeoutError:
             pass
 
+    def poke(self) -> None:
+        """Wake a coroutine blocked in :meth:`wait` without a datagram.
+
+        Used to deliver out-of-band control (stop requests from a crashed
+        session sibling) to a site sleeping on its engine deadline.
+        """
+        self._wake.set()
+
     def close(self) -> None:
         if self._transport is not None:
             self._transport.close()

@@ -1,0 +1,171 @@
+"""Desync postmortem bundles.
+
+A state divergence used to surface as a bare :class:`ConsistencyError`
+string — the offending frame number and two checksums, with everything
+that led up to it already gone.  :func:`verify_with_postmortem` replaces
+that: it runs the same cross-site check, and on divergence captures both
+sites' recent protocol trace records, frame rows, and registry snapshots
+into one JSON artifact (:class:`DesyncPostmortem`) before raising, so the
+last N frames of context travel with the failure.
+
+Only :mod:`repro.metrics` is imported at module level; anything from
+:mod:`repro.core` stays duck-typed (a "site" is anything with a
+``runtime`` and optionally an ``engine``) to keep :mod:`repro.obs`
+import-safe from inside the engine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.metrics.recorder import ConsistencyChecker, ConsistencyError
+
+#: How many frame rows / trace records each site contributes by default.
+DEFAULT_LAST_N = 120
+
+
+class DesyncError(ConsistencyError):
+    """A divergence with its postmortem bundle attached.
+
+    Subclasses :class:`ConsistencyError` so existing handlers keep
+    working; ``exc.postmortem`` carries the bundle and ``exc.artifact``
+    the path it was written to (if any).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        postmortem: "DesyncPostmortem",
+        artifact: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.postmortem = postmortem
+        self.artifact = artifact
+
+
+@dataclass
+class DesyncPostmortem:
+    """Everything both sites knew around the first mismatching frame."""
+
+    error: str
+    divergence_frame: Optional[int]
+    #: Per-site ``{site, frame, phase?, offending?, registry, frame_rows,
+    #: trace_records}`` dicts; ``offending`` is the input/checksum pair the
+    #: site computed for the divergence frame.
+    sites: List[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "desync-postmortem",
+            "error": self.error,
+            "divergence_frame": self.divergence_frame,
+            "sites": self.sites,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesyncPostmortem":
+        return cls(
+            error=data.get("error", ""),
+            divergence_frame=data.get("divergence_frame"),
+            sites=list(data.get("sites", [])),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "DesyncPostmortem":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def frame_rows(self, site_no: int) -> List[dict]:
+        """The captured frame rows of one site (for replay / inspection)."""
+        for entry in self.sites:
+            if entry.get("site") == site_no:
+                return list(entry.get("frame_rows", []))
+        raise KeyError(site_no)
+
+
+def _site_snapshot(site) -> dict:
+    """Registry snapshot of a VM/driver (``engine``) or bare runtime."""
+    engine = getattr(site, "engine", None)
+    if engine is not None and hasattr(engine, "snapshot"):
+        return engine.snapshot()
+    runtime = getattr(site, "runtime", site)
+    return runtime.metrics.snapshot(runtime)
+
+
+def build_postmortem(
+    error: BaseException,
+    sites: List[object],
+    divergence_frame: Optional[int] = None,
+    last_n: Optional[int] = DEFAULT_LAST_N,
+) -> DesyncPostmortem:
+    """Capture both sides of a divergence into one bundle.
+
+    ``sites`` may be VMs/drivers (anything with ``runtime``) or bare
+    :class:`~repro.core.engine.SiteRuntime` objects.  ``last_n`` bounds
+    how many frame rows and trace records each site contributes; pass
+    ``None`` to capture full traces (needed if the bundle should be
+    replayable from frame 0 with ``repro replay --from-bundle``).
+    """
+    entries: List[dict] = []
+    for site in sites:
+        runtime = getattr(site, "runtime", site)
+        entry = {
+            "site": runtime.site_no,
+            "frame": runtime.frame,
+            "game": getattr(runtime, "game_id", None),
+            "registry": _site_snapshot(site),
+            "frame_rows": runtime.trace.to_rows(last_n=last_n),
+            "trace_records": runtime.events.rows(last_n=last_n),
+        }
+        if divergence_frame is not None:
+            index = divergence_frame - runtime.trace.first_frame
+            if 0 <= index < runtime.trace.frames:
+                entry["offending"] = {
+                    "frame": divergence_frame,
+                    "input": runtime.trace.inputs[index],
+                    "checksum": runtime.trace.checksums[index],
+                }
+        entries.append(entry)
+    return DesyncPostmortem(
+        error=str(error), divergence_frame=divergence_frame, sites=entries
+    )
+
+
+def write_postmortem(bundle: DesyncPostmortem, path: str) -> str:
+    """Serialize a bundle to one JSON artifact; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def verify_with_postmortem(
+    sites: List[object],
+    checker: Optional[ConsistencyChecker] = None,
+    last_n: Optional[int] = DEFAULT_LAST_N,
+    artifact_path: Optional[str] = None,
+) -> int:
+    """Cross-check site traces; on divergence raise with a bundle attached.
+
+    Returns the number of frames verified (like ``verify_traces``).  On
+    divergence the raised :class:`DesyncError` carries ``.postmortem``
+    (and ``.artifact`` when ``artifact_path`` is given and the bundle was
+    written there).
+    """
+    checker = checker if checker is not None else ConsistencyChecker()
+    traces = [getattr(site, "runtime", site).trace for site in sites]
+    try:
+        return checker.verify_traces(traces)
+    except ConsistencyError as exc:
+        bundle = build_postmortem(
+            exc, sites, divergence_frame=checker.first_divergence, last_n=last_n
+        )
+        written = None
+        if artifact_path is not None:
+            written = write_postmortem(bundle, artifact_path)
+        message = str(exc)
+        if written is not None:
+            message += f" (postmortem bundle written to {written})"
+        raise DesyncError(message, bundle, artifact=written) from exc

@@ -1,0 +1,136 @@
+"""Per-``SiteRuntime`` instrument bundle.
+
+:class:`SiteMetrics` splits its instruments into two groups so the frame
+loop stays cheap:
+
+* **Hot-path instruments** — bound to attributes at construction and
+  updated by :class:`~repro.core.engine.SiteEngine` as events flow: one
+  counter increment per datagram/frame/stall, one histogram ``observe``
+  per frame for frame time / sync stall / ``SyncAdjustTimeDelta``.
+* **Mirrored instruments** — the sync layer already keeps authoritative
+  totals (``LockstepStats``, ``PacerStats``, ``RttEstimator``); those are
+  copied into the registry only when :meth:`refresh`/:meth:`snapshot` is
+  called, so the Algorithm 2/3/4 hot paths are not touched at all.
+
+Rollback and late-join engines record through the dedicated helpers
+(:meth:`on_rollback`, :meth:`on_state_served`, :meth:`on_state_acquired`);
+those paths fire at most a few times per second, so direct recording is
+fine there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import DEPTH_BUCKETS, Registry, TIME_BUCKETS
+
+
+class SiteMetrics:
+    """All of one site's instruments, pre-bound for O(1) recording."""
+
+    def __init__(self, site_no: int, session_id: int = 1) -> None:
+        self.registry = Registry(
+            labels={"site": str(site_no), "session": str(session_id)}
+        )
+        r = self.registry
+        # Hot path — engine-updated.
+        self.frames = r.counter("frames")
+        self.stalls = r.counter("stalls")
+        self.datagrams_sent = r.counter("datagrams_sent")
+        self.datagrams_received = r.counter("datagrams_received")
+        self.bytes_sent = r.counter("bytes_sent")
+        self.bytes_received = r.counter("bytes_received")
+        self.frame_time = r.histogram("frame_time_seconds", TIME_BUCKETS)
+        self.stall_time = r.histogram("sync_stall_seconds", TIME_BUCKETS)
+        self.sync_adjust = r.histogram("sync_adjust_seconds", TIME_BUCKETS)
+        # Rollback / late join — rare-path, recorded directly.
+        self.rollbacks = r.counter("rollbacks")
+        self.rollback_delta_bytes = r.counter("rollback_delta_bytes")
+        self.rollback_depth = r.histogram("rollback_depth_frames", DEPTH_BUCKETS)
+        self.state_serves = r.counter("state_serves")
+        self.state_serve_bytes = r.counter("state_serve_bytes")
+        self.state_acquire_bytes = r.counter("state_acquire_bytes")
+        # Mirrored from the sync layer's own stats at snapshot time.
+        self.sync_sent = r.counter("sync_sent")
+        self.sync_received = r.counter("sync_received")
+        self.inputs_sent = r.counter("inputs_sent")
+        self.retransmitted_inputs = r.counter("retransmitted_inputs")
+        self.duplicate_inputs = r.counter("duplicate_inputs")
+        self.out_of_window_inputs = r.counter("out_of_window_inputs")
+        self.frames_delivered = r.counter("frames_delivered")
+        self.lag_changes = r.counter("lag_changes")
+        self.pacer_overruns = r.counter("pacer_overruns")
+        self.ack_lag_frames = r.gauge("ack_lag_frames")
+        self.local_lag_frames = r.gauge("local_lag_frames")
+        self.rtt_seconds = r.gauge("rtt_seconds")
+        self.frame_number = r.gauge("frame_number")
+        self.adjust_time_delta = r.gauge("adjust_time_delta_seconds")
+        self._last_begin: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Hot-path helpers the engine calls
+    # ------------------------------------------------------------------
+    def on_begin_frame(self, now: float) -> None:
+        last = self._last_begin
+        if last is not None:
+            self.frame_time.observe(now - last)
+        self._last_begin = now
+
+    def on_commit(self, stall: float, sync_adjust: float) -> None:
+        self.frames.inc()
+        self.stall_time.observe(stall)
+        if sync_adjust:
+            self.sync_adjust.observe(abs(sync_adjust))
+
+    # ------------------------------------------------------------------
+    # Rare-path helpers
+    # ------------------------------------------------------------------
+    def on_rollback(self, depth: int, delta_bytes: int) -> None:
+        self.rollbacks.inc()
+        self.rollback_depth.observe(depth)
+        self.rollback_delta_bytes.inc(delta_bytes)
+
+    def on_state_served(self, num_bytes: int) -> None:
+        self.state_serves.inc()
+        self.state_serve_bytes.inc(num_bytes)
+
+    def on_state_acquired(self, num_bytes: int) -> None:
+        self.state_acquire_bytes.inc(num_bytes)
+
+    # ------------------------------------------------------------------
+    # Snapshot-time mirroring
+    # ------------------------------------------------------------------
+    def refresh(self, runtime) -> None:
+        """Copy the sync layer's authoritative totals into the registry.
+
+        ``set_total`` keeps the mirrored counters monotone even if a stat
+        object were swapped out; gauges just take the current value.
+        """
+        lockstep = runtime.lockstep
+        stats = lockstep.stats
+        self.sync_sent.set_total(stats.sync_messages_sent)
+        self.sync_received.set_total(stats.sync_messages_received)
+        self.inputs_sent.set_total(stats.inputs_sent)
+        self.retransmitted_inputs.set_total(stats.inputs_retransmitted)
+        self.duplicate_inputs.set_total(stats.duplicate_inputs_received)
+        self.out_of_window_inputs.set_total(stats.out_of_window_inputs)
+        self.frames_delivered.set_total(stats.frames_delivered)
+        self.lag_changes.set_total(stats.lag_changes)
+        self.pacer_overruns.set_total(runtime.pacer.stats.overruns)
+        self.local_lag_frames.set(lockstep.local_lag_frames)
+        self.rtt_seconds.set(runtime.rtt.rtt)
+        self.frame_number.set(runtime.frame)
+        self.adjust_time_delta.set(runtime.pacer.adjust_time_delta)
+        mine = lockstep.last_rcv_frame[runtime.site_no]
+        peer_acks = [
+            lockstep.last_ack_frame[s]
+            for s in runtime.peer_sites
+            if not lockstep.is_absent(s)
+        ]
+        self.ack_lag_frames.set(max(0, mine - min(peer_acks)) if peer_acks else 0)
+
+    def snapshot(self, runtime=None) -> dict:
+        """Registry snapshot (mirrors the sync layer first when given)."""
+        if runtime is not None:
+            self.refresh(runtime)
+        return self.registry.snapshot()
