@@ -256,6 +256,64 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the scripted fault-injection scenarios and report PASS/FAIL."""
+    from repro.harness.chaos import (
+        abandonment_schedule,
+        crash_resume_schedule,
+        partition_heal_schedule,
+        run_chaos,
+    )
+
+    catalogue = {
+        "partition": (
+            "2s partition, heal, finish in lockstep",
+            partition_heal_schedule(),
+            True,
+        ),
+        "crash": (
+            "crash site 1, restart with RESUME handshake",
+            crash_resume_schedule(),
+            True,
+        ),
+        "abandon": (
+            "crash site 1 forever; survivor must report peer-lost",
+            abandonment_schedule(),
+            False,
+        ),
+    }
+    if args.quick:
+        names = ["partition", "crash"]
+    elif args.scenario == "all":
+        names = list(catalogue)
+    else:
+        names = [args.scenario]
+
+    failures = 0
+    for name in names:
+        description, schedule, expect_completion = catalogue[name]
+        result = run_chaos(
+            schedule,
+            frames=args.frames,
+            seed=args.seed,
+            game=args.game,
+            expect_completion=expect_completion,
+        )
+        verdict = "PASS" if result.passed else "FAIL"
+        faults = sum(
+            1 for e in result.fault_log if e["kind"] in ("link_down", "crash")
+        )
+        print(
+            f"{verdict} {name}: {description} "
+            f"({faults} faults injected, {len(result.outcomes)} outcomes)"
+        )
+        for problem in result.problems:
+            print(f"  {problem}", file=sys.stderr)
+        failures += 0 if result.passed else 1
+    print(f"\n{len(names) - failures}/{len(names)} chaos scenarios hold")
+    return 1 if failures else 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validate import validate_file
 
@@ -373,6 +431,26 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--full", action="store_true", help="full RTT sweep")
     reproduce.add_argument("--out", default="results")
     reproduce.set_defaults(fn=cmd_reproduce)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="scripted fault injection: partitions, crashes, resume, "
+        "abandonment — asserts no desync and clean termination",
+    )
+    chaos.add_argument(
+        "--scenario",
+        choices=("all", "partition", "crash", "abandon"),
+        default="all",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: partition + crash/resume only",
+    )
+    chaos.add_argument("--game", default="counter")
+    chaos.add_argument("--frames", type=int, default=240)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.set_defaults(fn=cmd_chaos)
 
     validate = sub.add_parser(
         "validate", help="check a results.json against the paper's claims"

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import SyncConfig
-from repro.core.driver import apply_effects, feed_datagrams
+from repro.core.driver import PresentationStatus, apply_effects, feed_datagrams
 from repro.core.engine import SiteEngine, SitePeer, SiteRuntime, Shutdown
 from repro.core.inputs import InputAssignment, PadSource, RandomSource
 from repro.net.udp import AsyncUdpEndpoint
@@ -43,15 +43,25 @@ class AioSite:
         endpoint: AsyncUdpEndpoint,
         max_frames: int,
         linger: float = 2.0,
+        engine: Optional[SiteEngine] = None,
     ) -> None:
         self.runtime = runtime
         self.endpoint = endpoint
-        self.engine = SiteEngine(runtime, max_frames, linger=linger)
+        #: An injected engine (e.g. a ResumeEngine) replaces the default.
+        self.engine = (
+            engine
+            if engine is not None
+            else SiteEngine(runtime, max_frames, linger=linger)
+        )
         self.finished = False
+        self.status = PresentationStatus()
         #: Set when :meth:`run` died; the host process stays up and the
         #: snapshot API reports the failure instead.
         self.error: Optional[BaseException] = None
         self._stop_requested = False
+        # ICMP errors (port unreachable after a peer crash) surface through
+        # the endpoint's error_received; count them instead of dropping.
+        endpoint.on_transport_error = self._on_transport_error
 
     async def run(self) -> None:
         loop = asyncio.get_running_loop()
@@ -79,14 +89,28 @@ class AioSite:
         """This site's registries plus liveness/error state as one dict."""
         snap = self.engine.snapshot()
         snap["finished"] = self.finished
+        snap["presentation"] = self.status.as_dict()
         snap["error"] = repr(self.error) if self.error is not None else None
         return snap
 
     def _apply(self, effects) -> bool:
-        running = apply_effects(effects, self.endpoint.send)
+        running = apply_effects(effects, self._send, status=self.status)
+        if not running:
+            self.status.on_finished(self.engine.termination)
         if self.engine.frames_complete:
             self.finished = True
         return running
+
+    def _send(self, payload: bytes, destination: str) -> None:
+        try:
+            self.endpoint.send(payload, destination)
+        except OSError:
+            # Same policy as the thread driver: a failed send is a lost
+            # datagram, which retransmission already covers.
+            self.runtime.metrics.send_errors.inc()
+
+    def _on_transport_error(self, exc: OSError) -> None:
+        self.runtime.metrics.send_errors.inc()
 
 
 class SessionHost:
@@ -148,6 +172,14 @@ class SessionHost:
     async def _run_guarded(self, site: AioSite, group: List[AioSite]) -> None:
         try:
             await site.run()
+            if site.engine.termination == "peer-lost":
+                # The resume deadline expired: reap the whole session.  The
+                # sibling (if it is the one that vanished, it is already
+                # gone; if not, it is itself suspended) must not occupy the
+                # host past this site's verdict.
+                for sibling in group:
+                    if sibling is not site and not sibling.engine.done:
+                        sibling.request_stop()
         except Exception as exc:
             site.error = exc
             site.runtime.events.emit(

@@ -8,6 +8,7 @@ an extra ~5 ms thread-slice delay (§4.2's delay budget).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,35 @@ class SyncConfig:
     #: Ping period for RTT estimation.
     ping_interval: float = 0.5
 
+    #: Liveness: a gate blocked longer than this emits a ``Degraded``
+    #: effect (drivers freeze presentation and show "waiting for peer").
+    #: ``None`` disables the degraded transition.
+    soft_stall_s: Optional[float] = 1.0
+
+    #: Liveness: a gate blocked longer than this suspends the session
+    #: (``PHASE_SUSPENDED`` + ``PeerLost`` effect) instead of spinning.
+    #: ``None`` disables suspension — the pre-hardening behaviour.
+    hard_stall_s: Optional[float] = 4.0
+
+    #: How long a suspended session waits for the peer to return (heal or
+    #: RESUME handshake) before terminating with ``peer-lost``.
+    resume_deadline_s: float = 20.0
+
+    #: Give up on the start handshake after this long without the session
+    #: becoming established.  ``None`` retries forever.
+    handshake_timeout_s: Optional[float] = 30.0
+
+    #: A peer is considered unresponsive when nothing (sync, pong, control)
+    #: has been heard from it for this long.
+    liveness_timeout_s: float = 2.0
+
+    #: While suspended, control/sync retransmission backs off exponentially
+    #: (with jitter) from this initial period...
+    suspend_backoff_initial_s: float = 0.05
+
+    #: ...doubling up to this cap.
+    suspend_backoff_max_s: float = 1.0
+
     def __post_init__(self) -> None:
         if self.cfps <= 0:
             raise ValueError(f"cfps must be positive, got {self.cfps}")
@@ -80,6 +110,21 @@ class SyncConfig:
             raise ValueError("slice_delay must be >= 0")
         if self.max_inputs_per_message < 1:
             raise ValueError("max_inputs_per_message must be >= 1")
+        if self.soft_stall_s is not None and self.soft_stall_s <= 0:
+            raise ValueError("soft_stall_s must be positive or None")
+        if self.hard_stall_s is not None:
+            if self.hard_stall_s <= 0:
+                raise ValueError("hard_stall_s must be positive or None")
+            if self.soft_stall_s is not None and self.soft_stall_s >= self.hard_stall_s:
+                raise ValueError("soft_stall_s must be < hard_stall_s")
+        if self.resume_deadline_s <= 0:
+            raise ValueError("resume_deadline_s must be positive")
+        if self.liveness_timeout_s <= 0:
+            raise ValueError("liveness_timeout_s must be positive")
+        if self.suspend_backoff_initial_s <= 0:
+            raise ValueError("suspend_backoff_initial_s must be positive")
+        if self.suspend_backoff_max_s < self.suspend_backoff_initial_s:
+            raise ValueError("suspend_backoff_max_s must be >= the initial backoff")
 
     @property
     def time_per_frame(self) -> float:

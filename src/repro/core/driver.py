@@ -13,8 +13,12 @@ from typing import Callable, Iterable, List, Optional
 
 from repro.core.engine import (
     DatagramReceived,
+    Degraded,
     Effect,
     Finished,
+    PeerLost,
+    Present,
+    Resumed,
     Send,
     ServeState,
     SiteEngine,
@@ -22,21 +26,79 @@ from repro.core.engine import (
 from repro.net.transport import Datagram
 
 
+class PresentationStatus:
+    """What a driver's presentation layer should currently show.
+
+    Absorbs the liveness effects (:class:`Degraded`, :class:`PeerLost`,
+    :class:`Resumed`) so every driver shares one "freeze the screen and say
+    waiting-for-peer" state machine instead of re-deriving it from the
+    engine's phase.
+    """
+
+    def __init__(self) -> None:
+        #: Presentation should freeze and show "waiting for peer".
+        self.degraded = False
+        #: The session is suspended pending the peer's return.
+        self.suspended = False
+        #: The peer never returned; the session terminated.
+        self.peer_lost = False
+        self.waiting_on: tuple = ()
+        self.resumes = 0
+        self.degraded_episodes = 0
+
+    def absorb(self, effect: Effect) -> None:
+        kind = type(effect)
+        if kind is Degraded:
+            self.degraded = True
+            self.waiting_on = effect.waiting_on
+            self.degraded_episodes += 1
+        elif kind is PeerLost:
+            self.degraded = True
+            self.suspended = True
+            self.waiting_on = effect.waiting_on
+        elif kind is Resumed:
+            self.degraded = False
+            self.suspended = False
+            self.waiting_on = ()
+            self.resumes += 1
+        elif kind is Present:
+            self.degraded = False
+            self.waiting_on = ()
+
+    def on_finished(self, termination: Optional[str]) -> None:
+        if termination == "peer-lost":
+            self.peer_lost = True
+
+    def as_dict(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "suspended": self.suspended,
+            "peer_lost": self.peer_lost,
+            "waiting_on": list(self.waiting_on),
+            "resumes": self.resumes,
+            "degraded_episodes": self.degraded_episodes,
+        }
+
+
 def apply_effects(
     effects: Iterable[Effect],
     send: Callable[[bytes, str], None],
     on_serve_state: Optional[Callable[[int, int], None]] = None,
+    status: Optional[PresentationStatus] = None,
 ) -> bool:
     """Apply one batch of engine effects; False once ``Finished`` appears.
 
     ``Send`` goes out through ``send``; ``ServeState`` fires the harness
-    admission hook.  ``SetTimer`` is deliberately ignored — the bundled
-    drivers pull ``engine.next_deadline()`` instead — and ``Present`` /
-    ``Stall`` are presentation-layer notifications these headless drivers
-    have no screen for.
+    admission hook; the liveness effects update ``status`` when given.
+    ``SetTimer`` is deliberately ignored — the bundled drivers pull
+    ``engine.next_deadline()`` instead — and ``Present`` / ``Stall`` are
+    presentation-layer notifications these headless drivers have no screen
+    for.
     """
     running = True
     for effect in effects:
+        if status is not None:
+            status.absorb(effect)
         if isinstance(effect, Send):
             send(effect.payload, effect.destination)
         elif isinstance(effect, ServeState):

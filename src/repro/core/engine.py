@@ -60,11 +60,13 @@ from typing import Dict, List, Optional, Protocol, Tuple, Union
 
 from repro.core.config import SyncConfig
 from repro.core.inputs import InputAssignment, InputSource
+from repro.core.liveness import PeerLiveness
 from repro.core.lockstep import LockstepSync
 from repro.core.messages import (
     Message,
     Ping,
     Pong,
+    Resume,
     StateRequest,
     StateSnapshot,
     Sync,
@@ -147,11 +149,15 @@ class SiteRuntime:
         #: Telemetry: counters/histograms plus the protocol event ring.
         self.metrics = SiteMetrics(site_no, session_id)
         self.events = EventTrace()
+        #: Last-heard timestamps per peer, fed by every authenticated
+        #: datagram (no dedicated heartbeat; see :mod:`repro.core.liveness`).
+        self.liveness = PeerLiveness(self.peer_sites, config.liveness_timeout_s)
         #: Frame counter of Algorithm 1.
         self.frame = 0
         #: Set when the site should answer STATE_REQUESTs (late-join donor).
         self.allow_state_requests = False
         self._pending_state_request: Optional[int] = None
+        self._pending_resume: Optional[int] = None
         #: Latest received savestate (consumed by the late-join engine).
         self.latest_snapshot: Optional[StateSnapshot] = None
 
@@ -172,6 +178,14 @@ class SiteRuntime:
         self, message: Message, arrived_at: float, now: float
     ) -> List[Tuple[bytes, str]]:
         replies: List[Tuple[bytes, str]] = []
+
+        sender = getattr(message, "sender_site", None)
+        if (
+            isinstance(sender, int)
+            and sender != self.site_no
+            and message.session_id == self.session_id
+        ):
+            self.liveness.heard(sender, now)
 
         if isinstance(message, Sync):
             self.events.emit(
@@ -207,6 +221,25 @@ class SiteRuntime:
         elif isinstance(message, StateRequest):
             if self.allow_state_requests:
                 self._pending_state_request = message.sender_site
+        elif isinstance(message, Resume):
+            if (
+                message.session_id == self.session_id
+                and message.sender_site in self.peer_sites
+                and (
+                    message.last_acked_frame < 0
+                    or message.last_acked_frame
+                    <= self.lockstep.last_rcv_frame[message.sender_site]
+                )
+            ):
+                self._pending_resume = message.sender_site
+            else:
+                self.events.emit(
+                    "resume_reject",
+                    now,
+                    self.frame,
+                    peer=message.sender_site,
+                    claimed=message.last_acked_frame,
+                )
         elif isinstance(message, StateSnapshot):
             if (
                 self.latest_snapshot is None
@@ -281,6 +314,11 @@ class SiteRuntime:
     def take_state_request(self) -> Optional[int]:
         """Pop the pending late-join request (site number) if any."""
         request, self._pending_state_request = self._pending_state_request, None
+        return request
+
+    def take_resume_request(self) -> Optional[int]:
+        """Pop the pending authenticated RESUME request (site number)."""
+        request, self._pending_resume = self._pending_resume, None
         return request
 
     # ------------------------------------------------------------------
@@ -427,14 +465,48 @@ class ServeState:
 
 
 @dataclass(frozen=True)
+class Degraded:
+    """The gate has been blocked past ``soft_stall_s`` on an unresponsive
+    peer: the driver should freeze presentation and show "waiting for
+    peer".  Emitted once per degraded episode."""
+
+    frame: int
+    waiting_on: Tuple[int, ...] = field(default=())
+    stalled_for: float = 0.0
+
+
+@dataclass(frozen=True)
+class PeerLost:
+    """The gate blocked past ``hard_stall_s``: the engine is suspended and
+    will wait ``resume_deadline`` seconds for the peer to heal or RESUME
+    before terminating."""
+
+    frame: int
+    waiting_on: Tuple[int, ...] = field(default=())
+    resume_deadline: float = 0.0
+
+
+@dataclass(frozen=True)
+class Resumed:
+    """A degraded or suspended session recovered; presentation may thaw.
+    ``suspended_for`` is 0 when recovering from a merely degraded state."""
+
+    frame: int
+    suspended_for: float = 0.0
+
+
+@dataclass(frozen=True)
 class Finished:
-    """The engine is done (frames executed and linger elapsed, or shutdown);
+    """The engine is done (frames executed and linger elapsed, shutdown,
+    handshake timeout, or peer loss — see ``SiteEngine.termination``);
     no further events are needed."""
 
     frame: int
 
 
-Effect = Union[Send, SetTimer, Present, Stall, ServeState, Finished]
+Effect = Union[
+    Send, SetTimer, Present, Stall, ServeState, Degraded, PeerLost, Resumed, Finished
+]
 
 
 # ----------------------------------------------------------------------
@@ -448,6 +520,8 @@ TIMER_GATE = "gate"  # SyncInput poll while blocked
 TIMER_COMPUTE = "compute"  # Transition's simulated compute time
 TIMER_FRAME = "frame"  # EndFrameTiming wait / frame-loop start delay
 TIMER_LINGER = "linger"  # linger-phase poll
+TIMER_BACKOFF = "backoff"  # suspended-phase retransmission (exp backoff)
+TIMER_RESUME = "resume-deadline"  # suspended-phase give-up deadline
 
 PHASE_IDLE = "idle"
 PHASE_HANDSHAKE = "handshake"
@@ -455,6 +529,7 @@ PHASE_GATE = "gate"
 PHASE_COMPUTE = "compute"
 PHASE_FRAME_WAIT = "frame-wait"
 PHASE_LINGER = "linger"
+PHASE_SUSPENDED = "suspended"  # gate blocked past hard_stall_s (peer down)
 PHASE_DONE = "done"
 # Variant-engine phases (kept here so `phase` values stay one namespace):
 PHASE_CATCHUP = "catchup"  # rollback: confirming in-flight frames
@@ -517,6 +592,10 @@ class SiteEngine:
         #: or the admission bookkeeping would race the joiner's choice.
         self.snapshot_cache: Dict[int, StateSnapshot] = {}
 
+        #: Why the engine finished: "completed", "shutdown", "peer-lost" or
+        #: "handshake-timeout"; None while running.
+        self.termination: Optional[str] = None
+
         self._observed_phase = self.phase
         self._timers: Dict[str, float] = {}
         self._sampled: Dict[int, int] = {}
@@ -526,6 +605,12 @@ class SiteEngine:
         self._stalled = False
         self._sync_adjust = 0.0
         self._linger_deadline = 0.0
+        self._degraded = False
+        self._suspended_at = 0.0
+        self._suspend_waiting: Tuple[int, ...] = ()
+        self._backoff = runtime.config.suspend_backoff_initial_s
+        self._handshake_deadline: Optional[float] = None
+        self._liveness_mark = runtime.liveness.mark
 
     # ------------------------------------------------------------------
     # Entry points
@@ -534,6 +619,9 @@ class SiteEngine:
         """Begin the session at ``now``; returns the first effects."""
         effects: List[Effect] = []
         self.phase = PHASE_HANDSHAKE
+        timeout = self.runtime.config.handshake_timeout_s
+        if timeout is not None:
+            self._handshake_deadline = now + timeout
         self._arm_send(now, effects)
         self._set(TIMER_PING, now, effects)
         self._set(TIMER_RETRY, now, effects)
@@ -563,6 +651,8 @@ class SiteEngine:
             self._timers.clear()
             self.phase = PHASE_DONE
             self.done = True
+            if self.termination is None:
+                self.termination = "shutdown"
             self.runtime.events.emit(
                 "phase",
                 event.now,
@@ -596,6 +686,7 @@ class SiteEngine:
         snap["phase"] = self.phase
         snap["frame"] = self.runtime.frame
         snap["done"] = self.done
+        snap["termination"] = self.termination
         snap["trace_records"] = len(self.runtime.events)
         return snap
 
@@ -686,10 +777,48 @@ class SiteEngine:
             self._set(TIMER_PING, now + self.runtime.config.ping_interval, effects)
         elif kind == TIMER_RETRY:
             if self.phase == PHASE_HANDSHAKE:
+                if (
+                    self._handshake_deadline is not None
+                    and now >= self._handshake_deadline
+                ):
+                    self.runtime.events.emit(
+                        "error",
+                        now,
+                        self.runtime.frame,
+                        error="handshake timeout",
+                    )
+                    self._terminate("handshake-timeout", now, effects)
+                    return
                 self._emit_sends(self.runtime.control_messages(now), effects)
                 self._set(
                     TIMER_RETRY, self.runtime.session.retry_deadline(), effects
                 )
+        elif kind == TIMER_BACKOFF:
+            if self.phase == PHASE_SUSPENDED:
+                # Suspended retransmission: same payloads as the 20 ms pump
+                # (control + forced sync windows), at a backed-off cadence —
+                # the peer may come back at any moment, but a dead peer must
+                # not be hammered at frame rate for the whole deadline.
+                self._emit_sends(self.runtime.control_messages(now), effects)
+                if self.runtime.session.started:
+                    self._emit_sends(
+                        self.runtime.sync_broadcast(force=True, now=now), effects
+                    )
+                self._backoff = min(
+                    self._backoff * 2.0,
+                    self.runtime.config.suspend_backoff_max_s,
+                )
+                self._set(TIMER_BACKOFF, now + self._jitter(self._backoff), effects)
+        elif kind == TIMER_RESUME:
+            if self.phase == PHASE_SUSPENDED:
+                self.runtime.events.emit(
+                    "peer_lost",
+                    now,
+                    self.runtime.frame,
+                    waiting_on=list(self._suspend_waiting),
+                    suspended_for=now - self._suspended_at,
+                )
+                self._terminate("peer-lost", now, effects)
         elif kind == TIMER_GATE:
             pass  # _advance re-checks the gate below
         elif kind == TIMER_COMPUTE:
@@ -732,13 +861,39 @@ class SiteEngine:
                 else:
                     self._frame_cycle(now, effects)
         elif self.phase == PHASE_GATE:
+            # A donor stalled on a crashed peer must still answer that
+            # peer's RESUME — the snapshot is what unblocks the gate.
+            self._service_resume(now, effects)
             if self._check_gate(now, effects):
                 self._frame_cycle(now, effects)
+        elif self.phase == PHASE_SUSPENDED:
+            self._service_resume(now, effects)
+            if self.runtime.lockstep.can_deliver():
+                # The partition healed (sync traffic resumed) or the
+                # resumed peer's replayed inputs arrived: back to the gate.
+                self._exit_suspended(now, effects)
+                if self._check_gate(now, effects):
+                    self._frame_cycle(now, effects)
         elif self.phase == PHASE_LINGER:
             self._maybe_finish_linger(now, effects)
 
     def _on_datagram(self, now: float, effects: List[Effect]) -> None:
-        """Hook: called after each datagram is absorbed (before the pump)."""
+        """Hook: called after each datagram is absorbed (before the pump).
+
+        The base behaviour restores the suspended-phase retransmission
+        cadence: hearing *anything* authenticated from a peer means the
+        path is back, so the next probe should go out promptly instead of
+        waiting out a maxed-out backoff.
+        """
+        liveness = self.runtime.liveness
+        if (
+            self.phase == PHASE_SUSPENDED
+            and liveness.mark != self._liveness_mark
+            and self._backoff > self.runtime.config.suspend_backoff_initial_s
+        ):
+            self._backoff = self.runtime.config.suspend_backoff_initial_s
+            self._set(TIMER_BACKOFF, now + self._jitter(self._backoff), effects)
+        self._liveness_mark = liveness.mark
 
     def _frame_cycle(self, now: float, effects: List[Effect]) -> None:
         """Run frame iterations until one blocks (gate/compute/wait) or the
@@ -785,9 +940,33 @@ class SiteEngine:
                         tuple(self.runtime.lockstep.waiting_on()),
                     )
                 )
+            config = self.runtime.config
+            stalled_for = now - self._stall_started
+            if (
+                not self._degraded
+                and config.soft_stall_s is not None
+                and stalled_for >= config.soft_stall_s
+            ):
+                self._enter_degraded(now, stalled_for, effects)
+            if (
+                config.hard_stall_s is not None
+                and stalled_for >= config.hard_stall_s
+                and self.phase == PHASE_GATE
+            ):
+                self._enter_suspended(now, effects)
+                return False
             self._set(TIMER_GATE, now + self.SYNC_POLL, effects)
             return False
         self._clear(TIMER_GATE)
+        if self._degraded:
+            self._degraded = False
+            self.runtime.events.emit(
+                "resumed",
+                now,
+                self.runtime.frame,
+                **{"from": "degraded", "stalled_for": now - self._stall_started},
+            )
+            effects.append(Resumed(self.runtime.frame, 0.0))
         self._merged = merged
         self._stall = now - self._stall_started
         if self.frame_compute_time > 0:
@@ -803,6 +982,7 @@ class SiteEngine:
         request = self.runtime.take_state_request()
         if request is not None:
             self._serve_state(request, effects, now=now)
+        self._service_resume(now, effects)
         deadline = self.runtime.end_frame_deadline(now)
         if self._frames_done():
             self._enter_linger(now, effects)
@@ -812,6 +992,103 @@ class SiteEngine:
             self._set(TIMER_FRAME, deadline, effects)
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Failure domain: degraded / suspended / resume / termination
+    # ------------------------------------------------------------------
+    def _jitter(self, delay: float) -> float:
+        """±25% jitter so two suspended sites don't probe in phase."""
+        return delay * self._rng.uniform(0.75, 1.25)
+
+    def _terminate(
+        self, reason: str, now: float, effects: List[Effect]
+    ) -> None:
+        """Stop the engine for ``reason``; emits ``Finished``."""
+        self.termination = reason
+        self._timers.clear()
+        self.phase = PHASE_DONE
+        self.done = True
+        effects.append(Finished(self.runtime.frame))
+
+    def _enter_degraded(
+        self, now: float, stalled_for: float, effects: List[Effect]
+    ) -> None:
+        runtime = self.runtime
+        waiting = tuple(runtime.lockstep.waiting_on())
+        self._degraded = True
+        runtime.metrics.degraded_episodes.inc()
+        runtime.events.emit(
+            "degraded",
+            now,
+            runtime.frame,
+            waiting_on=list(waiting),
+            unresponsive=runtime.liveness.unresponsive(waiting, now),
+            stalled_for=stalled_for,
+        )
+        effects.append(Degraded(runtime.frame, waiting, stalled_for))
+
+    def _enter_suspended(self, now: float, effects: List[Effect]) -> None:
+        """Hard stall: stop the frame-rate pumps, probe with backoff."""
+        runtime = self.runtime
+        self._suspend_waiting = tuple(runtime.lockstep.waiting_on())
+        self._suspended_at = now
+        self.phase = PHASE_SUSPENDED
+        for kind in (TIMER_GATE, TIMER_SEND, TIMER_FLUSH, TIMER_PING):
+            self._clear(kind)
+        self._backoff = runtime.config.suspend_backoff_initial_s
+        self._liveness_mark = runtime.liveness.mark
+        self._set(TIMER_BACKOFF, now + self._jitter(self._backoff), effects)
+        self._set(TIMER_RESUME, now + runtime.config.resume_deadline_s, effects)
+        runtime.events.emit(
+            "suspended",
+            now,
+            runtime.frame,
+            waiting_on=list(self._suspend_waiting),
+            unresponsive=runtime.liveness.unresponsive(self._suspend_waiting, now),
+            stalled_for=now - self._stall_started,
+        )
+        effects.append(
+            PeerLost(
+                runtime.frame,
+                self._suspend_waiting,
+                runtime.config.resume_deadline_s,
+            )
+        )
+
+    def _exit_suspended(self, now: float, effects: List[Effect]) -> None:
+        """The peer is back (heal or resume): restore the normal pumps."""
+        runtime = self.runtime
+        suspended_for = now - self._suspended_at
+        runtime.metrics.suspended_seconds.inc(suspended_for)
+        runtime.metrics.resumes.inc()
+        self._clear(TIMER_BACKOFF)
+        self._clear(TIMER_RESUME)
+        self.phase = PHASE_GATE
+        self._degraded = False
+        self._arm_send(now, effects)
+        self._set(TIMER_PING, now + runtime.config.ping_interval, effects)
+        runtime.events.emit(
+            "resumed",
+            now,
+            runtime.frame,
+            **{"from": PHASE_SUSPENDED, "suspended_for": suspended_for},
+        )
+        effects.append(Resumed(runtime.frame, suspended_for))
+
+    def _service_resume(self, now: float, effects: List[Effect]) -> None:
+        """Answer an authenticated RESUME with a fresh snapshot."""
+        request = self.runtime.take_resume_request()
+        if request is None:
+            return
+        cached = self.snapshot_cache.get(request)
+        if cached is not None and cached.frame != self.runtime.frame - 1:
+            # A snapshot cached for this site in an *earlier* episode (or
+            # its original join) is stale; resume must transfer the state
+            # this site is actually frozen at.  Retries within one episode
+            # still hit the cache — the donor does not advance while
+            # blocked on the requester.
+            del self.snapshot_cache[request]
+        self._serve_state(request, effects, now=now)
 
     # ------------------------------------------------------------------
     # Hooks (overridden by rollback / late-join engines)
@@ -898,7 +1175,4 @@ class SiteEngine:
 
     def _maybe_finish_linger(self, now: float, effects: List[Effect]) -> None:
         if self.runtime.all_inputs_acked() or now >= self._linger_deadline:
-            self._timers.clear()
-            self.phase = PHASE_DONE
-            self.done = True
-            effects.append(Finished(self.runtime.frame))
+            self._terminate("completed", now, effects)

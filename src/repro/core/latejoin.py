@@ -46,8 +46,7 @@ from repro.core.engine import (
     SiteRuntime,
     TIMER_PING,
 )
-from repro.core.messages import StateRequest
-from repro.core.session import SessionPhase
+from repro.core.messages import Resume, StateRequest
 from repro.core.vm import DistributedVM
 
 TIMER_REQUEST = "state-request"
@@ -88,6 +87,20 @@ class LateJoinEngine(SiteEngine):
         self._set(TIMER_REQUEST, now, effects)
         return self._pump(now, effects)
 
+    def _request_message(self) -> bytes:
+        """The datagram re-sent to the donor until a snapshot arrives."""
+        return StateRequest(self.runtime.site_no, self.runtime.session_id).encode()
+
+    def _seed_lockstep(self, snapshot) -> None:
+        """Seat the sync vectors around the acquired snapshot (cold join)."""
+        runtime = self.runtime
+        # The admission gate peers apply is snapshot + 1 + the
+        # *configured* BufFrame; pin our lag there so our first input
+        # lands exactly on it (adaptive lag, if enabled, resumes
+        # afterwards).
+        runtime.lockstep.set_local_lag(runtime.config.buf_frame)
+        runtime.lockstep.seed_from_snapshot(snapshot.frame, snapshot.backlog)
+
     def _on_timer(self, kind: str, now: float, effects: List[Effect]) -> None:
         if kind == TIMER_REQUEST:
             if self.phase != PHASE_ACQUIRE:
@@ -97,11 +110,8 @@ class LateJoinEngine(SiteEngine):
                     f"site {self.runtime.site_no}: no snapshot from donor "
                     f"{self.donor_site} within {self.REQUEST_TIMEOUT}s"
                 )
-            request = StateRequest(
-                self.runtime.site_no, self.runtime.session_id
-            ).encode()
             effects.append(
-                Send(request, self.runtime.address_of[self.donor_site])
+                Send(self._request_message(), self.runtime.address_of[self.donor_site])
             )
             self._set(TIMER_REQUEST, now + self.REQUEST_INTERVAL, effects)
             return
@@ -122,18 +132,13 @@ class LateJoinEngine(SiteEngine):
                 snapshot_frame=snapshot.frame,
                 bytes=len(snapshot.state),
             )
-            # The admission gate peers apply is snapshot + 1 + the
-            # *configured* BufFrame; pin our lag there so our first input
-            # lands exactly on it (adaptive lag, if enabled, resumes
-            # afterwards).
-            runtime.lockstep.set_local_lag(runtime.config.buf_frame)
-            runtime.lockstep.seed_from_snapshot(snapshot.frame, snapshot.backlog)
+            self._seed_lockstep(snapshot)
             runtime.frame = snapshot.frame + 1
             runtime.trace.first_frame = runtime.frame
             self.joined_at_frame = runtime.frame
-            # The joiner never ran the start handshake; it is live now.
-            runtime.session.phase = SessionPhase.RUNNING
-            runtime.session.started_at = now
+            # The joiner never ran the start handshake; it is live now (and
+            # must stop offering HELLO to the master).
+            runtime.session.mark_live(now)
             self._clear(TIMER_REQUEST)
             self._frame_cycle(now, effects)
             return
@@ -175,6 +180,87 @@ class LateJoinerVM(DistributedVM):
     @property
     def joined_at_frame(self) -> Optional[int]:
         return self.engine.joined_at_frame
+
+
+class ResumeEngine(LateJoinEngine):
+    """A crashed-and-restarted site rejoining its suspended session.
+
+    The acquire machinery is the late joiner's, but the handshake and the
+    seeding differ:
+
+    * the request is a :class:`~repro.core.messages.Resume` carrying the
+      last own frame the donor was seen to ack (the authentication cookie),
+    * the lockstep vectors are seeded with
+      :meth:`~repro.core.lockstep.LockstepSync.resume_from_snapshot` — the
+      donor already holds our inputs through the snapshot frame, so our
+      still-unacked window must stay unacked,
+    * the input backlog for that window is *replayed* from the local source
+      (sources are deterministic functions of the frame number), producing
+      bit-identical words, so the resumed run's checksums match a
+      never-disconnected twin.
+    """
+
+    def __init__(
+        self,
+        runtime: SiteRuntime,
+        max_frames: int,
+        *,
+        donor_site: int = 0,
+        last_acked_frame: int = -1,
+        **options: object,
+    ) -> None:
+        super().__init__(
+            runtime, max_frames, donor_site=donor_site, **options
+        )
+        self.last_acked_frame = last_acked_frame
+
+    def _request_message(self) -> bytes:
+        return Resume(
+            self.runtime.site_no,
+            self.runtime.session_id,
+            self.last_acked_frame,
+        ).encode()
+
+    def _seed_lockstep(self, snapshot) -> None:
+        runtime = self.runtime
+        lockstep = runtime.lockstep
+        lockstep.set_local_lag(runtime.config.buf_frame)
+        lockstep.resume_from_snapshot(snapshot.frame, snapshot.backlog)
+        # Replay our own unacked window f+1-buf .. f; with local lag the
+        # replayed words land on slots f+1 .. f+buf, which the donor has
+        # not acked, so the ordinary pump retransmits them.
+        first = max(0, snapshot.frame + 1 - runtime.config.buf_frame)
+        for frame in range(first, snapshot.frame + 1):
+            lockstep.buffer_local_input(frame, runtime.source.get(frame))
+        runtime.metrics.resumes.inc()
+
+
+class ResumeVM(DistributedVM):
+    """Discrete-event shell for a restarted site resuming at ``resume_time``."""
+
+    def __init__(
+        self,
+        *args: object,
+        resume_time: float = 1.0,
+        donor_site: int = 0,
+        last_acked_frame: int = -1,
+        **kwargs: object,
+    ) -> None:
+        self._donor_site = donor_site
+        self._last_acked_frame = last_acked_frame
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self.resume_time = resume_time
+        self.start_delay = resume_time
+
+    def _build_engine(self, **options: object) -> ResumeEngine:
+        return ResumeEngine(
+            self.runtime,
+            self.max_frames,
+            linger=self.LINGER,
+            donor_site=self._donor_site,
+            last_acked_frame=self._last_acked_frame,
+            **options,
+        )
 
 
 def register_late_join(session_vms, donor_vm, joiner_site: int) -> None:

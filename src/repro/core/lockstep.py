@@ -434,3 +434,42 @@ class LockstepSync:
                     self.last_rcv_frame[site] = max(
                         self.last_rcv_frame[site], snapshot_frame + len(inputs)
                     )
+
+    def resume_from_snapshot(
+        self, snapshot_frame: int, backlog: Optional[List[List[int]]] = None
+    ) -> None:
+        """Re-seed a *returning* site from its donor's snapshot.
+
+        Differs from :meth:`seed_from_snapshot` in one crucial way: the
+        returning site had a real input history.  The donor stalled at
+        ``snapshot_frame + 1``, which means it received our inputs exactly
+        through ``snapshot_frame`` — so peers' ``last_ack_frame`` is pinned
+        at the snapshot (not past a virtual history), leaving our slots
+        ``snapshot_frame + 1 .. snapshot_frame + BufFrame`` *unacked*.  The
+        caller re-buffers those own inputs (deterministic sources replay
+        them bit-identically) and the ordinary 20 ms pump retransmits the
+        window, unblocking the donor's gate.
+        """
+        self.ibuf_pointer = snapshot_frame + 1
+        self.ibuf.prune_below(snapshot_frame + 1)
+        self.last_rcv_frame[self.site_no] = max(
+            self.last_rcv_frame[self.site_no], snapshot_frame
+        )
+        for site in range(self.num_sites):
+            if site != self.site_no:
+                self.last_rcv_frame[site] = max(
+                    self.last_rcv_frame[site], snapshot_frame
+                )
+                self.last_ack_frame[site] = max(
+                    self.last_ack_frame[site], snapshot_frame
+                )
+        if backlog:
+            for site, inputs in enumerate(backlog):
+                if site == self.site_no or site >= self.num_sites:
+                    continue
+                for offset, partial in enumerate(inputs):
+                    self.ibuf.put(snapshot_frame + 1 + offset, site, partial)
+                if inputs:
+                    self.last_rcv_frame[site] = max(
+                        self.last_rcv_frame[site], snapshot_frame + len(inputs)
+                    )

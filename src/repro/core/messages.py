@@ -347,6 +347,35 @@ class StateSnapshot(Message):
 
 
 @dataclass
+class Resume(Message):
+    """A disconnected site asks to rejoin its suspended session.
+
+    Authentication is the session id (header) plus ``last_acked_frame`` —
+    the last own frame the returning site saw the donor acknowledge.  A
+    genuine former member cannot claim a frame beyond what the donor
+    actually received from it, so the donor validates
+    ``last_acked_frame <= LastRcvFrame[sender]``.  ``-1`` means "unknown"
+    (a site that lost all state) and always passes.
+    """
+
+    TYPE_ID: ClassVar[int] = 11
+
+    sender_site: int
+    session_id: int
+    last_acked_frame: int = -1
+
+    def _encode_body(self) -> bytes:
+        return _I32.pack(self.last_acked_frame)
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Resume":
+        if len(body) != 4:
+            raise DecodeError(f"RESUME body must be 4 bytes, got {len(body)}")
+        last_acked = _I32.unpack_from(body, 0)[0]
+        return cls(sender_site, session_id, last_acked)
+
+
+@dataclass
 class Bye(Message):
     """Graceful leave notification."""
 
@@ -378,6 +407,7 @@ _REGISTRY: dict = {
         StateRequest,
         StateSnapshot,
         Bye,
+        Resume,
     )
 }
 

@@ -10,9 +10,11 @@ next timer deadline and moves bytes in and out.
 The engine made the old two-thread design (a separate sender thread plus a
 lock around the runtime) unnecessary: one thread services timers and
 datagrams alike, so there is no cross-thread state to guard — and no
-second thread whose exceptions could be silently swallowed.  Any failure
-(socket errors included) is captured into :attr:`RealtimeVM.error` and
-re-raised from :meth:`RealtimeVM.run`.
+second thread whose exceptions could be silently swallowed.  Driver
+failures are captured into :attr:`RealtimeVM.error` and re-raised from
+:meth:`RealtimeVM.run`; *send* errors specifically are non-fatal (counted
+in ``net.send_errors``, recovered by retransmission) because a transient
+``OSError`` in the 20 ms pump must not kill an otherwise healthy session.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from __future__ import annotations
 import threading
 from typing import Optional
 
-from repro.core.driver import apply_effects, feed_datagrams
+from repro.core.driver import PresentationStatus, apply_effects, feed_datagrams
 from repro.core.engine import Shutdown, SiteEngine, SiteRuntime
 from repro.net.udp import UdpSocket
 from repro.sim.clock import WallClock
@@ -47,8 +49,10 @@ class RealtimeVM:
         self.clock = clock if clock is not None else socket.clock
         self.engine = SiteEngine(runtime, max_frames, linger=linger)
         self.finished = False
+        self.status = PresentationStatus()
         self._stop = threading.Event()
         self.error: Optional[BaseException] = None
+        self._send_failing = False
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -77,7 +81,9 @@ class RealtimeVM:
             self._stop.set()
 
     def _apply(self, effects) -> bool:
-        running = apply_effects(effects, self._send)
+        running = apply_effects(effects, self._send, status=self.status)
+        if not running:
+            self.status.on_finished(self.engine.termination)
         if self.engine.frames_complete:
             self.finished = True
         return running
@@ -85,11 +91,26 @@ class RealtimeVM:
     def _send(self, payload: bytes, destination: str) -> None:
         try:
             self.socket.send(payload, destination)
-        except (OSError, RuntimeError):
-            # A socket torn down by stop() mid-batch is expected; anything
-            # else must surface.
-            if not self._stop.is_set():
-                raise
+        except (OSError, RuntimeError) as exc:
+            # A socket torn down by stop() mid-batch is expected.  Any
+            # other failure (ENETUNREACH, EMSGSIZE burst, a dying NIC) is
+            # survivable: count it and let the unacked-window
+            # retransmission recover once sends work again.  A *persistent*
+            # failure shows up as peer silence and rides the liveness path
+            # (degraded → suspended → peer-lost) instead of crashing here.
+            if self._stop.is_set():
+                return
+            self.runtime.metrics.send_errors.inc()
+            if not self._send_failing:
+                self._send_failing = True
+                self.runtime.events.emit(
+                    "error",
+                    self.clock.now(),
+                    self.runtime.frame,
+                    error=f"send to {destination} failed: {exc!r}",
+                )
+            return
+        self._send_failing = False
 
     def stop(self) -> None:
         self._stop.set()
@@ -98,5 +119,6 @@ class RealtimeVM:
         """This site's telemetry registries plus liveness/error state."""
         snap = self.engine.snapshot()
         snap["finished"] = self.finished
+        snap["presentation"] = self.status.as_dict()
         snap["error"] = repr(self.error) if self.error is not None else None
         return snap

@@ -211,6 +211,17 @@ class SessionControl:
                 out.append((hello, self.peer_addresses[0]))
         return out
 
+    def mark_live(self, now: float) -> None:
+        """Skip the start handshake entirely (late join / resume).
+
+        The site enters a session that is already running, so it must not
+        keep offering HELLO to the master — ``_welcomed`` is set as if the
+        handshake had completed.
+        """
+        self._welcomed = True
+        self.phase = SessionPhase.RUNNING
+        self.started_at = now
+
     def on_message(self, message: Message, now: float) -> List[Tuple[Message, str]]:
         """Feed a received control message; returns immediate replies."""
         if message.session_id != self.session_id:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
-from repro.core.driver import apply_effects, feed_datagrams
+from repro.core.driver import PresentationStatus, apply_effects, feed_datagrams
 from repro.core.engine import (
     GameMachine,
     Shutdown,
@@ -71,6 +71,7 @@ class DistributedVM:
             timer_granularity=timer_granularity,
         )
         self.finished = False
+        self.status = PresentationStatus()
         self.process: Optional[Process] = None
         self._stop_requested = False
 
@@ -124,7 +125,9 @@ class DistributedVM:
             effects = feed_datagrams(engine, pending, self._now())
 
     def _apply(self, effects) -> bool:
-        running = apply_effects(effects, self.socket.send)
+        running = apply_effects(effects, self.socket.send, status=self.status)
+        if not running:
+            self.status.on_finished(self.engine.termination)
         if self.engine.frames_complete:
             self.finished = True
         return running
@@ -141,4 +144,5 @@ class DistributedVM:
         """This site's telemetry registries plus liveness as one dict."""
         snap = self.engine.snapshot()
         snap["finished"] = self.finished
+        snap["presentation"] = self.status.as_dict()
         return snap

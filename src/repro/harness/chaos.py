@@ -1,0 +1,356 @@
+"""The chaos harness: scripted failures against a lockstep session.
+
+Runs a two-site simulated session under a :class:`~repro.net.faults.FaultSchedule`
+— timed partitions/heals, blackouts, one-way link death, per-site crash and
+restart-with-resume — and checks the failure-domain invariants:
+
+* **No desync after heal**: every surviving site's per-frame checksums
+  equal an unimpaired twin run over the overlapping frame window.
+* **Bounded memory while partitioned**: the input buffer never grows past
+  the frames a site can legitimately be ahead (its local lag window), no
+  matter how long the partition — the gate stops the producer.
+* **Resume correctness**: a crashed-then-resumed site's post-resume
+  checksums equal the twin's (the replayed backlog is bit-identical).
+* **Clean termination**: a site whose peer never returns finishes with
+  ``termination == "peer-lost"`` within ``hard_stall_s + resume_deadline_s``
+  instead of hanging.
+* **Telemetry/ground-truth alignment**: every degraded/suspended trace
+  record follows a fault in the network's ``fault_log``.
+
+The scenarios the ``repro chaos`` CLI exposes are thin presets over
+:func:`run_chaos`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import InputAssignment, PadSource, RandomSource
+from repro.core.latejoin import ResumeVM
+from repro.core.multisite import build_session, site_address, two_player_plan
+from repro.core.vm import DistributedVM, SitePeer, SiteRuntime
+from repro.net.faults import FaultSchedule
+from repro.net.netem import NetemConfig
+
+
+def chaos_config(**overrides: object) -> SyncConfig:
+    """Paper defaults with failure budgets tightened for short tests."""
+    base = dict(
+        soft_stall_s=0.25,
+        hard_stall_s=1.0,
+        resume_deadline_s=5.0,
+        liveness_timeout_s=0.5,
+        suspend_backoff_initial_s=0.05,
+        suspend_backoff_max_s=0.4,
+    )
+    base.update(overrides)
+    return SyncConfig(**base)  # type: ignore[arg-type]
+
+
+@dataclass
+class SiteOutcome:
+    """One site's end state after the chaos run."""
+
+    site_no: int
+    termination: Optional[str]
+    finished: bool
+    first_frame: int
+    checksums: List[int]
+    metrics: Dict[str, object]
+    trace: List[dict]
+    resumed: bool = False
+
+
+@dataclass
+class ChaosResult:
+    """Everything the assertions (CLI and pytest) need from one run."""
+
+    outcomes: List[SiteOutcome]
+    twin_checksums: List[int]
+    fault_log: List[dict]
+    ground_truth: Dict[str, int]
+    ibuf_high_water: Dict[int, int]
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.problems
+
+    def outcome(self, site_no: int, resumed: bool = False) -> SiteOutcome:
+        for out in self.outcomes:
+            if out.site_no == site_no and out.resumed == resumed:
+                return out
+        raise KeyError((site_no, resumed))
+
+
+def _twin_checksums(
+    frames: int, seed: int, game: str, config: SyncConfig, rtt: float
+) -> List[int]:
+    """Per-frame checksums of the same session with no faults."""
+    from repro.emulator.machine import create_game
+
+    sources = [PadSource(RandomSource(seed + s), s) for s in (0, 1)]
+    plan = two_player_plan(
+        config,
+        machine_factory=lambda: create_game(game),
+        sources=sources,
+        game_id=game,
+        max_frames=frames,
+        seed=seed,
+    )
+    session = build_session(plan, NetemConfig.for_rtt(rtt))
+    session.run()
+    return list(session.vms[0].runtime.trace.checksums)
+
+
+def _checksum_mismatch(outcome: SiteOutcome, twin: List[int]) -> Optional[str]:
+    """Compare an outcome's checksums to the twin over the overlap."""
+    for index, checksum in enumerate(outcome.checksums):
+        frame = outcome.first_frame + index
+        if frame >= len(twin):
+            return f"site {outcome.site_no} ran past the twin at frame {frame}"
+        if checksum != twin[frame]:
+            return (
+                f"site {outcome.site_no} desynced at frame {frame}: "
+                f"0x{checksum:08x} != twin 0x{twin[frame]:08x}"
+            )
+    return None
+
+
+def run_chaos(
+    schedule: FaultSchedule,
+    frames: int = 240,
+    seed: int = 7,
+    game: str = "counter",
+    config: Optional[SyncConfig] = None,
+    rtt: float = 0.040,
+    horizon: float = 600.0,
+    expect_completion: bool = True,
+) -> ChaosResult:
+    """Run one scripted chaos session and evaluate the invariants.
+
+    ``expect_completion=False`` is for abandonment scenarios (a crashed
+    peer that never restarts): surviving sites are then required to
+    terminate with ``peer-lost`` rather than to finish their frames.
+    """
+    from repro.emulator.machine import create_game
+
+    config = config if config is not None else chaos_config()
+    twin = _twin_checksums(frames, seed, game, config, rtt)
+
+    sources = [PadSource(RandomSource(seed + s), s) for s in (0, 1)]
+    plan = two_player_plan(
+        config,
+        machine_factory=lambda: create_game(game),
+        sources=sources,
+        game_id=game,
+        max_frames=frames,
+        seed=seed,
+    )
+    session = build_session(plan, NetemConfig.for_rtt(rtt))
+    network, loop = session.network, session.loop
+    address_of = {vm.runtime.site_no: site_address(vm.runtime.site_no) for vm in session.vms}
+    all_sites = sorted(address_of)
+
+    schedule.apply_link_faults(network, address_of, all_sites)
+
+    vm_of: Dict[int, DistributedVM] = {
+        vm.runtime.site_no: vm for vm in session.vms
+    }
+    resumed_vms: List[ResumeVM] = []
+    buf = config.buf_frame
+    #: Highest observed per-site input-buffer size (bounded-memory check),
+    #: sampled every 100 ms of simulated time.
+    ibuf_high_water: Dict[int, int] = {s: 0 for s in all_sites}
+
+    def sample_ibuf() -> None:
+        for vm in list(vm_of.values()) + list(resumed_vms):
+            site = vm.runtime.site_no
+            size = len(vm.runtime.lockstep.ibuf)
+            if size > ibuf_high_water.get(site, 0):
+                ibuf_high_water[site] = size
+        if loop.clock.now() < horizon - 0.2:
+            loop.call_later(0.1, sample_ibuf)
+
+    loop.call_later(0.1, sample_ibuf)
+
+    for crash in schedule.crashes:
+        donor = next(s for s in all_sites if s != crash.site)
+
+        def do_crash(crash=crash, donor=donor) -> None:
+            victim = vm_of[crash.site]
+            cookie = victim.runtime.lockstep.last_ack_frame[donor]
+            if victim.process is not None:
+                victim.process.kill()
+            network.drop_socket(address_of[crash.site])
+            if crash.restart_at is not None:
+                loop.call_at(
+                    crash.restart_at,
+                    lambda: do_restart(crash.site, donor, cookie),
+                )
+
+        def do_restart(site: int, donor: int, cookie: int) -> None:
+            peers = [SitePeer(s, address_of[s]) for s in all_sites]
+            runtime = SiteRuntime(
+                config=config,
+                site_no=site,
+                assignment=InputAssignment.standard(2),
+                machine=create_game(game),
+                source=sources[site],
+                peers=peers,
+                game_id=game,
+                session_id=plan.session_id,
+            )
+            vm = ResumeVM(
+                loop,
+                network,
+                runtime,
+                frames,
+                frame_compute_time=plan.frame_compute_time,
+                seed=seed,
+                resume_time=0.0,
+                donor_site=donor,
+                last_acked_frame=cookie,
+            )
+            network.log_fault("restart", address=address_of[site])
+            resumed_vms.append(vm)
+            vm.start()
+
+        loop.call_at(crash.at, do_crash)
+
+    for vm in session.vms:
+        vm.start()
+    loop.run(until=horizon)
+
+    crashed_sites = {c.site for c in schedule.crashes}
+    outcomes: List[SiteOutcome] = []
+    for vm in session.vms:
+        site = vm.runtime.site_no
+        if site in crashed_sites:
+            continue  # the pre-crash incarnation has no meaningful ending
+        outcomes.append(_outcome_of(vm))
+    for vm in resumed_vms:
+        outcomes.append(_outcome_of(vm, resumed=True))
+
+    problems = _evaluate(
+        outcomes,
+        twin,
+        network.fault_log,
+        schedule,
+        config,
+        frames,
+        buf,
+        ibuf_high_water,
+        expect_completion,
+    )
+    return ChaosResult(
+        outcomes=outcomes,
+        twin_checksums=twin,
+        fault_log=list(network.fault_log),
+        ground_truth=network.ground_truth(),
+        ibuf_high_water=ibuf_high_water,
+        problems=problems,
+    )
+
+
+def _outcome_of(vm: DistributedVM, resumed: bool = False) -> SiteOutcome:
+    runtime = vm.runtime
+    return SiteOutcome(
+        site_no=runtime.site_no,
+        termination=vm.engine.termination,
+        finished=vm.finished,
+        first_frame=runtime.trace.first_frame,
+        checksums=list(runtime.trace.checksums),
+        metrics=vm.engine.snapshot(),
+        trace=[record.to_row() for record in runtime.events],
+        resumed=resumed,
+    )
+
+
+def _evaluate(
+    outcomes: List[SiteOutcome],
+    twin: List[int],
+    fault_log: List[dict],
+    schedule: FaultSchedule,
+    config: SyncConfig,
+    frames: int,
+    buf: int,
+    ibuf_high_water: Dict[int, int],
+    expect_completion: bool,
+) -> List[str]:
+    problems: List[str] = []
+    fault_times = [
+        float(entry["t"])
+        for entry in fault_log
+        if entry["kind"] in ("link_down", "crash")
+    ]
+
+    for out in outcomes:
+        mismatch = _checksum_mismatch(out, twin)
+        if mismatch:
+            problems.append(mismatch)
+        if expect_completion:
+            if not out.finished:
+                problems.append(
+                    f"site {out.site_no} finished only "
+                    f"{out.first_frame + len(out.checksums)}/{frames} frames "
+                    f"(termination={out.termination})"
+                )
+        else:
+            if out.termination != "peer-lost":
+                problems.append(
+                    f"site {out.site_no} terminated with "
+                    f"{out.termination!r}, expected 'peer-lost'"
+                )
+        # Bounded memory: the gate stops the producer at most buf frames
+        # past the delivery pointer.  The buffered window spans at most our
+        # own lead (buf) plus the peer's possible lead over us (buf, since
+        # its gate needs our inputs) plus the pruning floor's ack lag (a
+        # few in-flight frames, < buf).  The point is the bound is O(buf),
+        # independent of how long the partition lasts.
+        high = ibuf_high_water.get(out.site_no, 0)
+        bound = 3 * buf + 3
+        if high > bound:
+            problems.append(
+                f"site {out.site_no} input buffer grew to {high} frames "
+                f"(> {bound}) while partitioned"
+            )
+        # Telemetry alignment: liveness episodes must follow real faults.
+        for record in out.trace:
+            if record["kind"] in ("degraded", "suspended"):
+                when = float(record["t"])
+                if not any(t <= when for t in fault_times):
+                    problems.append(
+                        f"site {out.site_no} recorded {record['kind']} at "
+                        f"t={when:.3f} with no preceding fault in the log"
+                    )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Scenario presets (shared by the CLI and the pytest fault matrix)
+# ----------------------------------------------------------------------
+def partition_heal_schedule(
+    start: float = 2.0, duration: float = 2.0
+) -> FaultSchedule:
+    from repro.net.faults import Partition
+
+    return FaultSchedule(
+        partitions=[Partition(start, start + duration, (0,), (1,))]
+    )
+
+
+def crash_resume_schedule(
+    at: float = 2.0, downtime: float = 1.5, site: int = 1
+) -> FaultSchedule:
+    from repro.net.faults import Crash
+
+    return FaultSchedule(crashes=[Crash(at, site, restart_at=at + downtime)])
+
+
+def abandonment_schedule(at: float = 2.0, site: int = 1) -> FaultSchedule:
+    from repro.net.faults import Crash
+
+    return FaultSchedule(crashes=[Crash(at, site, restart_at=None)])

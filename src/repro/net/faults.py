@@ -1,0 +1,154 @@
+"""Scripted fault injection for :class:`~repro.net.simnet.SimNetwork`.
+
+A :class:`FaultSchedule` is a declarative list of timed faults — the chaos
+harness's script.  Link-level faults (partitions, blackouts, one-way link
+death) are applied by scheduling callbacks on the discrete-event loop, so
+they land at exact simulated instants and are recorded in the network's
+``fault_log`` ground truth.  Crash/restart faults need driver cooperation
+(killing a process, building a resume VM), so the schedule only *exposes*
+them; :mod:`repro.harness.chaos` executes them.
+
+All site references are site numbers; the schedule maps them to addresses
+through the harness's address book when applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.simnet import SimNetwork
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut every link between ``group_a`` and ``group_b`` during
+    ``[start, end)``; both directions heal at ``end``."""
+
+    start: float
+    end: float
+    group_a: Tuple[int, ...]
+    group_b: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """Isolate one ``site`` from ``peers`` (both directions) during
+    ``[start, end)``.  ``peers`` of None means every other scheduled site."""
+
+    start: float
+    end: float
+    site: int
+    peers: Optional[Tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class OneWayLinkDown:
+    """Kill only the ``src → dst`` direction at ``start``; heals at ``end``
+    unless ``end`` is None (dead for the rest of the run)."""
+
+    start: float
+    src: int
+    dst: int
+    end: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Kill ``site``'s process at ``at``; if ``restart_at`` is set the
+    harness restarts it there with a RESUME handshake."""
+
+    at: float
+    site: int
+    restart_at: Optional[float] = None
+
+
+LinkFault = object  # Partition | Blackout | OneWayLinkDown (3.9-friendly)
+
+
+@dataclass
+class FaultSchedule:
+    """The chaos script: link faults plus crash/restart directives."""
+
+    partitions: List[Partition] = field(default_factory=list)
+    blackouts: List[Blackout] = field(default_factory=list)
+    one_way: List[OneWayLinkDown] = field(default_factory=list)
+    crashes: List[Crash] = field(default_factory=list)
+
+    def all_sites(self) -> List[int]:
+        sites = set()
+        for p in self.partitions:
+            sites.update(p.group_a)
+            sites.update(p.group_b)
+        for b in self.blackouts:
+            sites.add(b.site)
+            if b.peers:
+                sites.update(b.peers)
+        for o in self.one_way:
+            sites.update((o.src, o.dst))
+        for c in self.crashes:
+            sites.add(c.site)
+        return sorted(sites)
+
+    def horizon(self) -> float:
+        """The last instant any scheduled fault changes the network."""
+        instants = [0.0]
+        for p in self.partitions:
+            instants.extend((p.start, p.end))
+        for b in self.blackouts:
+            instants.extend((b.start, b.end))
+        for o in self.one_way:
+            instants.append(o.start)
+            if o.end is not None:
+                instants.append(o.end)
+        for c in self.crashes:
+            instants.append(c.at)
+            if c.restart_at is not None:
+                instants.append(c.restart_at)
+        return max(instants)
+
+    # ------------------------------------------------------------------
+    def apply_link_faults(
+        self,
+        network: SimNetwork,
+        address_of: Dict[int, str],
+        all_site_numbers: Sequence[int],
+    ) -> None:
+        """Schedule every link fault on the network's event loop.
+
+        Crash directives are *not* applied here — they need the driver
+        layer (see :func:`repro.harness.chaos.run_chaos`).
+        """
+        loop = network.loop
+
+        def at(when: float, action: Callable[[], None]) -> None:
+            loop.call_at(when, action)
+
+        for p in self.partitions:
+            a = [address_of[s] for s in p.group_a]
+            b = [address_of[s] for s in p.group_b]
+            at(p.start, lambda a=a, b=b: network.set_partition(a, b, True))
+            at(p.end, lambda a=a, b=b: network.set_partition(a, b, False))
+
+        for blk in self.blackouts:
+            peers = (
+                blk.peers
+                if blk.peers is not None
+                else tuple(s for s in all_site_numbers if s != blk.site)
+            )
+            me = [address_of[blk.site]]
+            others = [address_of[s] for s in peers]
+            at(
+                blk.start,
+                lambda me=me, others=others: network.set_partition(me, others, True),
+            )
+            at(
+                blk.end,
+                lambda me=me, others=others: network.set_partition(me, others, False),
+            )
+
+        for o in self.one_way:
+            src, dst = address_of[o.src], address_of[o.dst]
+            at(o.start, lambda s=src, d=dst: network.set_link_down(s, d, True))
+            if o.end is not None:
+                at(o.end, lambda s=src, d=dst: network.set_link_down(s, d, False))

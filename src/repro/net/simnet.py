@@ -74,6 +74,13 @@ class SimNetwork:
         #: model decided — the reference the telemetry tests compare the
         #: protocol's own counters against.
         self._truth: Dict[Tuple[Address, Address], Dict[str, int]] = {}
+        #: Directions administratively blackholed (chaos faults); packets
+        #: sent into a down link count as dropped in the ground truth.
+        self._down: set = set()
+        #: Chronological record of every fault applied — partitions, link
+        #: deaths, heals, crashes — the reference the chaos tests align the
+        #: engines' degraded/suspended trace records against.
+        self.fault_log: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------
     # Topology
@@ -105,6 +112,49 @@ class SimNetwork:
     def _install(self, src: Address, dst: Address, config: NetemConfig) -> None:
         self._links[(src, dst)] = LinkScheduler(config, self._link_rng(src, dst))
 
+    # ------------------------------------------------------------------
+    # Fault injection (chaos harness)
+    # ------------------------------------------------------------------
+    def set_link_down(self, src: Address, dst: Address, down: bool = True) -> None:
+        """Blackhole (or heal) one direction without touching its netem.
+
+        The link's scheduler, RNG stream and truth counters survive the
+        outage, so a heal resumes the exact packet-fate sequence an
+        uninterrupted run would have seen for the packets actually sent.
+        """
+        key = (src, dst)
+        if down:
+            self._down.add(key)
+        else:
+            self._down.discard(key)
+        self.log_fault("link_down" if down else "link_up", src=src, dst=dst)
+
+    def set_partition(self, group_a, group_b, partitioned: bool = True) -> None:
+        """Cut (or heal) every direction between two address groups."""
+        for a in group_a:
+            for b in group_b:
+                self.set_link_down(a, b, partitioned)
+                self.set_link_down(b, a, partitioned)
+
+    def drop_socket(self, address: Address) -> None:
+        """Simulate a process crash: close the socket and forget it.
+
+        Forgetting matters — a restarted site calling :meth:`socket` must
+        get a *fresh* endpoint (empty mailbox), not the dead one's queue.
+        In-flight deliveries to the dead address count as "undeliverable"
+        in the ground truth.
+        """
+        sock = self._sockets.pop(address, None)
+        if sock is not None:
+            sock.close()
+        self.log_fault("crash", address=address)
+
+    def log_fault(self, kind: str, **detail: object) -> None:
+        """Append one entry to the ground-truth fault log."""
+        entry: Dict[str, object] = {"kind": kind, "t": self.loop.clock.now()}
+        entry.update(detail)
+        self.fault_log.append(entry)
+
     def _link_rng(self, src: Address, dst: Address) -> random.Random:
         label = f"{self.seed}|{src}->{dst}".encode()
         return random.Random(zlib.crc32(label))
@@ -131,6 +181,11 @@ class SimNetwork:
         truth = self._link_truth(source, destination)
         truth["sent"] += 1
         sender = self._sockets.get(source)
+        if (source, destination) in self._down:
+            truth["dropped"] += 1
+            if sender is not None:
+                sender.stats.datagrams_dropped += 1
+            return
         plan = scheduler.plan(self.loop.clock.now(), len(payload))
         if plan.dropped:
             truth["dropped"] += 1
@@ -150,10 +205,17 @@ class SimNetwork:
         self, source: Address, destination: Address, payload: bytes, when: float
     ):
         def deliver() -> None:
+            truth = self._link_truth(source, destination)
             target = self._sockets.get(destination)
             if target is not None and not target._closed:
-                self._link_truth(source, destination)["delivered"] += 1
+                truth["delivered"] += 1
                 target.deliver(Datagram(payload, source, when))
+            else:
+                # The destination crashed (or never bound) between send and
+                # arrival; counted so the conservation law still closes:
+                # delivered == sent - dropped + duplicated - undeliverable.
+                truth.setdefault("undeliverable", 0)
+                truth["undeliverable"] += 1
 
         return deliver
 
@@ -179,10 +241,12 @@ class SimNetwork:
     ) -> Dict[str, int]:
         """Packet-fate totals, optionally filtered by link endpoint.
 
-        Once all scheduled deliveries have executed (the loop drained) and
-        no receiving socket was closed mid-flight, the counts obey
-        ``delivered == sent - dropped + duplicated`` — the conservation law
-        the observability tests assert against the runtimes' own counters.
+        Once all scheduled deliveries have executed (the loop drained), the
+        counts obey ``delivered == sent - dropped + duplicated -
+        undeliverable`` — the conservation law the observability tests
+        assert against the runtimes' own counters.  Without crash faults
+        ``undeliverable`` is absent/zero and the law reduces to the
+        original three-term form.
         """
         totals = {"sent": 0, "dropped": 0, "duplicated": 0, "delivered": 0}
         for (src, dst), truth in self._truth.items():
@@ -191,5 +255,5 @@ class SimNetwork:
             if destination is not None and dst != destination:
                 continue
             for key, value in truth.items():
-                totals[key] += value
+                totals[key] = totals.get(key, 0) + value
         return totals

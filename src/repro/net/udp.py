@@ -148,6 +148,13 @@ class AsyncUdpEndpoint(asyncio.DatagramProtocol, DatagramSocket):
         self._pending: List[Datagram] = []
         self._wake = asyncio.Event()
         self.stats = TransportStats()
+        #: ICMP/OS errors reported for this endpoint (e.g. port unreachable
+        #: after the peer's process died).  UDP semantics: the datagram is
+        #: gone, retransmission recovers — so count, never raise.
+        self.transport_errors = 0
+        #: Optional observer: ``callback(exc)`` per reported error (the
+        #: asyncio driver routes it into site metrics).
+        self.on_transport_error = None
 
     @classmethod
     async def open(
@@ -179,6 +186,18 @@ class AsyncUdpEndpoint(asyncio.DatagramProtocol, DatagramSocket):
             )
         )
         self._wake.set()
+
+    def error_received(self, exc: OSError) -> None:
+        """asyncio callback for OS-level datagram errors.
+
+        Linux reports ICMP port-unreachable here for *connected* or
+        recently-used destinations; before this handler existed the
+        default (silent drop) hid peer death from the metrics, and a
+        custom protocol without it would crash the transport.
+        """
+        self.transport_errors += 1
+        if self.on_transport_error is not None:
+            self.on_transport_error(exc)
 
     # ------------------------------------------------------------------
     # DatagramSocket interface

@@ -53,6 +53,26 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
     "frames_delivered": ("counter", True, "Merged inputs delivered (line 22)"),
     "lag_changes": ("counter", True, "Adaptive local-lag resizes"),
     "pacer_overruns": ("counter", True, "Frames that overran their slot (Alg. 3)"),
+    "degraded_episodes": (
+        "counter",
+        True,
+        "Gate stalls that crossed soft_stall_s (lockstep.degraded_episodes)",
+    ),
+    "suspended_seconds": (
+        "counter",
+        True,
+        "Total time spent in PHASE_SUSPENDED (lockstep.suspended_s)",
+    ),
+    "resumes": (
+        "counter",
+        True,
+        "Recoveries from suspension, incl. RESUME rejoins (session.resumes)",
+    ),
+    "send_errors": (
+        "counter",
+        True,
+        "Datagram sends that failed at the OS/transport (net.send_errors)",
+    ),
     "rollbacks": ("counter", True, "Speculation rollbacks (timewarp variant)"),
     "rollback_delta_bytes": (
         "counter",

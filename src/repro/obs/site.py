@@ -43,6 +43,11 @@ class SiteMetrics:
         self.frame_time = r.histogram("frame_time_seconds", TIME_BUCKETS)
         self.stall_time = r.histogram("sync_stall_seconds", TIME_BUCKETS)
         self.sync_adjust = r.histogram("sync_adjust_seconds", TIME_BUCKETS)
+        # Failure domain — rare-path, recorded directly.
+        self.degraded_episodes = r.counter("degraded_episodes")
+        self.suspended_seconds = r.counter("suspended_seconds")
+        self.resumes = r.counter("resumes")
+        self.send_errors = r.counter("send_errors")
         # Rollback / late join — rare-path, recorded directly.
         self.rollbacks = r.counter("rollbacks")
         self.rollback_delta_bytes = r.counter("rollback_delta_bytes")

@@ -23,6 +23,12 @@ kind               detail fields
 ``rollback``       ``depth`` (frames replayed), ``from``, ``to``
 ``state_serve``    ``peer``, ``snapshot_frame``, ``bytes``
 ``state_acquire``  ``snapshot_frame``, ``bytes``
+``degraded``       ``waiting_on``, ``unresponsive``, ``stalled_for``
+``suspended``      ``waiting_on``, ``unresponsive``, ``stalled_for``
+``resumed``        ``from`` ("degraded"/"suspended"), ``suspended_for`` or
+                   ``stalled_for``
+``peer_lost``      ``waiting_on``, ``suspended_for`` (resume deadline hit)
+``resume_reject``  ``peer``, ``claimed`` (failed RESUME authentication)
 ``error``          ``message``
 =================  ==========================================================
 """

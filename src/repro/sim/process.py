@@ -147,6 +147,20 @@ class Process:
         self.loop.call_later(0.0, lambda: self._resume(None))
         return self
 
+    def kill(self) -> None:
+        """Terminate the process abruptly (a simulated crash).
+
+        No cleanup runs in the process's own code path beyond ``finally``
+        blocks (``GeneratorExit``); pending wakeups become no-ops via the
+        wait token.  ``result()`` afterwards returns None rather than
+        raising — a killed process did not crash, it was crashed.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        self._wait_token += 1
+        self._generator.close()
+
     def _resume(self, value: Any) -> None:
         if self._finished:
             return

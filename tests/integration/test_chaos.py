@@ -1,0 +1,172 @@
+"""The scripted chaos fault matrix (ISSUE acceptance scenarios).
+
+Each test runs a full two-site simulated session under a
+:class:`~repro.net.faults.FaultSchedule` via :func:`repro.harness.chaos.run_chaos`,
+which also runs an unimpaired *twin* of the same session and compares
+per-frame checksums.  ``result.passed`` already folds in the harness's
+invariants (twin equality, bounded input-buffer memory, clean termination,
+telemetry/ground-truth alignment); the tests below additionally pin the
+specific facts each scenario is about.
+"""
+
+import pytest
+
+from repro.harness.chaos import (
+    abandonment_schedule,
+    chaos_config,
+    crash_resume_schedule,
+    partition_heal_schedule,
+    run_chaos,
+)
+from repro.net.faults import Crash, FaultSchedule, OneWayLinkDown, Partition
+
+
+class TestPartitionHeal:
+    def test_two_second_partition_heals_without_desync(self):
+        result = run_chaos(partition_heal_schedule(start=2.0, duration=2.0))
+        assert result.passed, result.problems
+        for out in result.outcomes:
+            assert out.finished
+            assert out.termination == "completed"
+            # The partition outlives hard_stall_s, so both sites must have
+            # suspended and then recovered purely from sync retransmission
+            # (no RESUME handshake involved in a partition heal).  The
+            # cumulative counters see this even after the bounded trace
+            # ring has rotated the episode's records out.
+            counters = out.metrics["counters"]
+            assert counters["degraded_episodes"] >= 1
+            assert counters["suspended_seconds"] > 0.0
+            assert counters["resumes"] >= 1
+            assert not any(r["kind"] == "peer_lost" for r in out.trace)
+
+    def test_fault_log_records_partition_and_heal(self):
+        result = run_chaos(partition_heal_schedule(start=2.0, duration=2.0))
+        kinds = [e["kind"] for e in result.fault_log]
+        assert kinds.count("link_down") == 2  # both directions cut
+        assert kinds.count("link_up") == 2  # both healed
+        downs = [e["t"] for e in result.fault_log if e["kind"] == "link_down"]
+        ups = [e["t"] for e in result.fault_log if e["kind"] == "link_up"]
+        assert all(abs(t - 2.0) < 1e-9 for t in downs)
+        assert all(abs(t - 4.0) < 1e-9 for t in ups)
+
+    def test_ground_truth_conservation_law(self):
+        result = run_chaos(partition_heal_schedule(start=2.0, duration=2.0))
+        truth = result.ground_truth
+        assert truth["sent"] > 0
+        assert truth["dropped"] > 0  # the partition blackholed real traffic
+        assert truth["delivered"] == (
+            truth["sent"]
+            - truth["dropped"]
+            + truth["duplicated"]
+            - truth.get("undeliverable", 0)
+        )
+
+    def test_input_buffers_stay_bounded_in_long_partition(self):
+        # A partition several times hard_stall_s: memory must not track
+        # partition length (the gate stops the producer).
+        config = chaos_config()
+        result = run_chaos(
+            partition_heal_schedule(start=2.0, duration=6.0),
+            config=config,
+            frames=300,
+        )
+        assert result.passed, result.problems
+        bound = 3 * config.buf_frame + 3
+        for site, high in result.ibuf_high_water.items():
+            assert 0 < high <= bound, (site, high)
+
+
+class TestCrashResume:
+    def test_resumed_site_checksums_match_uninterrupted_twin(self):
+        result = run_chaos(crash_resume_schedule(at=2.0, downtime=1.5, site=1))
+        assert result.passed, result.problems
+        survivor = result.outcome(0)
+        resumed = result.outcome(1, resumed=True)
+        assert survivor.finished and resumed.finished
+        # The resumed incarnation re-entered mid-session...
+        assert resumed.first_frame > 0
+        # ...and every checksum from there on equals the twin's (the
+        # replayed input backlog was bit-identical).
+        offset = resumed.first_frame
+        for index, checksum in enumerate(resumed.checksums):
+            assert checksum == result.twin_checksums[offset + index]
+        assert resumed.metrics["counters"]["resumes"] >= 1
+
+    def test_donor_suspends_then_serves_resume(self):
+        result = run_chaos(crash_resume_schedule(at=2.0, downtime=1.5, site=1))
+        survivor = result.outcome(0)
+        counters = survivor.metrics["counters"]
+        assert counters["suspended_seconds"] > 0.0
+        assert counters["resumes"] >= 1
+        assert counters["state_serves"] >= 1  # the RESUME was answered
+
+    def test_crash_is_in_the_fault_log(self):
+        result = run_chaos(crash_resume_schedule(at=2.0, downtime=1.5, site=1))
+        crashes = [e for e in result.fault_log if e["kind"] == "crash"]
+        restarts = [e for e in result.fault_log if e["kind"] == "restart"]
+        assert len(crashes) == 1 and abs(crashes[0]["t"] - 2.0) < 1e-9
+        assert len(restarts) == 1 and abs(restarts[0]["t"] - 3.5) < 1e-9
+
+
+class TestAbandonment:
+    def test_survivor_terminates_peer_lost_within_budget(self):
+        config = chaos_config()
+        result = run_chaos(
+            abandonment_schedule(at=2.0, site=1),
+            config=config,
+            expect_completion=False,
+        )
+        assert result.passed, result.problems
+        survivor = result.outcome(0)
+        assert survivor.termination == "peer-lost"
+        assert not survivor.finished
+        lost = [r for r in survivor.trace if r["kind"] == "peer_lost"]
+        assert lost
+        # Clean termination within stall detection + resume deadline, with
+        # slack for the gate poll and frame timing.
+        bound = 2.0 + config.hard_stall_s + config.resume_deadline_s + 1.0
+        assert lost[-1]["t"] <= bound
+        assert 1 in lost[-1]["waiting_on"]
+
+
+class TestScriptedSchedules:
+    def test_one_way_link_death_heals_without_desync(self):
+        schedule = FaultSchedule(
+            one_way=[OneWayLinkDown(start=2.0, src=1, dst=0, end=4.0)]
+        )
+        result = run_chaos(schedule)
+        assert result.passed, result.problems
+        # Only one direction died; the victim is the site that stopped
+        # hearing its peer.
+        survivor = result.outcome(0)
+        assert survivor.metrics["counters"]["degraded_episodes"] >= 1
+
+    def test_combined_schedule_applies_in_order(self):
+        schedule = FaultSchedule(
+            partitions=[Partition(2.0, 3.0, (0,), (1,))],
+            crashes=[Crash(6.0, 1, restart_at=7.0)],
+        )
+        # Enough frames that the session is still mid-run at the crash
+        # (the partition stall already pushes the timeline out by ~1 s).
+        result = run_chaos(schedule, frames=600)
+        assert result.passed, result.problems
+        times = [e["t"] for e in result.fault_log]
+        assert times == sorted(times)
+        kinds = [e["kind"] for e in result.fault_log]
+        assert kinds.index("link_down") < kinds.index("crash")
+
+    def test_schedule_horizon_and_sites(self):
+        schedule = FaultSchedule(
+            partitions=[Partition(1.0, 2.0, (0,), (1,))],
+            crashes=[Crash(5.0, 1, restart_at=8.0)],
+        )
+        assert schedule.horizon() == 8.0
+        assert schedule.all_sites() == [0, 1]
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_fault_matrix_is_seed_independent(seed):
+    result = run_chaos(
+        partition_heal_schedule(start=2.0, duration=2.0), seed=seed
+    )
+    assert result.passed, result.problems

@@ -308,6 +308,51 @@ class TestAbsentAndLateJoin:
         with pytest.raises(ValueError):
             a.admit_site(7, 0)
 
+    def test_resume_pins_peer_acks_at_snapshot(self):
+        # Unlike a cold join, a resume must leave the returning site's
+        # window snapshot+1..snapshot+buf UNACKED: the donor never received
+        # those inputs, so they have to be re-sent.
+        a, _ = make_pair(buf_frame=6)
+        a.resume_from_snapshot(100)
+        assert a.ibuf_pointer == 101
+        assert a.last_rcv_frame[0] == 100  # own real history, no virtual pad
+        assert a.last_rcv_frame[1] == 100
+        assert a.last_ack_frame[1] == 100  # NOT 106 as in seed_from_snapshot
+
+    def test_resume_replayed_window_is_retransmitted(self):
+        a, _ = make_pair(buf_frame=6)
+        a.resume_from_snapshot(100)
+        # The caller replays the unacked own window from its deterministic
+        # source; the first sync to the peer must carry exactly 101..106.
+        for frame in range(95, 101):
+            a.buffer_local_input(frame, 1)
+        message = a.build_sync_for(1, force=True)
+        assert message is not None
+        assert message.first_frame == 101
+        assert message.last_frame == 106
+
+    def test_resume_with_backlog_seeds_peer_inputs(self):
+        a, _ = make_pair()
+        a.resume_from_snapshot(100, backlog=[[0], [7, 8, 9]])
+        assert a.ibuf.get(101, 1) == 7
+        assert a.ibuf.get(103, 1) == 9
+        assert a.last_rcv_frame[1] == 103
+
+    def test_resume_then_peer_sync_unblocks_delivery(self):
+        a, b = make_pair(buf_frame=6)
+        # b is the donor: it ran normally up to the snapshot window.
+        for frame in range(110):
+            b.buffer_local_input(frame, 1)
+        a.resume_from_snapshot(100)
+        for frame in range(95, 101):
+            a.buffer_local_input(frame, 1)
+        assert not a.can_deliver()
+        pump(b, a)  # donor retransmits its unacked window
+        assert a.can_deliver()
+        merged = a.deliver()
+        assert merged is not None
+        assert a.ibuf_pointer == 102
+
 
 class TestConstruction:
     def test_bad_site_number(self):

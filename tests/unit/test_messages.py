@@ -8,6 +8,7 @@ from repro.core.messages import (
     Hello,
     Ping,
     Pong,
+    Resume,
     Start,
     StartAck,
     StateRequest,
@@ -89,6 +90,16 @@ class TestRoundtrips:
 
     def test_bye(self):
         assert roundtrip(Bye(1, 7)).sender_site == 1
+
+    def test_resume(self):
+        msg = roundtrip(Resume(1, 7, last_acked_frame=120))
+        assert msg.sender_site == 1
+        assert msg.session_id == 7
+        assert msg.last_acked_frame == 120
+
+    def test_resume_default_cookie_is_negative(self):
+        # -1 means "nothing acked yet" and must survive the signed codec.
+        assert roundtrip(Resume(2, 7)).last_acked_frame == -1
 
 
 class TestValidation:

@@ -123,6 +123,79 @@ class TestLinkScheduler:
             assert pa.times == pb.times
 
 
+class ScriptedRng:
+    """Feeds predetermined values to the scheduler's probability draws."""
+
+    def __init__(self, randoms=(), uniforms=()):
+        self._randoms = list(randoms)
+        self._uniforms = list(uniforms)
+
+    def random(self):
+        return self._randoms.pop(0)
+
+    def uniform(self, low, high):
+        return self._uniforms.pop(0)
+
+
+class TestLinkSchedulerEdges:
+    """Rate-limit and reorder semantics the mainline tests don't pin."""
+
+    def _scheduler(self, **kwargs) -> LinkScheduler:
+        return LinkScheduler(NetemConfig(**kwargs), random.Random(42))
+
+    def test_rate_token_bucket_carries_across_bursts(self):
+        # The wire stays busy through _rate_free_at: a packet arriving
+        # mid-transmission queues behind the previous departure, not behind
+        # its own arrival time.
+        scheduler = self._scheduler(rate_bytes_per_s=1000.0)
+        assert scheduler.plan(0.0, 500).times[0] == pytest.approx(0.5)
+        # Arrives at 0.3 while the wire is busy until 0.5: serialized.
+        assert scheduler.plan(0.3, 500).times[0] == pytest.approx(1.0)
+        assert scheduler._rate_free_at == pytest.approx(1.0)
+        # After the wire drains, a fresh packet pays only its own time.
+        assert scheduler.plan(2.0, 250).times[0] == pytest.approx(2.25)
+
+    def test_reordered_packet_leaves_fifo_clamp_untouched(self):
+        # A reordered packet bypasses the delay queue and must NOT advance
+        # _last_delivery, or it would drag later "normal" packets forward.
+        scheduler = self._scheduler(delay=0.5, reorder=1.0)
+        plan = scheduler.plan(now=1.0, size=100)
+        assert plan.times == [1.0]
+        assert scheduler._last_delivery == float("-inf")
+
+    def test_normal_packet_after_reordered_keeps_full_delay(self):
+        rng = ScriptedRng(randoms=[0.0, 0.9])  # reorder, then normal
+        scheduler = LinkScheduler(NetemConfig(delay=0.2, reorder=0.5), rng)
+        early = scheduler.plan(0.0, 100)
+        late = scheduler.plan(0.01, 100)
+        assert early.times == [0.0]  # skipped the queue entirely
+        assert late.times == [pytest.approx(0.21)]  # unaffected by the skip
+
+    def test_rate_limit_applies_even_to_reordered_packets(self):
+        # Reordering skips the *delay queue*, not the wire: back-to-back
+        # reordered packets still serialize at the token-bucket rate.
+        scheduler = self._scheduler(
+            rate_bytes_per_s=1000.0, delay=0.5, reorder=1.0
+        )
+        assert scheduler.plan(0.0, 500).times[0] == pytest.approx(0.5)
+        assert scheduler.plan(0.0, 500).times[0] == pytest.approx(1.0)
+
+    def test_jitter_cannot_violate_fifo(self):
+        # First packet draws +0.04 jitter, second draws -0.04 and would
+        # land earlier; the FIFO clamp holds it at the previous delivery.
+        rng = ScriptedRng(uniforms=[0.04, -0.04])
+        scheduler = LinkScheduler(NetemConfig(delay=0.05, jitter=0.04), rng)
+        first = scheduler.plan(0.0, 100).times[0]
+        second = scheduler.plan(0.001, 100).times[0]
+        assert first == pytest.approx(0.09)
+        assert second == pytest.approx(first)  # clamped, not 0.011
+
+    def test_duplicate_copies_serialize_under_rate_limit(self):
+        scheduler = self._scheduler(rate_bytes_per_s=1000.0, duplicate=1.0)
+        plan = scheduler.plan(0.0, 500)
+        assert plan.times == [pytest.approx(0.5), pytest.approx(1.0)]
+
+
 class TestDeliveryPlan:
     def test_default_empty(self):
         plan = DeliveryPlan()

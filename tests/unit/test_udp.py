@@ -1,10 +1,17 @@
 """Unit tests for repro.net.udp (real sockets on localhost)."""
 
+import asyncio
 import time
 
 import pytest
 
-from repro.net.udp import MAX_DATAGRAM, UdpSocket, format_address, parse_address
+from repro.net.udp import (
+    MAX_DATAGRAM,
+    AsyncUdpEndpoint,
+    UdpSocket,
+    format_address,
+    parse_address,
+)
 
 
 class TestAddressing:
@@ -100,3 +107,56 @@ class TestUdpSocket:
         finally:
             a.close()
             b.close()
+
+
+class TestAsyncUdpEndpoint:
+    def test_roundtrip_on_event_loop(self):
+        async def scenario():
+            a = await AsyncUdpEndpoint.open()
+            b = await AsyncUdpEndpoint.open()
+            try:
+                a.send(b"async-udp", b.address)
+                await asyncio.wait_for(b.wait(timeout=2.0), timeout=5.0)
+                datagrams = b.receive_all()
+                assert [d.payload for d in datagrams] == [b"async-udp"]
+                assert datagrams[0].source == a.address
+            finally:
+                a.close()
+                b.close()
+
+        asyncio.run(scenario())
+
+    def test_error_received_counts_and_notifies(self):
+        # Linux only surfaces ICMP errors on *connected* UDP sockets, so a
+        # live-socket repro is platform-flaky; the callback contract is
+        # what matters and is tested by direct invocation, exactly as the
+        # asyncio transport would call it.
+        async def scenario():
+            endpoint = await AsyncUdpEndpoint.open()
+            try:
+                seen = []
+                assert endpoint.transport_errors == 0
+                endpoint.error_received(ConnectionRefusedError("boom"))
+                assert endpoint.transport_errors == 1
+
+                endpoint.on_transport_error = seen.append
+                error = OSError("port unreachable")
+                endpoint.error_received(error)
+                assert endpoint.transport_errors == 2
+                assert seen == [error]
+            finally:
+                endpoint.close()
+
+        asyncio.run(scenario())
+
+    def test_error_received_without_observer_never_raises(self):
+        async def scenario():
+            endpoint = await AsyncUdpEndpoint.open()
+            try:
+                for __ in range(3):
+                    endpoint.error_received(OSError("icmp"))
+                assert endpoint.transport_errors == 3
+            finally:
+                endpoint.close()
+
+        asyncio.run(scenario())
