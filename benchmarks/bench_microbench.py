@@ -10,6 +10,7 @@ from repro.core.inputs import InputAssignment
 from repro.core.lockstep import LockstepSync
 from repro.core.messages import Sync, decode
 from repro.emulator.machine import create_game
+from repro.metrics.bench import time_call
 
 
 def test_console_frame_throughput(benchmark):
@@ -73,6 +74,32 @@ def test_sync_codec_throughput(benchmark):
             decode(raw)
 
     benchmark(codec)
+
+
+def test_console_checksum_throughput(benchmark):
+    """Cold checksum (every chunk dirty) on pong: the ISSUE-6 budget is
+    50 µs — an order of magnitude under the pre-chunking ~200 µs — so a
+    digest regression fails loudly rather than silently eroding the
+    "frame time is negligible next to network latency" argument."""
+    console = create_game("pong")
+    for frame in range(10):
+        console.step(frame)
+    blob = console.save_state()
+
+    def cold_checksum():
+        console.load_state(blob)  # marks every page dirty
+        console.checksum()
+
+    benchmark(cold_checksum)
+    # Time the digest alone (load_state outside the region) for the gate.
+    console.load_state(blob)
+    cold_us = (
+        time_call(
+            lambda: (console.load_state(blob), console.checksum()), repeats=5
+        )
+        - time_call(lambda: console.load_state(blob), repeats=5)
+    ) * 1e6
+    assert cold_us < 50.0, f"cold checksum took {cold_us:.1f} us (budget 50)"
 
 
 def test_console_savestate_throughput(benchmark):

@@ -21,35 +21,56 @@ import sys
 
 from repro.emulator.machine import available_games, create_game
 from repro.metrics.bench import (
+    ROM_FPS_BASELINE,
     SEED_BASELINE,
+    check_block_fps,
+    measure_block_stats,
     measure_game_fps,
     measure_lockstep_roundtrips,
     measure_rollback_session,
     measure_snapshot_costs,
+    verify_block_parity,
     write_bench_json,
 )
 
-#: Console games also measured under the retained reference interpreter.
-CONSOLE_GAMES = ("pong", "tankduel")
+#: Console games measured under all three interpreters.
+CONSOLE_GAMES = ("pong", "tankduel", "smc")
 
 
 def run(quick: bool) -> dict:
     frames = 60 if quick else 600
     repeats = 1 if quick else 3
 
+    # Semantics before speed: a drifting block compiler would make every
+    # number below meaningless (and --quick is the CI smoke for this).
+    verify_block_parity("pong", frames=60)
+
     game_fps = {}
     reference_fps = {}
+    fast_fps = {}
+    block_fps = {}
+    block_stats = {}
     for name in available_games():
         game_fps[name] = round(
             measure_game_fps(name, frames=frames, repeats=repeats), 1
         )
         if name in CONSOLE_GAMES:
+            # The default interpreter IS the block translator, so the
+            # game_fps sample above already measured block mode.
+            block_fps[name] = game_fps[name]
+            fast_fps[name] = round(
+                measure_game_fps(
+                    name, frames=frames, repeats=repeats, interpreter="fast"
+                ),
+                1,
+            )
             reference_fps[name] = round(
                 measure_game_fps(
                     name, frames=frames, repeats=repeats, interpreter="reference"
                 ),
                 1,
             )
+            block_stats[name] = measure_block_stats(name, frames=frames)
 
     snapshot = {
         name: {
@@ -72,6 +93,9 @@ def run(quick: bool) -> dict:
         "quick": quick,
         "game_fps": game_fps,
         "reference_fps": reference_fps,
+        "fast_fps": fast_fps,
+        "block_fps": block_fps,
+        "block_stats": block_stats,
         "lockstep_roundtrips_per_s": lockstep,
         "snapshot": snapshot,
         "rollback_session": rollback,
@@ -83,14 +107,32 @@ def summarize(results: dict) -> str:
     if results["quick"]:
         lines.append("(--quick: smoke-test sizes, numbers not comparable)")
     baseline = SEED_BASELINE["game_fps"]
-    lines.append("-- emulated frames/sec (fast interpreter) --")
+    lines.append("-- emulated frames/sec (default interpreter) --")
     for name, fps in sorted(results["game_fps"].items()):
         extra = ""
         if name in baseline:
             extra = f"  seed={baseline[name]:.0f}  ({fps / baseline[name]:.2f}x)"
-        if name in results["reference_fps"]:
-            extra += f"  reference={results['reference_fps'][name]:.0f}"
         lines.append(f"  {name:12s} {fps:12.0f}{extra}")
+    if results["block_fps"]:
+        lines.append("-- console interpreters, frames/sec side by side --")
+        for name in sorted(results["block_fps"]):
+            block = results["block_fps"][name]
+            fast = results["fast_fps"][name]
+            reference = results["reference_fps"][name]
+            gate = ""
+            if name in ROM_FPS_BASELINE:
+                gate = f"  (block baseline {ROM_FPS_BASELINE[name]:.0f})"
+            lines.append(
+                f"  {name:12s} block={block:.0f}  fast={fast:.0f}  "
+                f"reference={reference:.0f}{gate}"
+            )
+            stats = results["block_stats"][name]
+            lines.append(
+                f"  {'':12s} blocks={stats['blocks_compiled']}  "
+                f"hits={stats['block_hits']}  "
+                f"invalidations={stats['block_invalidations']}  "
+                f"fallback={stats['fallback_steps']}"
+            )
     lines.append(
         f"-- lockstep round-trips/sec: {results['lockstep_roundtrips_per_s']:.0f}"
     )
@@ -132,6 +174,14 @@ def main(argv=None) -> int:
     if not options.no_json:
         path = write_bench_json(results, directory=options.out)
         print(f"wrote {path}")
+    if not options.quick:
+        # Regression gate: block fps against the checked-in baseline.
+        # --quick numbers are smoke-test sized, so only full runs gate.
+        problems = check_block_fps(results["block_fps"])
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
     return 0
 
 

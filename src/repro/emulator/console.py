@@ -13,14 +13,15 @@ Machine contract by construction.
 
 Hot-path notes (docs/performance.md):
 
-* :meth:`checksum` digests the CPU state plus the memory bus's per-page
-  CRC table, so a steady-state checksum re-hashes only the pages the frame
-  wrote instead of the full 64 KiB,
+* :meth:`checksum` digests the CPU state plus the memory bus's chunked
+  CRC table, so a steady-state checksum re-hashes only the chunks the
+  frame wrote instead of the full 64 KiB,
 * :meth:`save_delta` / :meth:`apply_delta` move only dirty pages between
   replicas — the rollback shadow/speculative pair and any other
   same-lineage copies sync in O(working set) rather than O(address space),
-* ``interpreter`` selects the table-dispatched fast CPU loop (default) or
-  the retained reference interpreter; both are bit-identical by contract.
+* ``interpreter`` selects the block-translation loop (default), the
+  table-dispatched fast loop, or the retained reference interpreter; all
+  three are bit-identical by contract (the golden-trace tests enforce it).
 """
 
 from __future__ import annotations
@@ -58,10 +59,10 @@ class Console(Machine):
         name: str = "rc16",
         num_players: int = 2,
         cycle_budget: int = DEFAULT_CYCLE_BUDGET,
-        interpreter: str = "fast",
+        interpreter: str = "block",
     ) -> None:
         super().__init__()
-        if interpreter not in ("fast", "reference"):
+        if interpreter not in ("block", "fast", "reference"):
             raise ValueError(f"unknown interpreter {interpreter!r}")
         self.name = name
         self.num_players = num_players
@@ -86,10 +87,28 @@ class Console(Machine):
         self.memory.write_word(INPUT_ADDRESS, input_word & 0xFFFF)
         self.memory.write_word(FRAME_COUNTER_ADDRESS, self._frame & 0xFFFF)
         self.audio.begin_frame()
-        if self.interpreter == "fast":
+        interpreter = self.interpreter
+        if interpreter == "block":
+            self.cpu.run_frame_blocks(self.cycle_budget)
+        elif interpreter == "fast":
             self.cpu.run_frame(self.cycle_budget)
-        else:
+        elif interpreter == "reference":
             self.cpu.run_frame_reference(self.cycle_budget)
+        else:
+            raise MachineError(f"unknown interpreter {interpreter!r}")
+
+    def cpu_stats(self) -> dict:
+        """Block-translation telemetry (monotonic counters plus the live
+        cache size); mirrored into ``repro.obs`` snapshots and bench JSON."""
+        cpu = self.cpu
+        return {
+            "blocks_compiled": cpu.blocks_compiled,
+            "block_hits": cpu.block_hits,
+            "block_invalidations": cpu.block_invalidations,
+            "block_revalidations": cpu.block_revalidations,
+            "fallback_steps": cpu.block_fallback_steps,
+            "cached_blocks": len(cpu._blocks),
+        }
 
     # ------------------------------------------------------------------
     def checksum(self) -> int:

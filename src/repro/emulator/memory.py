@@ -19,14 +19,25 @@ the handful of MMIO pages, and even there scans just that page's hooks.
 The bus also tracks *dirty pages*: every mutation stamps the written page
 with a monotonically increasing generation, which powers
 
-* :meth:`page_digest` — a per-page CRC cache so checksumming after a frame
-  only re-hashes the pages that frame touched, and
+* :meth:`page_digest` — a chunked CRC cache so checksumming after a frame
+  only re-hashes the chunks that frame touched (and a cold checksum is a
+  handful of ``zlib.crc32`` calls over preallocated ``memoryview`` slices),
 * :meth:`mark` / :meth:`dirty_pages_since` — the delta-snapshot protocol
-  used by :meth:`repro.emulator.console.Console.save_delta`.
+  used by :meth:`repro.emulator.console.Console.save_delta`, and
+* the block-translation cache in :mod:`repro.emulator.cpu`, which stamps
+  each compiled block with the generations of the pages it spans and
+  invalidates on mismatch — no extra write-barrier cost.
+
+Setting ``REPRO_NUMPY_DIGEST=1`` (or passing ``digest_backend="numpy"``)
+switches :meth:`page_digest` to a vectorized weighted-sum digest.  The two
+backends produce *different* digest bytes, so every site in a session must
+use the same backend; the default is always ``crc32``.
 """
 
 from __future__ import annotations
 
+import os
+import struct
 import zlib
 from typing import Callable, List, Optional, Tuple
 
@@ -37,13 +48,40 @@ PAGE_SHIFT = 8
 PAGE_SIZE = 1 << PAGE_SHIFT
 NUM_PAGES = MEMORY_SIZE >> PAGE_SHIFT
 
+#: Digest chunks are coarser than pages: hashing 64 × 1 KiB slices costs a
+#: fraction of 256 × 256 B calls (fewer zlib round-trips), while a typical
+#: frame's working set still maps to only a few chunks.
+CHUNK_SHIFT = 10
+CHUNK_SIZE = 1 << CHUNK_SHIFT
+NUM_CHUNKS = MEMORY_SIZE >> CHUNK_SHIFT
+PAGES_PER_CHUNK = CHUNK_SIZE >> PAGE_SHIFT
+
+_DIGEST_PACK = struct.Struct(f">{NUM_CHUNKS}I")
+
+_NUMPY_DIGEST_ENV = "REPRO_NUMPY_DIGEST"
+
+_NP_WEIGHTS = None
+
+
+def _numpy_digest_requested() -> bool:
+    return os.environ.get(_NUMPY_DIGEST_ENV, "").lower() in ("1", "true", "on", "yes")
+
+
+def _numpy_weights(np):
+    """Distinct odd per-byte weights: any single-byte change alters the
+    chunk's weighted sum mod 2**32 (odd weights are invertible)."""
+    global _NP_WEIGHTS
+    if _NP_WEIGHTS is None:
+        _NP_WEIGHTS = np.arange(CHUNK_SIZE, dtype=np.uint32) * 2 + 1
+    return _NP_WEIGHTS
+
 _Hook = Tuple[int, int, Optional[Callable[[int], int]], Optional[Callable[[int, int], None]]]
 
 
 class Memory:
     """A 64 KiB byte-addressable bus with optional MMIO hooks."""
 
-    def __init__(self) -> None:
+    def __init__(self, digest_backend: Optional[str] = None) -> None:
         self._data = bytearray(MEMORY_SIZE)
         # (start, end_exclusive, read_hook, write_hook), insertion order.
         self._hooks: List[_Hook] = []
@@ -63,8 +101,34 @@ class Memory:
         # "what changed since my last look?" independently of each other.
         self._gen = 1
         self._page_gen = [0] * NUM_PAGES
-        self._digest = bytearray(4 * NUM_PAGES)
-        self._digest_stamp = 0  # generation at which _digest was last valid
+        # Layout epoch: bumped whenever a hook changes which pages are
+        # plain.  The CPU's block-translation cache polls it each frame and
+        # flushes compiled blocks when the MMIO layout shifts underneath it.
+        self._hooks_epoch = 0
+        # Chunked digest cache (see page_digest).  The memoryview slices are
+        # created once; they alias the live bytearray, so recomputing a
+        # chunk's CRC is a single zlib call with no per-call slicing.
+        self._chunk_crcs = [0] * NUM_CHUNKS
+        data_view = memoryview(self._data)
+        self._chunk_views = [
+            data_view[chunk << CHUNK_SHIFT : (chunk + 1) << CHUNK_SHIFT]
+            for chunk in range(NUM_CHUNKS)
+        ]
+        self._all_dirty = True  # cold start: first digest maps every chunk
+        self._digest_stamp = 0  # generation at which _chunk_crcs was valid
+        if digest_backend is None:
+            digest_backend = "numpy" if _numpy_digest_requested() else "crc32"
+        if digest_backend == "numpy":
+            try:
+                import numpy
+            except ImportError:  # flag set but numpy absent: degrade quietly
+                digest_backend = "crc32"
+            else:
+                self._np = numpy
+                self._np_weights = _numpy_weights(numpy)
+        if digest_backend not in ("crc32", "numpy"):
+            raise ValueError(f"unknown digest backend {digest_backend!r}")
+        self.digest_backend = digest_backend
 
     # ------------------------------------------------------------------
     def add_hook(
@@ -79,6 +143,7 @@ class Memory:
             raise ValueError(f"bad hook range {start:#x}..{end:#x}")
         hook = (start, end, read, write)
         self._hooks.append(hook)
+        self._hooks_epoch += 1
         for page in range(start >> PAGE_SHIFT, ((end - 1) >> PAGE_SHIFT) + 1):
             self._plain[page] = 0
             if self._page_hooks[page] is None:
@@ -188,7 +253,10 @@ class Memory:
         self._mark_all_dirty()
 
     def _mark_all_dirty(self) -> None:
-        self._page_gen = [self._gen] * NUM_PAGES
+        # In-place: compiled blocks capture this list (see cpu.py), so the
+        # object identity must survive restore()/clear().
+        self._page_gen[:] = [self._gen] * NUM_PAGES
+        self._all_dirty = True
 
     # ------------------------------------------------------------------
     # Dirty-page tracking (delta snapshots, incremental checksums).
@@ -209,24 +277,67 @@ class Memory:
         return [page for page in range(NUM_PAGES) if page_gen[page] >= mark]
 
     def page_digest(self) -> bytes:
-        """Per-page CRC32 table (256 × 4 bytes, big-endian).
+        """Per-chunk digest table (64 × 1 KiB chunks × 4 bytes, big-endian).
 
-        A deterministic digest of the full 64 KiB that only re-hashes pages
-        written since the previous call — the cost of a steady-state
+        A deterministic digest of the full 64 KiB that only re-hashes
+        chunks written since the previous call — the cost of a steady-state
         checksum is proportional to the frame's working set, not to the
-        address space.
+        address space.  A cold call (after ``restore``/``load_state``) takes
+        the ``_all_dirty`` path: one ``map(crc32, views)`` over the 64
+        preallocated slices, an order of magnitude cheaper than the old
+        per-page loop.
+
+        The digest bytes are an internal contract: they are compared live
+        between interpreters (never persisted), so the chunk size and the
+        backend (crc32 vs numpy weighted sums) are free parameters as long
+        as every site in a session agrees.
         """
-        stamp = self._digest_stamp
+        crcs = self._chunk_crcs
         page_gen = self._page_gen
-        digest = self._digest
-        data = memoryview(self._data)
-        crc32 = zlib.crc32
-        for page in range(NUM_PAGES):
-            if page_gen[page] >= stamp:
-                start = page << PAGE_SHIFT
-                crc = crc32(data[start : start + PAGE_SIZE])
-                offset = page * 4
-                digest[offset : offset + 4] = crc.to_bytes(4, "big")
+        if self.digest_backend == "numpy":
+            compute = self._numpy_chunk_digest
+            if self._all_dirty:
+                self._all_dirty = False
+                for chunk in range(NUM_CHUNKS):
+                    crcs[chunk] = compute(chunk)
+            else:
+                stamp = self._digest_stamp
+                for chunk in range(NUM_CHUNKS):
+                    base = chunk * PAGES_PER_CHUNK
+                    if (
+                        page_gen[base] >= stamp
+                        or page_gen[base + 1] >= stamp
+                        or page_gen[base + 2] >= stamp
+                        or page_gen[base + 3] >= stamp
+                    ):
+                        crcs[chunk] = compute(chunk)
+        else:
+            crc32 = zlib.crc32
+            views = self._chunk_views
+            if self._all_dirty:
+                self._all_dirty = False
+                crcs[:] = map(crc32, views)
+            else:
+                stamp = self._digest_stamp
+                for chunk in range(NUM_CHUNKS):
+                    base = chunk * PAGES_PER_CHUNK
+                    if (
+                        page_gen[base] >= stamp
+                        or page_gen[base + 1] >= stamp
+                        or page_gen[base + 2] >= stamp
+                        or page_gen[base + 3] >= stamp
+                    ):
+                        crcs[chunk] = crc32(views[chunk])
         self._gen += 1
         self._digest_stamp = self._gen
-        return bytes(digest)
+        return _DIGEST_PACK.pack(*crcs)
+
+    def _numpy_chunk_digest(self, chunk: int) -> int:
+        """Weighted byte sum mod 2**32 of one chunk (numpy backend).
+
+        Positionally sensitive (distinct weights) and change sensitive
+        (odd weights), with deterministic uint32 wraparound everywhere.
+        """
+        np = self._np
+        data = np.frombuffer(self._chunk_views[chunk], dtype=np.uint8)
+        return int(np.multiply(data, self._np_weights, dtype=np.uint32).sum(dtype=np.uint32))

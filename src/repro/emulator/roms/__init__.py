@@ -1,14 +1,17 @@
 """ROMs written in RC-16 assembly.
 
 Importing this package registers the ROM-based games with the machine
-registry (``create_game("pong")``, ``create_game("tankduel")``).
+registry (``create_game("pong")``, ``create_game("tankduel")``,
+``create_game("smc")``).
 """
 
 from repro.emulator.machine import register_game
 from repro.emulator.roms.pong import build_pong
+from repro.emulator.roms.smc import build_smc
 from repro.emulator.roms.tankduel import build_tankduel
 
 register_game("pong", build_pong)
 register_game("tankduel", build_tankduel)
+register_game("smc", build_smc)
 
-__all__ = ["build_pong", "build_tankduel"]
+__all__ = ["build_pong", "build_smc", "build_tankduel"]

@@ -99,6 +99,26 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
         False,
         "Carried pacing compensation (Alg. 3)",
     ),
+    "cpu_blocks_compiled": (
+        "counter",
+        True,
+        "RC-16 basic blocks compiled by the block translator",
+    ),
+    "cpu_block_hits": (
+        "counter",
+        True,
+        "Frame-loop dispatches served by a compiled block",
+    ),
+    "cpu_block_invalidations": (
+        "counter",
+        True,
+        "Compiled blocks discarded because their bytes changed (SMC)",
+    ),
+    "cpu_fallback_steps": (
+        "counter",
+        True,
+        "Instructions single-stepped by the table interpreter in block mode",
+    ),
     "frame_time_seconds": ("histogram", True, "Frame-to-frame begin intervals"),
     "sync_stall_seconds": ("histogram", True, "Time blocked in SyncInput per frame"),
     "sync_adjust_seconds": (

@@ -70,6 +70,12 @@ class SiteMetrics:
         self.rtt_seconds = r.gauge("rtt_seconds")
         self.frame_number = r.gauge("frame_number")
         self.adjust_time_delta = r.gauge("adjust_time_delta_seconds")
+        # Mirrored from the machine's block-translation cache (RC-16
+        # consoles expose cpu_stats(); other machines leave these at 0).
+        self.cpu_blocks_compiled = r.counter("cpu_blocks_compiled")
+        self.cpu_block_hits = r.counter("cpu_block_hits")
+        self.cpu_block_invalidations = r.counter("cpu_block_invalidations")
+        self.cpu_fallback_steps = r.counter("cpu_fallback_steps")
         self._last_begin: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -133,6 +139,13 @@ class SiteMetrics:
             if not lockstep.is_absent(s)
         ]
         self.ack_lag_frames.set(max(0, mine - min(peer_acks)) if peer_acks else 0)
+        cpu_stats = getattr(runtime.machine, "cpu_stats", None)
+        if cpu_stats is not None:
+            cache = cpu_stats()
+            self.cpu_blocks_compiled.set_total(cache["blocks_compiled"])
+            self.cpu_block_hits.set_total(cache["block_hits"])
+            self.cpu_block_invalidations.set_total(cache["block_invalidations"])
+            self.cpu_fallback_steps.set_total(cache["fallback_steps"])
 
     def snapshot(self, runtime=None) -> dict:
         """Registry snapshot (mirrors the sync layer first when given)."""

@@ -1,12 +1,14 @@
 """Golden-trace determinism: the fast paths change nothing observable.
 
-The determinism contract behind every optimization in this PR (dispatch
-tables, page-routed MMIO, incremental checksums) is that a machine's
-*observable state sequence* — ``save_state()`` and ``checksum()`` — is
-bit-identical to what the unoptimized execution produces.  For the RC-16
-consoles the retained reference interpreter is the golden producer; for
-pure-Python games two independently constructed instances must agree
-(catching any shared-mutable-state or caching bug).
+The determinism contract behind every optimization in this repo (dispatch
+tables, block translation, page-routed MMIO, incremental checksums) is
+that a machine's *observable state sequence* — ``save_state()`` and
+``checksum()`` — is bit-identical to what the unoptimized execution
+produces.  For the RC-16 consoles the retained reference interpreter is
+the golden producer and BOTH fast paths (the table interpreter and the
+block-translation layer) are compared against it; for pure-Python games
+two independently constructed instances must agree (catching any
+shared-mutable-state or caching bug).
 
 1000 frames per game with a mixed input schedule, compared every 100
 frames and at the end — long enough for pong rallies, brawler rounds and
@@ -20,10 +22,11 @@ from repro.emulator.machine import create_game
 FRAMES = 1000
 COMPARE_EVERY = 100
 
-#: (game, whether the game is an RC-16 console with dual interpreters).
+#: (game, whether the game is an RC-16 console with multiple interpreters).
 GAMES = [
     ("pong", True),
     ("tankduel", True),
+    ("smc", True),
     ("brawler", False),
     ("shooter", False),
     ("tankduel-py", False),
@@ -36,36 +39,47 @@ def input_schedule(frame: int) -> int:
     return (frame * 2654435761) & 0xFFFF
 
 
-def make_pair(name: str, is_console: bool):
+def make_trio(name: str, is_console: bool):
+    """The golden machine plus every follower it must stay identical to."""
     if is_console:
         golden = create_game(name)
         golden.interpreter = "reference"
         fast = create_game(name)
-        assert fast.interpreter == "fast"
-        return golden, fast
-    return create_game(name), create_game(name)
+        fast.interpreter = "fast"
+        block = create_game(name)
+        assert block.interpreter == "block"  # the default path
+        return golden, [("fast", fast), ("block", block)]
+    return create_game(name), [("twin", create_game(name))]
 
 
 @pytest.mark.parametrize("name,is_console", GAMES)
 def test_golden_trace(name, is_console):
-    golden, fast = make_pair(name, is_console)
+    golden, followers = make_trio(name, is_console)
     for frame in range(FRAMES):
         word = input_schedule(frame)
         golden.step(word)
-        fast.step(word)
+        for __, machine in followers:
+            machine.step(word)
         if frame % COMPARE_EVERY == 0 or frame == FRAMES - 1:
-            assert golden.save_state() == fast.save_state(), (
-                f"{name}: state diverged at frame {frame}"
-            )
-            assert golden.checksum() == fast.checksum(), (
-                f"{name}: checksum diverged at frame {frame}"
-            )
+            state = golden.save_state()
+            checksum = golden.checksum()
+            for label, machine in followers:
+                assert state == machine.save_state(), (
+                    f"{name}: {label} state diverged at frame {frame}"
+                )
+                assert checksum == machine.checksum(), (
+                    f"{name}: {label} checksum diverged at frame {frame}"
+                )
 
 
-@pytest.mark.parametrize("name", ["pong", "tankduel"])
-def test_fast_interpreter_survives_save_load_roundtrip(name):
-    """Mid-run save/load on the fast path matches the reference trace."""
-    golden, fast = make_pair(name, True)
+@pytest.mark.parametrize("name", ["pong", "tankduel", "smc"])
+@pytest.mark.parametrize("interpreter", ["fast", "block"])
+def test_fast_interpreters_survive_save_load_roundtrip(name, interpreter):
+    """Mid-run save/load on the optimized paths matches the reference trace."""
+    golden = create_game(name)
+    golden.interpreter = "reference"
+    fast = create_game(name)
+    fast.interpreter = interpreter
     for frame in range(300):
         word = input_schedule(frame)
         golden.step(word)

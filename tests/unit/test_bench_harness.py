@@ -11,14 +11,20 @@ import os
 import subprocess
 import sys
 
+import pytest
+
 from repro.emulator.machine import create_game
 from repro.metrics.bench import (
+    ROM_FPS_BASELINE,
     SEED_BASELINE,
     bench_filename,
+    check_block_fps,
     load_bench_history,
+    measure_block_stats,
     measure_game_fps,
     measure_snapshot_costs,
     time_call,
+    verify_block_parity,
     write_bench_json,
 )
 
@@ -32,6 +38,34 @@ def test_time_call_returns_positive_seconds():
 def test_measure_game_fps_smoke():
     fps = measure_game_fps("counter", frames=30, repeats=1)
     assert fps > 0
+
+
+def test_verify_block_parity_passes():
+    verify_block_parity("pong", frames=20)  # must not raise
+
+
+def test_verify_block_parity_detects_drift(monkeypatch):
+    from repro.emulator.cpu import Cpu
+
+    # A block loop that executes nothing is the bluntest semantic drift.
+    monkeypatch.setattr(Cpu, "run_frame_blocks", lambda self, budget: 0)
+    with pytest.raises(AssertionError, match="diverged"):
+        verify_block_parity("pong", frames=5)
+
+
+def test_measure_block_stats_counts_compiles():
+    stats = measure_block_stats("pong", frames=30)
+    assert stats["blocks_compiled"] > 0
+    assert stats["block_hits"] > 0
+
+
+def test_check_block_fps_gate():
+    passing = {name: fps for name, fps in ROM_FPS_BASELINE.items()}
+    assert check_block_fps(passing) == []
+    failing = {name: fps * 0.5 for name, fps in ROM_FPS_BASELINE.items()}
+    problems = check_block_fps(failing)
+    assert len(problems) == len(ROM_FPS_BASELINE)
+    assert check_block_fps({}) != []  # missing measurements also fail
 
 
 def test_measure_snapshot_costs_console_reports_delta():
@@ -81,5 +115,9 @@ def test_run_bench_quick_cli(tmp_path):
     assert len(history) == 1
     results = history[0]["results"]
     assert results["quick"] is True
-    assert set(results["reference_fps"]) == {"pong", "tankduel"}
+    assert set(results["reference_fps"]) == {"pong", "tankduel", "smc"}
+    assert set(results["block_fps"]) == set(results["fast_fps"]) == {
+        "pong", "tankduel", "smc",
+    }
+    assert results["block_stats"]["pong"]["blocks_compiled"] > 0
     assert results["rollback_session"]["snapshot_syncs"] >= 0

@@ -1,0 +1,188 @@
+"""The block-translation layer: parity, guards, and cache management.
+
+The golden-trace integration tests already prove whole-game parity; these
+tests pin down the cache *mechanics* — invalidation on real byte changes,
+cheap revalidation on false-positive guard misses, the pathological-SMC
+blacklist, and the MMIO hooks-epoch flush — plus the fault/budget edge
+cases that the table-interpreter suite pins for ``run_frame``.
+"""
+
+import pytest
+
+from repro.emulator.assembler import assemble
+from repro.emulator.cpu import Cpu, CpuFault
+from repro.emulator.machine import create_game
+from repro.emulator.memory import Memory
+
+
+def boot(source: str) -> Cpu:
+    program = assemble(".org 0x0100\n" + source)
+    memory = Memory()
+    memory.load(program.origin, program.code)
+    cpu = Cpu(memory)
+    cpu.reset(program.entry)
+    return cpu
+
+
+def run_blocks(source: str, max_cycles: int = 10_000) -> Cpu:
+    cpu = boot(source)
+    cpu.run_frame_blocks(max_cycles)
+    return cpu
+
+
+def run_reference(source: str, max_cycles: int = 10_000) -> Cpu:
+    cpu = boot(source)
+    cpu.run_frame_reference(max_cycles)
+    return cpu
+
+
+class TestBlockParity:
+    """Edge cases the whole-game traces may not hit every run."""
+
+    def test_illegal_opcode_fault_matches_reference(self):
+        memory = Memory()
+        memory.write_word(0x0100, 0xEE00)
+        cpu = Cpu(memory)
+        cpu.reset(0x0100)
+        with pytest.raises(CpuFault) as excinfo:
+            cpu.run_frame_blocks(10)
+        assert "illegal opcode 0xee at pc=0x0100" in str(excinfo.value)
+        assert cpu.pc == 0x0102  # fault leaves pc past the bad word
+
+    def test_budget_and_yield_accounting_match(self):
+        source = "LDI r0, 7\nYIELD\nLDI r0, 8\nHALT"
+        for budget in (1, 2, 3, 1000):
+            a = run_blocks(source, max_cycles=budget)
+            b = run_reference(source, max_cycles=budget)
+            assert (a.regs, a.pc, a.cycles, a.halted) == (
+                b.regs, b.pc, b.cycles, b.halted
+            )
+
+    @pytest.mark.parametrize("budget", [1, 2, 3, 5, 499, 500])
+    def test_superloop_budget_bounds_runaway(self, budget):
+        """A self-jump compiles to an internal loop; its budget accounting
+        must still match the reference to the cycle."""
+        a = run_blocks("spin:\nJMP spin", max_cycles=budget)
+        b = run_reference("spin:\nJMP spin", max_cycles=budget)
+        assert (a.cycles, a.pc) == (b.cycles, b.pc)
+
+    @pytest.mark.parametrize("budget", [3, 4, 5, 6, 7, 1000])
+    def test_block_budget_tail_single_steps(self, budget):
+        """When the remaining budget cannot cover a whole block, the tail
+        must be single-stepped exactly as the reference would."""
+        source = """
+            LDI r1, 1
+            LDI r2, 2
+            LDI r3, 3
+            LDI r4, 4
+            HALT
+        """
+        a = run_blocks(source, max_cycles=budget)
+        b = run_reference(source, max_cycles=budget)
+        assert (a.regs, a.pc, a.cycles, a.halted) == (
+            b.regs, b.pc, b.cycles, b.halted
+        )
+
+    def test_mid_block_store_into_own_range(self):
+        """A store into the currently-executing block exits early and the
+        freshly written instruction runs, same as the interpreters."""
+        source = """
+            LDI r1, 0x0063      ; will be patched to 0x0064
+            LDI r2, patch + 2   ; address of the immediate word
+            LD  r3, [r2]
+            ADDI r3, 1
+            ST  [r2], r3
+        patch:
+            LDI r0, 0x0063
+            HALT
+        """
+        block = run_blocks(source)
+        reference = run_reference(source)
+        assert block.regs[0] == reference.regs[0] == 0x0064
+
+    def test_patched_opcode_word_is_picked_up(self):
+        source = """
+        loop:
+            LDI r2, target
+            LD  r3, [r2]
+            CMPI r0, 1          ; second pass?
+            JZ  done
+            LDI r0, 1
+            LDI r4, 0x1234      ; patch target's word: NOP -> LDI r5, ...
+            ST  [r2], r4
+            JMP loop
+        done:
+        target:
+            NOP
+            HALT
+        """
+        block = run_blocks(source)
+        reference = run_reference(source)
+        assert block.regs == reference.regs
+        assert block.pc == reference.pc
+
+
+class TestCacheManagement:
+    def test_unrelated_write_on_code_page_revalidates(self):
+        """A write that dirties the code page but not the block's bytes is
+        a guard false-positive: the cache must revalidate, not recompile."""
+        source = """
+        loop:
+            LD   r1, [r0+0x01F0]   ; data word on the code page
+            ADDI r1, 1
+            ST   [r0+0x01F0], r1   ; dirties page 0x01 every frame
+            YIELD
+            JMP  loop
+        """
+        cpu = boot(source)
+        for _ in range(10):
+            cpu.run_frame_blocks(1000)
+        assert cpu.block_revalidations > 0
+        assert cpu.block_invalidations == 0
+        assert cpu.memory.read_word(0x01F0) == 10
+
+    def test_smc_rom_invalidates_and_matches_reference(self):
+        """The smc ROM patches an executed instruction every frame: stale
+        closures must be discarded (true invalidations, then the blacklist
+        falls back to table stepping) while state stays bit-identical."""
+        golden = create_game("smc")
+        golden.interpreter = "reference"
+        block = create_game("smc")
+        assert block.interpreter == "block"
+        for frame in range(200):
+            word = (frame * 0x9E37) & 0xFFFF
+            golden.step(word)
+            block.step(word)
+        assert golden.save_state() == block.save_state()
+        assert golden.checksum() == block.checksum()
+        stats = block.cpu_stats()
+        assert stats["block_invalidations"] > 0
+        assert stats["block_revalidations"] > 0
+        # The patch site trips the per-address invalidation limit, so the
+        # pathological block ends up table-stepped rather than recompiled
+        # forever, and the cache stays bounded.
+        assert stats["fallback_steps"] > 0
+        assert stats["blocks_compiled"] < 1000
+        assert stats["cached_blocks"] <= stats["blocks_compiled"]
+
+    def test_add_hook_flushes_cache(self):
+        """Registering an MMIO hook changes bus semantics: every compiled
+        closure is stale by definition and the cache must flush."""
+        source = """
+        loop:
+            ADDI r1, 1
+            YIELD
+            JMP  loop
+        """
+        cpu = boot(source)
+        for _ in range(3):
+            cpu.run_frame_blocks(1000)
+        compiled_before = cpu.blocks_compiled
+        assert compiled_before > 0
+        cpu.run_frame_blocks(1000)
+        assert cpu.blocks_compiled == compiled_before  # steady state
+
+        cpu.memory.add_hook(0xFE00, 0xFE10, read=lambda addr: 0)
+        cpu.run_frame_blocks(1000)
+        assert cpu.blocks_compiled > compiled_before  # recompiled fresh
+        assert cpu.regs[1] == 5  # one increment per frame, none lost
