@@ -8,7 +8,8 @@ pure-Python games, the lockstep state machine and the wire codec.
 from repro.core.config import SyncConfig
 from repro.core.inputs import InputAssignment
 from repro.core.lockstep import LockstepSync
-from repro.core.messages import Sync, decode
+from repro.core.messages import Ping, Sync, decode, decode_all, pack_batch
+from repro.core.wire_v1 import encode_v1
 from repro.emulator.machine import create_game
 from repro.metrics.bench import time_call
 
@@ -65,7 +66,7 @@ def test_lockstep_roundtrip_throughput(benchmark):
     benchmark(run_protocol)
 
 
-def test_sync_codec_throughput(benchmark):
+def test_sync_codec_decode_throughput(benchmark):
     message = Sync(0, 1, acks=[100, 90], first_frame=90, inputs=list(range(12)))
     raw = message.encode()
 
@@ -74,6 +75,49 @@ def test_sync_codec_throughput(benchmark):
             decode(raw)
 
     benchmark(codec)
+
+
+def test_sync_codec_encode_throughput(benchmark):
+    """v2 encode from scratch (mask derivation + varint packing)."""
+
+    def codec():
+        for __ in range(100):
+            Sync(
+                0, 1, acks=[100, 90], first_frame=90, inputs=list(range(12))
+            ).encode()
+
+    benchmark(codec)
+
+
+def test_batch_assembly_throughput(benchmark):
+    """One flush tick's coalescing: SYNC + PONG into a BATCH, then decode."""
+    sync = Sync(0, 1, acks=[100, 90], first_frame=90, inputs=list(range(8)))
+    ping = Ping(0, 1, seq=7, timestamp_us=123_456)
+    members = [
+        (Sync.TYPE_ID, sync._encode_body()),
+        (Ping.TYPE_ID, ping._encode_body()),
+    ]
+
+    def assemble():
+        for __ in range(100):
+            decode_all(pack_batch(0, 1, members))
+
+    benchmark(assemble)
+
+
+def test_v2_sync_is_compact(benchmark):
+    """The codec's size claim, pinned where the timings live: a two-site
+    8-frame SYNC must encode to under half its v1 size."""
+    message = Sync(
+        0, 1, acks=[100, 95], first_frame=96, inputs=[1, 0, 3, 2, 1, 0, 1, 3]
+    )
+
+    benchmark(lambda: message.encode())
+    v1_size = len(encode_v1(message))
+    v2_size = len(message.encode())
+    assert v2_size < v1_size / 2, (
+        f"v2 SYNC is {v2_size} B vs v1's {v1_size} B — lost the 2x claim"
+    )
 
 
 def test_console_checksum_throughput(benchmark):

@@ -21,9 +21,12 @@ import sys
 
 from repro.emulator.machine import available_games, create_game
 from repro.metrics.bench import (
+    BANDWIDTH_BASELINE_BPS,
     ROM_FPS_BASELINE,
     SEED_BASELINE,
+    check_bandwidth,
     check_block_fps,
+    measure_bandwidth_profile,
     measure_block_stats,
     measure_game_fps,
     measure_lockstep_roundtrips,
@@ -89,6 +92,13 @@ def run(quick: bool) -> dict:
     rollback = measure_rollback_session(frames=60 if quick else 240)
     rollback["wall_seconds"] = round(rollback["wall_seconds"], 3)
 
+    bandwidth = {
+        key: round(value, 1)
+        for key, value in measure_bandwidth_profile(
+            frames=120 if quick else 900
+        ).items()
+    }
+
     return {
         "quick": quick,
         "game_fps": game_fps,
@@ -99,6 +109,7 @@ def run(quick: bool) -> dict:
         "lockstep_roundtrips_per_s": lockstep,
         "snapshot": snapshot,
         "rollback_session": rollback,
+        "bandwidth": bandwidth,
     }
 
 
@@ -147,6 +158,12 @@ def summarize(results: dict) -> str:
         f"{rb['snapshot_bytes_copied']} delta bytes copied "
         f"(full savestates would be {rb['snapshot_bytes_full']})"
     )
+    bw = results["bandwidth"]
+    lines.append(
+        "-- sync bandwidth (lossy two-site profile): "
+        f"{bw['sent_Bps']:.0f} B/s/site sent  "
+        f"(v2 baseline {BANDWIDTH_BASELINE_BPS:.0f})"
+    )
     return "\n".join(lines)
 
 
@@ -175,9 +192,11 @@ def main(argv=None) -> int:
         path = write_bench_json(results, directory=options.out)
         print(f"wrote {path}")
     if not options.quick:
-        # Regression gate: block fps against the checked-in baseline.
-        # --quick numbers are smoke-test sized, so only full runs gate.
+        # Regression gates: block fps and send-path bandwidth against the
+        # checked-in baselines.  --quick numbers are smoke-test sized, so
+        # only full runs gate.
         problems = check_block_fps(results["block_fps"])
+        problems += check_bandwidth(results["bandwidth"]["sent_Bps"])
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
         if problems:

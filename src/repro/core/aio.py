@@ -10,7 +10,9 @@ so one event loop hosts every site of every concurrent session.  Each
 
 — the same ~30-line shell as the simulator and thread drivers, proving
 the sans-IO seam: the protocol neither knows nor cares which of the three
-runtimes is underneath.
+runtimes is underneath.  Wire concerns (the v2 codec, batch coalescing,
+the bandwidth budget) all live behind the engine's outbox; this driver
+only ever sees finished datagrams.
 
 :func:`host_sessions` wires N independent two-site sessions (distinct
 UDP ports, distinct session ids) onto the running loop and drives them

@@ -99,6 +99,16 @@ class SyncConfig:
     #: ...doubling up to this cap.
     suspend_backoff_max_s: float = 1.0
 
+    #: Outbound bandwidth budget in bytes/second, enforced at the engine's
+    #: send path with a token bucket (burst capacity: one second's worth).
+    #: On overflow the *lowest-priority* queued messages are dropped first
+    #: — pings, then pure-ack SYNCs, then input-carrying SYNCs — and each
+    #: drop increments ``net_budget_deferrals``; the next flush resends the
+    #: still-unacked window, so a drop defers rather than loses inputs.
+    #: Control traffic (handshake, state transfer, RESUME) is never
+    #: dropped.  ``None`` disables budgeting entirely.
+    bandwidth_budget_bps: Optional[int] = None
+
     def __post_init__(self) -> None:
         if self.cfps <= 0:
             raise ValueError(f"cfps must be positive, got {self.cfps}")
@@ -125,6 +135,8 @@ class SyncConfig:
             raise ValueError("suspend_backoff_initial_s must be positive")
         if self.suspend_backoff_max_s < self.suspend_backoff_initial_s:
             raise ValueError("suspend_backoff_max_s must be >= the initial backoff")
+        if self.bandwidth_budget_bps is not None and self.bandwidth_budget_bps <= 0:
+            raise ValueError("bandwidth_budget_bps must be positive or None")
 
     @property
     def time_per_frame(self) -> float:

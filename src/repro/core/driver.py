@@ -88,7 +88,10 @@ def apply_effects(
 ) -> bool:
     """Apply one batch of engine effects; False once ``Finished`` appears.
 
-    ``Send`` goes out through ``send``; ``ServeState`` fires the harness
+    ``Send`` goes out through ``send``; its payload is opaque here — the
+    engine's outbox has already encoded it (possibly as a coalesced v2
+    BATCH datagram), so drivers move bytes and never touch the codec.
+    ``ServeState`` fires the harness
     admission hook; the liveness effects update ``status`` when given.
     ``SetTimer`` is deliberately ignored — the bundled drivers pull
     ``engine.next_deadline()`` instead — and ``Present`` / ``Stall`` are

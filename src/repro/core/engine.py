@@ -63,6 +63,8 @@ from repro.core.inputs import InputAssignment, InputSource
 from repro.core.liveness import PeerLiveness
 from repro.core.lockstep import LockstepSync
 from repro.core.messages import (
+    MAX_BATCH_BYTES,
+    DecodeError,
     Message,
     Ping,
     Pong,
@@ -70,12 +72,14 @@ from repro.core.messages import (
     StateRequest,
     StateSnapshot,
     Sync,
-    decode,
-    DecodeError,
+    decode_all,
+    encode_packet,
+    pack_batch,
+    uvarint_len,
 )
 from repro.core.pacing import FramePacer
 from repro.core.rtt import RttEstimator
-from repro.core.session import SessionControl
+from repro.core.session import SessionControl, SessionError
 from repro.metrics.recorder import FrameTrace
 from repro.metrics.timeserver import encode_report
 from repro.obs.site import SiteMetrics
@@ -166,18 +170,30 @@ class SiteRuntime:
     # ------------------------------------------------------------------
     def handle_datagram(
         self, payload: bytes, arrived_at: float, now: float
-    ) -> List[Tuple[bytes, str]]:
-        """Process one datagram; returns (payload, destination) replies."""
+    ) -> List[Tuple[Message, str]]:
+        """Process one datagram; returns (message, destination) replies.
+
+        A BATCH container is flattened and each member handled in order.
+        Malformed datagrams (garbage, truncation, a legacy v1 peer) never
+        crash — they increment ``net_decode_errors`` and leave a traced
+        ``decode_error`` record, then are dropped.
+        """
         try:
-            message = decode(payload)
-        except DecodeError:
-            return []  # stray traffic; UDP ports see garbage in real life
-        return self.handle_message(message, arrived_at, now)
+            messages = decode_all(payload)
+        except DecodeError as exc:
+            self.metrics.net_decode_errors.inc()
+            self.events.emit("decode_error", now, self.frame, error=str(exc))
+            return []
+        self.metrics.net_bytes_rx.inc(len(payload))
+        replies: List[Tuple[Message, str]] = []
+        for message in messages:
+            replies.extend(self.handle_message(message, arrived_at, now))
+        return replies
 
     def handle_message(
         self, message: Message, arrived_at: float, now: float
-    ) -> List[Tuple[bytes, str]]:
-        replies: List[Tuple[bytes, str]] = []
+    ) -> List[Tuple[Message, str]]:
+        replies: List[Tuple[Message, str]] = []
 
         sender = getattr(message, "sender_site", None)
         if (
@@ -200,7 +216,14 @@ class SiteRuntime:
                 if self.site_no < len(message.acks)
                 else None,
             )
-            self.lockstep.on_sync(message, arrived_at)
+            try:
+                # on_sync resolves an implied-mask SYNC against the sender's
+                # input assignment; a width/range mismatch is a wire-level
+                # fault, handled like any other decode failure.
+                self.lockstep.on_sync(message, arrived_at)
+            except DecodeError as exc:
+                self.metrics.net_decode_errors.inc()
+                self.events.emit("decode_error", now, self.frame, error=str(exc))
             return replies
         self.events.emit(
             "rx",
@@ -213,7 +236,7 @@ class SiteRuntime:
             pong = RttEstimator.make_pong(message, self.site_no)
             destination = self.address_of.get(message.sender_site)
             if destination is not None:
-                replies.append((pong.encode(), destination))
+                replies.append((pong, destination))
         elif isinstance(message, Pong):
             self.rtt.on_pong(message, now)
             if self.config.adaptive_lag and self.rtt.samples:
@@ -247,16 +270,33 @@ class SiteRuntime:
             ):
                 self.latest_snapshot = message
         else:
-            for reply, destination in self.session.on_message(message, now):
-                replies.append((reply.encode(), destination))
+            try:
+                for reply, destination in self.session.on_message(message, now):
+                    replies.append((reply, destination))
+            except SessionError as exc:
+                # A handshake we must refuse: a peer with a different game
+                # image or an incompatible SyncConfig — or line noise whose
+                # bit flips happen to parse as a control message.  Either
+                # way the remote bytes must not crash this site: refuse
+                # observably (no WELCOME is ever sent, so a genuinely
+                # mismatched joiner times out its handshake), like the
+                # legacy-wire-version rejection in ``decode``.
+                self.events.emit(
+                    "session_reject",
+                    now,
+                    self.frame,
+                    peer=getattr(message, "sender_site", None),
+                    error=str(exc),
+                )
         return replies
 
     # ------------------------------------------------------------------
-    # Send path
+    # Send path — everything returns (message, destination) pairs; the
+    # engine's outbox encodes, coalesces and budgets them once per pump.
     # ------------------------------------------------------------------
-    def control_messages(self, now: float) -> List[Tuple[bytes, str]]:
+    def control_messages(self, now: float) -> List[Tuple[Message, str]]:
         """Session-control (re)transmissions due now."""
-        out: List[Tuple[bytes, str]] = []
+        out: List[Tuple[Message, str]] = []
         for message, destination in self.session.poll(now):
             self.events.emit(
                 "tx",
@@ -265,14 +305,14 @@ class SiteRuntime:
                 msg=type(message).__name__,
                 dest=destination,
             )
-            out.append((message.encode(), destination))
+            out.append((message, destination))
         return out
 
     def sync_broadcast(
         self, force: bool = False, now: float = 0.0
-    ) -> List[Tuple[bytes, str]]:
+    ) -> List[Tuple[Message, str]]:
         """The flush: per-peer sd messages (lines 7–11, N-site form)."""
-        out: List[Tuple[bytes, str]] = []
+        out: List[Tuple[Message, str]] = []
         for peer, message in self.lockstep.build_all(force=force).items():
             self.events.emit(
                 "tx",
@@ -283,15 +323,15 @@ class SiteRuntime:
                 first=message.first_frame,
                 last=message.last_frame,
             )
-            out.append((message.encode(), self.address_of[peer]))
+            out.append((message, self.address_of[peer]))
         return out
 
-    def ping_messages(self, now: float) -> List[Tuple[bytes, str]]:
+    def ping_messages(self, now: float) -> List[Tuple[Message, str]]:
         """One RTT probe per peer."""
-        out = []
+        out: List[Tuple[Message, str]] = []
         for site in self.peer_sites:
             self.events.emit("tx", now, self.frame, msg="Ping", peer=site)
-            out.append((self.rtt.make_ping(now).encode(), self.address_of[site]))
+            out.append((self.rtt.make_ping(now), self.address_of[site]))
         return out
 
     def _adapt_lag(self, now: float = 0.0) -> None:
@@ -536,6 +576,49 @@ PHASE_CATCHUP = "catchup"  # rollback: confirming in-flight frames
 PHASE_ACQUIRE = "acquire"  # late join: waiting for a state snapshot
 
 
+#: Standalone-datagram overhead estimate for budget accounting: magic +
+#: version/type byte + typical varint sender/session (the batch member
+#: adds its own type byte + length varint, accounted separately).
+_HEADER_ESTIMATE = 5
+
+
+def _send_priority(message: Message) -> int:
+    """Budget drop order: higher numbers are shed first.
+
+    0 = control (handshake, state transfer, RESUME, BYE) — never dropped;
+    1 = SYNC carrying inputs; 2 = pure-ack SYNC; 3 = PING/PONG.
+    """
+    if isinstance(message, Sync):
+        return 1 if message.input_count else 2
+    if isinstance(message, (Ping, Pong)):
+        return 3
+    return 0
+
+
+def _chunk_for_batch(
+    items: List[Tuple[int, bytes]],
+) -> List[List[Tuple[int, bytes]]]:
+    """Split one peer's (type_id, body) items into ≤MAX_BATCH_BYTES chunks.
+
+    Greedy in queue order, which is deterministic (the outbox preserves
+    insertion order).  A single item larger than the cap gets a chunk of
+    its own — it simply goes out as a standalone datagram.
+    """
+    chunks: List[List[Tuple[int, bytes]]] = []
+    current: List[Tuple[int, bytes]] = []
+    size = 0
+    for type_id, body in items:
+        member = 1 + uvarint_len(len(body)) + len(body)
+        if current and size + member > MAX_BATCH_BYTES:
+            chunks.append(current)
+            current, size = [], 0
+        current.append((type_id, body))
+        size += member
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 class SiteEngine:
     """Drives one :class:`SiteRuntime` through a whole session, sans IO.
 
@@ -612,6 +695,15 @@ class SiteEngine:
         self._handshake_deadline: Optional[float] = None
         self._liveness_mark = runtime.liveness.mark
 
+        #: Outbox: (message, destination) pairs queued during the current
+        #: pump.  ``_flush_outbox`` drains it exactly once per pump —
+        #: applying the bandwidth budget, then coalescing everything bound
+        #: for one peer into a single BATCH datagram.
+        self._outbox: List[Tuple[Message, str]] = []
+        #: Token bucket for ``config.bandwidth_budget_bps`` (None = off).
+        self._budget_tokens = 0.0
+        self._budget_last: Optional[float] = None
+
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
@@ -636,10 +728,11 @@ class SiteEngine:
             metrics.datagrams_received.inc()
             metrics.bytes_received.inc(len(event.payload))
             effects: List[Effect] = []
-            replies = self.runtime.handle_datagram(
-                event.payload, event.arrived_at, event.now
+            self._outbox.extend(
+                self.runtime.handle_datagram(
+                    event.payload, event.arrived_at, event.now
+                )
             )
-            self._emit_sends(replies, effects)
             self._on_datagram(event.now, effects)
             return self._pump(event.now, effects)
         if isinstance(event, FrameTick):
@@ -649,6 +742,7 @@ class SiteEngine:
             return []
         if isinstance(event, Shutdown):
             self._timers.clear()
+            self._outbox.clear()
             self.phase = PHASE_DONE
             self.done = True
             if self.termination is None:
@@ -700,12 +794,6 @@ class SiteEngine:
     def _clear(self, kind: str) -> None:
         self._timers.pop(kind, None)
 
-    def _emit_sends(
-        self, batch: List[Tuple[bytes, str]], effects: List[Effect]
-    ) -> None:
-        for payload, destination in batch:
-            effects.append(Send(payload, destination))
-
     def _pump(self, now: float, effects: List[Effect]) -> List[Effect]:
         """Fire due timers in deadline order, then advance the phase."""
         while self._timers and not self.done:
@@ -716,8 +804,97 @@ class SiteEngine:
             self._on_timer(kind, now, effects)
         if not self.done:
             self._advance(now, effects)
+        self._flush_outbox(now, effects)
         self._observe(now, effects)
         return effects
+
+    # ------------------------------------------------------------------
+    # Outbox: budget, coalesce, emit
+    # ------------------------------------------------------------------
+    def _flush_outbox(self, now: float, effects: List[Effect]) -> None:
+        """Drain the outbox into ``Send`` effects, one datagram per peer.
+
+        Every queued message's body is encoded exactly once.  Messages
+        sharing a (destination, sender, session) leave as one BATCH
+        container — the tick-level coalescing that merges a SYNC, a PONG
+        and any control retransmission bound for the same peer into a
+        single datagram.  Oversized members (a STATE_SNAPSHOT, typically)
+        overflow into standalone datagrams via the MAX_BATCH_BYTES cap.
+        """
+        if not self._outbox:
+            return
+        pending, self._outbox = self._outbox, []
+        metrics = self.runtime.metrics
+        entries = [
+            (message, destination, message._encode_body())
+            for message, destination in pending
+        ]
+        entries = self._apply_budget(entries, now)
+        groups: Dict[Tuple[str, int, int], List[Tuple[int, bytes]]] = {}
+        for message, destination, body in entries:
+            key = (destination, message.sender_site, message.session_id)
+            groups.setdefault(key, []).append((message.TYPE_ID, body))
+        for (destination, sender, session), items in groups.items():
+            for chunk in _chunk_for_batch(items):
+                if len(chunk) == 1:
+                    type_id, body = chunk[0]
+                    payload = encode_packet(type_id, sender, session, body)
+                else:
+                    payload = pack_batch(sender, session, chunk)
+                    metrics.net_batch_coalesced.inc()
+                metrics.net_bytes_tx.inc(len(payload))
+                effects.append(Send(payload, destination))
+
+    def _apply_budget(
+        self,
+        entries: List[Tuple[Message, str, bytes]],
+        now: float,
+    ) -> List[Tuple[Message, str, bytes]]:
+        """Enforce ``bandwidth_budget_bps`` with a token bucket.
+
+        Deterministic overflow: the lowest-priority entries (pings first,
+        then pure-ack SYNCs, then input-carrying SYNCs) are dropped from
+        the back of the queue until the batch fits.  Control traffic is
+        never dropped — the bucket just goes negative, throttling later
+        flushes.  Dropped SYNC windows are not lost: the next flush
+        rebuilds them from the still-unacked buffer, so a drop is a
+        deferral (counted in ``net_budget_deferrals``).
+        """
+        bps = self.runtime.config.bandwidth_budget_bps
+        if bps is None:
+            return entries
+        if self._budget_last is None:
+            self._budget_tokens = float(bps)  # burst allowance: one second
+        else:
+            elapsed = max(0.0, now - self._budget_last)
+            self._budget_tokens = min(
+                float(bps), self._budget_tokens + elapsed * bps
+            )
+        self._budget_last = now
+        metrics = self.runtime.metrics
+        # Estimate with standalone datagram sizes; coalescing only shrinks
+        # the real spend, so the estimate errs on the safe side.
+        sizes = [
+            _HEADER_ESTIMATE + uvarint_len(len(body)) + len(body)
+            for __, __, body in entries
+        ]
+        total = sum(sizes)
+        keep = list(range(len(entries)))
+        while total > self._budget_tokens:
+            victim = None
+            worst = 0
+            for index in reversed(keep):
+                priority = _send_priority(entries[index][0])
+                if priority > worst:
+                    worst = priority
+                    victim = index
+            if victim is None:
+                break  # only control traffic left: send it regardless
+            keep.remove(victim)
+            total -= sizes[victim]
+            metrics.net_budget_deferrals.inc()
+        self._budget_tokens -= total
+        return [entries[index] for index in keep]
 
     def _observe(self, now: float, effects: List[Effect]) -> None:
         """Telemetry funnel: every effect batch passes through here once.
@@ -773,7 +950,7 @@ class SiteEngine:
             self._flush(now, effects)
             self._arm_send(now, effects)
         elif kind == TIMER_PING:
-            self._emit_sends(self.runtime.ping_messages(now), effects)
+            self._outbox.extend(self.runtime.ping_messages(now))
             self._set(TIMER_PING, now + self.runtime.config.ping_interval, effects)
         elif kind == TIMER_RETRY:
             if self.phase == PHASE_HANDSHAKE:
@@ -789,7 +966,7 @@ class SiteEngine:
                     )
                     self._terminate("handshake-timeout", now, effects)
                     return
-                self._emit_sends(self.runtime.control_messages(now), effects)
+                self._outbox.extend(self.runtime.control_messages(now))
                 self._set(
                     TIMER_RETRY, self.runtime.session.retry_deadline(), effects
                 )
@@ -799,10 +976,10 @@ class SiteEngine:
                 # (control + forced sync windows), at a backed-off cadence —
                 # the peer may come back at any moment, but a dead peer must
                 # not be hammered at frame rate for the whole deadline.
-                self._emit_sends(self.runtime.control_messages(now), effects)
+                self._outbox.extend(self.runtime.control_messages(now))
                 if self.runtime.session.started:
-                    self._emit_sends(
-                        self.runtime.sync_broadcast(force=True, now=now), effects
+                    self._outbox.extend(
+                        self.runtime.sync_broadcast(force=True, now=now)
                     )
                 self._backoff = min(
                     self._backoff * 2.0,
@@ -843,16 +1020,16 @@ class SiteEngine:
         # Session-control retransmissions (e.g. START to a peer whose copy
         # was lost) must continue after this site enters its frame loop —
         # a peer may still be waiting on them.
-        self._emit_sends(self.runtime.control_messages(now), effects)
+        self._outbox.extend(self.runtime.control_messages(now))
         if self.runtime.session.started:
-            self._emit_sends(self.runtime.sync_broadcast(now=now), effects)
+            self._outbox.extend(self.runtime.sync_broadcast(now=now))
 
     # ------------------------------------------------------------------
     # Phase machine
     # ------------------------------------------------------------------
     def _advance(self, now: float, effects: List[Effect]) -> None:
         if self.phase == PHASE_HANDSHAKE:
-            self._emit_sends(self.runtime.control_messages(now), effects)
+            self._outbox.extend(self.runtime.control_messages(now))
             if self.runtime.session.started:
                 self._clear(TIMER_RETRY)
                 if self.frame_loop_delay > 0:
@@ -1161,7 +1338,7 @@ class SiteEngine:
         runtime.metrics.on_state_served(len(snapshot.state))
         destination = runtime.address_of.get(requester_site)
         if destination is not None:
-            effects.append(Send(snapshot.encode(), destination))
+            self._outbox.append((snapshot, destination))
 
     # ------------------------------------------------------------------
     # Linger

@@ -41,12 +41,11 @@ from typing import List, Optional
 from repro.core.engine import (
     Effect,
     PHASE_ACQUIRE,
-    Send,
     SiteEngine,
     SiteRuntime,
     TIMER_PING,
 )
-from repro.core.messages import Resume, StateRequest
+from repro.core.messages import Message, Resume, StateRequest
 from repro.core.vm import DistributedVM
 
 TIMER_REQUEST = "state-request"
@@ -87,9 +86,9 @@ class LateJoinEngine(SiteEngine):
         self._set(TIMER_REQUEST, now, effects)
         return self._pump(now, effects)
 
-    def _request_message(self) -> bytes:
-        """The datagram re-sent to the donor until a snapshot arrives."""
-        return StateRequest(self.runtime.site_no, self.runtime.session_id).encode()
+    def _request_message(self) -> Message:
+        """The message re-sent to the donor until a snapshot arrives."""
+        return StateRequest(self.runtime.site_no, self.runtime.session_id)
 
     def _seed_lockstep(self, snapshot) -> None:
         """Seat the sync vectors around the acquired snapshot (cold join)."""
@@ -110,8 +109,8 @@ class LateJoinEngine(SiteEngine):
                     f"site {self.runtime.site_no}: no snapshot from donor "
                     f"{self.donor_site} within {self.REQUEST_TIMEOUT}s"
                 )
-            effects.append(
-                Send(self._request_message(), self.runtime.address_of[self.donor_site])
+            self._outbox.append(
+                (self._request_message(), self.runtime.address_of[self.donor_site])
             )
             self._set(TIMER_REQUEST, now + self.REQUEST_INTERVAL, effects)
             return
@@ -214,12 +213,12 @@ class ResumeEngine(LateJoinEngine):
         )
         self.last_acked_frame = last_acked_frame
 
-    def _request_message(self) -> bytes:
+    def _request_message(self) -> Message:
         return Resume(
             self.runtime.site_no,
             self.runtime.session_id,
             self.last_acked_frame,
-        ).encode()
+        )
 
     def _seed_lockstep(self, snapshot) -> None:
         runtime = self.runtime

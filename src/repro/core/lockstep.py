@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.config import SyncConfig
 from repro.core.ibuf import InputBuffer
 from repro.core.inputs import InputAssignment
-from repro.core.messages import Sync
+from repro.core.messages import Sync, cell_width, compact_bits
 
 
 class LockstepStats:
@@ -99,6 +99,16 @@ class LockstepSync:
         #: lost-ack peer from retransmitting forever).
         self._ack_dirty: Dict[int, bool] = {}
         self._last_sent_acks: Dict[int, List[int]] = {}
+        #: Incremental encode cache: our own inputs, already bit-compacted
+        #: against ``my_mask`` into fixed-width little-endian cells.  Each
+        #: buffered frame appends one cell; every outbound SYNC window is a
+        #: contiguous slice, so per-tick serialization is a bytearray slice
+        #: instead of re-packing the whole unacked range (ISSUE-7 tentpole).
+        #: ``_enc_base`` is the frame of cell 0; ``None`` until first append.
+        self._cell_mask = assignment.mask(site_no)
+        self._cell_width = cell_width(self._cell_mask)
+        self._enc_base: Optional[int] = None
+        self._enc_cells = bytearray()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -174,10 +184,24 @@ class LockstepSync:
             self.stats.local_inputs_dropped += 1
             return
         # Lag grew (or steady state): pad any gap by holding the previous
-        # pad state, then place this input.
-        for slot in range(next_slot, target):
-            self.ibuf.put(slot, self.site_no, self._last_local_bits)
+        # pad state, then place this input.  The encode cache appends one
+        # cell per slot in lockstep with the buffer, so it stays contiguous
+        # from ``_enc_base`` through our ``last_rcv_frame``.
+        width = self._cell_width
+        if width and self._enc_base is None:
+            self._enc_base = next_slot
+        if target > next_slot:
+            pad_cell = compact_bits(self._last_local_bits, self._cell_mask).to_bytes(
+                width, "little"
+            )
+            for slot in range(next_slot, target):
+                self.ibuf.put(slot, self.site_no, self._last_local_bits)
+                self._enc_cells += pad_cell
         self.ibuf.put(target, self.site_no, restricted)
+        if width:
+            self._enc_cells += compact_bits(restricted, self._cell_mask).to_bytes(
+                width, "little"
+            )
         self._last_local_bits = restricted
         self.last_rcv_frame[self.site_no] = target
         self.stats.local_inputs_buffered += 1
@@ -202,18 +226,37 @@ class LockstepSync:
         ):
             return None
 
-        inputs: List[int] = []
         if has_inputs:
             last = min(last, first + self.config.max_inputs_per_message - 1)
-            inputs = self.ibuf.range_for(self.site_no, first, last)
-
-        message = Sync(
-            sender_site=self.site_no,
-            session_id=self.session_id,
-            acks=acks,
-            first_frame=first,
-            inputs=inputs,
-        )
+            packed = self._packed_window(first, last)
+            if packed is not None:
+                message = Sync.from_packed(
+                    self.site_no,
+                    self.session_id,
+                    acks,
+                    first,
+                    packed,
+                    last - first + 1,
+                    self._cell_mask,
+                    implied=True,
+                )
+            else:
+                # Window predates the cache (snapshot reseed): pack directly.
+                message = Sync(
+                    sender_site=self.site_no,
+                    session_id=self.session_id,
+                    acks=acks,
+                    first_frame=first,
+                    inputs=self.ibuf.range_for(self.site_no, first, last),
+                )
+        else:
+            message = Sync(
+                sender_site=self.site_no,
+                session_id=self.session_id,
+                acks=acks,
+                first_frame=first,
+                inputs=[],
+            )
         self._record_send(peer, message)
         return message
 
@@ -238,14 +281,30 @@ class LockstepSync:
         last = self.last_rcv_frame[self.site_no]
         return (first, last)
 
+    def _packed_window(self, first: int, last: int) -> Optional[bytes]:
+        """Cells for frames ``first..last`` as one cache slice, or None.
+
+        Returns a copy (not a memoryview): the caller may hold the message
+        across further :meth:`buffer_local_input` appends, and a live view
+        would pin the bytearray against resizing.
+        """
+        base, width = self._enc_base, self._cell_width
+        if base is None or width == 0 or first < base:
+            return None
+        end = (last - base + 1) * width
+        if end > len(self._enc_cells):
+            return None
+        return bytes(self._enc_cells[(first - base) * width : end])
+
     def _record_send(self, peer: int, message: Sync) -> None:
         self.stats.sync_messages_sent += 1
-        self.stats.inputs_sent += len(message.inputs)
-        if message.inputs:
+        count = message.input_count
+        self.stats.inputs_sent += count
+        if count:
             already_sent = max(
                 0, self._highest_sent_frame - message.first_frame + 1
             )
-            self.stats.inputs_retransmitted += min(already_sent, len(message.inputs))
+            self.stats.inputs_retransmitted += min(already_sent, count)
             self._highest_sent_frame = max(
                 self._highest_sent_frame, message.last_frame
             )
@@ -262,6 +321,11 @@ class LockstepSync:
         sender = message.sender_site
         if not 0 <= sender < self.num_sites or sender == self.site_no:
             return
+        if message.needs_mask:
+            # Decoded with the implied-mask flag: bind the cells to the
+            # sender's assignment mask (raises DecodeError on a mismatch,
+            # which the engine turns into a traced decode_error).
+            message.resolve_input_mask(self.assignment.mask(sender))
         self.stats.sync_messages_received += 1
         self._ack_dirty[sender] = True
 
@@ -274,7 +338,7 @@ class LockstepSync:
         # Lines 14–16: advance LastRcvFrame[sender], but only over a window
         # contiguous with what we already hold (a gap would mean we ack
         # frames we never received).
-        if message.inputs:
+        if message.input_count:
             if message.first_frame <= self.last_rcv_frame[sender] + 1:
                 new_last = max(self.last_rcv_frame[sender], message.last_frame)
                 if new_last > self.last_rcv_frame[sender]:
@@ -313,6 +377,26 @@ class LockstepSync:
             min_acked = self.ibuf_pointer - 1
         floor = min(self.ibuf_pointer, min_acked + 1)
         self.stats.pruned_frames += self.ibuf.prune_below(floor)
+        self._trim_encode_cache(floor)
+
+    def _trim_encode_cache(self, floor: int) -> None:
+        """Drop cache cells below ``floor`` once a chunk is worth freeing.
+
+        Amortized: a del-from-front is O(len), so trim in ~4 KiB chunks
+        rather than per ack advance.
+        """
+        base, width = self._enc_base, self._cell_width
+        if base is None or floor <= base:
+            return
+        cut = min(floor - base, len(self._enc_cells) // width)
+        if cut * width >= 4096:
+            del self._enc_cells[: cut * width]
+            self._enc_base = base + cut
+
+    def _reset_encode_cache(self) -> None:
+        """Invalidate the cache (snapshot seed/resume moves the window)."""
+        self._enc_base = None
+        self._enc_cells.clear()
 
     # ------------------------------------------------------------------
     # Algorithm 2, lines 21–23: delivery
@@ -410,6 +494,7 @@ class LockstepSync:
         virtual_history = snapshot_frame + self._current_buf
         self.ibuf_pointer = snapshot_frame + 1
         self.ibuf.prune_below(snapshot_frame + 1)
+        self._reset_encode_cache()
         for site in range(self.num_sites):
             if site != self.site_no:
                 self.last_rcv_frame[site] = max(
@@ -452,6 +537,7 @@ class LockstepSync:
         """
         self.ibuf_pointer = snapshot_frame + 1
         self.ibuf.prune_below(snapshot_frame + 1)
+        self._reset_encode_cache()
         self.last_rcv_frame[self.site_no] = max(
             self.last_rcv_frame[self.site_no], snapshot_frame
         )

@@ -1,4 +1,4 @@
-"""Sync-module wire format.
+"""Sync-module wire format, version 2 (compact binary codec).
 
 Algorithm 2's ``sd`` message is a vector::
 
@@ -7,35 +7,190 @@ Algorithm 2's ``sd`` message is a vector::
     sd[2]    = LastRcvFrame[MySiteNo]      (last frame of carried inputs)
     sd[3...] = IBuf[sd[1]](MySET) ... IBuf[sd[2]](MySET)
 
-:class:`SyncMessage` generalizes ``sd[0]`` to an ack *vector* (one entry per
-site) so the same format serves the N-site extension; with two sites the
-receiver reads exactly the paper's ``sd[0]``.
+:class:`Sync` generalizes ``sd[0]`` to an ack *vector* (one entry per site)
+so the same format serves the N-site extension; with two sites the receiver
+reads exactly the paper's ``sd[0]``.
 
-The session control protocol (HELLO/WELCOME/START), RTT pings (PING/PONG)
-and the late-join transfer (STATE_*) share the same header.  All integers
-are big-endian; frames are signed 32-bit because the protocol's initial
-"last received" values are ``BufFrame - 1``, which is ``-1`` when local lag
-is disabled.
+v2 replaces the fixed-width big-endian v1 layout (retained as a golden
+reference in :mod:`repro.core.wire_v1`) with a varint-based encoding —
+see ``docs/wire-format.md`` for the byte-by-byte specification.  The load-
+bearing choices:
+
+* **5-byte typical header** — ``b"RG"``, one version/type byte (version in
+  the high nibble, type id in the low), then uvarint sender site and
+  session id.  A v1 datagram's third byte is always ``0x01`` (its version
+  field), which no v2 version/type byte can be, so stale v1 peers are
+  rejected with an explicit "unsupported wire version 1" error.
+* **Frame deltas** — SYNC encodes its ack vector as zigzag varint deltas
+  relative to ``first_frame``; steady-state acks sit within a few frames
+  of the window base and cost one byte each instead of four.
+* **Bitfield-packed inputs** — per-frame input words are compressed with
+  the sender's input-assignment mask (compact_bits, a pure-Python PEXT)
+  into fixed-width little-endian cells: one byte per frame for an 8-bit
+  pad instead of four.  The mask itself is usually *implied* — both sides
+  derive it from the input assignment — so the wire carries only a flag.
+* **Canonical varints** — decode rejects non-minimal encodings, so any
+  successfully decoded message re-encodes to the identical bytes; the
+  truncation/corruption property tests lean on this.
+* **Batch container** — type 12 wraps several messages for one destination
+  behind a single shared header (tick-level coalescing in the engine's
+  send path); :func:`decode_all` flattens a datagram back into its
+  constituent messages.  Nested batches are rejected.
+
+All frame numbers are signed (zigzag) because the protocol's initial
+"last received" values are ``BufFrame - 1``, which is ``-1`` when local
+lag is disabled.
 """
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass, field
-from typing import ClassVar, List, Type
+from typing import ClassVar, Dict, List, Optional, Tuple, Type
 
-MAGIC = 0x5247  # "RG": Retro Gaming
-VERSION = 1
+MAGIC = b"RG"  # Retro Gaming
+VERSION = 2
 
-_HEADER = struct.Struct(">HBBHI")  # magic, version, type, sender_site, session
-_I32 = struct.Struct(">i")
-_U32 = struct.Struct(">I")
+#: Coalesced datagrams are kept under this many payload bytes so a batch
+#: never risks IP fragmentation (conservative for a 1500-byte MTU path).
+#: Oversized members — a late-join STATE_SNAPSHOT, typically — simply go
+#: out as standalone datagrams.
+MAX_BATCH_BYTES = 1200
+
+_MIN_HEADER = 5  # magic(2) + version/type(1) + sender(>=1) + session(>=1)
 
 
 class DecodeError(ValueError):
     """Raised when a datagram is not a well-formed sync-module message."""
 
 
+# ----------------------------------------------------------------------
+# Varint primitives (unsigned LEB128; zigzag for signed values).
+# ----------------------------------------------------------------------
+def append_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative) as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while True:
+        low = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(low | 0x80)
+        else:
+            out.append(low)
+            return
+
+
+def append_svarint(out: bytearray, value: int) -> None:
+    """Append a signed value, zigzag-mapped onto a uvarint."""
+    if value >= 0:
+        append_uvarint(out, value << 1)
+    else:
+        append_uvarint(out, ((-value) << 1) - 1)
+
+
+def uvarint_len(value: int) -> int:
+    """Encoded byte length of ``value`` as a uvarint (for size budgeting)."""
+    length = 1
+    while value > 0x7F:
+        value >>= 7
+        length += 1
+    return length
+
+
+def read_uvarint(buf: bytes, offset: int, what: str = "varint") -> Tuple[int, int]:
+    """Decode one canonical uvarint; returns ``(value, next_offset)``.
+
+    Rejects truncation, encodings longer than 10 bytes, and non-minimal
+    forms (a multi-byte varint whose final group is zero) — canonicality
+    is what makes decode→re-encode byte-identical.
+    """
+    result = 0
+    shift = 0
+    start = offset
+    limit = len(buf)
+    while True:
+        if offset >= limit:
+            raise DecodeError(f"truncated {what}")
+        byte = buf[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if byte == 0 and offset - start > 1:
+                raise DecodeError(f"non-canonical {what}")
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise DecodeError(f"{what} longer than 10 bytes")
+
+
+def read_svarint(buf: bytes, offset: int, what: str = "varint") -> Tuple[int, int]:
+    raw, offset = read_uvarint(buf, offset, what)
+    if raw & 1:
+        return -((raw + 1) >> 1), offset
+    return raw >> 1, offset
+
+
+# ----------------------------------------------------------------------
+# Bitfield packing: pure-Python PEXT/PDEP against an input-assignment mask.
+# ----------------------------------------------------------------------
+_MASK_POSITIONS: Dict[int, Tuple[int, ...]] = {}
+
+
+def mask_positions(mask: int) -> Tuple[int, ...]:
+    """Bit positions set in ``mask``, lowest first (cached per mask)."""
+    cached = _MASK_POSITIONS.get(mask)
+    if cached is None:
+        positions = []
+        bit = 0
+        remaining = mask
+        while remaining:
+            if remaining & 1:
+                positions.append(bit)
+            remaining >>= 1
+            bit += 1
+        cached = tuple(positions)
+        _MASK_POSITIONS[mask] = cached
+    return cached
+
+
+def cell_width(mask: int) -> int:
+    """Bytes per packed input cell for a site whose assignment is ``mask``."""
+    return (len(mask_positions(mask)) + 7) // 8
+
+
+def compact_bits(value: int, mask: int) -> int:
+    """Gather the bits of ``value`` selected by ``mask`` into the low bits."""
+    if mask == 0:
+        return 0
+    positions = mask_positions(mask)
+    first = positions[0]
+    if len(positions) == positions[-1] - first + 1:  # contiguous mask
+        return (value & mask) >> first
+    out = 0
+    for index, position in enumerate(positions):
+        if (value >> position) & 1:
+            out |= 1 << index
+    return out
+
+
+def expand_bits(cell: int, mask: int) -> int:
+    """Scatter the low bits of ``cell`` back to the positions of ``mask``."""
+    if mask == 0:
+        return 0
+    positions = mask_positions(mask)
+    first = positions[0]
+    if len(positions) == positions[-1] - first + 1:  # contiguous mask
+        return (cell << first) & mask
+    out = 0
+    for index, position in enumerate(positions):
+        if (cell >> index) & 1:
+            out |= 1 << position
+    return out
+
+
+# ----------------------------------------------------------------------
+# Messages.
+# ----------------------------------------------------------------------
 class Message:
     """Base class; concrete messages define ``TYPE_ID`` and a body codec."""
 
@@ -45,10 +200,9 @@ class Message:
     session_id: int
 
     def encode(self) -> bytes:
-        header = _HEADER.pack(
-            MAGIC, VERSION, self.TYPE_ID, self.sender_site, self.session_id
+        return encode_packet(
+            self.TYPE_ID, self.sender_site, self.session_id, self._encode_body()
         )
-        return header + self._encode_body()
 
     def _encode_body(self) -> bytes:  # pragma: no cover - overridden
         return b""
@@ -58,6 +212,11 @@ class Message:
         cls, sender_site: int, session_id: int, body: bytes
     ) -> "Message":  # pragma: no cover - overridden
         raise NotImplementedError
+
+
+def _expect_end(body: bytes, offset: int, name: str) -> None:
+    if offset != len(body):
+        raise DecodeError(f"{name} has {len(body) - offset} trailing bytes")
 
 
 @dataclass
@@ -72,14 +231,16 @@ class Hello(Message):
     config_digest: int  # digest of SyncConfig; a mismatch would desync pacing
 
     def _encode_body(self) -> bytes:
-        return _U32.pack(self.game_id) + _U32.pack(self.config_digest)
+        out = bytearray()
+        append_uvarint(out, self.game_id)
+        append_uvarint(out, self.config_digest)
+        return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Hello":
-        if len(body) != 8:
-            raise DecodeError(f"HELLO body must be 8 bytes, got {len(body)}")
-        game_id = _U32.unpack_from(body, 0)[0]
-        config_digest = _U32.unpack_from(body, 4)[0]
+        game_id, offset = read_uvarint(body, 0, "HELLO game id")
+        config_digest, offset = read_uvarint(body, offset, "HELLO config digest")
+        _expect_end(body, offset, "HELLO")
         return cls(sender_site, session_id, game_id, config_digest)
 
 
@@ -95,14 +256,16 @@ class Welcome(Message):
     num_sites: int
 
     def _encode_body(self) -> bytes:
-        return _I32.pack(self.assigned_site) + _I32.pack(self.num_sites)
+        out = bytearray()
+        append_svarint(out, self.assigned_site)
+        append_svarint(out, self.num_sites)
+        return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Welcome":
-        if len(body) != 8:
-            raise DecodeError(f"WELCOME body must be 8 bytes, got {len(body)}")
-        assigned = _I32.unpack_from(body, 0)[0]
-        num_sites = _I32.unpack_from(body, 4)[0]
+        assigned, offset = read_svarint(body, 0, "WELCOME assigned site")
+        num_sites, offset = read_svarint(body, offset, "WELCOME site count")
+        _expect_end(body, offset, "WELCOME")
         return cls(sender_site, session_id, assigned, num_sites)
 
 
@@ -150,67 +313,284 @@ class StartAck(Message):
         return cls(sender_site, session_id)
 
 
-@dataclass
+#: SYNC head-byte flag: the input mask is implied by the sender's input
+#: assignment rather than carried on the wire (the common case).
+_SYNC_MASK_IMPLIED = 0x80
+#: Decode guards: far beyond anything a real session produces, but they
+#: bound allocations for hostile datagrams.
+_MAX_ACKS = 64
+_MAX_SYNC_INPUTS = 1 << 16
+_MAX_CELL_WIDTH = 8  # inputs are at most 64-bit words
+
+
 class Sync(Message):
-    """The workhorse: acks + a contiguous window of the sender's inputs."""
+    """The workhorse: acks + a contiguous window of the sender's inputs.
+
+    Three construction paths share this class:
+
+    * ``Sync(sender, session, acks, first_frame, inputs)`` — explicit
+      input words; encoding derives a mask (the OR of the words), packs
+      the words into cells and carries the mask on the wire.
+    * :meth:`from_packed` — the sync layer's incremental encode cache
+      hands over pre-packed cells plus the assignment mask; the wire form
+      sets the implied-mask flag and omits the mask.
+    * decoding — cells stay packed until :attr:`inputs` is first read;
+      an implied-mask message must be resolved against the sender's
+      assignment via :meth:`resolve_input_mask` first (the engine does
+      this on receipt).
+
+    ``encode()`` always reproduces the stored wire form byte-for-byte,
+    which is what makes decode→re-encode identity hold for the property
+    tests.
+    """
 
     TYPE_ID: ClassVar[int] = 5
 
-    sender_site: int
-    session_id: int
-    #: acks[i] = sender's LastRcvFrame[i] (its own entry acks nothing but
-    #: keeps the vector dense and fixed-size for a given site count).
-    acks: List[int]
-    #: First frame of the carried inputs window (sd[1]).
-    first_frame: int
-    #: The sender's partial inputs for first_frame.. (sd[3...]); empty when
-    #: the message is a pure ack.
-    inputs: List[int] = field(default_factory=list)
+    def __init__(
+        self,
+        sender_site: int,
+        session_id: int,
+        acks: List[int],
+        first_frame: int,
+        inputs: Optional[List[int]] = None,
+    ):
+        self.sender_site = sender_site
+        self.session_id = session_id
+        #: acks[i] = sender's LastRcvFrame[i] (its own entry acks nothing but
+        #: keeps the vector dense and fixed-size for a given site count).
+        self.acks = list(acks)
+        #: First frame of the carried inputs window (sd[1]).
+        self.first_frame = first_frame
+        self._inputs: Optional[List[int]] = list(inputs) if inputs else []
+        self._count = len(self._inputs)
+        self._packed: Optional[bytes] = None
+        self._width = 0
+        self._input_mask: Optional[int] = None
+        self._implied = False
+
+    @classmethod
+    def from_packed(
+        cls,
+        sender_site: int,
+        session_id: int,
+        acks: List[int],
+        first_frame: int,
+        packed: bytes,
+        count: int,
+        input_mask: Optional[int],
+        implied: bool = True,
+        width: Optional[int] = None,
+    ) -> "Sync":
+        """Build a SYNC around pre-packed input cells (no per-word work)."""
+        self = cls.__new__(cls)
+        self.sender_site = sender_site
+        self.session_id = session_id
+        self.acks = list(acks)
+        self.first_frame = first_frame
+        self._inputs = None
+        self._count = count
+        self._packed = packed
+        self._width = cell_width(input_mask) if width is None else width
+        self._input_mask = input_mask
+        self._implied = implied
+        return self
+
+    @property
+    def input_count(self) -> int:
+        """Number of carried input frames (without materializing them)."""
+        return self._count
 
     @property
     def last_frame(self) -> int:
         """sd[2]: last frame carried; ``first_frame - 1`` when empty."""
-        return self.first_frame + len(self.inputs) - 1
+        return self.first_frame + self._count - 1
+
+    @property
+    def needs_mask(self) -> bool:
+        """True for a decoded implied-mask SYNC not yet resolved."""
+        return (
+            self._inputs is None and self._input_mask is None and self._width > 0
+        )
+
+    def resolve_input_mask(self, mask: int) -> None:
+        """Bind a decoded implied-mask SYNC to the sender's assignment mask.
+
+        Validates that the wire cell width matches the mask and that every
+        cell fits within it; raises :class:`DecodeError` otherwise.  A
+        no-op when the mask is already known.
+        """
+        if not self.needs_mask:
+            return
+        if cell_width(mask) != self._width:
+            raise DecodeError(
+                f"SYNC cell width {self._width} does not match the sender's "
+                f"input mask {mask:#x}"
+            )
+        popcount = len(mask_positions(mask))
+        packed, width = self._packed, self._width
+        assert packed is not None
+        for index in range(self._count):
+            cell = int.from_bytes(
+                packed[index * width : (index + 1) * width], "little"
+            )
+            if cell >> popcount:
+                raise DecodeError("SYNC input cell exceeds the sender's mask")
+        self._input_mask = mask
+
+    @property
+    def inputs(self) -> List[int]:
+        """The sender's partial inputs for first_frame.. (sd[3...]); empty
+        when the message is a pure ack.  Unpacks lazily on first access."""
+        if self._inputs is None:
+            if self._width == 0:
+                self._inputs = [0] * self._count
+            elif self._input_mask is None:
+                raise DecodeError(
+                    "implied-mask SYNC not resolved against an input assignment"
+                )
+            else:
+                mask = self._input_mask
+                packed, width = self._packed, self._width
+                assert packed is not None
+                self._inputs = [
+                    expand_bits(
+                        int.from_bytes(
+                            packed[index * width : (index + 1) * width], "little"
+                        ),
+                        mask,
+                    )
+                    for index in range(self._count)
+                ]
+        return self._inputs
 
     def _encode_body(self) -> bytes:
-        parts = [
-            _I32.pack(len(self.acks)),
-            b"".join(_I32.pack(a) for a in self.acks),
-            _I32.pack(self.first_frame),
-            _I32.pack(len(self.inputs)),
-            b"".join(_U32.pack(i) for i in self.inputs),
-        ]
-        return b"".join(parts)
+        out = bytearray()
+        append_svarint(out, self.first_frame)
+        num_acks = len(self.acks)
+        if num_acks > _MAX_ACKS:
+            raise ValueError(f"SYNC ack vector too long ({num_acks})")
+        head = num_acks
+        if self._implied and self._count:
+            head |= _SYNC_MASK_IMPLIED
+        out.append(head)
+        for ack in self.acks:
+            append_svarint(out, ack - self.first_frame)
+        if self._count == 0:
+            return bytes(out)
+        append_uvarint(out, self._count)
+        if self._packed is None:
+            # Explicit construction: derive the mask and pack now.
+            inputs = self._inputs
+            assert inputs is not None
+            mask = 0
+            for word in inputs:
+                if word < 0:
+                    raise ValueError(f"negative input word {word}")
+                mask |= word
+            width = cell_width(mask)
+            self._input_mask = mask
+            self._width = width
+            if width:
+                self._packed = b"".join(
+                    compact_bits(word, mask).to_bytes(width, "little")
+                    for word in inputs
+                )
+            else:
+                self._packed = b""
+        if not self._implied:
+            mask = self._input_mask
+            assert mask is not None
+            append_uvarint(out, mask)
+        out += self._packed
+        return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Sync":
-        try:
-            offset = 0
-            (num_acks,) = _I32.unpack_from(body, offset)
-            offset += 4
-            if num_acks < 0 or num_acks > 64:
-                raise DecodeError(f"implausible ack count {num_acks}")
-            acks = [
-                _I32.unpack_from(body, offset + 4 * i)[0] for i in range(num_acks)
-            ]
-            offset += 4 * num_acks
-            (first_frame,) = _I32.unpack_from(body, offset)
-            offset += 4
-            (num_inputs,) = _I32.unpack_from(body, offset)
-            offset += 4
-            if num_inputs < 0:
-                raise DecodeError(f"negative input count {num_inputs}")
-            expected = offset + 4 * num_inputs
-            if len(body) != expected:
+        first_frame, offset = read_svarint(body, 0, "SYNC first frame")
+        if offset >= len(body):
+            raise DecodeError("truncated SYNC body (missing ack-count byte)")
+        head = body[offset]
+        offset += 1
+        implied = bool(head & _SYNC_MASK_IMPLIED)
+        num_acks = head & 0x7F
+        if num_acks > _MAX_ACKS:
+            raise DecodeError(f"implausible ack count {num_acks}")
+        acks = []
+        for __ in range(num_acks):
+            delta, offset = read_svarint(body, offset, "SYNC ack")
+            acks.append(first_frame + delta)
+        if offset == len(body):
+            # Pure ack: no input section at all.
+            if implied:
+                raise DecodeError("SYNC implied-mask flag without inputs")
+            return cls(sender_site, session_id, acks, first_frame, [])
+        count, offset = read_uvarint(body, offset, "SYNC input count")
+        if count == 0:
+            raise DecodeError("SYNC input count 0 must omit the input section")
+        if count > _MAX_SYNC_INPUTS:
+            raise DecodeError(f"implausible SYNC input count {count}")
+        if implied:
+            rest = len(body) - offset
+            if rest % count:
                 raise DecodeError(
-                    f"SYNC body length {len(body)} != expected {expected}"
+                    f"SYNC cell blob of {rest} bytes not divisible by "
+                    f"input count {count}"
                 )
-            inputs = [
-                _U32.unpack_from(body, offset + 4 * i)[0] for i in range(num_inputs)
-            ]
-        except struct.error as exc:
-            raise DecodeError(f"truncated SYNC body: {exc}") from exc
-        return cls(sender_site, session_id, acks, first_frame, inputs)
+            width = rest // count
+            if width > _MAX_CELL_WIDTH:
+                raise DecodeError(f"SYNC cell width {width} exceeds 64-bit inputs")
+            return cls.from_packed(
+                sender_site,
+                session_id,
+                acks,
+                first_frame,
+                body[offset:],
+                count,
+                None,
+                implied=True,
+                width=width,
+            )
+        mask, offset = read_uvarint(body, offset, "SYNC input mask")
+        if mask >> 64:
+            raise DecodeError(f"SYNC input mask wider than 64 bits ({mask:#x})")
+        width = cell_width(mask)
+        expected = count * width
+        if len(body) - offset != expected:
+            raise DecodeError(
+                f"SYNC cells length {len(body) - offset} != expected {expected}"
+            )
+        packed = body[offset:]
+        popcount = len(mask_positions(mask))
+        for index in range(count if width else 0):
+            cell = int.from_bytes(
+                packed[index * width : (index + 1) * width], "little"
+            )
+            if cell >> popcount:
+                raise DecodeError("SYNC input cell exceeds the input mask")
+        return cls.from_packed(
+            sender_site,
+            session_id,
+            acks,
+            first_frame,
+            packed,
+            count,
+            mask,
+            implied=False,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sync):
+            return NotImplemented
+        return self.encode() == other.encode()
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Sync(sender_site={self.sender_site}, session_id={self.session_id}, "
+            f"acks={self.acks}, first_frame={self.first_frame}, "
+            f"input_count={self._count})"
+        )
 
 
 @dataclass
@@ -225,14 +605,16 @@ class Ping(Message):
     timestamp_us: int
 
     def _encode_body(self) -> bytes:
-        return _U32.pack(self.seq) + struct.pack(">q", self.timestamp_us)
+        out = bytearray()
+        append_uvarint(out, self.seq)
+        append_svarint(out, self.timestamp_us)
+        return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Ping":
-        if len(body) != 12:
-            raise DecodeError(f"PING body must be 12 bytes, got {len(body)}")
-        seq = _U32.unpack_from(body, 0)[0]
-        timestamp = struct.unpack_from(">q", body, 4)[0]
+        seq, offset = read_uvarint(body, 0, "PING seq")
+        timestamp, offset = read_svarint(body, offset, "PING timestamp")
+        _expect_end(body, offset, "PING")
         return cls(sender_site, session_id, seq, timestamp)
 
 
@@ -248,14 +630,16 @@ class Pong(Message):
     echo_timestamp_us: int
 
     def _encode_body(self) -> bytes:
-        return _U32.pack(self.seq) + struct.pack(">q", self.echo_timestamp_us)
+        out = bytearray()
+        append_uvarint(out, self.seq)
+        append_svarint(out, self.echo_timestamp_us)
+        return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Pong":
-        if len(body) != 12:
-            raise DecodeError(f"PONG body must be 12 bytes, got {len(body)}")
-        seq = _U32.unpack_from(body, 0)[0]
-        timestamp = struct.unpack_from(">q", body, 4)[0]
+        seq, offset = read_uvarint(body, 0, "PONG seq")
+        timestamp, offset = read_svarint(body, offset, "PONG timestamp")
+        _expect_end(body, offset, "PONG")
         return cls(sender_site, session_id, seq, timestamp)
 
 
@@ -302,47 +686,46 @@ class StateSnapshot(Message):
     backlog: List[List[int]] = field(default_factory=list)
 
     def _encode_body(self) -> bytes:
-        parts = [_I32.pack(self.frame), _U32.pack(len(self.state)), self.state]
-        parts.append(_U32.pack(len(self.backlog)))
+        out = bytearray()
+        append_svarint(out, self.frame)
+        append_uvarint(out, len(self.state))
+        out += self.state
+        append_uvarint(out, len(self.backlog))
         for inputs in self.backlog:
-            parts.append(_U32.pack(len(inputs)))
-            parts.extend(_U32.pack(i) for i in inputs)
-        return b"".join(parts)
+            append_uvarint(out, len(inputs))
+            for word in inputs:
+                append_uvarint(out, word)
+        return bytes(out)
 
     @classmethod
     def _decode_body(
         cls, sender_site: int, session_id: int, body: bytes
     ) -> "StateSnapshot":
-        try:
-            frame = _I32.unpack_from(body, 0)[0]
-            length = _U32.unpack_from(body, 4)[0]
-            offset = 8
-            state = body[offset : offset + length]
-            if len(state) != length:
+        frame, offset = read_svarint(body, 0, "STATE_SNAPSHOT frame")
+        length, offset = read_uvarint(body, offset, "STATE_SNAPSHOT state length")
+        if length > len(body) - offset:
+            raise DecodeError(
+                f"STATE_SNAPSHOT state truncated: header {length}, "
+                f"got {len(body) - offset}"
+            )
+        state = body[offset : offset + length]
+        offset += length
+        num_sites, offset = read_uvarint(body, offset, "STATE_SNAPSHOT site count")
+        if num_sites > 64:
+            raise DecodeError(f"implausible backlog site count {num_sites}")
+        backlog: List[List[int]] = []
+        for __ in range(num_sites):
+            count, offset = read_uvarint(body, offset, "STATE_SNAPSHOT backlog count")
+            if count > len(body) - offset:
                 raise DecodeError(
-                    f"STATE_SNAPSHOT state truncated: header {length}, "
-                    f"got {len(state)}"
+                    f"STATE_SNAPSHOT backlog count {count} overruns the body"
                 )
-            offset += length
-            (num_sites,) = _U32.unpack_from(body, offset)
-            offset += 4
-            if num_sites > 64:
-                raise DecodeError(f"implausible backlog site count {num_sites}")
-            backlog: List[List[int]] = []
-            for __ in range(num_sites):
-                (count,) = _U32.unpack_from(body, offset)
-                offset += 4
-                inputs = [
-                    _U32.unpack_from(body, offset + 4 * i)[0] for i in range(count)
-                ]
-                offset += 4 * count
-                backlog.append(inputs)
-            if offset != len(body):
-                raise DecodeError(
-                    f"STATE_SNAPSHOT has {len(body) - offset} trailing bytes"
-                )
-        except struct.error as exc:
-            raise DecodeError(f"truncated STATE_SNAPSHOT: {exc}") from exc
+            inputs = []
+            for __ in range(count):
+                word, offset = read_uvarint(body, offset, "STATE_SNAPSHOT input")
+                inputs.append(word)
+            backlog.append(inputs)
+        _expect_end(body, offset, "STATE_SNAPSHOT")
         return cls(sender_site, session_id, frame, state, backlog)
 
 
@@ -365,13 +748,14 @@ class Resume(Message):
     last_acked_frame: int = -1
 
     def _encode_body(self) -> bytes:
-        return _I32.pack(self.last_acked_frame)
+        out = bytearray()
+        append_svarint(out, self.last_acked_frame)
+        return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Resume":
-        if len(body) != 4:
-            raise DecodeError(f"RESUME body must be 4 bytes, got {len(body)}")
-        last_acked = _I32.unpack_from(body, 0)[0]
+        last_acked, offset = read_svarint(body, 0, "RESUME cookie")
+        _expect_end(body, offset, "RESUME")
         return cls(sender_site, session_id, last_acked)
 
 
@@ -394,7 +778,64 @@ class Bye(Message):
         return cls(sender_site, session_id)
 
 
-_REGISTRY: dict = {
+@dataclass
+class Batch(Message):
+    """Container coalescing several messages for one destination.
+
+    One shared header (sender site + session id apply to every member),
+    then ``uvarint count`` and per member a type-id byte, a uvarint body
+    length and the member's body.  Nested batches are rejected on both
+    sides — the container is strictly one level deep.
+    """
+
+    TYPE_ID: ClassVar[int] = 12
+
+    sender_site: int
+    session_id: int
+    messages: List[Message] = field(default_factory=list)
+
+    def _encode_body(self) -> bytes:
+        out = bytearray()
+        append_uvarint(out, len(self.messages))
+        for message in self.messages:
+            if message.TYPE_ID == Batch.TYPE_ID:
+                raise ValueError("BATCH cannot nest another BATCH")
+            body = message._encode_body()
+            out.append(message.TYPE_ID)
+            append_uvarint(out, len(body))
+            out += body
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Batch":
+        count, offset = read_uvarint(body, 0, "BATCH count")
+        if count == 0:
+            raise DecodeError("empty BATCH")
+        if count > 256:
+            raise DecodeError(f"implausible BATCH count {count}")
+        messages: List[Message] = []
+        for __ in range(count):
+            if offset >= len(body):
+                raise DecodeError("truncated BATCH member header")
+            type_id = body[offset]
+            offset += 1
+            if type_id == cls.TYPE_ID:
+                raise DecodeError("nested BATCH rejected")
+            klass = _REGISTRY.get(type_id)
+            if klass is None:
+                raise DecodeError(f"unknown message type {type_id} in BATCH")
+            length, offset = read_uvarint(body, offset, "BATCH member length")
+            if length > len(body) - offset:
+                raise DecodeError("BATCH member overruns the datagram")
+            messages.append(
+                klass._decode_body(sender_site, session_id, body[offset : offset + length])
+            )
+            offset += length
+        _expect_end(body, offset, "BATCH")
+        return cls(sender_site, session_id, messages)
+
+
+_REGISTRY: Dict[int, Type[Message]] = {
     klass.TYPE_ID: klass
     for klass in (
         Hello,
@@ -408,20 +849,71 @@ _REGISTRY: dict = {
         StateSnapshot,
         Bye,
         Resume,
+        Batch,
     )
 }
 
 
+def encode_packet(type_id: int, sender_site: int, session_id: int, body: bytes) -> bytes:
+    """Assemble one datagram from a pre-encoded message body."""
+    out = bytearray(MAGIC)
+    out.append((VERSION << 4) | type_id)
+    append_uvarint(out, sender_site)
+    append_uvarint(out, session_id)
+    out += body
+    return bytes(out)
+
+
+def pack_batch(
+    sender_site: int, session_id: int, items: List[Tuple[int, bytes]]
+) -> bytes:
+    """Assemble a BATCH datagram from ``(type_id, body)`` pairs.
+
+    This is the zero-reparse path the engine's send coalescing uses: each
+    member body is encoded exactly once and spliced in here without going
+    through a :class:`Batch` instance.
+    """
+    if not items:
+        raise ValueError("cannot pack an empty BATCH")
+    body = bytearray()
+    append_uvarint(body, len(items))
+    for type_id, item_body in items:
+        if type_id == Batch.TYPE_ID:
+            raise ValueError("BATCH cannot nest another BATCH")
+        body.append(type_id)
+        append_uvarint(body, len(item_body))
+        body += item_body
+    return encode_packet(Batch.TYPE_ID, sender_site, session_id, bytes(body))
+
+
 def decode(raw: bytes) -> Message:
     """Parse a datagram into a message, validating magic and version."""
-    if len(raw) < _HEADER.size:
+    if len(raw) < _MIN_HEADER:
         raise DecodeError(f"datagram of {len(raw)} bytes is shorter than header")
-    magic, version, type_id, sender_site, session_id = _HEADER.unpack_from(raw, 0)
-    if magic != MAGIC:
-        raise DecodeError(f"bad magic 0x{magic:04x}")
-    if version != VERSION:
-        raise DecodeError(f"unsupported version {version}")
-    klass: Type[Message] = _REGISTRY.get(type_id)  # type: ignore[assignment]
+    if raw[0] != 0x52 or raw[1] != 0x47:
+        raise DecodeError(f"bad magic 0x{raw[0]:02x}{raw[1]:02x}")
+    version_type = raw[2]
+    if version_type >> 4 != VERSION:
+        if version_type == 0x01:
+            # v1's third byte is its version field, always exactly 0x01 —
+            # no v2 version/type byte collides with it.
+            raise DecodeError(
+                "unsupported wire version 1 (legacy peer; this build speaks "
+                f"version {VERSION})"
+            )
+        raise DecodeError(f"unsupported wire version {version_type >> 4}")
+    type_id = version_type & 0x0F
+    sender_site, offset = read_uvarint(raw, 3, "sender site")
+    session_id, offset = read_uvarint(raw, offset, "session id")
+    klass = _REGISTRY.get(type_id)
     if klass is None:
         raise DecodeError(f"unknown message type {type_id}")
-    return klass._decode_body(sender_site, session_id, raw[_HEADER.size :])
+    return klass._decode_body(sender_site, session_id, raw[offset:])
+
+
+def decode_all(raw: bytes) -> List[Message]:
+    """Parse a datagram, flattening a BATCH into its member messages."""
+    message = decode(raw)
+    if isinstance(message, Batch):
+        return list(message.messages)
+    return [message]

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SyncConfig
 from repro.core.messages import (
+    VERSION,
     Hello,
     Message,
     Start,
@@ -44,9 +45,13 @@ def config_digest(config: SyncConfig) -> int:
     """Digest of the pacing-relevant configuration fields.
 
     Two sites disagreeing on CFPS or BufFrame would never converge, so the
-    handshake refuses such pairs up front.
+    handshake refuses such pairs up front.  The wire-format version is
+    folded in as belt-and-braces version negotiation: even a hypothetical
+    future codec whose HELLO still parses under this one would be turned
+    away here rather than desync mid-session (today's v1 peers never get
+    this far — their datagrams already fail :func:`~repro.core.messages.decode`).
     """
-    text = f"{config.cfps}|{config.buf_frame}".encode()
+    text = f"wire{VERSION}|{config.cfps}|{config.buf_frame}".encode()
     return zlib.crc32(text)
 
 

@@ -1,0 +1,260 @@
+"""Legacy wire-format v1 codec, retained as a golden reference.
+
+This is the fixed-width big-endian encoding the repo used before the v2
+compact codec (see :mod:`repro.core.messages` and ``docs/wire-format.md``).
+It is *not* spoken on any socket anymore: :func:`repro.core.messages.decode`
+rejects v1 datagrams with a clear "unsupported wire version 1" error so a
+stale build cannot silently desync a session.
+
+It survives here for two jobs:
+
+* **Cross-version tests** — the property suites encode every message type
+  with both codecs and assert field-for-field equality after a v2
+  round-trip, and that v1 bytes arriving at a v2 site always raise
+  ``DecodeError`` (tests/unit/test_wire_v1.py).
+* **Size benchmarks** — ``benchmarks/bench_microbench.py`` asserts the v2
+  SYNC for an 8-frame window is under half its v1 size; the v1 number has
+  to come from somewhere real, not a constant.
+
+Layout (v1): 10-byte header ``>HBBHI`` (magic 0x5247 "RG", version 1,
+type id, sender site u16, session id u32) followed by a per-type body of
+fixed-width ``>i``/``>I`` fields.  SYNC carries its ack vector and input
+window as length-prefixed 4-byte vectors — the per-tick cost the v2 codec
+exists to remove.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Type
+
+from repro.core.messages import (
+    Bye,
+    DecodeError,
+    Hello,
+    Message,
+    Ping,
+    Pong,
+    Resume,
+    Start,
+    StartAck,
+    StateRequest,
+    StateSnapshot,
+    Sync,
+    Welcome,
+)
+
+MAGIC_V1 = 0x5247  # "RG", same magic as v2 — the version byte disambiguates
+VERSION_V1 = 1
+
+_HEADER = struct.Struct(">HBBHI")  # magic, version, type, sender_site, session
+_I32 = struct.Struct(">i")
+_U32 = struct.Struct(">I")
+
+
+def _body_hello(message: Hello) -> bytes:
+    return _U32.pack(message.game_id) + _U32.pack(message.config_digest)
+
+
+def _body_welcome(message: Welcome) -> bytes:
+    return _I32.pack(message.assigned_site) + _I32.pack(message.num_sites)
+
+
+def _body_sync(message: Sync) -> bytes:
+    parts = [
+        _I32.pack(len(message.acks)),
+        b"".join(_I32.pack(a) for a in message.acks),
+        _I32.pack(message.first_frame),
+        _I32.pack(message.input_count),
+        b"".join(_U32.pack(i) for i in message.inputs),
+    ]
+    return b"".join(parts)
+
+
+def _body_ping(message: Ping) -> bytes:
+    return _U32.pack(message.seq) + struct.pack(">q", message.timestamp_us)
+
+
+def _body_pong(message: Pong) -> bytes:
+    return _U32.pack(message.seq) + struct.pack(">q", message.echo_timestamp_us)
+
+
+def _body_snapshot(message: StateSnapshot) -> bytes:
+    parts = [
+        _I32.pack(message.frame),
+        _U32.pack(len(message.state)),
+        message.state,
+        _U32.pack(len(message.backlog)),
+    ]
+    for inputs in message.backlog:
+        parts.append(_U32.pack(len(inputs)))
+        parts.extend(_U32.pack(i) for i in inputs)
+    return b"".join(parts)
+
+
+def _body_resume(message: Resume) -> bytes:
+    return _I32.pack(message.last_acked_frame)
+
+
+def _body_empty(message: Message) -> bytes:
+    return b""
+
+
+_ENCODERS = {
+    Hello.TYPE_ID: _body_hello,
+    Welcome.TYPE_ID: _body_welcome,
+    Start.TYPE_ID: _body_empty,
+    StartAck.TYPE_ID: _body_empty,
+    Sync.TYPE_ID: _body_sync,
+    Ping.TYPE_ID: _body_ping,
+    Pong.TYPE_ID: _body_pong,
+    StateRequest.TYPE_ID: _body_empty,
+    StateSnapshot.TYPE_ID: _body_snapshot,
+    Bye.TYPE_ID: _body_empty,
+    Resume.TYPE_ID: _body_resume,
+}
+
+
+def encode_v1(message: Message) -> bytes:
+    """Encode ``message`` in the legacy v1 wire format."""
+    encoder = _ENCODERS.get(message.TYPE_ID)
+    if encoder is None:
+        raise ValueError(f"message type {message.TYPE_ID} has no v1 encoding")
+    header = _HEADER.pack(
+        MAGIC_V1, VERSION_V1, message.TYPE_ID, message.sender_site, message.session_id
+    )
+    return header + encoder(message)
+
+
+def _decode_hello(sender: int, session: int, body: bytes) -> Hello:
+    if len(body) != 8:
+        raise DecodeError(f"HELLO body must be 8 bytes, got {len(body)}")
+    return Hello(
+        sender, session, _U32.unpack_from(body, 0)[0], _U32.unpack_from(body, 4)[0]
+    )
+
+
+def _decode_welcome(sender: int, session: int, body: bytes) -> Welcome:
+    if len(body) != 8:
+        raise DecodeError(f"WELCOME body must be 8 bytes, got {len(body)}")
+    return Welcome(
+        sender, session, _I32.unpack_from(body, 0)[0], _I32.unpack_from(body, 4)[0]
+    )
+
+
+def _decode_sync(sender: int, session: int, body: bytes) -> Sync:
+    try:
+        offset = 0
+        (num_acks,) = _I32.unpack_from(body, offset)
+        offset += 4
+        if num_acks < 0 or num_acks > 64:
+            raise DecodeError(f"implausible ack count {num_acks}")
+        acks = [_I32.unpack_from(body, offset + 4 * i)[0] for i in range(num_acks)]
+        offset += 4 * num_acks
+        (first_frame,) = _I32.unpack_from(body, offset)
+        offset += 4
+        (num_inputs,) = _I32.unpack_from(body, offset)
+        offset += 4
+        if num_inputs < 0:
+            raise DecodeError(f"negative input count {num_inputs}")
+        expected = offset + 4 * num_inputs
+        if len(body) != expected:
+            raise DecodeError(f"SYNC body length {len(body)} != expected {expected}")
+        inputs = [
+            _U32.unpack_from(body, offset + 4 * i)[0] for i in range(num_inputs)
+        ]
+    except struct.error as exc:
+        raise DecodeError(f"truncated SYNC body: {exc}") from exc
+    return Sync(sender, session, acks, first_frame, inputs)
+
+
+def _decode_ping(sender: int, session: int, body: bytes) -> Ping:
+    if len(body) != 12:
+        raise DecodeError(f"PING body must be 12 bytes, got {len(body)}")
+    return Ping(
+        sender, session, _U32.unpack_from(body, 0)[0], struct.unpack_from(">q", body, 4)[0]
+    )
+
+
+def _decode_pong(sender: int, session: int, body: bytes) -> Pong:
+    if len(body) != 12:
+        raise DecodeError(f"PONG body must be 12 bytes, got {len(body)}")
+    return Pong(
+        sender, session, _U32.unpack_from(body, 0)[0], struct.unpack_from(">q", body, 4)[0]
+    )
+
+
+def _decode_snapshot(sender: int, session: int, body: bytes) -> StateSnapshot:
+    try:
+        frame = _I32.unpack_from(body, 0)[0]
+        length = _U32.unpack_from(body, 4)[0]
+        offset = 8
+        state = body[offset : offset + length]
+        if len(state) != length:
+            raise DecodeError(
+                f"STATE_SNAPSHOT state truncated: header {length}, got {len(state)}"
+            )
+        offset += length
+        (num_sites,) = _U32.unpack_from(body, offset)
+        offset += 4
+        if num_sites > 64:
+            raise DecodeError(f"implausible backlog site count {num_sites}")
+        backlog: List[List[int]] = []
+        for __ in range(num_sites):
+            (count,) = _U32.unpack_from(body, offset)
+            offset += 4
+            inputs = [_U32.unpack_from(body, offset + 4 * i)[0] for i in range(count)]
+            offset += 4 * count
+            backlog.append(inputs)
+        if offset != len(body):
+            raise DecodeError(
+                f"STATE_SNAPSHOT has {len(body) - offset} trailing bytes"
+            )
+    except struct.error as exc:
+        raise DecodeError(f"truncated STATE_SNAPSHOT: {exc}") from exc
+    return StateSnapshot(sender, session, frame, state, backlog)
+
+
+def _decode_resume(sender: int, session: int, body: bytes) -> Resume:
+    if len(body) != 4:
+        raise DecodeError(f"RESUME body must be 4 bytes, got {len(body)}")
+    return Resume(sender, session, _I32.unpack_from(body, 0)[0])
+
+
+def _make_empty_decoder(klass: Type[Message], name: str):
+    def decoder(sender: int, session: int, body: bytes) -> Message:
+        if body:
+            raise DecodeError(f"{name} carries no body")
+        return klass(sender, session)
+
+    return decoder
+
+
+_DECODERS: Dict[int, object] = {
+    Hello.TYPE_ID: _decode_hello,
+    Welcome.TYPE_ID: _decode_welcome,
+    Start.TYPE_ID: _make_empty_decoder(Start, "START"),
+    StartAck.TYPE_ID: _make_empty_decoder(StartAck, "START_ACK"),
+    Sync.TYPE_ID: _decode_sync,
+    Ping.TYPE_ID: _decode_ping,
+    Pong.TYPE_ID: _decode_pong,
+    StateRequest.TYPE_ID: _make_empty_decoder(StateRequest, "STATE_REQUEST"),
+    StateSnapshot.TYPE_ID: _decode_snapshot,
+    Bye.TYPE_ID: _make_empty_decoder(Bye, "BYE"),
+    Resume.TYPE_ID: _decode_resume,
+}
+
+
+def decode_v1(raw: bytes) -> Message:
+    """Parse a legacy v1 datagram (golden reference for cross-version tests)."""
+    if len(raw) < _HEADER.size:
+        raise DecodeError(f"datagram of {len(raw)} bytes is shorter than header")
+    magic, version, type_id, sender_site, session_id = _HEADER.unpack_from(raw, 0)
+    if magic != MAGIC_V1:
+        raise DecodeError(f"bad magic 0x{magic:04x}")
+    if version != VERSION_V1:
+        raise DecodeError(f"unsupported version {version}")
+    decoder = _DECODERS.get(type_id)
+    if decoder is None:
+        raise DecodeError(f"unknown message type {type_id}")
+    return decoder(sender_site, session_id, raw[_HEADER.size :])  # type: ignore[operator]

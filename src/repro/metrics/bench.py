@@ -55,6 +55,19 @@ SEED_BASELINE = {
 ROM_FPS_BASELINE = {"pong": 5300.0, "tankduel": 9300.0}
 BLOCK_FPS_TOLERANCE = 0.95
 
+#: Sync bandwidth on the standard lossy two-site profile (900 frames,
+#: send_interval 20 ms, RTT 40 ms, 5% loss, no time server), bytes/sec
+#: sent per site.  ``BANDWIDTH_V1_BPS`` is the legacy fixed-width codec's
+#: number, frozen when the v2 compact codec replaced it (the wire-format
+#: PR's ≥3x acceptance bar is measured against it and pinned by
+#: ``benchmarks/bench_bandwidth.py``).  ``BANDWIDTH_BASELINE_BPS`` is the
+#: v2 send path measured on the reference container; unlike the fps
+#: gates, byte counts are deterministic in the simulator, so the
+#: tolerance only absorbs protocol-tuning drift, not host noise.
+BANDWIDTH_V1_BPS = 2395.5
+BANDWIDTH_BASELINE_BPS = 641.5
+BANDWIDTH_TOLERANCE = 1.05
+
 
 def time_call(fn: Callable[[], object], repeats: int = 3, inner: int = 1) -> float:
     """Best-of-``repeats`` wall-clock seconds for one call of ``fn``.
@@ -246,6 +259,61 @@ def measure_lockstep_roundtrips(cycles: int = 300, repeats: int = 3) -> float:
             b.deliver()
 
     return cycles / time_call(run, repeats=repeats)
+
+
+def measure_bandwidth_profile(frames: int = 900, seed: int = 7) -> Dict[str, float]:
+    """Per-site sync bandwidth on the standard lossy two-site profile.
+
+    The profile behind :data:`BANDWIDTH_BASELINE_BPS`: two players on the
+    counter game, 20 ms flush interval, RTT 40 ms with 5% loss, and no
+    time server — its reports ride outside the sync protocol and would
+    blur the measurement the §4.2 bandwidth argument is about.  Byte
+    counts in the simulator are deterministic, so one run suffices.
+    """
+    from repro.core.config import SyncConfig
+    from repro.core.inputs import InputAssignment, PadSource, RandomSource
+    from repro.core.multisite import SessionPlan, build_session
+    from repro.net.netem import NetemConfig
+
+    config = SyncConfig(send_interval=0.020)
+    plan = SessionPlan(
+        config=config,
+        assignment=InputAssignment.standard(2),
+        machines=[create_game("counter") for __ in range(2)],
+        sources=[
+            PadSource(RandomSource(seed + i), player=i) for i in range(2)
+        ],
+        max_frames=frames,
+        seed=seed,
+    )
+    session = build_session(
+        plan, NetemConfig.for_rtt(0.040, loss=0.05), with_time_server=False
+    )
+    session.run(horizon=600.0)
+    duration = frames / config.cfps
+    stats = session.vms[0].socket.stats
+    return {
+        "sent_Bps": stats.bytes_sent / duration,
+        "recv_Bps": stats.bytes_received / duration,
+        "dgrams_per_s": stats.datagrams_sent / duration,
+    }
+
+
+def check_bandwidth(sent_bps: float) -> List[str]:
+    """The send-path regression gate: bytes/sec vs the frozen baseline.
+
+    Returns one message if ``sent_bps`` exceeds ``BANDWIDTH_TOLERANCE`` ×
+    :data:`BANDWIDTH_BASELINE_BPS` (empty list = pass).  Only meaningful
+    for the full-size profile; ``--quick`` runs a shrunken session whose
+    startup transient dominates.
+    """
+    ceiling = BANDWIDTH_BASELINE_BPS * BANDWIDTH_TOLERANCE
+    if sent_bps > ceiling:
+        return [
+            f"bandwidth: {sent_bps:.0f} B/s/site > "
+            f"{BANDWIDTH_TOLERANCE:.2f}x baseline {BANDWIDTH_BASELINE_BPS:.0f}"
+        ]
+    return []
 
 
 def measure_rollback_session(

@@ -9,6 +9,12 @@ does while stuck in ``SyncInput``.
 Determinism: every link direction draws from its own ``random.Random``
 seeded from the network seed and the (source, destination) pair, so adding a
 link never perturbs another link's packet fate sequence.
+
+The network is payload-agnostic: one datagram gets one fate, whether it
+carries a single v2 message or a coalesced BATCH of several (see
+``docs/wire-format.md``).  The ground-truth log therefore counts
+*datagrams*; telemetry comparing per-message counters against it must
+account for batching (``net_batch_coalesced``).
 """
 
 from __future__ import annotations

@@ -27,8 +27,10 @@ from typing import List, Optional, Tuple
 from repro.net.transport import Address, Datagram, DatagramSocket, TransportStats
 from repro.sim.clock import WallClock
 
-#: Generous MTU for sync messages; a sync message carrying a whole second of
-#: 60 FPS inputs is still only a few hundred bytes.
+#: Generous MTU for sync messages; a v2 BATCH datagram is capped at
+#: ``repro.core.messages.MAX_BATCH_BYTES`` (1200 B, chosen to clear every
+#: common path MTU), so the only payloads that approach this bound are
+#: standalone STATE_SNAPSHOT transfers to late joiners.
 MAX_DATAGRAM = 8192
 
 

@@ -32,6 +32,31 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
     "datagrams_received": ("counter", True, "Datagrams fed to the engine"),
     "bytes_sent": ("counter", True, "Payload bytes emitted"),
     "bytes_received": ("counter", True, "Payload bytes received"),
+    "net_bytes_tx": (
+        "counter",
+        True,
+        "Wire bytes emitted by the outbox (v2 codec, after batching)",
+    ),
+    "net_bytes_rx": (
+        "counter",
+        True,
+        "Wire bytes successfully decoded (bytes_received counts all)",
+    ),
+    "net_batch_coalesced": (
+        "counter",
+        True,
+        "Datagrams that carried a coalesced Batch of 2+ messages",
+    ),
+    "net_budget_deferrals": (
+        "counter",
+        True,
+        "Messages dropped by the bandwidth budget (resent by the window)",
+    ),
+    "net_decode_errors": (
+        "counter",
+        True,
+        "Datagrams/messages rejected by the v2 decoder",
+    ),
     "sync_sent": ("counter", True, "Algorithm 2 sd messages sent"),
     "sync_received": ("counter", True, "Algorithm 2 rc messages received"),
     "inputs_sent": ("counter", True, "Input frames put on the wire"),

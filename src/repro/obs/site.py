@@ -43,6 +43,15 @@ class SiteMetrics:
         self.frame_time = r.histogram("frame_time_seconds", TIME_BUCKETS)
         self.stall_time = r.histogram("sync_stall_seconds", TIME_BUCKETS)
         self.sync_adjust = r.histogram("sync_adjust_seconds", TIME_BUCKETS)
+        # Wire-format v2 send path (ISSUE-7): protocol bytes actually put
+        # on / taken off the wire by the engine's outbox, batch coalescing
+        # and bandwidth-budget activity.  ``net_bytes_rx`` counts only
+        # successfully decoded datagrams (``bytes_received`` counts all).
+        self.net_bytes_tx = r.counter("net_bytes_tx")
+        self.net_bytes_rx = r.counter("net_bytes_rx")
+        self.net_batch_coalesced = r.counter("net_batch_coalesced")
+        self.net_budget_deferrals = r.counter("net_budget_deferrals")
+        self.net_decode_errors = r.counter("net_decode_errors")
         # Failure domain — rare-path, recorded directly.
         self.degraded_episodes = r.counter("degraded_episodes")
         self.suspended_seconds = r.counter("suspended_seconds")

@@ -60,23 +60,24 @@ class TestAsymmetricLinks:
 
 class TestRateLimitedLinks:
     def test_constrained_bandwidth_still_converges(self):
-        """A 16 kB/s link (sync traffic is ~4-6 kB/s/site) serializes
+        """A 4 kB/s link (v2 sync traffic is ~1 kB/s/site) serializes
         messages but the session survives and converges."""
         plan = make_plan()
-        netem = NetemConfig(delay=0.020, rate_bytes_per_s=16_000)
+        netem = NetemConfig(delay=0.020, rate_bytes_per_s=4_000)
         session = build_session(plan, netem)
         session.run(horizon=600.0)
         traces = [vm.runtime.trace for vm in session.vms]
         assert ConsistencyChecker().verify_traces(traces) == 240
 
     def test_starved_link_freezes_but_never_diverges(self):
-        """2 kB/s is below the protocol's floor rate (~2.5 kB/s of sync
-        traffic per site): with no congestion control the send queue grows
-        without bound and the game freezes — the §3.1 freeze semantics —
-        but the frames that did complete are still bit-identical.
-        Consistency is unconditional; progress is not."""
+        """600 B/s is below the protocol's floor rate (~930 B/s of v2
+        sync traffic per site; the v1 codec needed ~2.5 kB/s): with no
+        congestion control the send queue grows without bound and the
+        game freezes — the §3.1 freeze semantics — but the frames that
+        did complete are still bit-identical.  Consistency is
+        unconditional; progress is not."""
         plan = make_plan(frames=180)
-        netem = NetemConfig(delay=0.005, rate_bytes_per_s=2_000)
+        netem = NetemConfig(delay=0.005, rate_bytes_per_s=600)
         session = build_session(plan, netem)
         with pytest.raises(RuntimeError, match="did not finish"):
             session.run(horizon=300.0)

@@ -81,9 +81,20 @@ class TestGroundTruthAgreement:
                 counters["datagrams_received"] + undrained
                 == session.network.ground_truth(destination=addr)["delivered"]
             )
+            # The fate log counts *datagrams*; with the v2 send path one
+            # datagram may be a coalesced Batch of several messages, so
+            # sync_sent can exceed the datagram count without breaking the
+            # conservation above.  The coalescing itself must be visible.
+            assert counters["net_batch_coalesced"] > 0
+            # Engine-path wire bytes (outbox) are a subset of all Send
+            # bytes — the time-server report rides outside the protocol.
+            assert 0 < counters["net_bytes_tx"] <= counters["bytes_sent"]
 
     def test_loss_surfaces_in_protocol_counters(self):
-        session = run_lossy()
+        # The v2 send path coalesces sync windows into fewer datagrams, so
+        # 8% loss rides out inside the BufFrame slack without a single
+        # stall; 20% reliably punches through it.
+        session = run_lossy(loss=0.20)
         merged = {}
         for vm in session.vms:
             for name, value in vm.snapshot()["counters"].items():

@@ -17,8 +17,6 @@ Covered here (and nowhere else at this level):
 
 import heapq
 
-import pytest
-
 from repro.core.config import SyncConfig
 from repro.core.engine import (
     DatagramReceived,
@@ -32,9 +30,27 @@ from repro.core.engine import (
     Stall,
 )
 from repro.core.inputs import IdleSource, InputAssignment, PadSource, RandomSource
-from repro.core.messages import Start, Sync, Welcome, decode
-from repro.core.session import SessionError
+from repro.core.messages import (
+    Hello,
+    Ping,
+    Start,
+    Sync,
+    Welcome,
+    decode_all,
+    uvarint_len,
+)
+from repro.core.session import config_digest, game_digest
+from repro.core.wire_v1 import encode_v1
 from repro.emulator.machine import create_game
+
+
+def contains(payload, message_type):
+    """True if the datagram carries a message of ``message_type``.
+
+    The outbox coalesces co-due messages into Batch containers, so a
+    payload is a *list* of messages as far as filtering is concerned.
+    """
+    return any(isinstance(m, message_type) for m in decode_all(payload))
 
 
 class EngineMesh:
@@ -125,7 +141,7 @@ class EngineMesh:
         return [
             e
             for e in self.effects[address]
-            if isinstance(e, Send) and isinstance(decode(e.payload), message_type)
+            if isinstance(e, Send) and contains(e.payload, message_type)
         ]
 
 
@@ -201,7 +217,7 @@ class TestSessionControlThroughEngine:
         dropped = []
 
         def loss(src, dst, payload, now):
-            if src == "site0" and len(dropped) < 3 and isinstance(decode(payload), Start):
+            if src == "site0" and len(dropped) < 3 and contains(payload, Start):
                 dropped.append(now)
                 return True
             return False
@@ -217,29 +233,40 @@ class TestSessionControlThroughEngine:
         for site in range(2):
             assert len(mesh.presents(f"site{site}")) == 20
 
-    def test_joiner_with_wrong_game_image_rejected(self):
-        engines = build_engines(frames=10, game_ids=["counter", "pong"])
-        mesh = EngineMesh(engines)
+    def _assert_handshake_refused(self, mesh, engines, error_match):
+        """A mismatched joiner is refused observably, never crashes the
+        master: no WELCOME, a traced ``session_reject``, and both sides
+        time out their handshakes cleanly."""
         mesh.start()
-        with pytest.raises(SessionError, match="different game image"):
-            mesh.run(horizon=1.0)
+        mesh.run(horizon=2.0)
         master = engines[0].runtime.session
         assert not master.all_joined
         assert not master.started
         assert mesh.sent("site0", Welcome) == []
+        assert all(e.termination == "handshake-timeout" for e in engines)
+        rejects = [
+            r for r in engines[0].runtime.events if r.kind == "session_reject"
+        ]
+        assert rejects and error_match in rejects[0].detail["error"]
+
+    def test_joiner_with_wrong_game_image_rejected(self):
+        configs = [SyncConfig(slice_delay=0.0, handshake_timeout_s=0.5)] * 2
+        engines = build_engines(
+            frames=10, configs=configs, game_ids=["counter", "pong"]
+        )
+        self._assert_handshake_refused(
+            EngineMesh(engines), engines, "different game image"
+        )
 
     def test_joiner_with_wrong_config_rejected(self):
         configs = [
-            SyncConfig(slice_delay=0.0, buf_frame=6),
-            SyncConfig(slice_delay=0.0, buf_frame=3),
+            SyncConfig(slice_delay=0.0, buf_frame=6, handshake_timeout_s=0.5),
+            SyncConfig(slice_delay=0.0, buf_frame=3, handshake_timeout_s=0.5),
         ]
         engines = build_engines(frames=10, configs=configs)
-        mesh = EngineMesh(engines)
-        mesh.start()
-        with pytest.raises(SessionError, match="incompatible SyncConfig"):
-            mesh.run(horizon=1.0)
-        assert not engines[0].runtime.session.all_joined
-        assert mesh.sent("site0", Welcome) == []
+        self._assert_handshake_refused(
+            EngineMesh(engines), engines, "incompatible SyncConfig"
+        )
 
 
 class TestDeliveryGatingUnderLoss:
@@ -252,7 +279,7 @@ class TestDeliveryGatingUnderLoss:
         def loss(src, dst, payload, now):
             # The observer's sync traffic (acks only; it controls no bits)
             # never reaches anyone.
-            return src == "site2" and isinstance(decode(payload), Sync)
+            return src == "site2" and contains(payload, Sync)
 
         mesh = EngineMesh(engines, loss=loss)
         mesh.start()
@@ -275,7 +302,7 @@ class TestDeliveryGatingUnderLoss:
                 src == "site1"
                 and dst == "site0"
                 and outage[0] <= now < outage[1]
-                and isinstance(decode(payload), Sync)
+                and contains(payload, Sync)
             )
 
         mesh = EngineMesh(engines, loss=loss)
@@ -301,3 +328,163 @@ class TestDeliveryGatingUnderLoss:
         for address in mesh.effects:
             for stall in mesh.stalls(address):
                 assert 2 not in stall.waiting_on
+
+
+class TestSendPathCoalescing:
+    """The outbox merges co-due messages per peer into one BATCH datagram."""
+
+    def test_session_coalesces_into_batches(self):
+        engines = build_engines(frames=40)
+        mesh = EngineMesh(engines)
+        mesh.start()
+        mesh.run()
+        # Every datagram that left any engine is valid v2 and at least one
+        # carried 2+ messages (a SYNC riding with a PING/PONG or control).
+        batched = 0
+        for address in mesh.effects:
+            for effect in mesh.effects[address]:
+                if isinstance(effect, Send):
+                    messages = decode_all(effect.payload)
+                    assert messages, "datagram decoded to nothing"
+                    batched += len(messages) > 1
+        assert batched > 0
+        for engine in engines:
+            assert engine.runtime.metrics.net_batch_coalesced.value > 0
+        # Coalescing must not cost determinism.
+        traces = [engine.runtime.trace for engine in engines]
+        assert list(traces[0].checksums) == list(traces[1].checksums)
+
+    def test_wire_bytes_counted_at_both_ends(self):
+        engines = build_engines(frames=20)
+        mesh = EngineMesh(engines)
+        mesh.start()
+        mesh.run()
+        for site, engine in enumerate(engines):
+            metrics = engine.runtime.metrics
+            sent = sum(
+                len(e.payload)
+                for e in mesh.effects[f"site{site}"]
+                if isinstance(e, Send)
+            )
+            assert metrics.net_bytes_tx.value == sent
+            # The lossless mesh delivers everything, and everything decodes.
+            assert metrics.net_bytes_rx.value == metrics.bytes_received.value
+            assert metrics.net_decode_errors.value == 0
+
+
+class TestBandwidthBudget:
+    """SyncConfig.bandwidth_budget_bps: deterministic lowest-priority drop."""
+
+    def _engine(self, bps):
+        configs = [
+            SyncConfig(slice_delay=0.0, bandwidth_budget_bps=bps)
+        ] * 2
+        return build_engines(frames=10, configs=configs)[0]
+
+    @staticmethod
+    def _entry_sizes(messages):
+        return [
+            5 + uvarint_len(len(m._encode_body())) + len(m._encode_body())
+            for m in messages
+        ]
+
+    def test_drop_order_sheds_pings_then_acks_then_inputs(self):
+        engine = self._engine(bps=1)  # forces every non-control drop
+        start = Start(0, 1)
+        sync_inputs = Sync(0, 1, acks=[5, 5], first_frame=6, inputs=[1, 2])
+        pure_ack = Sync(0, 1, acks=[5, 5], first_frame=7)
+        ping = Ping(0, 1, seq=0, timestamp_us=0)
+        queue = [ping, sync_inputs, start, pure_ack]
+        entries = [(m, "site1", m._encode_body()) for m in queue]
+        kept = engine._apply_budget(entries, now=0.0)
+        # Control is never dropped, everything else is.
+        assert [m for m, _, _ in kept] == [start]
+        assert engine.runtime.metrics.net_budget_deferrals.value == 3
+
+    def test_partial_budget_keeps_input_syncs(self):
+        start = Start(0, 1)
+        sync_inputs = Sync(0, 1, acks=[5, 5], first_frame=6, inputs=[1, 2])
+        pure_ack = Sync(0, 1, acks=[5, 5], first_frame=7)
+        ping = Ping(0, 1, seq=0, timestamp_us=0)
+        queue = [ping, sync_inputs, start, pure_ack]
+        sizes = self._entry_sizes(queue)
+        # Enough for everything but the ping and the pure ack.
+        bps = sizes[2] + sizes[1] + min(sizes[0], sizes[3]) - 1
+        engine = self._engine(bps=bps)
+        entries = [(m, "site1", m._encode_body()) for m in queue]
+        kept = [m for m, _, _ in engine._apply_budget(entries, now=0.0)]
+        assert any(m is sync_inputs for m in kept)
+        assert any(m is start for m in kept)
+        assert not any(m is ping for m in kept)
+        assert not any(m is pure_ack for m in kept)
+
+    def test_unbudgeted_config_never_defers(self):
+        engines = build_engines(frames=20)
+        mesh = EngineMesh(engines)
+        mesh.start()
+        mesh.run()
+        for engine in engines:
+            assert engine.runtime.metrics.net_budget_deferrals.value == 0
+
+    def test_starved_budget_defers_but_stays_consistent(self):
+        """A budget below the sync floor slows the session down without
+        desyncing it: dropped windows are rebuilt by the next flush."""
+        configs = [
+            SyncConfig(slice_delay=0.0, bandwidth_budget_bps=60)
+        ] * 2
+        engines = build_engines(frames=20, configs=configs)
+        mesh = EngineMesh(engines)
+        mesh.start()
+        mesh.run()
+        assert sum(
+            e.runtime.metrics.net_budget_deferrals.value for e in engines
+        ) > 0
+        for site in range(2):
+            assert len(mesh.presents(f"site{site}")) == 20
+        traces = [engine.runtime.trace for engine in engines]
+        assert list(traces[0].checksums) == list(traces[1].checksums)
+
+
+class TestLegacyPeerRejection:
+    """A v1 site can never join (or desync) a v2 session."""
+
+    def _legacy_hello(self, runtime):
+        # Digest-valid HELLO: proves the rejection is the codec version,
+        # not a config mismatch.
+        return encode_v1(
+            Hello(
+                sender_site=1,
+                session_id=runtime.session_id,
+                game_id=game_digest("counter"),
+                config_digest=config_digest(runtime.config),
+            )
+        )
+
+    def test_v1_hello_rejected_observably(self):
+        configs = [SyncConfig(slice_delay=0.0, handshake_timeout_s=0.5)] * 2
+        engines = build_engines(frames=10, configs=configs)
+        master = engines[0]
+        effects = master.start(0.0)
+        raw = self._legacy_hello(master.runtime)
+        now = 0.01
+        while not master.done and now < 2.0:
+            effects += master.handle(DatagramReceived(raw, now, now))
+            deadline = master.next_deadline()
+            now = max(now + 0.01, deadline if deadline is not None else now)
+            effects += master.poll(now)
+
+        # Never welcomed, never crashed, never desynced — the master sat
+        # out its handshake window and terminated cleanly.
+        assert not any(
+            isinstance(e, Send) and contains(e.payload, Welcome)
+            for e in effects
+        )
+        assert not master.runtime.session.all_joined
+        assert master.done and master.termination == "handshake-timeout"
+        # The rejection is observable: counted and carried in the trace.
+        assert master.runtime.metrics.net_decode_errors.value > 0
+        errors = [
+            r for r in master.runtime.events if r.kind == "decode_error"
+        ]
+        assert errors
+        assert "version 1" in str(errors[0].detail["error"])

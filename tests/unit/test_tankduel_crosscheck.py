@@ -1,7 +1,5 @@
 """Frame-exact cross-validation of the Tank Duel ROM vs its Python oracle."""
 
-import pytest
-
 from repro.core.inputs import Buttons, PadSource, RandomSource, pack_buttons
 from repro.emulator.machine import create_game
 

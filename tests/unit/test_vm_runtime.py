@@ -43,10 +43,12 @@ class TestHandleDatagram:
         ping = Ping(sender_site=1, session_id=1, seq=5, timestamp_us=to_micros(1.0))
         replies = runtime.handle_datagram(ping.encode(), 1.02, 1.02)
         assert len(replies) == 1
-        payload, destination = replies[0]
+        pong, destination = replies[0]
         assert destination == "site1"
-        pong = decode(payload)
         assert isinstance(pong, Pong)
+        # Replies stay as message objects; the engine's outbox encodes (and
+        # possibly batches) them.  Round-trip one to prove it stays valid.
+        assert decode(pong.encode()) == pong
         assert pong.seq == 5
         assert pong.echo_timestamp_us == ping.timestamp_us
 

@@ -1,0 +1,119 @@
+"""Cross-version golden tests: the retained v1 codec vs the live v2 one.
+
+``repro.core.wire_v1`` is the legacy fixed-width encoding, kept only as a
+reference implementation.  These tests pin three contracts:
+
+* the v1 codec still round-trips every message type (so it remains a
+  trustworthy baseline for size benchmarks),
+* encoding with either codec and decoding with the same codec yields the
+  same message — field-for-field — so the two codecs describe the same
+  protocol, only the bytes differ,
+* v1 bytes arriving at a v2 site always raise :class:`DecodeError` with
+  an error naming the legacy version (the HELLO-time rejection path), and
+  v2 bytes are equally unreadable to a v1 site.
+"""
+
+import pytest
+
+from repro.core.messages import (
+    Bye,
+    DecodeError,
+    Hello,
+    Ping,
+    Pong,
+    Resume,
+    Start,
+    StartAck,
+    StateRequest,
+    StateSnapshot,
+    Sync,
+    Welcome,
+    decode,
+)
+from repro.core.wire_v1 import decode_v1, encode_v1
+
+
+def sample_messages():
+    """One representative instance of every wire message type."""
+    return [
+        Hello(1, 7, game_id=0xDEADBEEF, config_digest=0x12345678),
+        Welcome(0, 7, assigned_site=1, num_sites=4),
+        Start(0, 7),
+        StartAck(1, 7),
+        Sync(1, 7, acks=[120, 118], first_frame=119, inputs=[0, 3, 0xFFFF]),
+        Sync(1, 7, acks=[120, 118], first_frame=121),  # pure ack
+        Ping(1, 7, seq=42, timestamp_us=1_234_567),
+        Pong(0, 7, seq=42, echo_timestamp_us=1_234_567),
+        StateRequest(2, 7),
+        StateSnapshot(0, 7, frame=300, state=b"\x00\x01machine", backlog=[[1, 2], []]),
+        Bye(1, 7),
+        Resume(1, 7, last_acked_frame=250),
+    ]
+
+
+class TestV1RoundTrip:
+    @pytest.mark.parametrize(
+        "message", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_v1_codec_round_trips(self, message):
+        assert decode_v1(encode_v1(message)) == message
+
+    @pytest.mark.parametrize(
+        "message", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_codecs_agree_on_fields(self, message):
+        """Same message through either codec decodes to the same message."""
+        via_v1 = decode_v1(encode_v1(message))
+        via_v2 = decode(message.encode())
+        assert via_v1 == via_v2
+        assert type(via_v1) is type(via_v2)
+        assert via_v1.sender_site == via_v2.sender_site
+        assert via_v1.session_id == via_v2.session_id
+
+    def test_sync_payload_fields_survive_both_codecs(self):
+        message = Sync(1, 7, acks=[120, 118], first_frame=119, inputs=[0, 3, 9])
+        for codec_decode, codec_encode in ((decode_v1, encode_v1), (decode, Sync.encode)):
+            twin = codec_decode(codec_encode(message))
+            assert twin.acks == [120, 118]
+            assert twin.first_frame == 119
+            assert list(twin.inputs) == [0, 3, 9]
+
+
+class TestVersionRejection:
+    @pytest.mark.parametrize(
+        "message", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_v1_bytes_rejected_by_v2_decoder(self, message):
+        with pytest.raises(DecodeError, match="version 1"):
+            decode(encode_v1(message))
+
+    @pytest.mark.parametrize(
+        "message", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_v2_bytes_rejected_by_v1_decoder(self, message):
+        with pytest.raises(DecodeError):
+            decode_v1(message.encode())
+
+    def test_v1_rejection_is_an_error_not_a_misparse(self):
+        """A legacy HELLO must never decode into *some* v2 message."""
+        hello = Hello(1, 7, game_id=1, config_digest=2)
+        raw = encode_v1(hello)
+        with pytest.raises(DecodeError, match="legacy"):
+            decode(raw)
+
+
+class TestSizeComparison:
+    def test_v2_sync_is_under_half_the_v1_size(self):
+        """The headline claim: an 8-frame two-site SYNC shrinks >2x."""
+        message = Sync(
+            0, 1, acks=[100, 95], first_frame=96, inputs=[1, 0, 3, 2, 1, 0, 1, 3]
+        )
+        v1_size = len(encode_v1(message))
+        v2_size = len(message.encode())
+        assert v1_size == 62  # the legacy layout, pinned
+        assert v2_size < v1_size / 2
+
+    def test_pure_ack_sync_is_tiny(self):
+        message = Sync(0, 1, acks=[100, 95], first_frame=101)
+        assert len(message.encode()) <= 10
+        assert len(encode_v1(message)) == 30
