@@ -146,6 +146,31 @@ def test_console_checksum_throughput(benchmark):
     assert cold_us < 50.0, f"cold checksum took {cold_us:.1f} us (budget 50)"
 
 
+def test_timeline_collector_throughput(benchmark):
+    """Frame-latency attribution hot path: one capture note, stamp,
+    coverage mark, gate-open and present per frame.  This is everything
+    the engine adds per frame when FEATURE_TIMELINE is on (histogram/SLO
+    analysis is deferred to scrape time), so it must be microseconds —
+    the run_bench.py gate holds hooks + stamp codec under 2% of total
+    per-frame session cost."""
+    from repro.obs.timeline import TimelineCollector
+
+    tpf = 1 / 60
+
+    def attribute_frames():
+        collector = TimelineCollector(tpf)
+        for frame in range(300):
+            now = frame * tpf
+            collector.on_local_capture(frame + 6, now)
+            collector.on_stamp(1, frame, now - 0.030, now - 0.035)
+            collector.on_remote_frames(1, frame, frame, now + 0.001, now + 0.0015)
+            collector.on_gate_open(frame, now + 0.002)
+            collector.on_present(frame, now + 0.003)
+        collector.fresh.clear()
+
+    benchmark(attribute_frames)
+
+
 def test_console_savestate_throughput(benchmark):
     console = create_game("pong")
     for frame in range(10):

@@ -26,12 +26,14 @@ from repro.metrics.bench import (
     SEED_BASELINE,
     check_bandwidth,
     check_block_fps,
+    check_timeline_overhead,
     measure_bandwidth_profile,
     measure_block_stats,
     measure_game_fps,
     measure_lockstep_roundtrips,
     measure_rollback_session,
     measure_snapshot_costs,
+    measure_timeline_overhead,
     verify_block_parity,
     write_bench_json,
 )
@@ -99,6 +101,18 @@ def run(quick: bool) -> dict:
         ).items()
     }
 
+    timeline_overhead = {
+        name: {
+            key: round(value, 3)
+            for key, value in measure_timeline_overhead(
+                game=name,
+                frames=60 if quick else 360,
+                repeats=1 if quick else 2,
+            ).items()
+        }
+        for name in ("pong", "tankduel")
+    }
+
     return {
         "quick": quick,
         "game_fps": game_fps,
@@ -110,6 +124,7 @@ def run(quick: bool) -> dict:
         "snapshot": snapshot,
         "rollback_session": rollback,
         "bandwidth": bandwidth,
+        "timeline_overhead": timeline_overhead,
     }
 
 
@@ -164,6 +179,16 @@ def summarize(results: dict) -> str:
         f"{bw['sent_Bps']:.0f} B/s/site sent  "
         f"(v2 baseline {BANDWIDTH_BASELINE_BPS:.0f})"
     )
+    lines.append("-- timeline attribution overhead (added us vs frame cost) --")
+    for name, row in sorted(results["timeline_overhead"].items()):
+        lines.append(
+            f"  {name:12s} frame={row['frame_us']:.0f}us  "
+            f"added={row['added_us']:.1f}us "
+            f"(hooks={row['hooks_us']:.1f} stamp={row['stamp_us']:.1f} "
+            f"drain@scrape={row['drain_us']:.1f})  "
+            f"overhead={row['overhead_fraction']:.2%}  "
+            f"[fps off={row['fps_off']:.0f} on={row['fps_on']:.0f}]"
+        )
     return "\n".join(lines)
 
 
@@ -197,6 +222,12 @@ def main(argv=None) -> int:
         # only full runs gate.
         problems = check_block_fps(results["block_fps"])
         problems += check_bandwidth(results["bandwidth"]["sent_Bps"])
+        problems += check_timeline_overhead(
+            {
+                name: row["overhead_fraction"]
+                for name, row in results["timeline_overhead"].items()
+            }
+        )
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
         if problems:

@@ -314,6 +314,104 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Run a timeline-attributed two-site session and dump a Chrome trace.
+
+    ``--check`` is the CI smoke: the trace must be parseable JSON, at
+    least 95% of presented frames must carry all seven timeline points,
+    and the clock-offset estimate must stay within 10% of the one-way
+    delay (the simulator's true offset is zero).
+    """
+    import dataclasses
+
+    from repro.obs.timeline import STAGES, chrome_trace
+
+    rtt = args.rtt / 1000.0
+    config = dataclasses.replace(SyncConfig.paper_defaults(), timeline=True)
+    plan = two_player_plan(
+        config,
+        machine_factory=lambda: create_game(args.game),
+        sources=[
+            PadSource(RandomSource(args.seed), player=0),
+            PadSource(RandomSource(args.seed + 1), player=1),
+        ],
+        game_id=args.game,
+        max_frames=args.frames,
+        seed=args.seed,
+    )
+    session = build_session(plan, NetemConfig(delay=rtt / 2, loss=args.loss))
+    session.run(horizon=3600.0)
+
+    collectors = {vm.runtime.site_no: vm.runtime.timeline for vm in session.vms}
+    trace = chrome_trace(collectors, session_id=plan.session_id)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+
+    one_way = rtt / 2
+    problems: List[str] = []
+    print(
+        f"timeline: {args.game}, {args.frames} frames, "
+        f"{args.rtt:.0f} ms RTT, {args.loss:.0%} loss -> {args.out}"
+    )
+    for vm in session.vms:
+        runtime = vm.runtime
+        collector = runtime.timeline
+        complete = collector.complete_fraction()
+        offsets = {
+            peer: align.offset
+            for peer, align in runtime.clocks.items()
+            if align.aligned
+        }
+        print(f"site {runtime.site_no}: {len(collector.ring)} frames attributed, "
+              f"{complete:.1%} with all {len(STAGES)} points")
+        for name, row in sorted(collector.stage_summary().items()):
+            print(
+                f"    {name:8s} mean {row['mean'] * 1000:7.2f} ms   "
+                f"p95 {row['p95'] * 1000:7.2f} ms   "
+                f"max {row['max'] * 1000:7.2f} ms"
+            )
+        if complete < 0.95:
+            problems.append(
+                f"site {runtime.site_no}: only {complete:.1%} of frames "
+                f"carry all seven points (need 95%)"
+            )
+        if not offsets:
+            problems.append(f"site {runtime.site_no}: no peer clock aligned")
+        for peer, offset in sorted(offsets.items()):
+            if abs(offset) > 0.10 * one_way:
+                problems.append(
+                    f"site {runtime.site_no}: offset to site {peer} is "
+                    f"{offset * 1000:.2f} ms, over 10% of the "
+                    f"{one_way * 1000:.0f} ms one-way delay"
+                )
+
+    if args.check:
+        with open(args.out, "r", encoding="utf-8") as handle:
+            parsed = json.load(handle)
+        events = parsed.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            problems.append(f"{args.out}: no traceEvents array")
+        else:
+            spans = [e for e in events if e.get("ph") == "X"]
+            bad = [
+                e for e in spans
+                if not (isinstance(e.get("ts"), (int, float))
+                        and isinstance(e.get("dur"), (int, float))
+                        and e.get("dur") >= 0)
+            ]
+            if bad:
+                problems.append(f"{args.out}: {len(bad)} malformed span events")
+            if not spans:
+                problems.append(f"{args.out}: no span events in the trace")
+        if problems:
+            for problem in problems:
+                print(f"  FAIL {problem}", file=sys.stderr)
+            return 1
+        print("  trace parseable, frames attributed, clocks aligned")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validate import validate_file
 
@@ -451,6 +549,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--frames", type=int, default=240)
     chaos.add_argument("--seed", type=int, default=7)
     chaos.set_defaults(fn=cmd_chaos)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="run a timeline-attributed session, write a Perfetto-loadable "
+        "Chrome trace and print the per-stage latency breakdown",
+    )
+    timeline.add_argument("--game", default="pong")
+    timeline.add_argument("--frames", type=int, default=600)
+    timeline.add_argument("--seed", type=int, default=7)
+    timeline.add_argument("--rtt", type=float, default=120.0, help="round trip, ms")
+    timeline.add_argument("--loss", type=float, default=0.02)
+    timeline.add_argument("--out", "-o", default="frame-timeline.json")
+    timeline.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke: fail unless the trace parses, >=95%% of frames "
+        "carry all seven points and clock offset stays under 10%% of "
+        "the one-way delay",
+    )
+    timeline.set_defaults(fn=cmd_timeline)
 
     validate = sub.add_parser(
         "validate", help="check a results.json against the paper's claims"

@@ -109,6 +109,22 @@ class SyncConfig:
     #: dropped.  ``None`` disables budgeting entirely.
     bandwidth_budget_bps: Optional[int] = None
 
+    #: Frame-latency attribution (the ``repro.obs.timeline`` layer).  When
+    #: enabled the site advertises FEATURE_TIMELINE in its HELLO, appends a
+    #: STAMP annotation to each input-carrying flush, answers pings with
+    #: extended (clock-bearing) pongs, and assembles per-frame stage
+    #: breakdowns.  Off by default: the annotation costs a few hundred
+    #: bytes/second per peer, and the default profile is the bandwidth
+    #: baseline the bench gates against.  The knob is deliberately *not*
+    #: part of the config digest — the feature negotiates per session, so
+    #: a timeline site interoperates with a plain v2 peer.
+    timeline: bool = False
+
+    #: End-to-end (capture→present) latency budget for the SLO scorer, in
+    #: seconds.  ``None`` derives the paper's implied budget: the local
+    #: lag plus two frame periods of pacing slack.
+    slo_budget_s: Optional[float] = None
+
     def __post_init__(self) -> None:
         if self.cfps <= 0:
             raise ValueError(f"cfps must be positive, got {self.cfps}")
@@ -137,6 +153,8 @@ class SyncConfig:
             raise ValueError("suspend_backoff_max_s must be >= the initial backoff")
         if self.bandwidth_budget_bps is not None and self.bandwidth_budget_bps <= 0:
             raise ValueError("bandwidth_budget_bps must be positive or None")
+        if self.slo_budget_s is not None and self.slo_budget_s <= 0:
+            raise ValueError("slo_budget_s must be positive or None")
 
     @property
     def time_per_frame(self) -> float:
@@ -147,6 +165,25 @@ class SyncConfig:
     def local_lag(self) -> float:
         """Local lag in seconds (the paper's ~100 ms)."""
         return self.buf_frame * self.time_per_frame
+
+    @property
+    def slo_budget(self) -> float:
+        """Effective capture→present budget for the SLO health scorer.
+
+        The local-lag design absorbs one-way delay inside ``buf_frame``
+        frames; a healthy frame presents within that lag plus a couple of
+        frame periods of send batching and pacing slack.
+        """
+        if self.slo_budget_s is not None:
+            return self.slo_budget_s
+        return self.local_lag + 2.0 * self.time_per_frame
+
+    @property
+    def features(self) -> int:
+        """Wire feature bits this configuration advertises in HELLO."""
+        from repro.core.messages import FEATURE_TIMELINE
+
+        return FEATURE_TIMELINE if self.timeline else 0
 
     @classmethod
     def paper_defaults(cls) -> "SyncConfig":

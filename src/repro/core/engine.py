@@ -63,6 +63,7 @@ from repro.core.inputs import InputAssignment, InputSource
 from repro.core.liveness import PeerLiveness
 from repro.core.lockstep import LockstepSync
 from repro.core.messages import (
+    FEATURE_TIMELINE,
     MAX_BATCH_BYTES,
     DecodeError,
     Message,
@@ -74,15 +75,19 @@ from repro.core.messages import (
     Sync,
     decode_all,
     encode_packet,
+    from_stamp_ticks,
     pack_batch,
+    stamp_ticks,
     uvarint_len,
 )
 from repro.core.pacing import FramePacer
-from repro.core.rtt import RttEstimator
+from repro.core.rtt import ClockAlign, RttEstimator, from_micros
 from repro.core.session import SessionControl, SessionError
 from repro.metrics.recorder import FrameTrace
 from repro.metrics.timeserver import encode_report
 from repro.obs.site import SiteMetrics
+from repro.obs.slo import SloScorer
+from repro.obs.timeline import TimelineCollector
 from repro.obs.trace import EventTrace
 
 
@@ -153,6 +158,15 @@ class SiteRuntime:
         #: Telemetry: counters/histograms plus the protocol event ring.
         self.metrics = SiteMetrics(site_no, session_id)
         self.events = EventTrace()
+        #: Per-peer NTP-style clock alignment, fed by extended pongs.
+        self.clocks: Dict[int, ClockAlign] = {
+            site: ClockAlign(config.rtt_alpha) for site in self.peer_sites
+        }
+        #: Frame-latency attribution (hooks are no-ops unless
+        #: ``config.timeline``; wire annotations additionally require the
+        #: feature to have been *negotiated* for the session).
+        self.timeline = TimelineCollector(config.time_per_frame)
+        self.slo = SloScorer(config)
         #: Last-heard timestamps per peer, fed by every authenticated
         #: datagram (no dedicated heartbeat; see :mod:`repro.core.liveness`).
         self.liveness = PeerLiveness(self.peer_sites, config.liveness_timeout_s)
@@ -164,6 +178,13 @@ class SiteRuntime:
         self._pending_resume: Optional[int] = None
         #: Latest received savestate (consumed by the late-join engine).
         self.latest_snapshot: Optional[StateSnapshot] = None
+
+    @property
+    def timeline_negotiated(self) -> bool:
+        """True when FEATURE_TIMELINE was granted for this session —
+        the precondition for emitting STAMPs and extended pongs (a plain
+        v2 peer's decoder rejects any batch containing an unknown type)."""
+        return bool(self.session.session_features & FEATURE_TIMELINE)
 
     # ------------------------------------------------------------------
     # Receive path (shared by all drivers)
@@ -216,6 +237,11 @@ class SiteRuntime:
                 if self.site_no < len(message.acks)
                 else None,
             )
+            sender_site = message.sender_site
+            in_range = 0 <= sender_site < self.lockstep.num_sites
+            prev_covered = (
+                self.lockstep.last_rcv_frame[sender_site] if in_range else 0
+            )
             try:
                 # on_sync resolves an implied-mask SYNC against the sender's
                 # input assignment; a width/range mismatch is a wire-level
@@ -224,6 +250,30 @@ class SiteRuntime:
             except DecodeError as exc:
                 self.metrics.net_decode_errors.inc()
                 self.events.emit("decode_error", now, self.frame, error=str(exc))
+                return replies
+            if self.config.timeline and in_range and sender_site != self.site_no:
+                new_covered = self.lockstep.last_rcv_frame[sender_site]
+                if new_covered > prev_covered:
+                    # The frames this window *newly* covered: the datagram
+                    # that first covers a frame is the one that delivered
+                    # it, so its arrival/decode times are that frame's
+                    # p2/p3 timeline points.
+                    self.timeline.on_remote_frames(
+                        sender_site, prev_covered + 1, new_covered, arrived_at, now
+                    )
+                stamp = message.stamp
+                if stamp is not None:
+                    align = self.clocks.get(sender_site)
+                    if align is not None and align.aligned:
+                        # Map the sender's flush clock onto our timebase;
+                        # the capture delta back-dates to the pad sample.
+                        send_local = align.to_local(from_stamp_ticks(stamp[0]))
+                        self.timeline.on_stamp(
+                            sender_site,
+                            message.last_frame,
+                            send_local,
+                            send_local - from_stamp_ticks(stamp[1]),
+                        )
             return replies
         self.events.emit(
             "rx",
@@ -233,12 +283,25 @@ class SiteRuntime:
             peer=getattr(message, "sender_site", None),
         )
         if isinstance(message, Ping):
-            pong = RttEstimator.make_pong(message, self.site_no)
+            # Under FEATURE_TIMELINE the pong carries our clock too,
+            # upgrading the exchange to a full NTP-style offset probe.
+            pong = RttEstimator.make_pong(
+                message,
+                self.site_no,
+                now=now if self.timeline_negotiated else None,
+            )
             destination = self.address_of.get(message.sender_site)
             if destination is not None:
                 replies.append((pong, destination))
         elif isinstance(message, Pong):
             self.rtt.on_pong(message, now)
+            align = self.clocks.get(message.sender_site)
+            if message.remote_timestamp_us is not None and align is not None:
+                align.on_sample(
+                    from_micros(message.echo_timestamp_us),
+                    from_micros(message.remote_timestamp_us),
+                    now,
+                )
             if self.config.adaptive_lag and self.rtt.samples:
                 self._adapt_lag(now)
         elif isinstance(message, StateRequest):
@@ -309,10 +372,15 @@ class SiteRuntime:
         return out
 
     def sync_broadcast(
-        self, force: bool = False, now: float = 0.0
+        self, now: float, force: bool = False
     ) -> List[Tuple[Message, str]]:
-        """The flush: per-peer sd messages (lines 7–11, N-site form)."""
+        """The flush: per-peer sd messages (lines 7–11, N-site form).
+
+        ``now`` is required (it lands in trace records and stamp clocks,
+        so a defaulted zero would corrupt the shared timebase).
+        """
         out: List[Tuple[Message, str]] = []
+        send_ticks = stamp_ticks(now) if self.timeline_negotiated else None
         for peer, message in self.lockstep.build_all(force=force).items():
             self.events.emit(
                 "tx",
@@ -323,6 +391,14 @@ class SiteRuntime:
                 first=message.first_frame,
                 last=message.last_frame,
             )
+            if send_ticks is not None and message.input_count:
+                # Annotate the window with our flush clock and the age of
+                # its newest input (two uvarints inside the SYNC itself).
+                captured = self.timeline.capture_time(message.last_frame)
+                message.annotate(
+                    send_ticks,
+                    stamp_ticks(now - captured) if captured is not None else 0,
+                )
             out.append((message, self.address_of[peer]))
         return out
 
@@ -334,7 +410,7 @@ class SiteRuntime:
             out.append((self.rtt.make_ping(now), self.address_of[site]))
         return out
 
-    def _adapt_lag(self, now: float = 0.0) -> None:
+    def _adapt_lag(self, now: float) -> None:
         """Resize local lag to the current one-way estimate (§4.2's rejected
         alternative, implemented for the ablation)."""
         import math
@@ -372,20 +448,68 @@ class SiteRuntime:
             now, self.frame, self.lockstep.master_sample, self.rtt.rtt
         )
 
-    def get_and_buffer_input(self) -> None:
+    def get_and_buffer_input(self, now: Optional[float] = None) -> None:
         """GetInput + Algorithm 2 lines 1–5.
 
         Sources must produce bits already positioned in the full input word
         (wrap pad-byte sources in :class:`~repro.core.inputs.PadSource`).
+        ``now`` feeds the timeline's capture record (the p0 a STAMP will
+        later carry to peers); None skips that bookkeeping.
         """
         local_bits = self.source.get(self.frame)
         self.lockstep.buffer_local_input(self.frame, local_bits)
+        if now is not None:
+            self.note_capture(now)
+
+    def note_capture(self, now: float) -> None:
+        """Record when the newest buffered own-input slot was sampled."""
+        if self.config.timeline:
+            self.timeline.on_local_capture(
+                self.lockstep.last_rcv_frame[self.site_no], now
+            )
 
     def try_deliver(self) -> Optional[int]:
         """The line-21 exit check: merged input if ready, else None."""
         if self.lockstep.can_deliver():
             return self.lockstep.deliver()
         return None
+
+    def on_gate_open(self, now: float) -> None:
+        """Timeline p4: SyncInput released the current frame."""
+        if self.config.timeline:
+            self.timeline.on_gate_open(self.frame, now)
+
+    def on_present(self, frame: int, now: float) -> None:
+        """Timeline p5/p6: ``frame`` committed — finalize its record.
+
+        Analysis (stage histograms, SLO scoring) is deferred to
+        :meth:`drain_timeline` so the frame loop only pays for record
+        assembly; the length check is a backstop for sessions nobody
+        scrapes for half a minute.
+        """
+        if not self.config.timeline:
+            return
+        self.timeline.on_present(frame, now)
+        if len(self.timeline.fresh) >= 2048:
+            self.drain_timeline()
+
+    def drain_timeline(self) -> None:
+        """Feed finalized records to the histograms and the SLO scorer.
+
+        Called at scrape time (``SiteMetrics.refresh``) rather than per
+        frame — the flight-recorder split: the hot path appends, the
+        scrape path analyzes.  Order is preserved, so the SLO window sees
+        frames exactly as a per-frame feed would have.
+        """
+        fresh = self.timeline.fresh
+        if not fresh:
+            return
+        observe = self.metrics.on_frame_latency
+        score = self.slo.observe
+        for record in fresh:
+            observe(record)
+            score(record)
+        del fresh[:]
 
     def run_transition(self, merged_input: int, stall: float, sync_adjust: float) -> None:
         """Transition + present: step the machine and record the trace."""
@@ -586,7 +710,10 @@ def _send_priority(message: Message) -> int:
     """Budget drop order: higher numbers are shed first.
 
     0 = control (handshake, state transfer, RESUME, BYE) — never dropped;
-    1 = SYNC carrying inputs; 2 = pure-ack SYNC; 3 = PING/PONG.
+    1 = SYNC carrying inputs; 2 = pure-ack SYNC; 3 = PING/PONG
+    (telemetry sheds first).  Timeline stamps ride *inside* input-carrying
+    SYNCs, so they share that SYNC's fate — a deferred window simply
+    carries a fresh stamp when it is rebuilt.
     """
     if isinstance(message, Sync):
         return 1 if message.input_count else 2
@@ -782,6 +909,9 @@ class SiteEngine:
         snap["done"] = self.done
         snap["termination"] = self.termination
         snap["trace_records"] = len(self.runtime.events)
+        if self.runtime.config.timeline:
+            snap["slo"] = self.runtime.slo.snapshot()
+            snap["timeline_records"] = len(self.runtime.timeline.ring)
         return snap
 
     # ------------------------------------------------------------------
@@ -951,7 +1081,16 @@ class SiteEngine:
             self._arm_send(now, effects)
         elif kind == TIMER_PING:
             self._outbox.extend(self.runtime.ping_messages(now))
-            self._set(TIMER_PING, now + self.runtime.config.ping_interval, effects)
+            interval = self.runtime.config.ping_interval
+            if self.runtime.timeline_negotiated and any(
+                not align.aligned for align in self.runtime.clocks.values()
+            ):
+                # Clock alignment bootstraps off PONG timestamps; probe
+                # fast until every peer has yielded a first sample (the
+                # very first exchange can race START and come back plain),
+                # then settle to the steady cadence.
+                interval = min(interval, 0.1)
+            self._set(TIMER_PING, now + interval, effects)
         elif kind == TIMER_RETRY:
             if self.phase == PHASE_HANDSHAKE:
                 if (
@@ -1089,20 +1228,21 @@ class SiteEngine:
                         self.time_server_address,
                     )
                 )
-            self._sample_input()
+            self._sample_input(now)
             self._stall_started = now
             self._stalled = False
             self.phase = PHASE_GATE
             if not self._check_gate(now, effects):
                 return
 
-    def _sample_input(self) -> None:
+    def _sample_input(self, now: float) -> None:
         """GetInput: a pushed ``InputSampled`` word wins over the source."""
         bits = self._sampled.pop(self.runtime.frame, None)
         if bits is None:
-            self.runtime.get_and_buffer_input()
+            self.runtime.get_and_buffer_input(now)
         else:
             self.runtime.lockstep.buffer_local_input(self.runtime.frame, bits)
+            self.runtime.note_capture(now)
 
     def _check_gate(self, now: float, effects: List[Effect]) -> bool:
         """SyncInput's blocking check (lines 6–21).  True: the frame
@@ -1146,6 +1286,7 @@ class SiteEngine:
             effects.append(Resumed(self.runtime.frame, 0.0))
         self._merged = merged
         self._stall = now - self._stall_started
+        self.runtime.on_gate_open(now)
         if self.frame_compute_time > 0:
             self.phase = PHASE_COMPUTE
             self._set(TIMER_COMPUTE, now + self.frame_compute_time, effects)
@@ -1285,6 +1426,7 @@ class SiteEngine:
         """Transition + present for one frame."""
         frame = self.runtime.frame
         self.runtime.run_transition(merged, stall, sync_adjust)
+        self.runtime.on_present(frame, now)
         effects.append(Present(frame, merged))
 
     def _frames_done(self) -> bool:
@@ -1294,7 +1436,7 @@ class SiteEngine:
     # Late-join donor duties (outside the hot path in spirit)
     # ------------------------------------------------------------------
     def _serve_state(
-        self, requester_site: int, effects: List[Effect], now: float = 0.0
+        self, requester_site: int, effects: List[Effect], now: float
     ) -> None:
         """Send a savestate to a late joiner (journal extension).
 

@@ -58,6 +58,31 @@ MAX_BATCH_BYTES = 1200
 
 _MIN_HEADER = 5  # magic(2) + version/type(1) + sender(>=1) + session(>=1)
 
+#: Feature bits advertised in HELLO and granted session-wide in START.
+#: A zero feature word is *omitted* from the wire, so a build that knows
+#: no features encodes byte-identically to the pre-feature v2 layout —
+#: that is the whole interop story: v2-plain peers neither send nor see
+#: the field, and feature-dependent traffic (stamped SYNC, extended
+#: PONG) is only emitted toward peers that negotiated it.
+FEATURE_TIMELINE = 0x01
+
+#: Stamp timestamps are carried in coarse ticks so the annotation stays
+#: 2–4 bytes for session-length clock values (64 µs resolution is two
+#: orders of magnitude below one frame at 60 cfps).
+STAMP_TICK_US = 64
+
+
+def stamp_ticks(seconds: float) -> int:
+    """A clock reading in stamp wire ticks (non-negative, rounded)."""
+    # Inline arithmetic (no round()/max() calls): this runs once per flush
+    # on the send path.
+    return int(seconds * (1_000_000 / STAMP_TICK_US) + 0.5) if seconds > 0 else 0
+
+
+def from_stamp_ticks(ticks: int) -> float:
+    """STAMP wire ticks back to seconds."""
+    return ticks * STAMP_TICK_US / 1_000_000
+
 
 class DecodeError(ValueError):
     """Raised when a datagram is not a well-formed sync-module message."""
@@ -229,19 +254,29 @@ class Hello(Message):
     session_id: int
     game_id: int  # digest of the game image; both sides must match (§2)
     config_digest: int  # digest of SyncConfig; a mismatch would desync pacing
+    #: Optional feature bits the joiner supports (FEATURE_*).  Zero is
+    #: omitted from the wire, keeping pre-feature encodings byte-identical.
+    features: int = 0
 
     def _encode_body(self) -> bytes:
         out = bytearray()
         append_uvarint(out, self.game_id)
         append_uvarint(out, self.config_digest)
+        if self.features:
+            append_uvarint(out, self.features)
         return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Hello":
         game_id, offset = read_uvarint(body, 0, "HELLO game id")
         config_digest, offset = read_uvarint(body, offset, "HELLO config digest")
+        features = 0
+        if offset < len(body):
+            features, offset = read_uvarint(body, offset, "HELLO features")
+            if features == 0:
+                raise DecodeError("HELLO zero feature word must be omitted")
         _expect_end(body, offset, "HELLO")
-        return cls(sender_site, session_id, game_id, config_digest)
+        return cls(sender_site, session_id, game_id, config_digest, features)
 
 
 @dataclass
@@ -277,21 +312,38 @@ class Start(Message):
     same time, with at most one round-trip time deviation" — achieved by
     sending START to everyone in one burst and starting locally at the same
     instant.
+
+    START is also where optional features are *granted*: the master ANDs
+    its own feature word with every joiner's HELLO advertisement and
+    broadcasts the intersection, so all sites — including joiner↔joiner
+    pairs that never exchanged a handshake directly — agree on the same
+    session-wide feature set before frame 0.  Zero is omitted from the
+    wire (byte-identical to the pre-feature encoding).
     """
 
     TYPE_ID: ClassVar[int] = 3
 
     sender_site: int
     session_id: int
+    #: Session-wide granted feature bits (intersection of all HELLOs).
+    features: int = 0
 
     def _encode_body(self) -> bytes:
-        return b""
+        if not self.features:
+            return b""
+        out = bytearray()
+        append_uvarint(out, self.features)
+        return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Start":
+        features = 0
         if body:
-            raise DecodeError("START carries no body")
-        return cls(sender_site, session_id)
+            features, offset = read_uvarint(body, 0, "START features")
+            if features == 0:
+                raise DecodeError("START zero feature word must be omitted")
+            _expect_end(body, offset, "START")
+        return cls(sender_site, session_id, features)
 
 
 @dataclass
@@ -316,9 +368,15 @@ class StartAck(Message):
 #: SYNC head-byte flag: the input mask is implied by the sender's input
 #: assignment rather than carried on the wire (the common case).
 _SYNC_MASK_IMPLIED = 0x80
+#: SYNC head-byte flag: a timeline stamp (two uvarint tick fields) follows
+#: the ack vector.  Only emitted toward peers that negotiated
+#: FEATURE_TIMELINE — a pre-feature decoder folds the bit into its ack
+#: count and rejects the message.
+_SYNC_STAMPED = 0x40
 #: Decode guards: far beyond anything a real session produces, but they
-#: bound allocations for hostile datagrams.
-_MAX_ACKS = 64
+#: bound allocations for hostile datagrams.  Ack counts keep to the low
+#: six head-byte bits so the two flags above stay unambiguous.
+_MAX_ACKS = 63
 _MAX_SYNC_INPUTS = 1 << 16
 _MAX_CELL_WIDTH = 8  # inputs are at most 64-bit words
 
@@ -367,6 +425,7 @@ class Sync(Message):
         self._width = 0
         self._input_mask: Optional[int] = None
         self._implied = False
+        self._stamp: Optional[Tuple[int, int]] = None
 
     @classmethod
     def from_packed(
@@ -393,7 +452,25 @@ class Sync(Message):
         self._width = cell_width(input_mask) if width is None else width
         self._input_mask = input_mask
         self._implied = implied
+        self._stamp = None
         return self
+
+    @property
+    def stamp(self) -> Optional[Tuple[int, int]]:
+        """Timeline annotation ``(send_ticks, capture_ticks)`` or None.
+
+        ``send_ticks`` is the sender's clock at flush time in
+        :data:`STAMP_TICK_US` ticks; ``capture_ticks`` is how long before
+        the flush the window's newest input was sampled from the pad.
+        The annotated frame is implicitly :attr:`last_frame`.
+        """
+        return self._stamp
+
+    def annotate(self, send_ticks: int, capture_ticks: int) -> None:
+        """Attach the FEATURE_TIMELINE stamp (input-carrying SYNCs only)."""
+        if not self._count:
+            raise ValueError("cannot stamp a pure-ack SYNC")
+        self._stamp = (send_ticks, capture_ticks)
 
     @property
     def input_count(self) -> int:
@@ -472,9 +549,15 @@ class Sync(Message):
         head = num_acks
         if self._implied and self._count:
             head |= _SYNC_MASK_IMPLIED
+        stamp = self._stamp
+        if stamp is not None:
+            head |= _SYNC_STAMPED
         out.append(head)
         for ack in self.acks:
             append_svarint(out, ack - self.first_frame)
+        if stamp is not None:
+            append_uvarint(out, stamp[0])
+            append_uvarint(out, stamp[1])
         if self._count == 0:
             return bytes(out)
         append_uvarint(out, self._count)
@@ -512,17 +595,25 @@ class Sync(Message):
         head = body[offset]
         offset += 1
         implied = bool(head & _SYNC_MASK_IMPLIED)
-        num_acks = head & 0x7F
-        if num_acks > _MAX_ACKS:
-            raise DecodeError(f"implausible ack count {num_acks}")
+        stamped = bool(head & _SYNC_STAMPED)
+        num_acks = head & 0x3F
         acks = []
         for __ in range(num_acks):
             delta, offset = read_svarint(body, offset, "SYNC ack")
             acks.append(first_frame + delta)
+        stamp: Optional[Tuple[int, int]] = None
+        if stamped:
+            send_ticks, offset = read_uvarint(body, offset, "SYNC stamp send")
+            capture_ticks, offset = read_uvarint(
+                body, offset, "SYNC stamp capture"
+            )
+            stamp = (send_ticks, capture_ticks)
         if offset == len(body):
             # Pure ack: no input section at all.
             if implied:
                 raise DecodeError("SYNC implied-mask flag without inputs")
+            if stamped:
+                raise DecodeError("SYNC stamp flag without inputs")
             return cls(sender_site, session_id, acks, first_frame, [])
         count, offset = read_uvarint(body, offset, "SYNC input count")
         if count == 0:
@@ -539,7 +630,7 @@ class Sync(Message):
             width = rest // count
             if width > _MAX_CELL_WIDTH:
                 raise DecodeError(f"SYNC cell width {width} exceeds 64-bit inputs")
-            return cls.from_packed(
+            message = cls.from_packed(
                 sender_site,
                 session_id,
                 acks,
@@ -550,6 +641,8 @@ class Sync(Message):
                 implied=True,
                 width=width,
             )
+            message._stamp = stamp
+            return message
         mask, offset = read_uvarint(body, offset, "SYNC input mask")
         if mask >> 64:
             raise DecodeError(f"SYNC input mask wider than 64 bits ({mask:#x})")
@@ -567,7 +660,7 @@ class Sync(Message):
             )
             if cell >> popcount:
                 raise DecodeError("SYNC input cell exceeds the input mask")
-        return cls.from_packed(
+        message = cls.from_packed(
             sender_site,
             session_id,
             acks,
@@ -577,6 +670,8 @@ class Sync(Message):
             mask,
             implied=False,
         )
+        message._stamp = stamp
+        return message
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Sync):
@@ -620,7 +715,16 @@ class Ping(Message):
 
 @dataclass
 class Pong(Message):
-    """Echo of a PING; carries the original timestamp back unchanged."""
+    """Echo of a PING; carries the original timestamp back unchanged.
+
+    Under FEATURE_TIMELINE the responder appends its *own* clock reading
+    (``remote_timestamp_us``), turning the exchange into a full NTP-style
+    probe: the pinger then holds t1 (its send time, echoed back), t2≈t3
+    (the responder's clock) and t4 (the pong's arrival) and can estimate
+    the cross-site clock offset, not just the round trip.  The field is
+    optional-trailing: plain pongs encode exactly as before, and decoders
+    accept both forms regardless of negotiation.
+    """
 
     TYPE_ID: ClassVar[int] = 7
 
@@ -628,19 +732,26 @@ class Pong(Message):
     session_id: int
     seq: int
     echo_timestamp_us: int
+    #: Responder's local clock when the pong was built (None when absent).
+    remote_timestamp_us: Optional[int] = None
 
     def _encode_body(self) -> bytes:
         out = bytearray()
         append_uvarint(out, self.seq)
         append_svarint(out, self.echo_timestamp_us)
+        if self.remote_timestamp_us is not None:
+            append_svarint(out, self.remote_timestamp_us)
         return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Pong":
         seq, offset = read_uvarint(body, 0, "PONG seq")
         timestamp, offset = read_svarint(body, offset, "PONG timestamp")
+        remote: Optional[int] = None
+        if offset < len(body):
+            remote, offset = read_svarint(body, offset, "PONG remote timestamp")
         _expect_end(body, offset, "PONG")
-        return cls(sender_site, session_id, seq, timestamp)
+        return cls(sender_site, session_id, seq, timestamp, remote)
 
 
 @dataclass

@@ -1,14 +1,21 @@
-"""Round-trip time estimation.
+"""Round-trip time estimation and cross-site clock alignment.
 
 Algorithm 4 estimates the one-way latency as ``RTT / 2`` (§3.2).  The paper
 does not prescribe a measurement scheme; we use the standard ping/pong
 exchange with an exponentially weighted moving average, which is what its
 MAME-based implementation would have obtained from its session layer.
+
+The same exchange doubles as an NTP-style clock probe when the session
+negotiated FEATURE_TIMELINE: the responder stamps its own clock into the
+pong (:meth:`RttEstimator.make_pong` with ``now``), and the pinger's
+:class:`ClockAlign` turns (t1, t2, t4) triples into a per-peer offset and
+drift estimate that the timeline collector uses to place remote capture
+timestamps on the local timebase.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.config import SyncConfig
 from repro.core.messages import Ping, Pong
@@ -54,13 +61,19 @@ class RttEstimator:
         return ping
 
     @staticmethod
-    def make_pong(ping: Ping, site_no: int) -> Pong:
-        """Build the echo a receiver returns for ``ping``."""
+    def make_pong(ping: Ping, site_no: int, now: Optional[float] = None) -> Pong:
+        """Build the echo a receiver returns for ``ping``.
+
+        With ``now`` the pong also carries the responder's clock (the
+        NTP t2≈t3 reading) — only pass it when the session negotiated
+        FEATURE_TIMELINE.
+        """
         return Pong(
             sender_site=site_no,
             session_id=ping.session_id,
             seq=ping.seq,
             echo_timestamp_us=ping.timestamp_us,
+            remote_timestamp_us=None if now is None else to_micros(now),
         )
 
     def on_pong(self, pong: Pong, now: float) -> Optional[float]:
@@ -74,3 +87,78 @@ class RttEstimator:
         )
         self.samples += 1
         return sample
+
+
+class ClockAlign:
+    """Per-peer NTP-style clock offset and drift estimator.
+
+    One (t1, t2, t4) triple gives the classic offset sample
+    ``θ = t2 − (t1 + t4) / 2`` with error bounded by half the *asymmetry*
+    of the path, not its delay.  Queuing jitter is asymmetric almost by
+    definition, so raw samples are filtered the way NTP's clock filter
+    does: only exchanges whose round-trip delay sits near the best delay
+    ever observed are folded into the estimate — a delayed pong spent its
+    extra time in one direction's queue and would bias θ by half that
+    queue time.  Accepted samples feed an EWMA offset plus a long-baseline
+    drift slope (seconds of offset per second of elapsed peer time).
+    """
+
+    #: Accept samples within this factor of the observed minimum delay…
+    _DELAY_FACTOR = 1.25
+    #: …plus a small absolute allowance for timer granularity.
+    _DELAY_SLACK_S = 0.002
+
+    def __init__(self, alpha: float = 0.125) -> None:
+        self._alpha = alpha
+        self._offset: Optional[float] = None
+        self._min_delay: Optional[float] = None
+        self._drift: float = 0.0
+        self._first_accept: Optional[Tuple[float, float]] = None
+        self.samples = 0
+        self.rejected = 0
+
+    @property
+    def offset(self) -> float:
+        """Peer clock minus local clock, seconds (0.0 until a sample lands)."""
+        return self._offset if self._offset is not None else 0.0
+
+    @property
+    def drift(self) -> float:
+        """Estimated offset slope in s/s (0.0 until the baseline is long)."""
+        return self._drift
+
+    @property
+    def aligned(self) -> bool:
+        """True once at least one filtered sample has been folded in."""
+        return self._offset is not None
+
+    def to_local(self, remote_time: float) -> float:
+        """Map a peer-clock reading onto the local timebase."""
+        return remote_time - self.offset
+
+    def on_sample(self, t1: float, t2: float, t4: float) -> Optional[float]:
+        """Fold one exchange; returns the raw θ sample, or None if filtered.
+
+        ``t1``/``t4`` are local clock readings (ping sent, pong received);
+        ``t2`` is the responder's clock carried in the extended pong.
+        """
+        delay = t4 - t1
+        if delay < 0:
+            return None
+        theta = t2 - (t1 + t4) / 2.0
+        if self._min_delay is None or delay < self._min_delay:
+            self._min_delay = delay
+        elif delay > self._min_delay * self._DELAY_FACTOR + self._DELAY_SLACK_S:
+            self.rejected += 1
+            return None
+        if self._offset is None:
+            self._offset = theta
+            self._first_accept = (t4, theta)
+        else:
+            self._offset += self._alpha * (theta - self._offset)
+            assert self._first_accept is not None
+            elapsed = t4 - self._first_accept[0]
+            if elapsed > 1.0:
+                self._drift = (self._offset - self._first_accept[1]) / elapsed
+        self.samples += 1
+        return theta

@@ -148,6 +148,13 @@ class SessionControl:
         self.peer_addresses = dict(peer_addresses)
         self.phase = SessionPhase.JOINING if site_no != 0 else SessionPhase.WAITING
         self.started_at: Optional[float] = None
+        #: Session-wide granted feature bits.  The master starts from its
+        #: own advertisement and ANDs in every joiner's HELLO; joiners
+        #: learn the final intersection from START.  Until granted, all
+        #: feature-dependent traffic (STAMP, extended PONG) is withheld —
+        #: that is what keeps a feature site interoperable with a plain
+        #: v2 peer whose decoder would reject unknown batch members.
+        self.session_features: int = config.features if site_no == 0 else 0
         self._welcomed = site_no == 0
         handshake_sites = (
             list(expected_sites) if expected_sites is not None else list(range(num_sites))
@@ -202,7 +209,8 @@ class SessionControl:
                 for site, acked in self._start_acked.items():
                     if not acked:
                         out.append(
-                            (Start(self.site_no, self.session_id),
+                            (Start(self.site_no, self.session_id,
+                                   features=self.session_features),
                              self.peer_addresses[site])
                         )
         else:
@@ -212,6 +220,7 @@ class SessionControl:
                     session_id=self.session_id,
                     game_id=game_digest(self.game_id),
                     config_digest=config_digest(self.config),
+                    features=self.config.features,
                 )
                 out.append((hello, self.peer_addresses[0]))
         return out
@@ -221,11 +230,14 @@ class SessionControl:
 
         The site enters a session that is already running, so it must not
         keep offering HELLO to the master — ``_welcomed`` is set as if the
-        handshake had completed.
+        handshake had completed.  No START will deliver the granted
+        feature word either; out-of-band admission implies a matching
+        configuration, so the site's own advertisement stands in for it.
         """
         self._welcomed = True
         self.phase = SessionPhase.RUNNING
         self.started_at = now
+        self.session_features = self.config.features
 
     def on_message(self, message: Message, now: float) -> List[Tuple[Message, str]]:
         """Feed a received control message; returns immediate replies."""
@@ -243,6 +255,7 @@ class SessionControl:
                     f"site {message.sender_site} runs an incompatible SyncConfig"
                 )
             self._joined[message.sender_site] = True
+            self.session_features &= message.features
             replies.append(
                 (
                     Welcome(
@@ -271,6 +284,9 @@ class SessionControl:
             if self.phase is not SessionPhase.RUNNING:
                 self.phase = SessionPhase.RUNNING
                 self.started_at = now
+                # The granted word is the intersection with our own offer:
+                # a master that never heard of features grants none.
+                self.session_features = message.features & self.config.features
             replies.append(
                 (
                     StartAck(self.site_no, self.session_id),

@@ -36,7 +36,13 @@ from repro.net.netem import NetemConfig
 
 
 def chaos_config(**overrides: object) -> SyncConfig:
-    """Paper defaults with failure budgets tightened for short tests."""
+    """Paper defaults with failure budgets tightened for short tests.
+
+    Timeline attribution is on so the harness can assert not just *that*
+    a fault degraded the session but that the degradation was charged to
+    the right stage (a partition shows up as encode/wire latency, not an
+    anonymous stall).
+    """
     base = dict(
         soft_stall_s=0.25,
         hard_stall_s=1.0,
@@ -44,6 +50,7 @@ def chaos_config(**overrides: object) -> SyncConfig:
         liveness_timeout_s=0.5,
         suspend_backoff_initial_s=0.05,
         suspend_backoff_max_s=0.4,
+        timeline=True,
     )
     base.update(overrides)
     return SyncConfig(**base)  # type: ignore[arg-type]
@@ -61,6 +68,8 @@ class SiteOutcome:
     metrics: Dict[str, object]
     trace: List[dict]
     resumed: bool = False
+    #: SLO scorer snapshot (``None`` when the run had timeline off).
+    slo: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -266,6 +275,7 @@ def _outcome_of(vm: DistributedVM, resumed: bool = False) -> SiteOutcome:
         metrics=vm.engine.snapshot(),
         trace=[record.to_row() for record in runtime.events],
         resumed=resumed,
+        slo=runtime.slo.snapshot() if runtime.config.timeline else None,
     )
 
 
@@ -326,6 +336,27 @@ def _evaluate(
                         f"site {out.site_no} recorded {record['kind']} at "
                         f"t={when:.3f} with no preceding fault in the log"
                     )
+
+    # Fault-attributed degradation: with timeline attribution on, a link
+    # fault must surface as SLO breaches, and a partition specifically
+    # must be charged to the sender/network side of the pipeline (the
+    # held-back inputs show up as encode/wire latency once the link
+    # heals), not to some anonymous local stage.
+    scored = [out for out in outcomes if out.slo is not None]
+    if scored and fault_times and expect_completion:
+        degraded = [out for out in scored if int(out.slo["breaches"]) > 0]  # type: ignore[arg-type]
+        if not degraded:
+            problems.append(
+                "faults were injected but no site's SLO recorded a breach"
+            )
+        elif schedule.partitions and not any(
+            out.slo.get("worst_stage") in ("encode", "wire") for out in degraded
+        ):
+            worst = {out.site_no: out.slo.get("worst_stage") for out in degraded}
+            problems.append(
+                f"partition breaches were attributed to {worst}, "
+                f"expected encode/wire"
+            )
     return problems
 
 

@@ -68,6 +68,20 @@ BANDWIDTH_V1_BPS = 2395.5
 BANDWIDTH_BASELINE_BPS = 641.5
 BANDWIDTH_TOLERANCE = 1.05
 
+#: Frame-latency attribution must be cheap enough to leave on in real
+#: sessions: the instrumentation's added cost per frame must stay under
+#: this fraction of the whole per-frame session cost (<2% fps).  The
+#: fraction is *modeled*, not read off a paired wall-clock ratio: the
+#: added cost is microseconds per frame, and this container's throughput
+#: jitters by ±10% on second timescales (adjacent identical runs differ
+#: more than the whole effect being gated), so a paired-session ratio
+#: cannot resolve 2%.  Instead the numerator is measured with tight-loop
+#: best-of microbenchmarks — which converge even on a noisy host because
+#: thousands of short samples hit the quiet windows — and the denominator
+#: is the timeline-off session's per-frame cost, whose ±10% error only
+#: scales the fraction, never swamps it.
+TIMELINE_OVERHEAD_BUDGET = 0.02
+
 
 def time_call(fn: Callable[[], object], repeats: int = 3, inner: int = 1) -> float:
     """Best-of-``repeats`` wall-clock seconds for one call of ``fn``.
@@ -314,6 +328,168 @@ def check_bandwidth(sent_bps: float) -> List[str]:
             f"{BANDWIDTH_TOLERANCE:.2f}x baseline {BANDWIDTH_BASELINE_BPS:.0f}"
         ]
     return []
+
+
+def _timeline_added_us_per_frame() -> Dict[str, float]:
+    """Tight-loop cost of everything tracing adds per presented frame.
+
+    Three measured pieces, each a best-of microbenchmark (robust on a
+    noisy host, unlike session-scale wall-clock pairs):
+
+    * ``hooks_us`` — one frame's collector hook sequence (capture note,
+      stamp ingest, coverage mark, gate open, present/finalize), per
+      site;
+    * ``stamp_us`` — the wire-annotation delta: encode+decode of a
+      stamped SYNC minus the same SYNC unstamped;
+    * ``drain_us`` — per-record histogram + SLO scoring cost.  Reported
+      for visibility but *not* part of the hot-path sum: analysis is
+      deferred to scrape time (``SiteRuntime.drain_timeline``), where a
+      realtime session pays it from idle frame-budget headroom.
+    """
+    from repro.core.messages import Sync, decode
+    from repro.obs.timeline import TimelineCollector
+
+    tpf = 1 / 60.0
+    loop_frames = 100
+
+    def hooks() -> None:
+        collector = TimelineCollector(tpf)
+        for frame in range(loop_frames):
+            now = frame * tpf
+            collector.on_local_capture(frame + 6, now)
+            collector.on_stamp(1, frame, now - 0.030, now - 0.035)
+            collector.on_remote_frames(1, frame, frame, now + 0.001, now + 0.0015)
+            collector.on_gate_open(frame, now + 0.002)
+            collector.on_present(frame, now + 0.003)
+
+    hooks_us = time_call(hooks, repeats=7, inner=3) / loop_frames * 1e6
+
+    plain = Sync(0, 1, acks=[100, 90], first_frame=90, inputs=[1, 0, 3, 2])
+    stamped = Sync(0, 1, acks=[100, 90], first_frame=90, inputs=[1, 0, 3, 2])
+    stamped.annotate(93_750, 120)
+    raw_plain, raw_stamped = plain.encode(), stamped.encode()
+
+    def codec(message: Sync, raw: bytes) -> Callable[[], None]:
+        def run() -> None:
+            for __ in range(50):
+                message.encode()
+                decode(raw)
+
+        return run
+
+    plain_us = time_call(codec(plain, raw_plain), repeats=7, inner=3) / 50 * 1e6
+    stamped_us = (
+        time_call(codec(stamped, raw_stamped), repeats=7, inner=3) / 50 * 1e6
+    )
+    stamp_us = max(0.0, stamped_us - plain_us)
+
+    from repro.core.config import SyncConfig
+    from repro.obs.site import SiteMetrics
+    from repro.obs.slo import SloScorer
+
+    metrics = SiteMetrics(0)
+    slo = SloScorer(SyncConfig(timeline=True))
+    collector = TimelineCollector(tpf)
+    for frame in range(loop_frames):
+        now = frame * tpf
+        collector.on_local_capture(frame + 6, now)
+        collector.on_stamp(1, frame, now - 0.030, now - 0.035)
+        collector.on_remote_frames(1, frame, frame, now + 0.001, now + 0.0015)
+        collector.on_gate_open(frame, now + 0.002)
+        collector.on_present(frame, now + 0.003)
+    records = list(collector.fresh)
+
+    def drain() -> None:
+        for record in records:
+            metrics.on_frame_latency(record)
+            slo.observe(record)
+
+    drain_us = time_call(drain, repeats=7, inner=3) / len(records) * 1e6
+    return {"hooks_us": hooks_us, "stamp_us": stamp_us, "drain_us": drain_us}
+
+
+def measure_timeline_overhead(
+    game: str = "pong", frames: int = 360, seed: int = 7, repeats: int = 2
+) -> Dict[str, float]:
+    """Tracing overhead as a fraction of one frame's whole session cost.
+
+    The denominator is a two-site simulated session with timeline *off*
+    (best-of wall clock: protocol, netem, emulator — everything a frame
+    costs).  The numerator is the microbenchmarked hot-path addition:
+    both sites' collector hooks plus one stamped-SYNC codec delta per
+    flush direction (flushes run at most at frame rate, so one per frame
+    per direction is the conservative bound).  ``overhead_fraction`` =
+    added/frame; <0.02 means tracing costs the session under 2% fps.
+    See :data:`TIMELINE_OVERHEAD_BUDGET` for why this is modeled instead
+    of read off a paired on/off wall-clock ratio.  Paired fps numbers are
+    still returned for eyeballing, but they carry the host's full noise.
+    """
+    from repro.core.config import SyncConfig
+    from repro.core.inputs import PadSource, RandomSource
+    from repro.core.multisite import build_session, two_player_plan
+    from repro.net.netem import NetemConfig
+
+    def once(timeline: bool) -> None:
+        plan = two_player_plan(
+            SyncConfig(timeline=timeline),
+            machine_factory=lambda: create_game(game),
+            sources=[
+                PadSource(RandomSource(seed + i), player=i) for i in range(2)
+            ],
+            game_id=game,
+            max_frames=frames,
+            seed=seed,
+        )
+        session = build_session(plan, NetemConfig.for_rtt(0.040))
+        session.run(horizon=600.0)
+
+    best: Dict[bool, float] = {False: float("inf"), True: float("inf")}
+    was_enabled = gc.isenabled()
+    gc.collect()
+    if was_enabled:
+        gc.disable()
+    try:
+        once(True)  # warm every code path outside the timed region
+        for __ in range(repeats):
+            for timeline in (False, True):
+                start = time.perf_counter()
+                once(timeline)
+                elapsed = time.perf_counter() - start
+                if elapsed < best[timeline]:
+                    best[timeline] = elapsed
+    finally:
+        if was_enabled:
+            gc.enable()
+    frame_us = best[False] / frames * 1e6
+    parts = _timeline_added_us_per_frame()
+    added_us = 2 * parts["hooks_us"] + 2 * parts["stamp_us"]
+    return {
+        "fps_off": frames / best[False],
+        "fps_on": frames / best[True],
+        "frame_us": frame_us,
+        "hooks_us": parts["hooks_us"],
+        "stamp_us": parts["stamp_us"],
+        "drain_us": parts["drain_us"],
+        "added_us": added_us,
+        "overhead_fraction": added_us / frame_us if frame_us else 1.0,
+    }
+
+
+def check_timeline_overhead(fractions: Dict[str, float]) -> List[str]:
+    """The tracing-overhead gate: per-game added-cost fraction vs budget.
+
+    ``fractions`` maps game name to ``overhead_fraction`` from
+    :func:`measure_timeline_overhead`; one message per game over
+    :data:`TIMELINE_OVERHEAD_BUDGET` (empty list = pass).
+    """
+    problems = []
+    for name, fraction in sorted(fractions.items()):
+        if fraction >= TIMELINE_OVERHEAD_BUDGET:
+            problems.append(
+                f"{name}: tracing adds {fraction:.2%} of a frame's session "
+                f"cost (budget {TIMELINE_OVERHEAD_BUDGET:.0%} fps)"
+            )
+    return problems
 
 
 def measure_rollback_session(

@@ -111,6 +111,11 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
         True,
         "Savestate bytes loaded when joining late",
     ),
+    "slo_breaches": (
+        "counter",
+        True,
+        "Attributed frames whose capture-to-present latency broke the budget",
+    ),
     "ack_lag_frames": (
         "gauge",
         False,
@@ -123,6 +128,21 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
         "gauge",
         False,
         "Carried pacing compensation (Alg. 3)",
+    ),
+    "clock_offset_seconds": (
+        "gauge",
+        False,
+        "Estimated peer clock offset theta (NTP-style, min-delay filtered)",
+    ),
+    "clock_offset_drift": (
+        "gauge",
+        False,
+        "Estimated peer clock drift (seconds of offset change per second)",
+    ),
+    "slo_score": (
+        "gauge",
+        False,
+        "Fraction of recent attributed frames within the latency budget",
     ),
     "cpu_blocks_compiled": (
         "counter",
@@ -145,6 +165,41 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
         "Instructions single-stepped by the table interpreter in block mode",
     ),
     "frame_time_seconds": ("histogram", True, "Frame-to-frame begin intervals"),
+    "frame_latency_encode_seconds": (
+        "histogram",
+        True,
+        "Capture to send-pump flush (includes retransmission holds)",
+    ),
+    "frame_latency_wire_seconds": (
+        "histogram",
+        True,
+        "Send-pump flush to datagram arrival (offset-aligned)",
+    ),
+    "frame_latency_decode_seconds": (
+        "histogram",
+        True,
+        "Datagram arrival to decoded inputs buffered",
+    ),
+    "frame_latency_gate_seconds": (
+        "histogram",
+        True,
+        "Inputs buffered to the lockstep gate opening",
+    ),
+    "frame_latency_step_seconds": (
+        "histogram",
+        True,
+        "Gate open to the frame stepped (emulation compute)",
+    ),
+    "frame_latency_present_seconds": (
+        "histogram",
+        True,
+        "Frame stepped to presented (zero in bundled drivers)",
+    ),
+    "frame_latency_total_seconds": (
+        "histogram",
+        True,
+        "Remote capture to local present, end to end",
+    ),
     "sync_stall_seconds": ("histogram", True, "Time blocked in SyncInput per frame"),
     "sync_adjust_seconds": (
         "histogram",
@@ -249,8 +304,10 @@ def run_catalog_check(
     from repro.obs.registry import to_prometheus
 
     sources = [PadSource(RandomSource(seed + s), s) for s in (0, 1)]
+    # timeline=True so the frame_latency_* histograms and SLO/clock gauges
+    # actually fill during the check session, not just exist at zero.
     plan = two_player_plan(
-        SyncConfig(),
+        SyncConfig(timeline=True),
         machine_factory=lambda: create_game(game),
         sources=sources,
         max_frames=frames,

@@ -55,14 +55,21 @@ class DesyncPostmortem:
     #: trace_records}`` dicts; ``offending`` is the input/checksum pair the
     #: site computed for the divergence frame.
     sites: List[dict] = field(default_factory=list)
+    #: Merged Chrome trace-event JSON of every site's frame timeline ring
+    #: (``None`` when no site ran with timeline attribution) — load it in
+    #: Perfetto to see where each frame's latency went before the desync.
+    chrome_trace: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "kind": "desync-postmortem",
             "error": self.error,
             "divergence_frame": self.divergence_frame,
             "sites": self.sites,
         }
+        if self.chrome_trace is not None:
+            data["chrome_trace"] = self.chrome_trace
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "DesyncPostmortem":
@@ -70,6 +77,7 @@ class DesyncPostmortem:
             error=data.get("error", ""),
             divergence_frame=data.get("divergence_frame"),
             sites=list(data.get("sites", [])),
+            chrome_trace=data.get("chrome_trace"),
         )
 
     @classmethod
@@ -128,8 +136,25 @@ def build_postmortem(
                     "checksum": runtime.trace.checksums[index],
                 }
         entries.append(entry)
+    trace_json = None
+    collectors = {}
+    for site in sites:
+        runtime = getattr(site, "runtime", site)
+        collector = getattr(runtime, "timeline", None)
+        if collector is not None and getattr(collector, "ring", None):
+            collectors[runtime.site_no] = collector
+    if collectors:
+        from repro.obs.timeline import chrome_trace
+
+        session_id = getattr(
+            getattr(sites[0], "runtime", sites[0]), "session_id", 1
+        )
+        trace_json = chrome_trace(collectors, session_id=session_id)
     return DesyncPostmortem(
-        error=str(error), divergence_frame=divergence_frame, sites=entries
+        error=str(error),
+        divergence_frame=divergence_frame,
+        sites=entries,
+        chrome_trace=trace_json,
     )
 
 

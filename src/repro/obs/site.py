@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.registry import DEPTH_BUCKETS, Registry, TIME_BUCKETS
+from repro.obs.timeline import _SPANS
 
 
 class SiteMetrics:
@@ -43,6 +44,22 @@ class SiteMetrics:
         self.frame_time = r.histogram("frame_time_seconds", TIME_BUCKETS)
         self.stall_time = r.histogram("sync_stall_seconds", TIME_BUCKETS)
         self.sync_adjust = r.histogram("sync_adjust_seconds", TIME_BUCKETS)
+        # Frame-latency attribution (ISSUE-8): one histogram per timeline
+        # span plus capture→present end-to-end.  Created unconditionally so
+        # the catalog presence gate holds; they only ever fill when the
+        # session negotiated FEATURE_TIMELINE.
+        self.frame_latency = {
+            stage: r.histogram(f"frame_latency_{stage}_seconds", TIME_BUCKETS)
+            for stage in ("encode", "wire", "decode", "gate", "step", "present")
+        }
+        self.frame_latency_total = r.histogram(
+            "frame_latency_total_seconds", TIME_BUCKETS
+        )
+        # Point-index → histogram table so the per-frame hot path indexes
+        # the record's points directly instead of building a stage dict.
+        self._latency_spans = tuple(
+            (start, end, self.frame_latency[stage]) for stage, start, end in _SPANS
+        )
         # Wire-format v2 send path (ISSUE-7): protocol bytes actually put
         # on / taken off the wire by the engine's outbox, batch coalescing
         # and bandwidth-budget activity.  ``net_bytes_rx`` counts only
@@ -79,6 +96,11 @@ class SiteMetrics:
         self.rtt_seconds = r.gauge("rtt_seconds")
         self.frame_number = r.gauge("frame_number")
         self.adjust_time_delta = r.gauge("adjust_time_delta_seconds")
+        # Mirrored from ClockAlign / SloScorer at snapshot time.
+        self.clock_offset = r.gauge("clock_offset_seconds")
+        self.clock_drift = r.gauge("clock_offset_drift")
+        self.slo_score = r.gauge("slo_score")
+        self.slo_breaches = r.counter("slo_breaches")
         # Mirrored from the machine's block-translation cache (RC-16
         # consoles expose cpu_stats(); other machines leave these at 0).
         self.cpu_blocks_compiled = r.counter("cpu_blocks_compiled")
@@ -101,6 +123,27 @@ class SiteMetrics:
         self.stall_time.observe(stall)
         if sync_adjust:
             self.sync_adjust.observe(abs(sync_adjust))
+
+    def on_frame_latency(self, record) -> None:
+        """Observe one finalized :class:`FrameTimeline` into the histograms.
+
+        Partial records contribute whatever spans they do know; only fully
+        attributed frames feed the end-to-end series, so ``_total``'s
+        ``_count`` doubles as the complete-frame counter.
+        """
+        points = record.points
+        for start, end, histogram in self._latency_spans:
+            a = points[start]
+            if a is None:
+                continue
+            b = points[end]
+            if b is None:
+                continue
+            histogram.observe(b - a if b > a else 0.0)
+        a = points[0]
+        b = points[6]
+        if a is not None and b is not None:
+            self.frame_latency_total.observe(b - a if b > a else 0.0)
 
     # ------------------------------------------------------------------
     # Rare-path helpers
@@ -126,6 +169,11 @@ class SiteMetrics:
         ``set_total`` keeps the mirrored counters monotone even if a stat
         object were swapped out; gauges just take the current value.
         """
+        drain = getattr(runtime, "drain_timeline", None)
+        if drain is not None:
+            # Flush deferred frame-latency records into the histograms and
+            # the SLO scorer before mirroring either.
+            drain()
         lockstep = runtime.lockstep
         stats = lockstep.stats
         self.sync_sent.set_total(stats.sync_messages_sent)
@@ -141,6 +189,19 @@ class SiteMetrics:
         self.rtt_seconds.set(runtime.rtt.rtt)
         self.frame_number.set(runtime.frame)
         self.adjust_time_delta.set(runtime.pacer.adjust_time_delta)
+        clocks = getattr(runtime, "clocks", None)
+        if clocks:
+            # Export the lowest-numbered aligned peer: stable across scrapes
+            # and in a two-site session simply "the other site".
+            for __, align in sorted(clocks.items()):
+                if align.aligned:
+                    self.clock_offset.set(align.offset)
+                    self.clock_drift.set(align.drift)
+                    break
+        slo = getattr(runtime, "slo", None)
+        if slo is not None:
+            self.slo_score.set(slo.score)
+            self.slo_breaches.set_total(slo.breaches)
         mine = lockstep.last_rcv_frame[runtime.site_no]
         peer_acks = [
             lockstep.last_ack_frame[s]

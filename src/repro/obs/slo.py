@@ -1,0 +1,86 @@
+"""SLO health scoring: a per-link playability score from stage budgets.
+
+The paper's whole argument is that local lag hides WAN delay — a session
+is *playable* when each presented frame's capture→present latency stays
+inside the lag budget.  :class:`SloScorer` turns the timeline layer's
+per-frame records into exactly that check: every attributed frame is
+scored against :attr:`SyncConfig.slo_budget` (the local lag plus two
+frame periods of pacing slack by default), a sliding window yields the
+health score (fraction of recent frames within budget), and breaches are
+attributed to their dominant stage so a fault shows up as *"the wire/
+encode stage ate the budget"* rather than an anonymous stall — the
+property the chaos harness asserts after injecting partitions.
+
+Exported via the metrics registry as the ``slo_score`` gauge and
+``slo_breaches_total`` counter (SessionHost Prometheus), and in snapshot
+form through ``SiteEngine.snapshot()["slo"]``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.config import SyncConfig
+from repro.obs.timeline import FrameTimeline
+
+
+class SloScorer:
+    """Sliding-window playability score with per-stage breach attribution."""
+
+    DEFAULT_WINDOW = 240  # four seconds at 60 cfps
+
+    def __init__(self, config: SyncConfig, window: int = DEFAULT_WINDOW) -> None:
+        self.budget = config.slo_budget
+        #: (within_budget, worst_stage) per scored frame, newest last.
+        self._window: Deque[Tuple[bool, Optional[str]]] = deque(maxlen=window)
+        self.scored = 0
+        self.breaches = 0
+        #: Seconds of budget overrun attributed per stage (whole session).
+        self.breach_seconds: Dict[str, float] = {}
+
+    def observe(self, record: FrameTimeline) -> None:
+        """Score one finalized frame; unattributed frames are skipped."""
+        total = record.end_to_end
+        if total is None:
+            return
+        ok = total <= self.budget
+        worst = None
+        if not ok:
+            worst = record.worst_stage()
+            self.breaches += 1
+            if worst is not None:
+                self.breach_seconds[worst] = (
+                    self.breach_seconds.get(worst, 0.0) + (total - self.budget)
+                )
+        self._window.append((ok, worst))
+        self.scored += 1
+
+    @property
+    def score(self) -> float:
+        """Fraction of recent attributed frames within budget (1.0 = healthy).
+
+        An empty window scores 1.0: no evidence of trouble is healthy,
+        and it keeps a timeline-less session from flagging red.
+        """
+        if not self._window:
+            return 1.0
+        return sum(1 for ok, __ in self._window if ok) / len(self._window)
+
+    def worst_stage(self) -> Optional[str]:
+        """The stage with the most attributed overrun, or None if healthy."""
+        if not self.breach_seconds:
+            return None
+        return max(self.breach_seconds, key=lambda name: self.breach_seconds[name])
+
+    def snapshot(self) -> dict:
+        return {
+            "budget_s": round(self.budget, 6),
+            "score": round(self.score, 4),
+            "scored": self.scored,
+            "breaches": self.breaches,
+            "worst_stage": self.worst_stage(),
+            "breach_seconds": {
+                k: round(v, 6) for k, v in sorted(self.breach_seconds.items())
+            },
+        }

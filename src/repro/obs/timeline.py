@@ -1,0 +1,401 @@
+"""Per-frame, cross-site latency attribution (the frame timeline profiler).
+
+The counters in :mod:`repro.obs.site` say *that* a frame stalled; this
+module says *where its milliseconds went*.  Every presented frame gets a
+seven-point breakdown reconstructed from three ingredients:
+
+* **local hooks** — the engine reports when a datagram carrying remote
+  inputs arrived (``arrive``), when it was decoded, when the SyncInput
+  gate opened and when the frame was stepped/presented;
+* **stamp annotations** — under FEATURE_TIMELINE each input-carrying
+  SYNC carries the sender's clock at flush time and the age of the
+  newest input in the window (two uvarints flagged in the SYNC head
+  byte; see :meth:`repro.core.messages.Sync.annotate`);
+* **clock alignment** — remote stamp clocks are mapped onto the local
+  timebase by :class:`repro.core.rtt.ClockAlign` before they reach the
+  collector, so the seven points live on one monotonic axis.
+
+The seven points of frame *f* as seen by the presenting site::
+
+    p0 capture    remote pad sampled (stamp, aligned, back-dated)
+    p1 flush      sender's send pump encoded the delivering window
+    p2 arrive     the datagram that first covered f arrived here
+    p3 decoded    the engine finished decoding that datagram
+    p4 gate       SyncInput's gate opened for f
+    p5 stepped    Transition committed f
+    p6 presented  the Present effect was emitted
+
+and the six spans between consecutive points are the stages ``encode``
+(sender-side batching hold — §4.2's delay budget — plus any
+retransmission hold), ``wire``, ``decode``, ``gate`` (buffer wait,
+including the local-lag absorption), ``step`` and ``present``; ``capture``
+itself is reported as an instant.  Because every stage is a difference of
+consecutive points, the stage sum telescopes to ``p6 − p0`` *exactly* —
+end-to-end latency always equals its own breakdown, and the clock-offset
+error enters the ``wire`` stage and the total consistently rather than
+accumulating per stage.
+
+Frames are not all stamped individually: a STAMP names only the newest
+frame of its window, so earlier frames in the window are attributed by
+back-dating capture at the sender's frame cadence (``estimated`` marks
+such records).  The assembled records live in a bounded flight-recorder
+ring, dumpable as Chrome trace-event JSON (``repro timeline``, loadable
+in Perfetto) via :func:`chrome_trace`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+#: Stage names, in pipeline order.  ``capture`` is an instant (the pad
+#: sample); each later stage is the span ending at the same-named point.
+STAGES = ("capture", "encode", "wire", "decode", "gate", "step", "present")
+
+#: Indices into :attr:`FrameTimeline.points`.
+P_CAPTURE = 0
+P_FLUSH = 1
+P_ARRIVE = 2
+P_DECODED = 3
+P_GATE = 4
+P_STEPPED = 5
+P_PRESENTED = 6
+
+#: (stage name, start point, end point) for the six duration stages.
+_SPANS: Tuple[Tuple[str, int, int], ...] = (
+    ("encode", P_CAPTURE, P_FLUSH),
+    ("wire", P_FLUSH, P_ARRIVE),
+    ("decode", P_ARRIVE, P_DECODED),
+    ("gate", P_DECODED, P_GATE),
+    ("step", P_GATE, P_STEPPED),
+    ("present", P_STEPPED, P_PRESENTED),
+)
+
+
+class FrameTimeline:
+    """One presented frame's seven-point latency breakdown."""
+
+    __slots__ = ("frame", "points", "sender", "estimated")
+
+    def __init__(
+        self,
+        frame: int,
+        points: List[Optional[float]],
+        sender: Optional[int] = None,
+        estimated: bool = False,
+    ) -> None:
+        self.frame = frame
+        self.points = points
+        #: Remote site whose input completed this frame (None: no remote
+        #: coverage, e.g. the first ``BufFrame`` empty-input frames).
+        self.sender = sender
+        #: True when capture/flush were back-dated from a STAMP naming a
+        #: newer frame of the same window.
+        self.estimated = estimated
+
+    @property
+    def complete(self) -> bool:
+        """All seven points known — full capture→present attribution."""
+        return all(p is not None for p in self.points)
+
+    @property
+    def end_to_end(self) -> Optional[float]:
+        """Capture→present latency (None without remote attribution)."""
+        if self.points[P_CAPTURE] is None or self.points[P_PRESENTED] is None:
+            return None
+        return self.points[P_PRESENTED] - self.points[P_CAPTURE]
+
+    def stages(self) -> Dict[str, float]:
+        """Durations of the spans whose endpoints are both known.
+
+        The returned values telescope: when the record is complete their
+        sum equals :attr:`end_to_end` exactly.
+        """
+        out: Dict[str, float] = {}
+        for name, start, end in _SPANS:
+            a, b = self.points[start], self.points[end]
+            if a is not None and b is not None:
+                out[name] = b - a
+        return out
+
+    def worst_stage(self) -> Optional[str]:
+        """The stage that ate the most time (None when nothing is known)."""
+        stages = self.stages()
+        if not stages:
+            return None
+        return max(stages, key=lambda name: stages[name])
+
+    def to_row(self) -> dict:
+        """A JSON-friendly row (times in seconds, None for unknown)."""
+        return {
+            "frame": self.frame,
+            "sender": self.sender,
+            "estimated": self.estimated,
+            "points": list(self.points),
+            "stages": {k: round(v, 9) for k, v in self.stages().items()},
+        }
+
+
+class TimelineCollector:
+    """Assembles engine hook calls + STAMPs into :class:`FrameTimeline` rows.
+
+    Tolerant of the network by construction: duplicated coverage never
+    happens (the lockstep layer's contiguity guard means each frame is
+    *newly* covered exactly once), reordered or lost stamps degrade a
+    record to partial/estimated attribution rather than corrupting it,
+    and every container is bounded, so a hostile peer can at worst waste
+    a few kilobytes.
+    """
+
+    DEFAULT_CAPACITY = 2048
+    #: Retained stamps per sender; at one stamp per 20 ms flush this is
+    #: several seconds of history — far beyond any frame's present time.
+    _STAMP_HISTORY = 256
+    #: Pending (not yet presented) frames are bounded too; the protocol
+    #: keeps this at O(BufFrame), the cap only guards hostile input.
+    _MAX_PENDING = 4096
+
+    def __init__(self, time_per_frame: float, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._tpf = time_per_frame
+        #: The flight recorder: finalized records, oldest evicted first.
+        self.ring: Deque[FrameTimeline] = deque(maxlen=capacity)
+        #: Finalized records not yet fed to the histograms/SLO scorer.
+        #: The frame loop only appends here; analysis happens at scrape
+        #: time (``SiteRuntime.drain_timeline``), keeping the hot path
+        #: append-only like any flight recorder.
+        self.fresh: List[FrameTimeline] = []
+        self.finalized = 0
+        self._prune_tick = 0
+        self._pending: Dict[int, List[Optional[float]]] = {}
+        self._senders: Dict[int, int] = {}
+        self._captures: Dict[int, float] = {}
+        #: Per sender: frame → (send_local, capture_local), first arrival
+        #: wins, plus the same frames kept sorted for O(log n) binding.
+        #: Presented frames are pruned, so both stay O(BufFrame)-sized.
+        self._stamps: Dict[int, Dict[int, Tuple[float, float]]] = {}
+        self._stamp_frames: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (engine receive/frame loop)
+    # ------------------------------------------------------------------
+    def _points(self, frame: int) -> List[Optional[float]]:
+        points = self._pending.get(frame)
+        if points is None:
+            if len(self._pending) >= self._MAX_PENDING:
+                self._pending.pop(min(self._pending))
+            points = [None] * 7
+            self._pending[frame] = points
+        return points
+
+    def on_local_capture(self, slot_frame: int, now: float) -> None:
+        """Our own pad sample was buffered at ``slot_frame`` (sender side)."""
+        self._captures[slot_frame] = now
+        if len(self._captures) > 1024:
+            floor = max(self._captures) - 512
+            for frame in [f for f in self._captures if f < floor]:
+                del self._captures[frame]
+
+    def capture_time(self, frame: int) -> Optional[float]:
+        """When our own input for ``frame`` was sampled (for STAMP building)."""
+        return self._captures.get(frame)
+
+    def on_stamp(
+        self, sender: int, frame: int, send_local: float, capture_local: float
+    ) -> None:
+        """A STAMP from ``sender`` arrived, already aligned to local time."""
+        by_frame = self._stamps.get(sender)
+        if by_frame is None:
+            by_frame = self._stamps[sender] = {}
+            self._stamp_frames[sender] = []
+        # Duplicates (a retransmitted flush) keep the first arrival: the
+        # earliest flush claiming a frame is the one that delivered it.
+        if frame in by_frame:
+            return
+        frames = self._stamp_frames[sender]
+        if len(frames) >= self._STAMP_HISTORY:
+            del by_frame[frames.pop(0)]
+        by_frame[frame] = (send_local, capture_local)
+        insort(frames, frame)
+
+    def on_remote_frames(
+        self, sender: int, first: int, last: int, arrived_at: float, decoded_at: float
+    ) -> None:
+        """Frames ``first..last`` were newly covered by ``sender``'s window."""
+        for frame in range(first, last + 1):
+            points = self._points(frame)
+            if points[P_ARRIVE] is None:
+                points[P_ARRIVE] = arrived_at
+                points[P_DECODED] = decoded_at
+                self._senders[frame] = sender
+
+    def on_gate_open(self, frame: int, now: float) -> None:
+        """SyncInput released ``frame`` (its merged input became complete)."""
+        points = self._points(frame)
+        if points[P_GATE] is None:
+            points[P_GATE] = now
+
+    def on_present(self, frame: int, now: float) -> FrameTimeline:
+        """Finalize ``frame``: bind its STAMP, compute spans, ring-append.
+
+        ``stepped`` and ``presented`` coincide in the bundled drivers (the
+        Present effect is emitted at commit time); they stay separate
+        points so a driver with a real presentation pipeline can split
+        them later without a schema change.
+        """
+        points = self._pending.pop(frame, None) or [None] * 7
+        sender = self._senders.pop(frame, None)
+        points[P_STEPPED] = now
+        points[P_PRESENTED] = now
+        estimated = False
+        if sender is not None:
+            bound = self._bind_stamp(sender, frame)
+            if bound is not None:
+                stamp_frame, send_local, capture_local = bound
+                points[P_FLUSH] = send_local
+                points[P_CAPTURE] = capture_local - (stamp_frame - frame) * self._tpf
+                estimated = stamp_frame != frame
+        record = FrameTimeline(frame, points, sender, estimated)
+        self.ring.append(record)
+        self.fresh.append(record)
+        self.finalized += 1
+        # Presents are monotone, so no future frame can bind a stamp at or
+        # below this one; dropping them keeps the stores O(BufFrame).  The
+        # sweep is amortized — the stores are bounded anyway, so pruning
+        # once a second keeps the per-present cost to one int check.
+        self._prune_tick += 1
+        if self._prune_tick >= 64:
+            self._prune_tick = 0
+            for peer, frames in self._stamp_frames.items():
+                if frames and frames[0] <= frame:
+                    cut = bisect_right(frames, frame)
+                    by_frame = self._stamps[peer]
+                    for stale in frames[:cut]:
+                        del by_frame[stale]
+                    del frames[:cut]
+        return record
+
+    def _bind_stamp(
+        self, sender: int, frame: int
+    ) -> Optional[Tuple[int, float, float]]:
+        """The earliest retained stamp covering ``frame`` (frame' >= frame)."""
+        frames = self._stamp_frames.get(sender)
+        if not frames or frames[-1] < frame:
+            return None
+        index = bisect_right(frames, frame - 1)
+        stamp_frame = frames[index]
+        send_local, capture_local = self._stamps[sender][stamp_frame]
+        return (stamp_frame, send_local, capture_local)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def records(self) -> List[FrameTimeline]:
+        return list(self.ring)
+
+    def complete_fraction(self) -> float:
+        """Fraction of retained records with all seven points attributed."""
+        if not self.ring:
+            return 0.0
+        return sum(1 for r in self.ring if r.complete) / len(self.ring)
+
+    def stage_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage mean/p50/p95/max over the retained records, seconds."""
+        samples: Dict[str, List[float]] = {}
+        for record in self.ring:
+            for name, value in record.stages().items():
+                samples.setdefault(name, []).append(value)
+        summary: Dict[str, Dict[str, float]] = {}
+        for name, values in samples.items():
+            values.sort()
+            count = len(values)
+            summary[name] = {
+                "count": count,
+                "mean": sum(values) / count,
+                "p50": values[count // 2],
+                "p95": values[min(count - 1, (count * 95) // 100)],
+                "max": values[-1],
+            }
+        return summary
+
+    def to_rows(self) -> List[dict]:
+        return [record.to_row() for record in self.ring]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def _site_events(
+    records: Iterable[FrameTimeline], pid: int, tid: int, shift: float
+) -> List[dict]:
+    events: List[dict] = []
+    for record in records:
+        args = {"frame": record.frame, "estimated": record.estimated}
+        capture = record.points[P_CAPTURE]
+        if capture is not None:
+            events.append(
+                {
+                    "name": "capture",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": round((capture + shift) * 1e6, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        for name, start, end in _SPANS:
+            a, b = record.points[start], record.points[end]
+            if a is None or b is None:
+                continue
+            events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": round((a + shift) * 1e6, 3),
+                    # A misaligned clock can put p1 before p0 by a hair;
+                    # the viewer rejects negative durations, so clamp.
+                    "dur": round(max(0.0, b - a) * 1e6, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    sites: Dict[int, "TimelineCollector"],
+    session_id: int = 1,
+    shifts: Optional[Dict[int, float]] = None,
+) -> dict:
+    """A Chrome trace-event JSON document merging one or more sites.
+
+    ``shifts[site]`` moves that site's events onto a common timebase
+    (e.g. its estimated clock offset to the master); microsecond ``ts``
+    as the trace-event spec requires, loadable in Perfetto or
+    ``chrome://tracing``.
+    """
+    events: List[dict] = []
+    for site in sorted(sites):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": session_id,
+                "tid": site,
+                "args": {"name": f"session {session_id}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": session_id,
+                "tid": site,
+                "args": {"name": f"site {site} frame pipeline"},
+            }
+        )
+        shift = (shifts or {}).get(site, 0.0)
+        events.extend(_site_events(sites[site].ring, session_id, site, shift))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

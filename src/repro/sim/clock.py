@@ -48,11 +48,29 @@ class SimClock(Clock):
         self._now = to
 
 
+#: Shared origin for every :class:`WallClock` in the process, anchored by
+#: the first construction.  Without it each socket's clock would carry its
+#: own creation-time origin, and co-hosted sites (the realtime driver runs
+#: one thread per site) would emit EventTrace records and timeline stamps
+#: on mutually skewed timebases.
+_PROCESS_EPOCH: "float | None" = None
+
+
 class WallClock(Clock):
-    """Monotonic wall clock for the real-socket driver."""
+    """Monotonic wall clock for the real-socket driver.
+
+    All instances read one process-wide timebase: cross-site latency
+    attribution compares timestamps taken by *different* sites, and for
+    sites sharing a process the comparison must be exact rather than
+    "exact up to whenever each clock object happened to be built".
+    Separate processes still need the PING/PONG clock-offset estimator.
+    """
 
     def __init__(self) -> None:
-        self._origin = _time.monotonic()
+        global _PROCESS_EPOCH
+        if _PROCESS_EPOCH is None:
+            _PROCESS_EPOCH = _time.monotonic()
+        self._origin = _PROCESS_EPOCH
 
     def now(self) -> float:
         return _time.monotonic() - self._origin

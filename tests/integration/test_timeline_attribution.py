@@ -1,0 +1,113 @@
+"""Integration: end-to-end frame-latency attribution on a two-site link.
+
+The acceptance bar from the observability PR: on a 120 ms RTT link at
+least 95% of presented frames carry all seven timeline points, the
+per-stage spans telescope to the end-to-end latency, the clock-offset
+estimate stays within 10% of the one-way delay (the simulator's true
+offset is zero), and the flight recorder exports a well-formed Chrome
+trace that the SLO scorer and latency histograms were fed from.
+"""
+
+import dataclasses
+import json
+
+from repro.core.config import SyncConfig
+from repro.core.inputs import PadSource, RandomSource
+from repro.core.multisite import build_session, two_player_plan
+from repro.emulator.machine import create_game
+from repro.net.netem import NetemConfig
+from repro.obs.timeline import STAGES, chrome_trace
+
+RTT = 0.120
+FRAMES = 300
+
+
+def run_attributed_session(seed=7, loss=0.0):
+    config = dataclasses.replace(SyncConfig.paper_defaults(), timeline=True)
+    plan = two_player_plan(
+        config,
+        machine_factory=lambda: create_game("pong"),
+        sources=[
+            PadSource(RandomSource(seed), player=0),
+            PadSource(RandomSource(seed + 1), player=1),
+        ],
+        game_id="pong",
+        max_frames=FRAMES,
+        seed=seed,
+    )
+    session = build_session(plan, NetemConfig(delay=RTT / 2, loss=loss))
+    session.run(horizon=3600.0)
+    return session
+
+
+class TestTwoSiteAttribution:
+    def test_acceptance_on_120ms_link(self):
+        session = run_attributed_session()
+        one_way = RTT / 2
+        for vm in session.vms:
+            runtime = vm.runtime
+            collector = runtime.timeline
+            assert len(collector.ring) >= FRAMES * 0.9
+            # >= 95% of presented frames carry all seven points.
+            assert collector.complete_fraction() >= 0.95
+            # Stage spans telescope: their sum is the end-to-end latency.
+            spans = set(STAGES) - {"capture"}  # capture is the instant
+            for record in collector.ring:
+                if record.complete:
+                    stages = record.stages()
+                    assert set(stages) == spans
+                    assert abs(sum(stages.values()) - record.end_to_end) < 1e-9
+            # Clock offset within 10% of the one-way delay (truth is 0).
+            offsets = {
+                peer: align.offset
+                for peer, align in runtime.clocks.items()
+                if align.aligned
+            }
+            assert offsets, f"site {runtime.site_no}: no peer clock aligned"
+            for offset in offsets.values():
+                assert abs(offset) < 0.10 * one_way
+            # The wire stage must dominate and sit near the one-way delay.
+            wire = collector.stage_summary()["wire"]
+            assert one_way * 0.8 < wire["mean"] < one_way * 1.5
+
+    def test_histograms_and_slo_fed_from_flight_recorder(self):
+        session = run_attributed_session()
+        for vm in session.vms:
+            snap = vm.snapshot()
+            # Draining happened (snapshot scrapes): fresh list is empty and
+            # the end-to-end histogram saw every drained record.
+            assert not vm.runtime.timeline.fresh
+            ring = vm.runtime.timeline.ring
+            complete = sum(1 for record in ring if record.complete)
+            histograms = snap["histograms"]
+            observed = histograms["frame_latency_total_seconds"]["count"]
+            # Only records with both endpoints feed the end-to-end
+            # histogram; the acceptance bar keeps that at >= 95%.
+            assert complete <= observed <= len(ring)
+            slo = snap["slo"]
+            assert 0.0 <= slo["score"] <= 1.0
+            assert slo["scored"] >= complete
+
+    def test_chrome_trace_export_is_loadable(self, tmp_path):
+        session = run_attributed_session()
+        collectors = {
+            vm.runtime.site_no: vm.runtime.timeline for vm in session.vms
+        }
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(chrome_trace(collectors, session_id=1)))
+        parsed = json.loads(path.read_text())
+        spans = [e for e in parsed["traceEvents"] if e.get("ph") == "X"]
+        assert spans
+        assert all(e["dur"] >= 0 for e in spans)
+        # Both sites present as separate threads under the session process.
+        tids = {e["tid"] for e in parsed["traceEvents"] if e.get("ph") == "X"}
+        assert tids == {0, 1}
+
+    def test_attribution_survives_loss(self):
+        session = run_attributed_session(loss=0.05)
+        for vm in session.vms:
+            collector = vm.runtime.timeline
+            assert len(collector.ring) >= FRAMES * 0.9
+            # Retransmitted windows may bind estimated capture points, but
+            # attribution still covers the overwhelming majority of frames.
+            assert collector.complete_fraction() >= 0.90

@@ -56,6 +56,60 @@ class TestRoundtrips:
         assert msg.inputs == []
         assert msg.last_frame == 5  # first_frame - 1 when empty
 
+    def test_sync_stamped_roundtrip(self):
+        plain = Sync(1, 7, acks=[10, -1], first_frame=6, inputs=[0, 5, 3])
+        msg = Sync(1, 7, acks=[10, -1], first_frame=6, inputs=[0, 5, 3])
+        msg.annotate(93_750, 120)
+        decoded = roundtrip(msg)
+        assert decoded.stamp == (93_750, 120)
+        assert decoded.inputs == [0, 5, 3]
+        assert decoded.acks == [10, -1]
+        # Two small uvarints: the annotation costs a handful of bytes.
+        assert plain.stamp is None
+        assert len(msg.encode()) - len(plain.encode()) <= 5
+
+    def test_sync_stamp_requires_inputs(self):
+        pure_ack = Sync(0, 7, acks=[5, 5], first_frame=6, inputs=[])
+        with pytest.raises(ValueError):
+            pure_ack.annotate(1000, 0)
+
+    def test_sync_stamped_pure_ack_rejected_on_decode(self):
+        # Hand-craft a stamped pure ack (the encoder refuses to build one):
+        # set the stamp head flag on a pure ack and append the two tick
+        # uvarints; without them the same flag is a truncation error.
+        raw = bytearray(Sync(0, 7, acks=[5], first_frame=6, inputs=[]).encode())
+        # body starts after magic(2) + ver/type(1) + sender(1) + session(1);
+        # first body byte is svarint first_frame, second is the head byte.
+        head_index = 5 + 1
+        raw[head_index] |= 0x40
+        with pytest.raises(DecodeError):
+            decode(bytes(raw) + b"\x07\x07")  # stamp flag without inputs
+        with pytest.raises(DecodeError):
+            decode(bytes(raw))  # stamp flag without stamp bytes
+
+    def test_hello_features_roundtrip(self):
+        from repro.core.messages import FEATURE_TIMELINE
+
+        msg = roundtrip(Hello(1, 7, game_id=2, config_digest=3, features=FEATURE_TIMELINE))
+        assert msg.features == FEATURE_TIMELINE
+        assert roundtrip(Hello(1, 7, game_id=2, config_digest=3)).features == 0
+
+    def test_start_features_roundtrip(self):
+        msg = roundtrip(Start(0, 9, features=1))
+        assert msg.features == 1
+        assert roundtrip(Start(0, 9)).features == 0
+
+    def test_pong_remote_timestamp_roundtrip(self):
+        extended = roundtrip(
+            Pong(1, 7, seq=3, echo_timestamp_us=1000, remote_timestamp_us=2000)
+        )
+        assert extended.remote_timestamp_us == 2000
+        plain = roundtrip(Pong(1, 7, seq=3, echo_timestamp_us=1000))
+        assert plain.remote_timestamp_us is None
+        # The extension is strictly trailing: a plain pong's bytes are a
+        # prefix of the extended one's.
+        assert extended.encode().startswith(plain.encode())
+
     def test_sync_negative_frames(self):
         msg = roundtrip(Sync(0, 7, acks=[-1, -1], first_frame=-1, inputs=[7]))
         assert msg.first_frame == -1
@@ -141,7 +195,14 @@ class TestValidation:
             decode(raw[:-3])
 
     def test_hello_wrong_length(self):
-        raw = Hello(0, 1, 2, 3).encode() + b"x"
+        # One trailing byte reads as an (optional) features word, so two
+        # are needed to leave genuine trailing garbage.
+        raw = Hello(0, 1, 2, 3).encode() + b"xx"
+        with pytest.raises(DecodeError):
+            decode(raw)
+
+    def test_hello_zero_features_must_be_omitted(self):
+        raw = Hello(0, 1, 2, 3).encode() + b"\x00"
         with pytest.raises(DecodeError):
             decode(raw)
 

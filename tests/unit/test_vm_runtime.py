@@ -92,7 +92,7 @@ class TestOutboundHelpers:
     def test_sync_broadcast_addresses_peers(self):
         runtime = make_runtime(site=0, num_sites=3)
         runtime.get_and_buffer_input()
-        batch = runtime.sync_broadcast(force=True)
+        batch = runtime.sync_broadcast(0.0, force=True)
         destinations = sorted(dest for __, dest in batch)
         assert destinations == ["site1", "site2"]
 
