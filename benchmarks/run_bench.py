@@ -26,13 +26,17 @@ from repro.metrics.bench import (
     SEED_BASELINE,
     check_bandwidth,
     check_block_fps,
+    check_predictor_reduction,
+    check_sweep,
     check_timeline_overhead,
     measure_bandwidth_profile,
     measure_block_stats,
     measure_game_fps,
     measure_lockstep_roundtrips,
+    measure_predictor_comparison,
     measure_rollback_session,
     measure_snapshot_costs,
+    measure_sweep,
     measure_timeline_overhead,
     verify_block_parity,
     write_bench_json,
@@ -94,6 +98,12 @@ def run(quick: bool) -> dict:
     rollback = measure_rollback_session(frames=60 if quick else 240)
     rollback["wall_seconds"] = round(rollback["wall_seconds"], 3)
 
+    predictor = measure_predictor_comparison(frames=120 if quick else 480)
+
+    # Deterministic in the simulator: the quick two-point smoke and the
+    # full (profiles x RTT) grid are both comparable across commits.
+    sweep = measure_sweep(quick=quick)
+
     bandwidth = {
         key: round(value, 1)
         for key, value in measure_bandwidth_profile(
@@ -123,6 +133,8 @@ def run(quick: bool) -> dict:
         "lockstep_roundtrips_per_s": lockstep,
         "snapshot": snapshot,
         "rollback_session": rollback,
+        "predictor_comparison": predictor,
+        "adaptive_sweep": sweep,
         "bandwidth": bandwidth,
         "timeline_overhead": timeline_overhead,
     }
@@ -173,6 +185,31 @@ def summarize(results: dict) -> str:
         f"{rb['snapshot_bytes_copied']} delta bytes copied "
         f"(full savestates would be {rb['snapshot_bytes_full']})"
     )
+    pred = results["predictor_comparison"]
+    reduction = pred["misprediction_reduction"]
+    per = "  ".join(
+        f"{name}={pred[name]['mispredicted_frames']}"
+        for name in ("naive", "repeat-last", "heuristic")
+    )
+    lines.append(
+        "-- input predictors (mispredicted frames, tap-structured trace): "
+        f"{per}  reduction={reduction:.0%}"
+    )
+    sweep = results["adaptive_sweep"]
+    worst = max(
+        (p["adaptive_frame_ms"] for p in sweep["points"]), default=0.0
+    )
+    lines.append(
+        f"-- adaptive WAN sweep: {len(sweep['points'])} points, "
+        f"{sweep['failures']} failing, "
+        f"worst adaptive frame {worst:.2f}ms"
+    )
+    for point in sweep["points"]:
+        if not point["passed"]:
+            lines.append(
+                f"  FAIL {point['profile']} @ {point['rtt_ms']}ms: "
+                + "; ".join(point["problems"])
+            )
     bw = results["bandwidth"]
     lines.append(
         "-- sync bandwidth (lossy two-site profile): "
@@ -216,22 +253,26 @@ def main(argv=None) -> int:
     if not options.no_json:
         path = write_bench_json(results, directory=options.out)
         print(f"wrote {path}")
+    # The sweep's in-harness assertions are deterministic and sized the
+    # same either way, so its gate holds on --quick runs too.
+    problems = check_sweep(results["adaptive_sweep"])
     if not options.quick:
-        # Regression gates: block fps and send-path bandwidth against the
-        # checked-in baselines.  --quick numbers are smoke-test sized, so
-        # only full runs gate.
-        problems = check_block_fps(results["block_fps"])
+        # Regression gates: block fps, send-path bandwidth, predictor
+        # quality against the checked-in baselines.  --quick numbers are
+        # smoke-test sized, so only full runs gate.
+        problems += check_block_fps(results["block_fps"])
         problems += check_bandwidth(results["bandwidth"]["sent_Bps"])
+        problems += check_predictor_reduction(results["predictor_comparison"])
         problems += check_timeline_overhead(
             {
                 name: row["overhead_fraction"]
                 for name, row in results["timeline_overhead"].items()
             }
         )
-        for problem in problems:
-            print(f"REGRESSION: {problem}", file=sys.stderr)
-        if problems:
-            return 1
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    if problems:
+        return 1
     return 0
 
 

@@ -31,7 +31,7 @@ from repro.harness.series1 import run_series1
 from repro.harness.series2 import run_series2
 from repro.harness.series3 import run_series3
 from repro.metrics.stats import mean
-from repro.net.netem import NetemConfig
+from repro.net.netem import NetemConfig, WAN_PROFILES
 from repro.obs.postmortem import verify_with_postmortem
 
 
@@ -314,6 +314,45 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the adaptive-consistency WAN sweep and report PASS/FAIL.
+
+    Each point runs an adaptive session and a pure-lockstep twin over the
+    same seeded inputs and impaired links, then asserts the adaptive arm
+    stays inside its frame-time budget (and checksum-verified) at RTTs
+    where pure lockstep has collapsed.
+    """
+    from repro.harness.sweep import (
+        SWEEP_RTTS,
+        quick_sweep,
+        run_sweep_point,
+    )
+
+    if args.quick:
+        points = quick_sweep(seed=args.seed)
+    else:
+        profiles = (
+            sorted(WAN_PROFILES) if args.profile == "all" else [args.profile]
+        )
+        points = [
+            run_sweep_point(
+                profile, rtt, frames=args.frames, seed=args.seed,
+                game=args.game,
+            )
+            for profile in profiles
+            for rtt in SWEEP_RTTS
+        ]
+
+    failures = 0
+    for point in points:
+        print(("PASS " if point.passed else "FAIL ") + point.describe())
+        for problem in point.problems:
+            print(f"  {problem}", file=sys.stderr)
+        failures += 0 if point.passed else 1
+    print(f"\n{len(points) - failures}/{len(points)} sweep points hold")
+    return 1 if failures else 0
+
+
 def cmd_timeline(args: argparse.Namespace) -> int:
     """Run a timeline-attributed two-site session and dump a Chrome trace.
 
@@ -549,6 +588,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--frames", type=int, default=240)
     chaos.add_argument("--seed", type=int, default=7)
     chaos.set_defaults(fn=cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="adaptive-consistency WAN sweep: 0-400 ms RTT under named "
+        "profiles, adaptive vs pure lockstep, asserts playable frame "
+        "times and checksum-verified switches",
+    )
+    sweep.add_argument(
+        "--profile",
+        choices=("all",) + tuple(sorted(WAN_PROFILES)),
+        default="all",
+        help="named WAN profile (default: the full grid)",
+    )
+    sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: wan-120 at one good and one collapsed RTT point",
+    )
+    sweep.add_argument("--game", default="counter")
+    sweep.add_argument("--frames", type=int, default=360)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.set_defaults(fn=cmd_sweep)
 
     timeline = sub.add_parser(
         "timeline",

@@ -61,6 +61,40 @@ class SyncConfig:
     adaptive_min_buf: int = 2
     adaptive_max_buf: int = 15
 
+    #: Hysteresis for the adaptive lag tuner: after the first (immediate)
+    #: resize, further changes are applied at most once per this many
+    #: seconds, so RTT jitter cannot make the lag oscillate.
+    adaptive_window_s: float = 1.0
+
+    #: Hysteresis deadband, in frames: a proposed lag must differ from the
+    #: current one by at least this much to be applied at all.
+    adaptive_deadband_frames: int = 1
+
+    #: Consistency policy (the adaptive lockstep↔rollback layer in
+    #: ``repro.core.policy``): a site speculates (rollback mode) while any
+    #: peer's smoothed RTT is above this threshold...
+    policy_rollback_above_s: float = 0.140
+
+    #: ...and returns to plain lockstep once every peer's smoothed RTT is
+    #: back below this one.  The gap between the two is the hysteresis
+    #: band that keeps a jittery link from flapping modes.
+    policy_lockstep_below_s: float = 0.100
+
+    #: Minimum dwell time between mode switches (seconds).
+    policy_dwell_s: float = 2.0
+
+    #: A proposed switch not acked by every peer within this long is
+    #: aborted: the site stays in its current mode (and may re-propose
+    #: after the dwell).  This is what makes a partition during a switch
+    #: safe — the proposer never half-commits.
+    policy_switch_timeout_s: float = 1.0
+
+    #: Whether entering rollback mode also drains the local lag to zero
+    #: (rollback's responsiveness win).  Off by default: draining changes
+    #: which slot each local input lands in, so sessions that must stay
+    #: bit-identical to a fixed-lag twin keep their lag across switches.
+    policy_drain_lag: bool = False
+
     #: Initial RTT estimate used before any ping sample arrives.
     initial_rtt: float = 0.0
 
@@ -153,6 +187,21 @@ class SyncConfig:
             raise ValueError("suspend_backoff_max_s must be >= the initial backoff")
         if self.bandwidth_budget_bps is not None and self.bandwidth_budget_bps <= 0:
             raise ValueError("bandwidth_budget_bps must be positive or None")
+        if self.adaptive_window_s <= 0:
+            raise ValueError("adaptive_window_s must be positive")
+        if self.adaptive_deadband_frames < 1:
+            raise ValueError("adaptive_deadband_frames must be >= 1")
+        if self.policy_lockstep_below_s <= 0:
+            raise ValueError("policy_lockstep_below_s must be positive")
+        if self.policy_rollback_above_s <= self.policy_lockstep_below_s:
+            raise ValueError(
+                "policy_rollback_above_s must be > policy_lockstep_below_s "
+                "(the gap is the mode-flap hysteresis band)"
+            )
+        if self.policy_dwell_s <= 0:
+            raise ValueError("policy_dwell_s must be positive")
+        if self.policy_switch_timeout_s <= 0:
+            raise ValueError("policy_switch_timeout_s must be positive")
         if self.slo_budget_s is not None and self.slo_budget_s <= 0:
             raise ValueError("slo_budget_s must be positive or None")
 

@@ -72,6 +72,8 @@ from repro.core.messages import (
     Resume,
     StateRequest,
     StateSnapshot,
+    SwitchAck,
+    SwitchRequest,
     Sync,
     decode_all,
     encode_packet,
@@ -176,6 +178,16 @@ class SiteRuntime:
         self.allow_state_requests = False
         self._pending_state_request: Optional[int] = None
         self._pending_resume: Optional[int] = None
+        #: Consistency mode each peer last announced via SWITCH_REQ
+        #: (``repro.core.messages.MODE_*``; absent = never announced).
+        #: Purely informational for a plain lockstep site — every site
+        #: acks switch announcements so an adaptive peer can commit.
+        self.peer_modes: Dict[int, int] = {}
+        #: Highest SWITCH_ACK seq received per peer (read by the adaptive
+        #: engine to commit or abort a proposed mode switch).
+        self.switch_acks: Dict[int, int] = {}
+        #: Lazily-built hysteretic lag tuner (``repro.core.policy``).
+        self._lag_tuner = None
         #: Latest received savestate (consumed by the late-join engine).
         self.latest_snapshot: Optional[StateSnapshot] = None
 
@@ -326,6 +338,52 @@ class SiteRuntime:
                     peer=message.sender_site,
                     claimed=message.last_acked_frame,
                 )
+        elif isinstance(message, SwitchRequest):
+            # Validated like RESUME: right session, known peer.  The mode
+            # itself is the announcer's local choice (its lag/speculation
+            # only move where its own frames execute), so every site can
+            # ack — the ack is what lets the proposer commit atomically.
+            if (
+                message.session_id == self.session_id
+                and message.sender_site in self.peer_sites
+            ):
+                self.peer_modes[message.sender_site] = message.mode
+                self.events.emit(
+                    "switch_rx",
+                    now,
+                    self.frame,
+                    peer=message.sender_site,
+                    mode=message.mode,
+                    seq=message.seq,
+                )
+                destination = self.address_of.get(message.sender_site)
+                if destination is not None:
+                    replies.append(
+                        (
+                            SwitchAck(
+                                self.site_no,
+                                self.session_id,
+                                seq=message.seq,
+                                mode=message.mode,
+                            ),
+                            destination,
+                        )
+                    )
+            else:
+                self.events.emit(
+                    "switch_reject",
+                    now,
+                    self.frame,
+                    peer=message.sender_site,
+                )
+        elif isinstance(message, SwitchAck):
+            if (
+                message.session_id == self.session_id
+                and message.sender_site in self.peer_sites
+            ):
+                previous = self.switch_acks.get(message.sender_site, -1)
+                if message.seq > previous:
+                    self.switch_acks[message.sender_site] = message.seq
         elif isinstance(message, StateSnapshot):
             if (
                 self.latest_snapshot is None
@@ -412,14 +470,23 @@ class SiteRuntime:
 
     def _adapt_lag(self, now: float) -> None:
         """Resize local lag to the current one-way estimate (§4.2's rejected
-        alternative, implemented for the ablation)."""
-        import math
+        alternative, implemented for the ablation).
 
-        config = self.config
-        needed = math.ceil(
-            (self.rtt.one_way + config.adaptive_margin) * config.cfps
-        )
-        needed = max(config.adaptive_min_buf, min(config.adaptive_max_buf, needed))
+        The raw proposal runs through a hysteretic :class:`LagTuner` so RTT
+        jitter cannot make the lag oscillate: after the first (immediate)
+        resize, a change must clear the deadband *and* the minimum window
+        between changes.
+        """
+        tuner = self._lag_tuner
+        if tuner is None:
+            # Imported lazily: policy builds on rollback which builds on
+            # this module, so a top-level import would be circular.
+            from repro.core.policy import LagTuner
+
+            tuner = self._lag_tuner = LagTuner(self.config)
+        needed = tuner.propose(now, self.rtt.one_way, self.lockstep.local_lag_frames)
+        if needed is None:
+            return
         before = self.lockstep.local_lag_frames
         self.lockstep.set_local_lag(needed)
         if needed != before:

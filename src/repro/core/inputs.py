@@ -236,6 +236,52 @@ class RandomSource(InputSource):
         return state
 
 
+class TapSource(InputSource):
+    """Arcade-structured pad input: held directions plus short button taps.
+
+    :class:`RandomSource` toggles every button independently, which makes
+    all predictors look alike (nothing is learnable).  Real pad traffic has
+    structure — a direction is *held* for many frames while action buttons
+    are *tapped* for a frame or two — and that structure is exactly what
+    the heuristic input predictor exploits.  This source generates it
+    deterministically: one of the four directions is held for
+    ``direction_run`` frames (chosen per run by seeded hash, sometimes
+    none), and the A button is pressed for ``tap_hold`` frames out of
+    every ``tap_period`` (phase offset by the seed so two sites don't tap
+    in sync).  Random access and replay-safe, like every source.
+    """
+
+    _DIRECTIONS = (0, Buttons.UP, Buttons.DOWN, Buttons.LEFT, Buttons.RIGHT)
+
+    def __init__(
+        self,
+        seed: int,
+        tap_period: int = 9,
+        tap_hold: int = 2,
+        direction_run: int = 48,
+    ) -> None:
+        if tap_period <= 0 or not 0 <= tap_hold <= tap_period:
+            raise ValueError(
+                f"need 0 <= tap_hold <= tap_period, got {tap_hold}/{tap_period}"
+            )
+        if direction_run <= 0:
+            raise ValueError(f"direction_run must be > 0, got {direction_run}")
+        self._seed = seed
+        self._tap_period = tap_period
+        self._tap_hold = tap_hold
+        self._direction_run = direction_run
+
+    def get(self, frame: int) -> int:
+        if frame < 0:
+            return 0
+        run = frame // self._direction_run
+        rng = random.Random((self._seed << 24) ^ run)
+        buttons = rng.choice(self._DIRECTIONS)
+        if (frame + self._seed) % self._tap_period < self._tap_hold:
+            buttons |= Buttons.A
+        return buttons
+
+
 class PadSource(InputSource):
     """Adapts a pad-byte source into full-input-word bit positions.
 

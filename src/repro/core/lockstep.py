@@ -149,6 +149,20 @@ class LockstepSync:
         """The lag currently applied to this site's inputs."""
         return self._current_buf
 
+    def lag_drain_remaining(self, frame: int) -> int:
+        """Local input frames still to be dropped after a lag shrink.
+
+        After ``set_local_lag`` shrinks the lag, the previously buffered
+        window keeps the next few frames' slots filled; each such frame's
+        fresh input is dropped until the frame counter catches up.  This
+        reports how many drops are still owed at ``frame`` — zero once the
+        new (shorter) mapping is fully in effect.  Used by the rollback
+        hand-over tests and drain telemetry.
+        """
+        return max(
+            0, self.last_rcv_frame[self.site_no] + 1 - (frame + self._current_buf)
+        )
+
     def set_local_lag(self, buf_frames: int) -> None:
         """Change this site's local lag from the next buffered frame on.
 

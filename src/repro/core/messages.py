@@ -870,6 +870,82 @@ class Resume(Message):
         return cls(sender_site, session_id, last_acked)
 
 
+#: Consistency-mode codes carried by SWITCH_REQ/SWITCH_ACK.
+MODE_LOCKSTEP = 0
+MODE_ROLLBACK = 1
+
+
+@dataclass
+class SwitchRequest(Message):
+    """A site announces it is about to change consistency mode.
+
+    The mode itself is a local choice (lag and speculation only move where
+    the announcer's *own* frames execute), so the handshake carries no
+    state transfer — it rides the same control path as RESUME and exists
+    for coordination: the proposer commits the switch only once every peer
+    has acked ``seq``, and aborts back to its old mode on timeout.  That
+    abort is what makes a partition mid-switch safe.  ``frame`` is the
+    proposer's frame counter when the request was first queued (telemetry
+    and twin-test anchoring; receivers do not act on it).
+    """
+
+    TYPE_ID: ClassVar[int] = 13
+
+    sender_site: int
+    session_id: int
+    seq: int = 0
+    mode: int = MODE_LOCKSTEP
+    frame: int = 0
+
+    def _encode_body(self) -> bytes:
+        out = bytearray()
+        append_uvarint(out, self.seq)
+        append_uvarint(out, self.mode)
+        append_svarint(out, self.frame)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(
+        cls, sender_site: int, session_id: int, body: bytes
+    ) -> "SwitchRequest":
+        seq, offset = read_uvarint(body, 0, "SWITCH_REQ seq")
+        mode, offset = read_uvarint(body, offset, "SWITCH_REQ mode")
+        if mode not in (MODE_LOCKSTEP, MODE_ROLLBACK):
+            raise DecodeError(f"unknown consistency mode {mode}")
+        frame, offset = read_svarint(body, offset, "SWITCH_REQ frame")
+        _expect_end(body, offset, "SWITCH_REQ")
+        return cls(sender_site, session_id, seq, mode, frame)
+
+
+@dataclass
+class SwitchAck(Message):
+    """Acknowledges one :class:`SwitchRequest` (echoes seq and mode)."""
+
+    TYPE_ID: ClassVar[int] = 14
+
+    sender_site: int
+    session_id: int
+    seq: int = 0
+    mode: int = MODE_LOCKSTEP
+
+    def _encode_body(self) -> bytes:
+        out = bytearray()
+        append_uvarint(out, self.seq)
+        append_uvarint(out, self.mode)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(
+        cls, sender_site: int, session_id: int, body: bytes
+    ) -> "SwitchAck":
+        seq, offset = read_uvarint(body, 0, "SWITCH_ACK seq")
+        mode, offset = read_uvarint(body, offset, "SWITCH_ACK mode")
+        if mode not in (MODE_LOCKSTEP, MODE_ROLLBACK):
+            raise DecodeError(f"unknown consistency mode {mode}")
+        _expect_end(body, offset, "SWITCH_ACK")
+        return cls(sender_site, session_id, seq, mode)
+
+
 @dataclass
 class Bye(Message):
     """Graceful leave notification."""
@@ -960,6 +1036,8 @@ _REGISTRY: Dict[int, Type[Message]] = {
         StateSnapshot,
         Bye,
         Resume,
+        SwitchRequest,
+        SwitchAck,
         Batch,
     )
 }

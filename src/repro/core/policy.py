@@ -1,0 +1,519 @@
+"""Adaptive consistency: per-site lockstep↔rollback switching.
+
+The paper fixes one consistency mechanism for the whole session: local-lag
+lockstep with ``BufFrame`` ≈ 100 ms.  That choice is only right while the
+network cooperates — past ``RTT/2 > BufFrame · TimePerFrame`` every frame
+blocks on the input gate and the game collapses to the network's pace.
+Rollback (:mod:`repro.core.rollback`) keeps the frame rate at any RTT but
+pays CPU for replay and misprediction artifacts the paper's LAN deployment
+never needed.
+
+This module makes the choice *per site and per RTT regime*:
+
+* :class:`LagTuner` — the hysteretic half of adaptive local lag.  The raw
+  proposal (``ceil((RTT/2 + margin) · CFPS)``) chases every RTT sample;
+  the tuner applies the first resize immediately (start-up convergence)
+  and afterwards requires both a deadband and a minimum interval between
+  changes, so jitter cannot oscillate the lag.
+* :class:`ConsistencyPolicy` — watches the *per-peer* smoothed RTT
+  (:meth:`repro.core.rtt.RttEstimator.peer_rtt`) and recommends a mode
+  through a hysteresis band: rollback once any peer link degrades past
+  ``policy_rollback_above_s``, back to lockstep only when every link is
+  below ``policy_lockstep_below_s``, with a dwell time between
+  transitions.
+* :class:`AdaptiveEngine` — a :class:`~repro.core.rollback.RollbackEngine`
+  that actually runs in either mode and switches mid-session.
+
+Switch protocol
+---------------
+
+A mode is a *local* choice: a site's lag and speculation only move where
+its own frames execute, and its wire traffic (SYNC windows, acks) is
+identical in both modes.  The handshake therefore carries no state — it
+exists so the switch is *observable and abortable*:
+
+1. the proposer sends ``SWITCH_REQ(seq, mode)`` to every peer and keeps
+   retransmitting (control priority, never dropped by the budget),
+2. each peer records the announced mode and answers ``SWITCH_ACK(seq)``
+   — plain lockstep peers ack too, so mixed sessions interoperate,
+3. on acks from *all* peers the proposer commits at the next frame
+   boundary; if any ack is missing after ``policy_switch_timeout_s`` the
+   proposal is aborted and the site stays in its current mode.
+
+A partition during the handshake can therefore delay a switch but never
+half-apply one.  Entering rollback syncs the speculative machine from the
+confirmed shadow (delta pages) before the first speculation; leaving
+rollback first drains speculation (the gate blocks until every
+speculated frame is confirmed) so lockstep resumes from a state the
+shadow has proven.  In both modes the confirmed machine is
+``runtime.machine``, so the consistency trace is continuous across
+switches and bit-identical to a never-switched lockstep twin (when the
+lag is held constant; see ``policy_drain_lag``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.config import SyncConfig
+from repro.core.engine import (
+    Effect,
+    GameMachine,
+    PHASE_COMPUTE,
+    PHASE_FRAME_WAIT,
+    PHASE_GATE,
+    SiteEngine,
+    SitePeer,
+    SiteRuntime,
+)
+from repro.core.inputs import InputAssignment, InputSource
+from repro.core.messages import MODE_LOCKSTEP, MODE_ROLLBACK, SwitchRequest
+from repro.core.rollback import PredictorSpec, RollbackEngine, RollbackVM
+from repro.core.rtt import RttEstimator
+
+#: Human-readable mode names for events, snapshots and test output.
+MODE_NAMES = {MODE_LOCKSTEP: "lockstep", MODE_ROLLBACK: "rollback"}
+
+
+class LagTuner:
+    """Hysteretic filter between the RTT estimate and ``set_local_lag``.
+
+    ``propose`` returns the lag to apply now, or None to leave it alone.
+    The first proposal is applied immediately — a session that started
+    with a default lag should converge as soon as the first RTT sample
+    lands.  Afterwards a change must clear ``adaptive_deadband_frames``
+    *and* at least ``adaptive_window_s`` must have passed since the last
+    applied change, so a monotone RTT ramp moves the lag at most once per
+    window and sample jitter cannot flip it back and forth.
+    """
+
+    def __init__(self, config: SyncConfig) -> None:
+        self._config = config
+        self._last_change: Optional[float] = None
+
+    def target_for(self, one_way: float) -> int:
+        """The raw (unfiltered) lag target for a one-way estimate."""
+        config = self._config
+        needed = math.ceil((one_way + config.adaptive_margin) * config.cfps)
+        return max(config.adaptive_min_buf, min(config.adaptive_max_buf, needed))
+
+    def propose(self, now: float, one_way: float, current: int) -> Optional[int]:
+        """Lag to apply now, or None (deadband / window suppressed)."""
+        target = self.target_for(one_way)
+        if target == current:
+            return None
+        config = self._config
+        if self._last_change is not None:
+            if abs(target - current) < config.adaptive_deadband_frames:
+                return None
+            if now - self._last_change < config.adaptive_window_s:
+                return None
+        self._last_change = now
+        return target
+
+
+class ConsistencyPolicy:
+    """Per-peer RTT watcher recommending lockstep or rollback.
+
+    The decision rides the *worst* peer link: lockstep blocks on the
+    slowest peer's inputs, so one bad link is enough to justify
+    speculation.  Hysteresis comes from two thresholds (a link must
+    degrade past ``policy_rollback_above_s`` to leave lockstep but
+    recover below ``policy_lockstep_below_s`` to return) plus a dwell
+    time between transitions — an aborted proposal also arms the dwell,
+    so a partitioned site does not spam re-proposals.
+    """
+
+    def __init__(self, config: SyncConfig) -> None:
+        self._config = config
+        self._last_transition: Optional[float] = None
+
+    def note_transition(self, now: float) -> None:
+        """Record a committed or aborted switch (arms the dwell timer)."""
+        self._last_transition = now
+
+    def worst_peer_rtt(self, rtt: RttEstimator, peer_sites: List[int]) -> float:
+        if not peer_sites:
+            return rtt.rtt
+        return max(rtt.peer_rtt(site) for site in peer_sites)
+
+    def desired_mode(
+        self,
+        now: float,
+        rtt: RttEstimator,
+        peer_sites: List[int],
+        current_mode: int,
+    ) -> Optional[int]:
+        """Mode the site should move to, or None to stay put."""
+        if not rtt.samples:
+            return None
+        config = self._config
+        if (
+            self._last_transition is not None
+            and now - self._last_transition < config.policy_dwell_s
+        ):
+            return None
+        worst = self.worst_peer_rtt(rtt, peer_sites)
+        if current_mode == MODE_LOCKSTEP and worst > config.policy_rollback_above_s:
+            return MODE_ROLLBACK
+        if current_mode == MODE_ROLLBACK and worst < config.policy_lockstep_below_s:
+            return MODE_LOCKSTEP
+        return None
+
+
+class _PendingSwitch:
+    """A proposed mode switch awaiting acks from every peer."""
+
+    __slots__ = ("seq", "mode", "deadline", "resend_at", "acked")
+
+    def __init__(self, seq: int, mode: int, deadline: float) -> None:
+        self.seq = seq
+        self.mode = mode
+        self.deadline = deadline
+        self.resend_at = 0.0
+        self.acked = False
+
+
+class AdaptiveEngine(RollbackEngine):
+    """A site that runs lockstep while the network allows and switches to
+    rollback (and back) when the consistency policy says so.
+
+    In lockstep mode the engine behaves exactly like :class:`SiteEngine`
+    — ordinary delivery gate, ``run_transition`` on the confirmed machine
+    — while keeping the rollback bookkeeping (confirmation counter,
+    predictor observations) warm so a switch is cheap.  In rollback mode
+    it is its base class.  ``runtime.machine`` is the confirmed machine
+    in *both* modes, so the consistency trace never breaks across a
+    switch.
+    """
+
+    #: Retransmission period for an unacked SWITCH_REQ.
+    SWITCH_RESEND = 0.05
+
+    def __init__(
+        self,
+        runtime: SiteRuntime,
+        max_frames: int,
+        *,
+        spec_machine: GameMachine,
+        speculation_window: int = 60,
+        predictor: PredictorSpec = None,
+        initial_mode: int = MODE_LOCKSTEP,
+        **options: object,
+    ) -> None:
+        super().__init__(
+            runtime,
+            max_frames,
+            spec_machine=spec_machine,
+            speculation_window=speculation_window,
+            predictor=predictor,
+            drain_lag=False,  # lag is the policy layer's to manage
+            **options,
+        )
+        self.mode = initial_mode
+        if (
+            initial_mode == MODE_ROLLBACK
+            and runtime.config.policy_drain_lag
+            and runtime.lockstep.local_lag_frames
+        ):
+            runtime.lockstep.set_local_lag(0)
+        self.policy = ConsistencyPolicy(runtime.config)
+        #: Committed switches this session (mirrors the metric).
+        self.policy_switch_count = 0
+        #: Full handshake history as ``(kind, time, frame, mode, seq)``
+        #: tuples, kind ∈ {propose, abort, commit}.  The event ring is
+        #: bounded and busy sessions evict early records; switches are
+        #: rare enough to keep all of them for tests and post-mortems.
+        self.switch_log: List[Tuple[str, float, int, int, int]] = []
+        self._pending_switch: Optional[_PendingSwitch] = None
+        #: True while leaving rollback: the gate blocks until every
+        #: speculated frame is confirmed, then the mode flips.
+        self._settling = False
+        self._switch_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mode_name(self) -> str:
+        return MODE_NAMES.get(self.mode, str(self.mode))
+
+    # ------------------------------------------------------------------
+    # Mode-dispatched engine hooks
+    # ------------------------------------------------------------------
+    def _try_ready(self, now: float) -> Optional[int]:
+        if self.mode == MODE_ROLLBACK:
+            if not self._settling:
+                return super()._try_ready(now)
+            # Leaving rollback: confirm (only) until speculation drains,
+            # then continue this very gate check in lockstep mode.
+            self._confirm_pending(now)
+            if self.confirmed_frontier < self.runtime.frame - 1:
+                return None
+            self._finish_switch(MODE_LOCKSTEP, now)
+        return self._lockstep_ready()
+
+    def _lockstep_ready(self) -> Optional[int]:
+        """Plain delivery gate, keeping predictor/frontier state warm."""
+        lockstep = self.runtime.lockstep
+        if not lockstep.can_deliver():
+            return None
+        frame = lockstep.ibuf_pointer
+        for site in range(lockstep.num_sites):
+            value = lockstep.ibuf.get(frame, site)
+            if value is not None:
+                self.predictor.observe(site, frame, value, confirmed=True)
+        merged = lockstep.deliver()
+        self._confirmed_count += 1
+        return merged
+
+    def _commit(
+        self,
+        merged: int,
+        stall: float,
+        sync_adjust: float,
+        now: float,
+        effects: List[Effect],
+    ) -> None:
+        if self.mode == MODE_ROLLBACK:
+            super()._commit(merged, stall, sync_adjust, now, effects)
+        else:
+            SiteEngine._commit(self, merged, stall, sync_adjust, now, effects)
+
+    # ------------------------------------------------------------------
+    # Policy evaluation (runs on the ~20 ms flush cadence)
+    # ------------------------------------------------------------------
+    def _flush(self, now: float, effects: List[Effect]) -> None:
+        self._run_policy(now)
+        super()._flush(now, effects)
+
+    def _run_policy(self, now: float) -> None:
+        runtime = self.runtime
+        if not runtime.session.started or self.done:
+            return
+        active = self.phase in (PHASE_GATE, PHASE_COMPUTE, PHASE_FRAME_WAIT)
+        pending = self._pending_switch
+        if pending is not None:
+            if not active:
+                # The frame horizon arrived mid-handshake; the proposal
+                # is moot (peers already recorded the announced mode,
+                # which is harmless telemetry).
+                self._pending_switch = None
+                return
+            if not pending.acked and all(
+                runtime.switch_acks.get(site, -1) >= pending.seq
+                for site in runtime.peer_sites
+            ):
+                pending.acked = True
+            if pending.acked:
+                # Commit only at a frame boundary: in PHASE_COMPUTE a
+                # merged word is in flight for the wrong machine.
+                if self.phase != PHASE_COMPUTE:
+                    self._pending_switch = None
+                    self._commit_switch(pending.mode, now)
+                return
+            if now >= pending.deadline:
+                self._pending_switch = None
+                self.policy.note_transition(now)
+                runtime.events.emit(
+                    "switch_abort",
+                    now,
+                    runtime.frame,
+                    mode=pending.mode,
+                    seq=pending.seq,
+                )
+                self.switch_log.append(
+                    ("abort", now, runtime.frame, pending.mode, pending.seq)
+                )
+                return
+            if now >= pending.resend_at:
+                self._send_switch(pending, now)
+            return
+        if self._settling or not active:
+            return
+        desired = self.policy.desired_mode(
+            now, runtime.rtt, runtime.peer_sites, self.mode
+        )
+        if desired is not None and desired != self.mode:
+            self._propose_switch(desired, now)
+
+    def _propose_switch(self, mode: int, now: float) -> None:
+        runtime = self.runtime
+        self._switch_seq += 1
+        pending = _PendingSwitch(
+            seq=self._switch_seq,
+            mode=mode,
+            deadline=now + runtime.config.policy_switch_timeout_s,
+        )
+        self._pending_switch = pending
+        runtime.events.emit(
+            "switch_propose",
+            now,
+            runtime.frame,
+            mode=mode,
+            seq=pending.seq,
+        )
+        self.switch_log.append(
+            ("propose", now, runtime.frame, mode, pending.seq)
+        )
+        self._send_switch(pending, now)
+
+    def _send_switch(self, pending: _PendingSwitch, now: float) -> None:
+        runtime = self.runtime
+        pending.resend_at = now + self.SWITCH_RESEND
+        message = SwitchRequest(
+            sender_site=runtime.site_no,
+            session_id=runtime.session_id,
+            seq=pending.seq,
+            mode=pending.mode,
+            frame=runtime.frame,
+        )
+        for site in runtime.peer_sites:
+            if runtime.switch_acks.get(site, -1) >= pending.seq:
+                continue
+            destination = runtime.address_of.get(site)
+            if destination is not None:
+                self._outbox.append((message, destination))
+
+    def _commit_switch(self, mode: int, now: float) -> None:
+        if mode == MODE_ROLLBACK:
+            # The shadow has executed every delivered frame; bring the
+            # (stale since the last rollback stint) speculative machine
+            # up to it before the first speculation.
+            self._sync_spec_from_shadow()
+            self._used_inputs.clear()
+            self._finish_switch(MODE_ROLLBACK, now)
+            runtime = self.runtime
+            if (
+                runtime.config.policy_drain_lag
+                and runtime.lockstep.local_lag_frames
+            ):
+                runtime.lockstep.set_local_lag(0)
+        else:
+            # Leaving rollback takes two steps: the gate first drains
+            # speculation (see _try_ready), then the mode flips.
+            self._settling = True
+
+    def _finish_switch(self, mode: int, now: float) -> None:
+        self._settling = False
+        self.mode = mode
+        self.policy_switch_count += 1
+        self.policy.note_transition(now)
+        runtime = self.runtime
+        runtime.metrics.policy_switches.inc()
+        runtime.events.emit(
+            "switch_commit", now, runtime.frame, mode=mode
+        )
+        self.switch_log.append(
+            ("commit", now, runtime.frame, mode, self._switch_seq)
+        )
+
+
+class AdaptiveVM(RollbackVM):
+    """Discrete-event shell around :class:`AdaptiveEngine`."""
+
+    def __init__(
+        self,
+        *args: object,
+        initial_mode: int = MODE_LOCKSTEP,
+        **kwargs: object,
+    ) -> None:
+        self._initial_mode = initial_mode
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+
+    def _build_engine(self, **options: object) -> AdaptiveEngine:
+        return AdaptiveEngine(
+            self.runtime,
+            self.max_frames,
+            linger=self.LINGER,
+            spec_machine=self._spec_machine,
+            speculation_window=self._speculation_window,
+            predictor=self._predictor,
+            initial_mode=self._initial_mode,
+            **options,
+        )
+
+    @property
+    def mode(self) -> int:
+        return self.engine.mode
+
+    @property
+    def mode_name(self) -> str:
+        return self.engine.mode_name
+
+    @property
+    def policy_switch_count(self) -> int:
+        return self.engine.policy_switch_count
+
+    @property
+    def switch_log(self):
+        return self.engine.switch_log
+
+
+def build_adaptive_session(
+    game_factory,
+    sources: List[InputSource],
+    netem,
+    frames: int = 600,
+    seed: int = 7,
+    speculation_window: int = 60,
+    frame_compute_time: float = 0.002,
+    config: Optional[SyncConfig] = None,
+    predictor: PredictorSpec = None,
+    initial_mode: int = MODE_LOCKSTEP,
+    game_id: str = "adaptive",
+):
+    """Wire an adaptive-consistency session on the simulator.
+
+    Mirrors :func:`repro.core.rollback.build_rollback_session` but keeps
+    the paper's default local lag (the lockstep starting point) and
+    instantiates :class:`AdaptiveVM` sites that may switch modes
+    mid-session under the configured consistency policy.
+    """
+    from repro.core.multisite import Session, site_address
+    from repro.metrics.timeserver import TimeServer
+    from repro.net.simnet import SimNetwork
+    from repro.sim.eventloop import EventLoop
+
+    config = config if config is not None else SyncConfig()
+    num_sites = len(sources)
+    loop = EventLoop()
+    network = SimNetwork(loop, seed=seed)
+    for a in range(num_sites):
+        for b in range(a + 1, num_sites):
+            network.connect(site_address(a), site_address(b), netem)
+    time_server = TimeServer(network)
+    for s in range(num_sites):
+        time_server.attach_site(network, site_address(s))
+
+    assignment = InputAssignment.standard(num_sites)
+    peers = [SitePeer(s, site_address(s)) for s in range(num_sites)]
+    vms = []
+    for s in range(num_sites):
+        runtime = SiteRuntime(
+            config=config,
+            site_no=s,
+            assignment=assignment,
+            machine=game_factory(),  # the confirmed machine in both modes
+            source=sources[s],
+            peers=peers,
+            game_id=game_id,
+            session_id=1,
+        )
+        vms.append(
+            AdaptiveVM(
+                loop,
+                network,
+                runtime,
+                max_frames=frames,
+                frame_compute_time=frame_compute_time,
+                seed=seed,
+                time_server_address=time_server.address,
+                spec_machine=game_factory(),
+                speculation_window=speculation_window,
+                predictor=predictor,
+                initial_mode=initial_mode,
+            )
+        )
+    return Session(
+        loop=loop, network=network, vms=vms, time_server=time_server
+    )

@@ -10,8 +10,10 @@ claim is measurable.  :class:`RollbackEngine` plays with **zero local
 lag**:
 
 * local inputs land in their own frame's slot (``BufFrame = 0``),
-* the *speculative* machine executes every frame immediately, predicting
-  missing remote inputs by holding each site's last received pad state,
+* the *speculative* machine executes every frame immediately, guessing
+  missing remote inputs through a pluggable :class:`InputPredictor`
+  (hold-last-confirmed, repeat-last-heard, or the per-game heuristic that
+  decays impulse buttons — see :func:`make_predictor`),
 * a *shadow* machine executes only confirmed inputs (ordinary lockstep
   delivery) and therefore always holds a provably consistent state,
 * when a confirmed input contradicts a prediction, the speculative machine
@@ -41,7 +43,7 @@ before the ordinary linger.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.config import SyncConfig
 from repro.core.engine import (
@@ -54,7 +56,7 @@ from repro.core.engine import (
     SiteRuntime,
     TIMER_LINGER,
 )
-from repro.core.inputs import InputAssignment, InputSource
+from repro.core.inputs import BITS_PER_PLAYER, InputAssignment, InputSource
 from repro.core.vm import DistributedVM
 
 
@@ -70,12 +72,173 @@ def _dirty_pages(machine: GameMachine, mark: int) -> Optional[List[int]]:
     return dirty(mark) if dirty is not None else None
 
 
+# ----------------------------------------------------------------------
+# Input prediction.
+# ----------------------------------------------------------------------
+def _directional_mask(word: int) -> int:
+    """Word-wide mask selecting every player's directional nibble.
+
+    The pad layout (:mod:`repro.core.inputs`) puts UP/DOWN/LEFT/RIGHT in
+    the low nibble of each player byte and the impulse buttons
+    (A/B/START/COIN) in the high one; the two nibbles have very different
+    temporal statistics, which the heuristic predictor exploits.
+    """
+    mask = 0x0F
+    shift = BITS_PER_PLAYER
+    while word >> shift:
+        mask |= 0x0F << shift
+        shift += BITS_PER_PLAYER
+    return mask
+
+
+class InputPredictor:
+    """Strategy for guessing a site's not-yet-received pad state.
+
+    The engine feeds every input it learns through :meth:`observe` —
+    confirmed (delivered in lockstep order) or merely received (present
+    in the buffer ahead of the confirmation frontier) — and asks
+    :meth:`predict` for frames it must speculate past.  Predictions only
+    affect replay cost, never consistency: the confirmed shadow machine
+    defines the session outcome whatever the predictor returns.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        #: Newest confirmed (frame, bits) per site.
+        self._confirmed: Dict[int, Tuple[int, int]] = {}
+        #: Newest known (frame, bits) per site, received-but-unconfirmed
+        #: values included.
+        self._seen: Dict[int, Tuple[int, int]] = {}
+
+    def observe(self, site: int, frame: int, bits: int, confirmed: bool = True) -> None:
+        newest = self._seen.get(site)
+        if newest is None or frame >= newest[0]:
+            self._seen[site] = (frame, bits)
+        if confirmed:
+            previous = self._confirmed.get(site)
+            if previous is None or frame >= previous[0]:
+                self._confirmed[site] = (frame, bits)
+
+    def predict(self, site: int, frame: int) -> int:
+        raise NotImplementedError
+
+
+class NaivePredictor(InputPredictor):
+    """Hold each site's last *confirmed* pad state (the original scheme)."""
+
+    name = "naive"
+
+    def predict(self, site: int, frame: int) -> int:
+        entry = self._confirmed.get(site)
+        return entry[1] if entry is not None else 0
+
+
+class RepeatLastPredictor(InputPredictor):
+    """Repeat the newest pad state heard from the site, confirmed or not.
+
+    Inputs regularly arrive ahead of the confirmation frontier (they wait
+    on another site's gap, or on our own flush); repeating the freshest
+    value instead of the last confirmed one shaves the staleness window.
+    """
+
+    name = "repeat-last"
+
+    def predict(self, site: int, frame: int) -> int:
+        entry = self._seen.get(site)
+        return entry[1] if entry is not None else 0
+
+
+class HeuristicPredictor(RepeatLastPredictor):
+    """Repeat-last with per-game impulse decay.
+
+    Directional bits are held indefinitely (players hold directions for
+    runs of frames), but the impulse nibble — taps of A/B/START/COIN — is
+    predicted *released* once the extrapolation runs more than
+    ``impulse_hold`` frames past the newest observation: predicting a tap
+    as held forever costs a guaranteed rollback at its release edge.
+    ``impulse_hold`` is the expected *remaining* held time after an
+    observation — one less than the game's typical tap length (a 2-frame
+    tap seen at its first frame persists exactly 1 more frame) — from
+    :data:`GAME_IMPULSE_HOLD`.  Over-holding is the costly direction:
+    hold 2 on 2-frame taps halves the measured gain because most
+    rollback-replay predictions happen 1–2 frames past the newest
+    observation, inside the hold, where no decay ever fires.
+    """
+
+    name = "heuristic"
+
+    def __init__(self, impulse_hold: int = 1) -> None:
+        super().__init__()
+        self.impulse_hold = impulse_hold
+
+    def predict(self, site: int, frame: int) -> int:
+        entry = self._seen.get(site)
+        if entry is None:
+            return 0
+        observed_frame, bits = entry
+        if frame - observed_frame > self.impulse_hold:
+            bits &= _directional_mask(bits)
+        return bits
+
+    @classmethod
+    def for_game(cls, game_id: Optional[str]) -> "HeuristicPredictor":
+        hold = GAME_IMPULSE_HOLD.get(game_id or "", 1)
+        return cls(impulse_hold=hold)
+
+
+#: Per-game tuning of the heuristic predictor's impulse extrapolation
+#: depth: frames a pressed button is still predicted held past its last
+#: observation, i.e. typical tap length minus one.  Tap-driven games
+#: want short holds; charge/hold games longer ones.  The bench's
+#: predictor comparison (``measure_predictor_comparison``) is the
+#: instrument for tuning these.
+GAME_IMPULSE_HOLD: Dict[str, int] = {
+    "counter": 1,
+    "pong": 1,
+    "tankduel": 2,
+    "brawler": 1,
+}
+
+#: Registry for name-based predictor selection (CLI, bench, tests).
+PREDICTORS = {
+    NaivePredictor.name: NaivePredictor,
+    RepeatLastPredictor.name: RepeatLastPredictor,
+    HeuristicPredictor.name: HeuristicPredictor,
+}
+
+PredictorSpec = Union[str, InputPredictor, None]
+
+
+def make_predictor(spec: PredictorSpec, game_id: Optional[str] = None) -> InputPredictor:
+    """Resolve a predictor from a name, an instance, or None (default).
+
+    The default is the per-game heuristic — the measured best on
+    realistic tap/hold input (see the rollback bench's predictor
+    comparison); pass ``"naive"`` for the original hold-last-confirmed
+    behaviour.
+    """
+    if isinstance(spec, InputPredictor):
+        return spec
+    if spec is None or spec == HeuristicPredictor.name:
+        return HeuristicPredictor.for_game(game_id)
+    klass = PREDICTORS.get(spec)
+    if klass is None:
+        raise ValueError(
+            f"unknown predictor {spec!r}; choose from {sorted(PREDICTORS)}"
+        )
+    return klass()
+
+
 class RollbackStats:
     """Cost accounting for the speculation machinery."""
 
     def __init__(self) -> None:
         self.speculative_frames = 0
         self.confirmed_frames = 0
+        #: Confirmed frames whose input word had been speculated (the
+        #: denominator of the hit ratio).
+        self.predicted_frames = 0
         self.mispredicted_frames = 0
         self.rollbacks = 0
         self.replayed_frames = 0
@@ -88,8 +251,17 @@ class RollbackStats:
         self.snapshot_bytes_copied = 0
         self.snapshot_bytes_full = 0
 
+    @property
+    def predict_hit_ratio(self) -> float:
+        """Fraction of speculated frames whose input guess held up."""
+        if not self.predicted_frames:
+            return 1.0
+        return 1.0 - self.mispredicted_frames / self.predicted_frames
+
     def as_dict(self) -> dict:
-        return dict(vars(self))
+        out = dict(vars(self))
+        out["predict_hit_ratio"] = round(self.predict_hit_ratio, 4)
+        return out
 
 
 class RollbackEngine(SiteEngine):
@@ -101,10 +273,17 @@ class RollbackEngine(SiteEngine):
       speculation (``runtime.machine`` stays the confirmed shadow),
     * ``speculation_window`` — how many frames speculation may run ahead of
       confirmation before the site blocks (bounds replay cost and keeps a
-      network partition from spinning the CPU).
+      network partition from spinning the CPU),
+    * ``predictor`` — an :class:`InputPredictor` (or registry name) that
+      guesses not-yet-received remote inputs,
+    * ``drain_lag`` — what to do with a non-zero ``buf_frame``: drain it
+      to zero at construction (default; zero input latency is rollback's
+      point) or keep it (the adaptive policy layer manages lag itself).
 
-    The session config must use ``buf_frame=0`` (zero local lag is the
-    point of rollback).
+    A handed-over session may therefore carry local lag: the engine calls
+    ``set_local_lag(0)`` and the lockstep slot mapping drains the
+    already-buffered lag window naturally (new local inputs targeting
+    already-filled slots are dropped until the frame counter catches up).
     """
 
     #: Catch-up phase poll period (confirming in-flight frames after the
@@ -118,17 +297,22 @@ class RollbackEngine(SiteEngine):
         *,
         spec_machine: GameMachine,
         speculation_window: int = 60,
+        predictor: PredictorSpec = None,
+        drain_lag: bool = True,
         **options: object,
     ) -> None:
         super().__init__(runtime, max_frames, **options)  # type: ignore[arg-type]
-        if runtime.config.buf_frame != 0:
-            raise ValueError(
-                "rollback sessions need SyncConfig(buf_frame=0); local lag "
-                "and speculation are alternative answers to the same latency"
-            )
+        if runtime.config.buf_frame != 0 and drain_lag:
+            # A hand-over from laggy lockstep: zero the lag now and let
+            # the slot mapping drain the pre-buffered window (the virtual
+            # empty history for a fresh session, the real one otherwise).
+            runtime.lockstep.set_local_lag(0)
         self.spec_machine = spec_machine
         self.speculation_window = speculation_window
+        self.predictor = make_predictor(predictor, runtime.game_id)
         self.rollback_stats = RollbackStats()
+        # Mirror for SiteMetrics.refresh (duck-typed runtime attribute).
+        runtime.rollback_stats = self.rollback_stats
         # Delta-snapshot marks: pages either machine dirties after these
         # marks are exactly what the next shadow→spec restore must copy
         # (both machines are freshly built and identical right now).
@@ -137,29 +321,37 @@ class RollbackEngine(SiteEngine):
         self._full_state_size: Optional[int] = None
         #: Input word the speculative machine used per frame.
         self._used_inputs: Dict[int, int] = {}
-        #: Merged confirmed inputs, frame-indexed (what lockstep delivered).
-        self._confirmed: List[int] = []
-        #: Last confirmed pad state per site (the prediction).
-        self._held: Dict[int, int] = {
-            s: 0 for s in range(runtime.lockstep.num_sites)
-        }
+        #: Count of frames delivered to the shadow (frontier + 1).
+        self._confirmed_count = 0
         self._catchup_deadline = 0.0
 
     # ------------------------------------------------------------------
     @property
     def confirmed_frontier(self) -> int:
         """Last frame whose inputs are fully confirmed (executed by shadow)."""
-        return len(self._confirmed) - 1
+        return self._confirmed_count - 1
 
     def _predict_input(self, frame: int) -> int:
-        """Best-known merged input for ``frame``: confirmed partials where
-        received, held pad state where not."""
+        """Best-known merged input for ``frame``: exact partials where
+        received, the predictor's guess where not."""
         lockstep = self.runtime.lockstep
+        predictor = self.predictor
         partials = {}
         for site in range(lockstep.num_sites):
             value = lockstep.ibuf.get(frame, site)
             if value is None:
-                value = self._held.get(site, 0)
+                # Feed the predictor the site's newest *arrived* pad state
+                # first: sync windows land several frames at once, and
+                # without this the extrapolation base would trail at the
+                # confirmation frontier instead of the freshest data.
+                newest = lockstep.last_rcv_frame[site]
+                if newest < frame:
+                    heard = lockstep.ibuf.get(newest, site)
+                    if heard is not None:
+                        predictor.observe(site, newest, heard, confirmed=False)
+                value = predictor.predict(site, frame)
+            else:
+                predictor.observe(site, frame, value, confirmed=False)
             partials[site] = value
         return lockstep.assignment.merge(partials)
 
@@ -171,15 +363,27 @@ class RollbackEngine(SiteEngine):
         runtime = self.runtime
         lockstep = runtime.lockstep
         first_bad: Optional[int] = None
-        while lockstep.can_deliver() and lockstep.ibuf_pointer <= runtime.frame:
+        # The shadow must never pass the speculation: only frames the spec
+        # machine has executed (0..frame-1) may confirm, else the
+        # `_used_inputs` misprediction check is skipped for the overtaken
+        # frame.  Unreachable at zero lag (slot `frame` completes during
+        # that frame's own speculation), but with local lag kept (adaptive
+        # policy) the buffer holds completed slots ahead of the spec — and
+        # past max_frames — that must wait or never execute.
+        while (
+            lockstep.can_deliver()
+            and lockstep.ibuf_pointer < runtime.frame
+            and lockstep.ibuf_pointer < self.max_frames
+        ):
             frame = lockstep.ibuf_pointer
-            # Remember each site's confirmed pad state before pruning.
+            # Feed each site's confirmed pad state to the predictor
+            # before pruning discards it.
             for site in range(lockstep.num_sites):
                 value = lockstep.ibuf.get(frame, site)
                 if value is not None:
-                    self._held[site] = value
+                    self.predictor.observe(site, frame, value, confirmed=True)
             merged = lockstep.deliver()
-            self._confirmed.append(merged)
+            self._confirmed_count += 1
             runtime.machine.step(merged)
             runtime.trace.record_frame(
                 merged,
@@ -190,9 +394,12 @@ class RollbackEngine(SiteEngine):
             )
             self.rollback_stats.confirmed_frames += 1
             used = self._used_inputs.pop(frame, None)
-            if used is not None and used != merged and first_bad is None:
-                first_bad = frame
-                self.rollback_stats.mispredicted_frames += 1
+            if used is not None:
+                self.rollback_stats.predicted_frames += 1
+                if used != merged:
+                    self.rollback_stats.mispredicted_frames += 1
+                    if first_bad is None:
+                        first_bad = frame
         return first_bad
 
     def _sync_spec_from_shadow(self) -> None:
@@ -327,10 +534,12 @@ class RollbackVM(DistributedVM):
         *args: object,
         spec_machine: GameMachine,
         speculation_window: int = 60,
+        predictor: PredictorSpec = None,
         **kwargs: object,
     ) -> None:
         self._spec_machine = spec_machine
         self._speculation_window = speculation_window
+        self._predictor = predictor
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
 
     def _build_engine(self, **options: object) -> RollbackEngine:
@@ -340,6 +549,7 @@ class RollbackVM(DistributedVM):
             linger=self.LINGER,
             spec_machine=self._spec_machine,
             speculation_window=self._speculation_window,
+            predictor=self._predictor,
             **options,
         )
 
@@ -369,6 +579,7 @@ def build_rollback_session(
     speculation_window: int = 60,
     frame_compute_time: float = 0.002,
     config: Optional[SyncConfig] = None,
+    predictor: PredictorSpec = None,
 ):
     """Wire a two-or-more-site rollback session on the simulator.
 
@@ -417,6 +628,7 @@ def build_rollback_session(
                 time_server_address=time_server.address,
                 spec_machine=game_factory(),
                 speculation_window=speculation_window,
+                predictor=predictor,
             )
         )
     return Session(

@@ -15,7 +15,7 @@ timestamps on the local timebase.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import SyncConfig
 from repro.core.messages import Ping, Pong
@@ -37,6 +37,10 @@ class RttEstimator:
         self._site_no = site_no
         self._session_id = session_id
         self._srtt: Optional[float] = None
+        #: Smoothed RTT per responding peer.  The aggregate ``_srtt`` feeds
+        #: pacing and adaptive lag; the per-peer series feeds the
+        #: consistency policy, which must notice *which* link went bad.
+        self._peer_srtt: Dict[int, float] = {}
         self._next_seq = 0
         self.samples = 0
 
@@ -49,6 +53,15 @@ class RttEstimator:
     def one_way(self) -> float:
         """The paper's ``RTT / 2`` one-way latency estimate."""
         return self.rtt / 2.0
+
+    def peer_rtt(self, site_no: int) -> float:
+        """Smoothed RTT to one peer (aggregate estimate until it answers)."""
+        value = self._peer_srtt.get(site_no)
+        return value if value is not None else self.rtt
+
+    def peer_estimates(self) -> Dict[int, float]:
+        """Per-peer smoothed RTTs for every peer that has answered a ping."""
+        return dict(self._peer_srtt)
 
     def make_ping(self, now: float) -> Ping:
         ping = Ping(
@@ -84,6 +97,11 @@ class RttEstimator:
         alpha = self._config.rtt_alpha
         self._srtt = (
             sample if self._srtt is None else (1 - alpha) * self._srtt + alpha * sample
+        )
+        peer = pong.sender_site
+        previous = self._peer_srtt.get(peer)
+        self._peer_srtt[peer] = (
+            sample if previous is None else (1 - alpha) * previous + alpha * sample
         )
         self.samples += 1
         return sample

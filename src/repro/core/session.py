@@ -50,6 +50,13 @@ def config_digest(config: SyncConfig) -> int:
     future codec whose HELLO still parses under this one would be turned
     away here rather than desync mid-session (today's v1 peers never get
     this far — their datagrams already fail :func:`~repro.core.messages.decode`).
+
+    Only the *negotiated starting point* is digested.  A site's live lag
+    (the adaptive tuner) and its consistency mode (lockstep vs rollback,
+    ``repro.core.policy``) are runtime-local choices announced via LAG-free
+    sync windows and SWITCH_REQ respectively — they move where that site's
+    own inputs land or execute, never what peers must agree on, so changing
+    them mid-session does not renegotiate this digest.
     """
     text = f"wire{VERSION}|{config.cfps}|{config.buf_frame}".encode()
     return zlib.crc32(text)

@@ -9,10 +9,19 @@ that matter for this workload:
 * Bernoulli ``duplicate``,
 * ``reorder`` (a reordered packet is sent with zero queueing delay, which is
   how Netem implements reordering),
-* an optional token-bucket ``rate`` limit.
+* an optional token-bucket ``rate`` limit,
+* a two-state Gilbert–Elliott burst model: each packet flips the link
+  between a *good* and a *bad* state (``burst_enter``/``burst_exit``
+  transition probabilities); in the bad state the extra ``burst_loss``,
+  ``burst_delay`` and ``burst_jitter`` apply on top of the base
+  impairments.  This is Netem's ``loss gemodel`` plus a delay analogue —
+  WAN pathologies come in bursts (a queue fills, a radio link fades), and
+  independent Bernoulli loss cannot reproduce that.
 
 All probabilities are in ``[0, 1]``; times are in seconds.  The experiment
-sweeps configure symmetric links with ``delay = RTT / 2``.
+sweeps configure symmetric links with ``delay = RTT / 2``;
+:func:`named_profile` resolves the WAN profile names the sweep harness and
+CLI use (``wan-120``, ``wan-300``, ``mobile-burst``, ``loss-burst``).
 """
 
 from __future__ import annotations
@@ -32,16 +41,31 @@ class NetemConfig:
     duplicate: float = 0.0
     reorder: float = 0.0
     rate_bytes_per_s: Optional[float] = None
+    #: Gilbert–Elliott burst state: per-packet probability of entering the
+    #: bad state (0 disables the model entirely)...
+    burst_enter: float = 0.0
+    #: ...and of leaving it again (expected burst length = 1/burst_exit).
+    burst_exit: float = 0.0
+    #: Extra impairments applied while the link is in the bad state.
+    burst_loss: float = 0.0
+    burst_delay: float = 0.0
+    burst_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.delay < 0:
             raise ValueError(f"delay must be >= 0, got {self.delay}")
         if self.jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {self.jitter}")
-        for name in ("loss", "duplicate", "reorder"):
+        for name in ("loss", "duplicate", "reorder", "burst_enter", "burst_exit", "burst_loss"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.burst_delay < 0:
+            raise ValueError(f"burst_delay must be >= 0, got {self.burst_delay}")
+        if self.burst_jitter < 0:
+            raise ValueError(f"burst_jitter must be >= 0, got {self.burst_jitter}")
+        if self.burst_enter > 0 and self.burst_exit <= 0:
+            raise ValueError("burst_enter > 0 requires burst_exit > 0 (bursts must end)")
         if self.rate_bytes_per_s is not None and self.rate_bytes_per_s <= 0:
             raise ValueError("rate_bytes_per_s must be positive when set")
 
@@ -67,7 +91,60 @@ class NetemConfig:
             parts.append(f"reorder={self.reorder * 100:.1f}%")
         if self.rate_bytes_per_s:
             parts.append(f"rate={self.rate_bytes_per_s / 1000:.0f}kB/s")
+        if self.burst_enter:
+            parts.append(
+                f"burst={self.burst_enter * 100:.1f}%→{self.burst_exit * 100:.0f}%"
+                f"(+{self.burst_delay * 1000:.0f}ms,"
+                f"{self.burst_loss * 100:.0f}%loss)"
+            )
         return " ".join(parts)
+
+
+#: Named WAN impairment profiles the sweep harness, chaos catalogue and CLI
+#: share.  ``wan-*`` are steady broadband paths at their nominal RTT;
+#: ``mobile-burst`` models a cellular link whose queue periodically bloats
+#: (delay spikes, little extra loss); ``loss-burst`` a path that drops
+#: packets in clumps (expected burst ≈ 4 packets at 30% loss).
+WAN_PROFILES = {
+    "wan-120": NetemConfig(delay=0.060, jitter=0.005, loss=0.01),
+    "wan-300": NetemConfig(delay=0.150, jitter=0.020, loss=0.02),
+    "mobile-burst": NetemConfig(
+        delay=0.040,
+        jitter=0.008,
+        loss=0.005,
+        burst_enter=0.02,
+        burst_exit=0.2,
+        burst_delay=0.080,
+        burst_jitter=0.030,
+    ),
+    "loss-burst": NetemConfig(
+        delay=0.040,
+        jitter=0.005,
+        loss=0.005,
+        burst_enter=0.02,
+        burst_exit=0.25,
+        burst_loss=0.30,
+    ),
+}
+
+
+def named_profile(name: str, rtt: Optional[float] = None) -> NetemConfig:
+    """Resolve a :data:`WAN_PROFILES` entry, optionally pinned to an RTT.
+
+    With ``rtt`` the profile's base one-way delay is replaced by
+    ``rtt / 2`` (jitter, loss and burst behaviour are kept) — this is how
+    the sweep harness walks one profile across the 0–400 ms axis.
+    """
+    profile = WAN_PROFILES.get(name)
+    if profile is None:
+        raise ValueError(
+            f"unknown netem profile {name!r}; choose from {sorted(WAN_PROFILES)}"
+        )
+    if rtt is None:
+        return profile
+    from dataclasses import replace
+
+    return replace(profile, delay=rtt / 2.0)
 
 
 class LinkScheduler:
@@ -84,11 +161,23 @@ class LinkScheduler:
         self.rng = rng
         self._last_delivery = float("-inf")
         self._rate_free_at = 0.0
+        #: Gilbert–Elliott state: True while the link is in its bad state.
+        self._bursting = False
 
     def plan(self, now: float, size: int) -> "DeliveryPlan":
         """Decide what happens to a packet entering the link at ``now``."""
         cfg = self.config
-        if cfg.loss and self.rng.random() < cfg.loss:
+        if cfg.burst_enter:
+            # Advance the two-state chain once per packet (Netem gemodel).
+            if self._bursting:
+                if self.rng.random() < cfg.burst_exit:
+                    self._bursting = False
+            elif self.rng.random() < cfg.burst_enter:
+                self._bursting = True
+        loss = cfg.loss
+        if self._bursting:
+            loss = min(1.0, loss + cfg.burst_loss)
+        if loss and self.rng.random() < loss:
             return DeliveryPlan(times=[], dropped=True)
 
         times = [self._one_delivery(now, size)]
@@ -110,8 +199,14 @@ class LinkScheduler:
             # Netem semantics: a "reordered" packet skips the delay queue.
             delivery = now + queue_delay
         else:
-            jitter = self.rng.uniform(-cfg.jitter, cfg.jitter) if cfg.jitter else 0.0
-            delivery = now + queue_delay + max(0.0, cfg.delay + jitter)
+            base_delay = cfg.delay
+            jitter_span = cfg.jitter
+            if self._bursting:
+                # Bad state: the queue bloated — everything rides behind it.
+                base_delay += cfg.burst_delay
+                jitter_span += cfg.burst_jitter
+            jitter = self.rng.uniform(-jitter_span, jitter_span) if jitter_span else 0.0
+            delivery = now + queue_delay + max(0.0, base_delay + jitter)
             # Preserve FIFO for the normal path.
             delivery = max(delivery, self._last_delivery)
             self._last_delivery = delivery

@@ -104,6 +104,11 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
         True,
         "Bytes copied by shadow-to-speculative restores",
     ),
+    "policy_switches": (
+        "counter",
+        True,
+        "Committed lockstep/rollback mode switches (consistency policy)",
+    ),
     "state_serves": ("counter", True, "Late-join savestates served"),
     "state_serve_bytes": ("counter", True, "Savestate bytes served to joiners"),
     "state_acquire_bytes": (
@@ -122,6 +127,16 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
         "Own frames not yet acked by the slowest peer",
     ),
     "local_lag_frames": ("gauge", False, "Local lag (BufFrame) in effect"),
+    "buf_frame_current": (
+        "gauge",
+        False,
+        "Live BufFrame after adaptive tuning (mirrors local_lag_frames)",
+    ),
+    "predict_hit_ratio": (
+        "gauge",
+        False,
+        "Fraction of speculated frames whose input prediction held up",
+    ),
     "rtt_seconds": ("gauge", False, "Smoothed round-trip estimate"),
     "frame_number": ("gauge", False, "Current frame counter"),
     "adjust_time_delta_seconds": (

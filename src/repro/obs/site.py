@@ -81,6 +81,12 @@ class SiteMetrics:
         self.state_serves = r.counter("state_serves")
         self.state_serve_bytes = r.counter("state_serve_bytes")
         self.state_acquire_bytes = r.counter("state_acquire_bytes")
+        # Adaptive consistency (ISSUE-9): committed lockstep↔rollback
+        # switches, the predictor's hit ratio (mirrored from
+        # RollbackStats) and the live local lag the tuner settled on.
+        self.policy_switches = r.counter("policy_switches")
+        self.predict_hit_ratio = r.gauge("predict_hit_ratio")
+        self.buf_frame_current = r.gauge("buf_frame_current")
         # Mirrored from the sync layer's own stats at snapshot time.
         self.sync_sent = r.counter("sync_sent")
         self.sync_received = r.counter("sync_received")
@@ -186,6 +192,10 @@ class SiteMetrics:
         self.lag_changes.set_total(stats.lag_changes)
         self.pacer_overruns.set_total(runtime.pacer.stats.overruns)
         self.local_lag_frames.set(lockstep.local_lag_frames)
+        self.buf_frame_current.set(lockstep.local_lag_frames)
+        rollback_stats = getattr(runtime, "rollback_stats", None)
+        if rollback_stats is not None:
+            self.predict_hit_ratio.set(rollback_stats.predict_hit_ratio)
         self.rtt_seconds.set(runtime.rtt.rtt)
         self.frame_number.set(runtime.frame)
         self.adjust_time_delta.set(runtime.pacer.adjust_time_delta)

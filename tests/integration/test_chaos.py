@@ -170,3 +170,82 @@ def test_fault_matrix_is_seed_independent(seed):
         partition_heal_schedule(start=2.0, duration=2.0), seed=seed
     )
     assert result.passed, result.problems
+
+
+class TestPartitionDuringSwitch:
+    """A partition landing on the lockstep→rollback handshake: the switch
+    must abort cleanly (old mode keeps running), then complete after the
+    heal — and the whole session still matches a never-switched twin."""
+
+    def run_partitioned_switch(self, seed=11):
+        from repro.core.inputs import PadSource, RandomSource
+        from repro.core.multisite import (
+            build_session,
+            site_address,
+            two_player_plan,
+        )
+        from repro.core.config import SyncConfig
+        from repro.core.policy import build_adaptive_session
+        from repro.emulator.machine import create_game
+        from repro.net.netem import named_profile
+
+        netem = named_profile("wan-120", rtt=0.200)
+
+        def sources():
+            return [PadSource(RandomSource(seed + s), s) for s in (0, 1)]
+
+        # The first RTT samples land ~0.2 s in and the policy proposes on
+        # the next flush (~0.21 s); its SWITCH_REQ is in flight when the
+        # link dies at 0.25 s, so the request *arrives* but every ack is
+        # blackholed mid-handshake.  The 1.75 s outage stays inside the
+        # liveness budget so neither site drops the other.
+        schedule = FaultSchedule(
+            partitions=[Partition(0.25, 2.0, (0,), (1,))]
+        )
+        session = build_adaptive_session(
+            lambda: create_game("counter"),
+            sources(),
+            netem,
+            frames=240,
+            seed=seed,
+            game_id="counter",
+        )
+        schedule.apply_link_faults(
+            session.network, {s: site_address(s) for s in (0, 1)}, [0, 1]
+        )
+        session.run(horizon=600.0)
+
+        plan = two_player_plan(
+            SyncConfig(),
+            machine_factory=lambda: create_game("counter"),
+            sources=sources(),
+            game_id="counter",
+            max_frames=240,
+            seed=seed,
+        )
+        twin = build_session(plan, netem)  # same links, no partition
+        twin.run(horizon=600.0)
+        return session, twin
+
+    def test_switch_aborts_then_completes_after_heal(self):
+        session, _ = self.run_partitioned_switch()
+        for vm in session.vms:
+            kinds = [entry[0] for entry in vm.switch_log]
+            # At least one proposal died in the partition, and the engine
+            # stayed in its old mode rather than half-switching...
+            assert "abort" in kinds
+            # ...then a post-heal proposal carried the switch through.
+            assert kinds[-1] == "commit"
+            assert kinds.index("abort") < kinds.index("commit")
+            assert vm.mode_name == "rollback"
+            assert vm.policy_switch_count >= 1
+
+    def test_no_desync_and_twin_equality_across_abort(self):
+        from repro.metrics.recorder import ConsistencyChecker
+
+        session, twin = self.run_partitioned_switch()
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+        assert (
+            traces[0].checksums == twin.vms[0].runtime.trace.checksums
+        )

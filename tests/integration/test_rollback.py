@@ -115,28 +115,116 @@ class TestLatencyAndCost:
             assert stats.speculation_stalls > 0
 
 
-class TestValidation:
-    def test_nonzero_lag_config_rejected(self):
-        from repro.core.inputs import InputAssignment
-        from repro.core.vm import SitePeer, SiteRuntime
-        from repro.net.simnet import SimNetwork
-        from repro.sim.eventloop import EventLoop
+class TestPredictorProperties:
+    """Property: whatever a predictor guesses — well or badly — the
+    confirmed shadow converges bit-identical to a pure lockstep run of the
+    same input traces.  Predictions may only ever cost replay work."""
 
-        loop = EventLoop()
-        network = SimNetwork(loop)
-        runtime = SiteRuntime(
-            config=SyncConfig(buf_frame=6),
-            site_no=0,
-            assignment=InputAssignment.standard(2),
-            machine=create_game("counter"),
-            source=PadSource(ScriptedSource({}), 0),
-            peers=[SitePeer(0, "site0"), SitePeer(1, "site1")],
+    @pytest.mark.parametrize("predictor", ["naive", "repeat-last", "heuristic"])
+    @pytest.mark.parametrize("seed", [3, 17, 40])
+    def test_any_trace_converges_to_lockstep(self, predictor, seed):
+        from repro.core.multisite import build_session, two_player_plan
+
+        frames = 180
+
+        def sources(s):
+            return [
+                PadSource(RandomSource(s, toggle_p=0.10), 0),
+                PadSource(RandomSource(s + 1, toggle_p=0.10), 1),
+            ]
+
+        speculated = build_rollback_session(
+            game_factory=lambda: create_game("counter"),
+            sources=sources(seed),
+            netem=NetemConfig(delay=0.060, jitter=0.010, loss=0.05),
+            frames=frames,
+            seed=seed,
+            predictor=predictor,
         )
+        speculated.run(horizon=600.0)
+        traces = [vm.runtime.trace for vm in speculated.vms]
+        assert ConsistencyChecker().verify_traces(traces) == frames
+
+        plan = two_player_plan(
+            SyncConfig(buf_frame=0),
+            machine_factory=lambda: create_game("counter"),
+            sources=sources(seed),
+            game_id="counter",
+            max_frames=frames,
+            seed=seed,
+        )
+        lockstep = build_session(plan, NetemConfig(delay=0.010))
+        lockstep.run(horizon=600.0)
+        assert (
+            speculated.vms[0].runtime.trace.checksums
+            == lockstep.vms[0].runtime.trace.checksums
+        )
+
+    def test_unknown_predictor_rejected(self):
+        from repro.core.rollback import make_predictor
+
         with pytest.raises(ValueError):
-            RollbackVM(
-                loop,
-                network,
-                runtime,
-                max_frames=10,
-                spec_machine=create_game("counter"),
-            )
+            make_predictor("oracle")
+
+    def test_heuristic_decays_impulse_but_holds_directions(self):
+        from repro.core.rollback import HeuristicPredictor
+
+        predictor = HeuristicPredictor(impulse_hold=2)
+        # Site 1 last seen at frame 10 holding RIGHT (bit 3) + button A
+        # (bit 4) in player 1's byte.
+        bits = (0b0001_1000) << 8
+        predictor.observe(1, 10, bits, confirmed=False)
+        assert predictor.predict(1, 11) == bits  # inside the hold
+        assert predictor.predict(1, 12) == bits
+        decayed = predictor.predict(1, 13)  # past the hold: A released
+        assert decayed == (0b0000_1000) << 8
+
+
+class TestLagHandOver:
+    """A rollback engine may now *accept* a non-zero ``buf_frame`` — the
+    adaptive policy hands over sessions mid-lag — draining it to zero
+    through the slot mapping instead of raising (the pre-policy behaviour
+    was a hard ``ValueError``)."""
+
+    def test_laggy_config_drains_and_stays_consistent(self):
+        session = build_rollback_session(
+            game_factory=lambda: create_game("counter"),
+            sources=[
+                PadSource(RandomSource(21, toggle_p=0.08), 0),
+                PadSource(RandomSource(22, toggle_p=0.08), 1),
+            ],
+            netem=NetemConfig(delay=0.020),
+            frames=240,
+            seed=21,
+            config=SyncConfig(buf_frame=6),
+        )
+        session.run(horizon=600.0)
+        traces = [vm.runtime.trace for vm in session.vms]
+        assert ConsistencyChecker().verify_traces(traces) == 240
+        for vm in session.vms:
+            lockstep = vm.runtime.lockstep
+            # The lag was zeroed at construction (exactly one resize)...
+            assert lockstep.local_lag_frames == 0
+            assert lockstep.stats.lag_changes == 1
+            # ...and the pre-filled window has fully drained by the end.
+            assert lockstep.lag_drain_remaining(vm.runtime.frame) == 0
+
+    def test_drain_preserves_zero_lag_for_fresh_frames(self):
+        """After the drain window passes, presses land in their own frame
+        again (`local_inputs_dropped` stops growing)."""
+        session = build_rollback_session(
+            game_factory=lambda: create_game("counter"),
+            sources=[
+                PadSource(RandomSource(31, toggle_p=0.08), 0),
+                PadSource(RandomSource(32, toggle_p=0.08), 1),
+            ],
+            netem=NetemConfig(delay=0.020),
+            frames=120,
+            seed=31,
+            config=SyncConfig(buf_frame=4),
+        )
+        session.run(horizon=600.0)
+        for vm in session.vms:
+            stats = vm.runtime.lockstep.stats
+            # Exactly the pre-buffered window is dropped, nothing more.
+            assert stats.local_inputs_dropped == 4

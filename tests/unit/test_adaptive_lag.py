@@ -111,6 +111,88 @@ class TestConvergenceUnderLagChanges:
         assert delivered_a == delivered_b
 
 
+class TestLagTunerHysteresis:
+    """The live-RTT tuner (``repro.core.policy.LagTuner``) between the
+    estimator and ``set_local_lag``: jitter must not oscillate the lag."""
+
+    def make_tuner(self, **overrides):
+        from repro.core.policy import LagTuner
+
+        return LagTuner(SyncConfig(adaptive_lag=True, **overrides))
+
+    def test_first_change_is_immediate(self):
+        tuner = self.make_tuner()
+        # RTT 200 ms → one-way 0.1 → ceil((0.1 + 0.035)·60) = 9 frames.
+        assert tuner.propose(0.0, 0.100, current=6) == 9
+
+    def test_no_change_proposed_at_target(self):
+        tuner = self.make_tuner()
+        assert tuner.propose(0.0, 0.100, current=9) is None
+
+    def test_monotone_ramp_changes_at_most_once_per_window(self):
+        tuner = self.make_tuner(adaptive_window_s=1.0)
+        current = 6
+        changes = []
+        # RTT ramps monotonically 40→400 ms over 4 s of 20 ms samples.
+        steps = 200
+        for i in range(steps):
+            now = i * 0.020
+            one_way = (0.040 + (0.400 - 0.040) * i / steps) / 2
+            proposed = tuner.propose(now, one_way, current)
+            if proposed is not None:
+                changes.append(now)
+                current = proposed
+        assert len(changes) >= 2  # the ramp does move the lag...
+        # ...but never more than once per hysteresis window (the first,
+        # immediate change may sit close to the second).
+        for earlier, later in zip(changes[1:], changes[2:]):
+            assert later - earlier >= 1.0 - 1e-9
+
+    def test_jitter_inside_deadband_never_changes_lag(self):
+        tuner = self.make_tuner(adaptive_deadband_frames=2)
+        # Converge once...
+        current = tuner.propose(0.0, 0.100, current=6)
+        assert current == 9
+        # ...then wiggle the estimate by ±1 frame's worth forever: the
+        # deadband filters every proposal no matter how much time passes.
+        for i in range(1, 100):
+            one_way = 0.100 + (0.008 if i % 2 else -0.008)
+            assert tuner.propose(i * 10.0, one_way, current) is None
+
+    def test_clamped_to_configured_bounds(self):
+        tuner = self.make_tuner()
+        assert tuner.propose(0.0, 10.0, current=6) == 15  # adaptive_max_buf
+        tuner = self.make_tuner(adaptive_min_buf=4)
+        # Raw target would be ceil(0.035·60) = 3; the floor wins.
+        assert tuner.propose(0.0, 0.0, current=6) == 4
+
+    def test_live_rtt_path_suppresses_oscillation_end_to_end(self):
+        """Session-level: jittery 200 ms RTT must not thrash the lag —
+        a handful of resizes at most, not one per ping."""
+        from repro.core.inputs import PadSource, RandomSource
+        from repro.core.multisite import build_session, two_player_plan
+        from repro.net.netem import NetemConfig
+        from repro.emulator.machine import create_game
+
+        plan = two_player_plan(
+            SyncConfig(adaptive_lag=True, adaptive_window_s=2.0),
+            machine_factory=lambda: create_game("counter"),
+            sources=[
+                PadSource(RandomSource(1), player=0),
+                PadSource(RandomSource(2), player=1),
+            ],
+            game_id="counter",
+            max_frames=300,
+        )
+        session = build_session(
+            plan, NetemConfig.for_rtt(0.200, jitter=0.015)
+        )
+        session.run(horizon=300.0)
+        for vm in session.vms:
+            changes = vm.runtime.lockstep.stats.lag_changes
+            assert 1 <= changes <= 4, f"lag thrashed: {changes} changes"
+
+
 class TestEndToEndAdaptive:
     def test_adaptive_session_converges(self):
         from repro.core.inputs import PadSource, RandomSource

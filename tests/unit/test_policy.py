@@ -1,0 +1,114 @@
+"""Unit tests for the adaptive consistency policy and switch codec."""
+
+import pytest
+
+from repro.core.config import SyncConfig
+from repro.core.messages import (
+    DecodeError,
+    MODE_LOCKSTEP,
+    MODE_ROLLBACK,
+    SwitchAck,
+    SwitchRequest,
+    decode,
+)
+from repro.core.policy import ConsistencyPolicy
+
+
+class FakeRtt:
+    """Just enough of RttEstimator for the policy's reads."""
+
+    def __init__(self, aggregate=0.050, peers=None, samples=1):
+        self.rtt = aggregate
+        self.samples = samples
+        self._peers = peers or {}
+
+    def peer_rtt(self, site):
+        return self._peers.get(site, self.rtt)
+
+
+class TestSwitchCodec:
+    def test_request_roundtrip(self):
+        message = SwitchRequest(
+            sender_site=1, session_id=7, seq=3, mode=MODE_ROLLBACK, frame=120
+        )
+        again = decode(message.encode())
+        assert again == message
+
+    def test_ack_roundtrip(self):
+        message = SwitchAck(sender_site=0, session_id=7, seq=3, mode=MODE_LOCKSTEP)
+        assert decode(message.encode()) == message
+
+    def test_unknown_mode_rejected(self):
+        # body: seq=0, mode=2 (unknown), frame=0
+        with pytest.raises(DecodeError):
+            SwitchRequest._decode_body(0, 1, b"\x00\x02\x00")
+        with pytest.raises(DecodeError):
+            SwitchAck._decode_body(0, 1, b"\x00\x02")
+
+    def test_trailing_bytes_rejected(self):
+        body = SwitchRequest(0, 1, seq=1, mode=1, frame=5)._encode_body()
+        with pytest.raises(DecodeError):
+            SwitchRequest._decode_body(0, 1, body + b"\x00")
+
+
+class TestConsistencyPolicy:
+    def make_policy(self, **overrides):
+        return ConsistencyPolicy(SyncConfig(**overrides))
+
+    def test_no_opinion_without_samples(self):
+        policy = self.make_policy()
+        rtt = FakeRtt(aggregate=0.300, samples=0)
+        assert policy.desired_mode(1.0, rtt, [1], MODE_LOCKSTEP) is None
+
+    def test_degraded_link_demands_rollback(self):
+        policy = self.make_policy()
+        rtt = FakeRtt(peers={1: 0.200})
+        assert policy.desired_mode(1.0, rtt, [1], MODE_LOCKSTEP) == MODE_ROLLBACK
+
+    def test_recovered_link_returns_to_lockstep(self):
+        policy = self.make_policy()
+        rtt = FakeRtt(peers={1: 0.050})
+        assert policy.desired_mode(1.0, rtt, [1], MODE_ROLLBACK) == MODE_LOCKSTEP
+
+    def test_hysteresis_band_holds_current_mode(self):
+        """Between the two thresholds neither mode is urged — a link
+        hovering there never flaps."""
+        policy = self.make_policy()
+        rtt = FakeRtt(peers={1: 0.120})  # between 0.100 and 0.140
+        assert policy.desired_mode(1.0, rtt, [1], MODE_LOCKSTEP) is None
+        assert policy.desired_mode(1.0, rtt, [1], MODE_ROLLBACK) is None
+
+    def test_worst_peer_link_decides(self):
+        """One bad link is enough: lockstep blocks on the slowest peer."""
+        policy = self.make_policy()
+        rtt = FakeRtt(peers={1: 0.040, 2: 0.250})
+        assert (
+            policy.desired_mode(1.0, rtt, [1, 2], MODE_LOCKSTEP) == MODE_ROLLBACK
+        )
+
+    def test_dwell_blocks_immediate_flapping(self):
+        policy = self.make_policy(policy_dwell_s=2.0)
+        bad = FakeRtt(peers={1: 0.200})
+        good = FakeRtt(peers={1: 0.050})
+        assert policy.desired_mode(1.0, bad, [1], MODE_LOCKSTEP) == MODE_ROLLBACK
+        policy.note_transition(1.0)
+        # Recovered immediately — but the dwell holds rollback...
+        assert policy.desired_mode(1.5, good, [1], MODE_ROLLBACK) is None
+        assert policy.desired_mode(2.9, good, [1], MODE_ROLLBACK) is None
+        # ...until it expires.
+        assert policy.desired_mode(3.1, good, [1], MODE_ROLLBACK) == MODE_LOCKSTEP
+
+    def test_aborted_switch_also_arms_dwell(self):
+        """note_transition is called on abort too, so a partitioned site
+        does not spam re-proposals each flush."""
+        policy = self.make_policy(policy_dwell_s=2.0)
+        bad = FakeRtt(peers={1: 0.200})
+        policy.note_transition(5.0)  # an abort
+        assert policy.desired_mode(6.0, bad, [1], MODE_LOCKSTEP) is None
+        assert policy.desired_mode(7.1, bad, [1], MODE_LOCKSTEP) == MODE_ROLLBACK
+
+    def test_config_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            SyncConfig(
+                policy_rollback_above_s=0.080, policy_lockstep_below_s=0.100
+            )
