@@ -256,34 +256,87 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_chaos(args: argparse.Namespace) -> int:
-    """Run the scripted fault-injection scenarios and report PASS/FAIL."""
+#: Scenarios `repro chaos --quick` (the PR gate) runs; the nightly job
+#: runs the full matrix.
+CHAOS_QUICK = ("partition", "crash", "divergence")
+
+
+def _chaos_catalogue() -> dict:
+    """name → (description, run_chaos kwargs) for every chaos scenario."""
     from repro.harness.chaos import (
         abandonment_schedule,
         crash_resume_schedule,
+        divergence_schedule,
+        flap_schedule,
         partition_heal_schedule,
-        run_chaos,
+        resync_config,
+        resync_partition_schedule,
+        transfer_corruption_schedule,
     )
 
-    catalogue = {
+    return {
         "partition": (
             "2s partition, heal, finish in lockstep",
-            partition_heal_schedule(),
-            True,
+            dict(schedule=partition_heal_schedule()),
         ),
         "crash": (
             "crash site 1, restart with RESUME handshake",
-            crash_resume_schedule(),
-            True,
+            dict(schedule=crash_resume_schedule()),
         ),
         "abandon": (
             "crash site 1 forever; survivor must report peer-lost",
-            abandonment_schedule(),
-            False,
+            dict(schedule=abandonment_schedule(), expect_completion=False),
+        ),
+        "divergence": (
+            "memory poke on site 1; digests detect, resync auto-recovers",
+            dict(schedule=divergence_schedule(), config=resync_config()),
+        ),
+        "divergence-authority": (
+            "memory poke on the authority; it heals from its own snapshot",
+            dict(schedule=divergence_schedule(site=0), config=resync_config()),
+        ),
+        "divergence-rollback": (
+            "memory poke under rollback; shadow digests detect and recover",
+            dict(
+                schedule=divergence_schedule(),
+                config=resync_config(buf_frame=0),
+                mode="rollback",
+            ),
+        ),
+        "corruption": (
+            "bit-flips during a resume state transfer; CRC rejects, "
+            "re-request recovers",
+            dict(schedule=transfer_corruption_schedule(), game="pong"),
+        ),
+        "resync-partition": (
+            "partition mid-resync; deadline escalates to terminal desync",
+            dict(
+                schedule=resync_partition_schedule(),
+                config=resync_config(),
+                expect_completion=False,
+                expected_termination="desync",
+            ),
+        ),
+        "flap": (
+            "repeated pokes; the quarantine ladder trips to terminal desync",
+            dict(
+                schedule=flap_schedule(),
+                frames=480,
+                config=resync_config(),
+                expect_completion=False,
+                expected_termination="desync",
+            ),
         ),
     }
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the scripted fault-injection scenarios and report PASS/FAIL."""
+    from repro.harness.chaos import run_chaos
+
+    catalogue = _chaos_catalogue()
     if args.quick:
-        names = ["partition", "crash"]
+        names = list(CHAOS_QUICK)
     elif args.scenario == "all":
         names = list(catalogue)
     else:
@@ -291,25 +344,35 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     failures = 0
     for name in names:
-        description, schedule, expect_completion = catalogue[name]
+        description, kwargs = catalogue[name]
+        kwargs.setdefault("frames", args.frames)
         result = run_chaos(
-            schedule,
-            frames=args.frames,
             seed=args.seed,
-            game=args.game,
-            expect_completion=expect_completion,
+            game=kwargs.pop("game", args.game),
+            artifact_dir=args.artifacts,
+            **kwargs,
         )
         verdict = "PASS" if result.passed else "FAIL"
         faults = sum(
-            1 for e in result.fault_log if e["kind"] in ("link_down", "crash")
+            1
+            for e in result.fault_log
+            if e["kind"] in ("link_down", "crash", "poke", "corrupted")
         )
         print(
             f"{verdict} {name}: {description} "
             f"({faults} faults injected, {len(result.outcomes)} outcomes)"
         )
-        for problem in result.problems:
-            print(f"  {problem}", file=sys.stderr)
-        failures += 0 if result.passed else 1
+        for bundle in result.postmortems:
+            print(f"  postmortem bundle: {bundle}")
+        if not result.passed:
+            failures += 1
+            for problem in result.problems:
+                print(f"  {problem}", file=sys.stderr)
+            print(
+                f"  seed {args.seed}; rerun with: repro chaos "
+                f"--scenario {name} --seed {args.seed}",
+                file=sys.stderr,
+            )
     print(f"\n{len(names) - failures}/{len(names)} chaos scenarios hold")
     return 1 if failures else 0
 
@@ -572,21 +635,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="scripted fault injection: partitions, crashes, resume, "
-        "abandonment — asserts no desync and clean termination",
+        "abandonment, memory corruption, desync recovery — asserts "
+        "recovery (or the intended terminal outcome) and no silent desync",
     )
     chaos.add_argument(
         "--scenario",
-        choices=("all", "partition", "crash", "abandon"),
+        choices=(
+            "all",
+            "partition",
+            "crash",
+            "abandon",
+            "divergence",
+            "divergence-authority",
+            "divergence-rollback",
+            "corruption",
+            "resync-partition",
+            "flap",
+        ),
         default="all",
     )
     chaos.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke: partition + crash/resume only",
+        help=f"CI smoke: {' + '.join(CHAOS_QUICK)} only",
     )
     chaos.add_argument("--game", default="counter")
     chaos.add_argument("--frames", type=int, default=240)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for desync postmortem bundles (written on "
+        "terminal-desync endings)",
+    )
     chaos.set_defaults(fn=cmd_chaos)
 
     sweep = sub.add_parser(

@@ -159,6 +159,32 @@ class SyncConfig:
     #: lag plus two frame periods of pacing slack.
     slo_budget_s: Optional[float] = None
 
+    #: Live divergence detection: every this-many frames each site
+    #: piggybacks a (frame, state checksum) digest on its outbound sync
+    #: flush, so a desync is agreed on within one digest window instead of
+    #: at post-session verification.  ``None`` (the default) disables the
+    #: feature — the digest costs a few bytes per window and the default
+    #: profile is the bandwidth baseline the bench gates against.  Like
+    #: ``timeline``, the knob is *not* part of the config digest: the
+    #: feature negotiates per session (FEATURE_DIGEST in HELLO/START), so
+    #: a digest-enabled site interoperates with a plain v2 peer.
+    state_digest_interval: Optional[int] = None
+
+    #: How long one resync episode (freeze → snapshot transfer → restore →
+    #: catch-up) may take before the engine gives up and terminates with
+    #: ``desync`` (drivers then raise the terminal ``DesyncError`` with a
+    #: postmortem bundle).  Bounds the episode so a partition during
+    #: resync cannot hang the session.
+    resync_deadline_s: float = 10.0
+
+    #: Flap quarantine: more than this many resync episodes starting
+    #: within ``resync_window_s`` escalate to terminal ``desync`` — a
+    #: deterministically-broken game must not resync forever.
+    resync_max_attempts: int = 3
+
+    #: Sliding window for :attr:`resync_max_attempts`, in seconds.
+    resync_window_s: float = 60.0
+
     def __post_init__(self) -> None:
         if self.cfps <= 0:
             raise ValueError(f"cfps must be positive, got {self.cfps}")
@@ -204,6 +230,14 @@ class SyncConfig:
             raise ValueError("policy_switch_timeout_s must be positive")
         if self.slo_budget_s is not None and self.slo_budget_s <= 0:
             raise ValueError("slo_budget_s must be positive or None")
+        if self.state_digest_interval is not None and self.state_digest_interval < 1:
+            raise ValueError("state_digest_interval must be >= 1 or None")
+        if self.resync_deadline_s <= 0:
+            raise ValueError("resync_deadline_s must be positive")
+        if self.resync_max_attempts < 1:
+            raise ValueError("resync_max_attempts must be >= 1")
+        if self.resync_window_s <= 0:
+            raise ValueError("resync_window_s must be positive")
 
     @property
     def time_per_frame(self) -> float:
@@ -230,9 +264,12 @@ class SyncConfig:
     @property
     def features(self) -> int:
         """Wire feature bits this configuration advertises in HELLO."""
-        from repro.core.messages import FEATURE_TIMELINE
+        from repro.core.messages import FEATURE_DIGEST, FEATURE_TIMELINE
 
-        return FEATURE_TIMELINE if self.timeline else 0
+        bits = FEATURE_TIMELINE if self.timeline else 0
+        if self.state_digest_interval is not None:
+            bits |= FEATURE_DIGEST
+        return bits
 
     @classmethod
     def paper_defaults(cls) -> "SyncConfig":

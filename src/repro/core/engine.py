@@ -55,6 +55,8 @@ monotonically non-decreasing clock per engine.
 from __future__ import annotations
 
 import random
+import zlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Tuple, Union
 
@@ -63,6 +65,7 @@ from repro.core.inputs import InputAssignment, InputSource
 from repro.core.liveness import PeerLiveness
 from repro.core.lockstep import LockstepSync
 from repro.core.messages import (
+    FEATURE_DIGEST,
     FEATURE_TIMELINE,
     MAX_BATCH_BYTES,
     DecodeError,
@@ -70,6 +73,7 @@ from repro.core.messages import (
     Ping,
     Pong,
     Resume,
+    StateDigest,
     StateRequest,
     StateSnapshot,
     SwitchAck,
@@ -82,6 +86,7 @@ from repro.core.messages import (
     stamp_ticks,
     uvarint_len,
 )
+from repro.core.resync import DigestTracker, Divergence, ResyncLadder
 from repro.core.pacing import FramePacer
 from repro.core.rtt import ClockAlign, RttEstimator, from_micros
 from repro.core.session import SessionControl, SessionError
@@ -188,8 +193,26 @@ class SiteRuntime:
         self.switch_acks: Dict[int, int] = {}
         #: Lazily-built hysteretic lag tuner (``repro.core.policy``).
         self._lag_tuner = None
-        #: Latest received savestate (consumed by the late-join engine).
+        #: Latest received savestate (consumed by the late-join engine and
+        #: the resync slave path).
         self.latest_snapshot: Optional[StateSnapshot] = None
+        #: Live divergence detection (ISSUE-10): folds the periodic state
+        #: digests into agreement/divergence facts.  Built whenever the
+        #: config enables digests; *used* only once FEATURE_DIGEST is
+        #: granted for the session (``digest_active``).
+        self.digests: Optional[DigestTracker] = (
+            DigestTracker(site_no, config.state_digest_interval)
+            if config.state_digest_interval is not None
+            else None
+        )
+        #: Retained savestates at the last few digest frames — the
+        #: authority serves resyncs from these, and every site rewinds its
+        #: own machine from them.  Bounded to ``RETAIN_WINDOWS`` entries.
+        self.digest_snapshots: "OrderedDict[int, bytes]" = OrderedDict()
+        #: Divergences proven since the engine last looked (drained by
+        #: ``SiteEngine`` once per pump).
+        self.pending_divergences: List[Divergence] = []
+        self._pending_resync: Optional[Tuple[int, int]] = None
 
     @property
     def timeline_negotiated(self) -> bool:
@@ -197,6 +220,15 @@ class SiteRuntime:
         the precondition for emitting STAMPs and extended pongs (a plain
         v2 peer's decoder rejects any batch containing an unknown type)."""
         return bool(self.session.session_features & FEATURE_TIMELINE)
+
+    @property
+    def digest_active(self) -> bool:
+        """True when FEATURE_DIGEST was granted for this session — the
+        precondition for recording/sending state digests (same
+        interoperability argument as :attr:`timeline_negotiated`)."""
+        return self.digests is not None and bool(
+            self.session.session_features & FEATURE_DIGEST
+        )
 
     # ------------------------------------------------------------------
     # Receive path (shared by all drivers)
@@ -329,7 +361,13 @@ class SiteRuntime:
                     <= self.lockstep.last_rcv_frame[message.sender_site]
                 )
             ):
-                self._pending_resume = message.sender_site
+                if message.resync_frame is not None:
+                    self._pending_resync = (
+                        message.sender_site,
+                        message.resync_frame,
+                    )
+                else:
+                    self._pending_resume = message.sender_site
             else:
                 self.events.emit(
                     "resume_reject",
@@ -337,7 +375,28 @@ class SiteRuntime:
                     self.frame,
                     peer=message.sender_site,
                     claimed=message.last_acked_frame,
+                    resync=message.resync_frame,
                 )
+        elif isinstance(message, StateDigest):
+            if (
+                message.session_id == self.session_id
+                and message.sender_site in self.peer_sites
+                and self.digests is not None
+            ):
+                divergence = self.digests.on_peer_digest(
+                    message.sender_site, message.frame, message.checksum
+                )
+                self.lockstep.retain_floor = self.digests.retain_floor()
+                if divergence is not None:
+                    self.pending_divergences.append(divergence)
+                    self.events.emit(
+                        "digest_mismatch",
+                        now,
+                        self.frame,
+                        peer=divergence.peer,
+                        at=divergence.frame,
+                        agreed=divergence.agreed,
+                    )
         elif isinstance(message, SwitchRequest):
             # Validated like RESUME: right session, known peer.  The mode
             # itself is the announcer's local choice (its lag/speculation
@@ -468,6 +527,34 @@ class SiteRuntime:
             out.append((self.rtt.make_ping(now), self.address_of[site]))
         return out
 
+    def digest_messages(self, now: float) -> List[Tuple[Message, str]]:
+        """Freshly recorded state digests, one copy per peer (piggybacked
+        on the flush: they coalesce into the same BATCH as the SYNC)."""
+        if not self.digest_active:
+            return []
+        entries = self.digests.drain_outbox()
+        if not entries:
+            return []
+        return self._digest_fanout(entries, now)
+
+    def digest_retransmits(self, now: float) -> List[Tuple[Message, str]]:
+        """Unagreed digests re-sent while a resync episode is open."""
+        if not self.digest_active:
+            return []
+        return self._digest_fanout(self.digests.unagreed(), now)
+
+    def _digest_fanout(
+        self, entries: List[Tuple[int, int]], now: float
+    ) -> List[Tuple[Message, str]]:
+        out: List[Tuple[Message, str]] = []
+        for frame, checksum in entries:
+            message = StateDigest(self.site_no, self.session_id, frame, checksum)
+            body_cost = len(message._encode_body()) + 2  # + batch member header
+            for site in self.peer_sites:
+                self.metrics.digest_bytes_tx.inc(body_cost)
+                out.append((message, self.address_of[site]))
+        return out
+
     def _adapt_lag(self, now: float) -> None:
         """Resize local lag to the current one-way estimate (§4.2's rejected
         alternative, implemented for the ablation).
@@ -502,6 +589,11 @@ class SiteRuntime:
     def take_resume_request(self) -> Optional[int]:
         """Pop the pending authenticated RESUME request (site number)."""
         request, self._pending_resume = self._pending_resume, None
+        return request
+
+    def take_resync_request(self) -> Optional[Tuple[int, int]]:
+        """Pop the pending resync request: (site number, anchor frame)."""
+        request, self._pending_resync = self._pending_resync, None
         return request
 
     # ------------------------------------------------------------------
@@ -581,15 +673,56 @@ class SiteRuntime:
     def run_transition(self, merged_input: int, stall: float, sync_adjust: float) -> None:
         """Transition + present: step the machine and record the trace."""
         self.machine.step(merged_input)
+        checksum = self.machine.checksum()
         self.trace.record_frame(
             merged_input,
-            self.machine.checksum(),
+            checksum,
             stall,
             sync_adjust,
             lag=self.lockstep.local_lag_frames,
         )
         self.metrics.on_commit(stall, sync_adjust)
+        self.note_own_digest(self.frame, checksum)
         self.frame += 1
+
+    def replay_transition(self, merged_input: int, now: float) -> None:
+        """One frame of resync replay: like :meth:`run_transition` but
+        without the commit histograms (replayed frames were already
+        counted when they first executed) and with a synthetic begin
+        record so the trace arrays stay aligned."""
+        self.trace.record_begin(now)
+        self.machine.step(merged_input)
+        checksum = self.machine.checksum()
+        self.trace.record_frame(
+            merged_input,
+            checksum,
+            stall=0.0,
+            sync_adjust=0.0,
+            lag=self.lockstep.local_lag_frames,
+        )
+        self.note_own_digest(self.frame, checksum)
+        self.frame += 1
+
+    def note_own_digest(self, frame: int, checksum: int) -> None:
+        """Record a digest frame: retain a savestate, queue the digest for
+        the flush, settle any stashed peer digests for this frame.
+
+        No-op off digest frames or while FEATURE_DIGEST is not granted.
+        The caller passes the checksum it already computed for the trace,
+        so digest frames cost one extra ``save_state`` and nothing else.
+        """
+        tracker = self.digests
+        if tracker is None or not tracker.is_digest_frame(frame):
+            return
+        if not self.digest_active:
+            return
+        self.digest_snapshots[frame] = self.machine.save_state()
+        while len(self.digest_snapshots) > DigestTracker.RETAIN_WINDOWS:
+            self.digest_snapshots.popitem(last=False)
+        found = tracker.record_own(frame, checksum)
+        self.lockstep.retain_floor = tracker.retain_floor()
+        if found:
+            self.pending_divergences.extend(found)
 
     def end_frame(self, now: float) -> float:
         """EndFrameTiming: Algorithm 3; returns the wait the driver owes."""
@@ -753,6 +886,8 @@ TIMER_FRAME = "frame"  # EndFrameTiming wait / frame-loop start delay
 TIMER_LINGER = "linger"  # linger-phase poll
 TIMER_BACKOFF = "backoff"  # suspended-phase retransmission (exp backoff)
 TIMER_RESUME = "resume-deadline"  # suspended-phase give-up deadline
+TIMER_RESYNC = "resync"  # resync-episode retransmission tick
+TIMER_RESYNC_DEADLINE = "resync-deadline"  # episode give-up deadline
 
 PHASE_IDLE = "idle"
 PHASE_HANDSHAKE = "handshake"
@@ -765,6 +900,7 @@ PHASE_DONE = "done"
 # Variant-engine phases (kept here so `phase` values stay one namespace):
 PHASE_CATCHUP = "catchup"  # rollback: confirming in-flight frames
 PHASE_ACQUIRE = "acquire"  # late join: waiting for a state snapshot
+PHASE_RESYNC = "resync"  # desync recovery: frozen, restoring the anchor
 
 
 #: Standalone-datagram overhead estimate for budget accounting: magic +
@@ -825,6 +961,11 @@ class SiteEngine:
     #: SyncInput re-poll period while blocked; bounds how long a site waits
     #: when a wakeup was lost (the peer's pump re-sends every 20 ms anyway).
     SYNC_POLL = 0.004
+
+    #: Resync-episode retransmission period: unagreed digests (both roles)
+    #: and the snapshot re-request (slave) go out at this cadence until the
+    #: episode closes or its deadline fires.
+    RESYNC_TICK = 0.1
 
     def __init__(
         self,
@@ -888,6 +1029,18 @@ class SiteEngine:
         self._backoff = runtime.config.suspend_backoff_initial_s
         self._handshake_deadline: Optional[float] = None
         self._liveness_mark = runtime.liveness.mark
+
+        #: Desync recovery (ISSUE-10): episode budget plus the live
+        #: episode's bookkeeping (anchor frame, frozen frame, role).
+        self._resync_ladder = ResyncLadder(
+            runtime.config.resync_max_attempts,
+            runtime.config.resync_window_s,
+        )
+        self._resync_anchor = -1
+        self._resync_frozen = 0
+        self._resync_started = 0.0
+        self._resync_restored = False
+        self._resync_peer: Optional[int] = None
 
         #: Outbox: (message, destination) pairs queued during the current
         #: pump.  ``_flush_outbox`` drains it exactly once per pump —
@@ -999,6 +1152,8 @@ class SiteEngine:
                 break
             del self._timers[kind]
             self._on_timer(kind, now, effects)
+        if not self.done:
+            self._check_divergence(now, effects)
         if not self.done:
             self._advance(now, effects)
         self._flush_outbox(now, effects)
@@ -1213,6 +1368,26 @@ class SiteEngine:
         elif kind == TIMER_LINGER:
             if self.phase == PHASE_LINGER:
                 self._set(TIMER_LINGER, now + 0.05, effects)
+        elif kind == TIMER_RESYNC:
+            if self.phase == PHASE_RESYNC:
+                # Episodes must survive loss: re-send every digest not yet
+                # known-agreed (idempotent to fold twice), and a slave still
+                # waiting on its snapshot re-requests it.
+                self._outbox.extend(self.runtime.digest_retransmits(now))
+                if not self._resync_restored and not self._is_resync_authority():
+                    self._request_resync(now)
+                self._set(TIMER_RESYNC, now + self.RESYNC_TICK, effects)
+        elif kind == TIMER_RESYNC_DEADLINE:
+            if self.phase == PHASE_RESYNC:
+                self.runtime.events.emit(
+                    "resync_timeout",
+                    now,
+                    self.runtime.frame,
+                    anchor=self._resync_anchor,
+                    waited=now - self._resync_started,
+                    restored=self._resync_restored,
+                )
+                self._terminate("desync", now, effects)
 
     def _arm_send(self, now: float, effects: List[Effect]) -> None:
         """The paper's batching sender: flush every ``send_interval``, with
@@ -1229,6 +1404,7 @@ class SiteEngine:
         self._outbox.extend(self.runtime.control_messages(now))
         if self.runtime.session.started:
             self._outbox.extend(self.runtime.sync_broadcast(now=now))
+            self._outbox.extend(self.runtime.digest_messages(now))
 
     # ------------------------------------------------------------------
     # Phase machine
@@ -1247,16 +1423,22 @@ class SiteEngine:
             # A donor stalled on a crashed peer must still answer that
             # peer's RESUME — the snapshot is what unblocks the gate.
             self._service_resume(now, effects)
-            if self._check_gate(now, effects):
+            self._service_resync(now, effects)
+            if self.phase == PHASE_GATE and self._check_gate(now, effects):
                 self._frame_cycle(now, effects)
         elif self.phase == PHASE_SUSPENDED:
             self._service_resume(now, effects)
-            if self.runtime.lockstep.can_deliver():
+            self._service_resync(now, effects)
+            if self.phase == PHASE_SUSPENDED and self.runtime.lockstep.can_deliver():
                 # The partition healed (sync traffic resumed) or the
                 # resumed peer's replayed inputs arrived: back to the gate.
                 self._exit_suspended(now, effects)
                 if self._check_gate(now, effects):
                     self._frame_cycle(now, effects)
+        elif self.phase == PHASE_RESYNC:
+            self._service_resume(now, effects)
+            self._service_resync(now, effects)
+            self._advance_resync(now, effects)
         elif self.phase == PHASE_LINGER:
             self._maybe_finish_linger(now, effects)
 
@@ -1368,6 +1550,11 @@ class SiteEngine:
         if request is not None:
             self._serve_state(request, effects, now=now)
         self._service_resume(now, effects)
+        self._service_resync(now, effects)
+        if self.phase == PHASE_RESYNC:
+            # Serving the request opened an episode (a peer proved a
+            # divergence we had not yet seen): the loop is frozen now.
+            return False
         deadline = self.runtime.end_frame_deadline(now)
         if self._frames_done():
             self._enter_linger(now, effects)
@@ -1476,6 +1663,331 @@ class SiteEngine:
         self._serve_state(request, effects, now=now)
 
     # ------------------------------------------------------------------
+    # Desync recovery (ISSUE-10): detect → freeze → resync → escalate
+    # ------------------------------------------------------------------
+    def _resync_authority(self) -> int:
+        """The site that serves resync snapshots: lowest site number.
+
+        Deterministic and stateless, so both ends of a divergence pick the
+        same authority without negotiation.  With one divergent pair this
+        is always a site holding the true timeline *or* provably-agreed
+        state at the anchor (agreement at the anchor frame means both
+        machines were bit-identical there).
+        """
+        runtime = self.runtime
+        return min([runtime.site_no] + runtime.peer_sites)
+
+    def _is_resync_authority(self) -> bool:
+        return self._resync_authority() == self.runtime.site_no
+
+    def _check_divergence(self, now: float, effects: List[Effect]) -> None:
+        """Drain proven divergences; open a resync episode when eligible."""
+        runtime = self.runtime
+        if not runtime.pending_divergences:
+            return
+        if self.phase == PHASE_RESYNC:
+            # Already recovering.  The tracker raised ``max_divergent`` as
+            # it proved these, so the open episode's exit threshold already
+            # covers them.
+            runtime.pending_divergences.clear()
+            return
+        if (
+            self.phase in (PHASE_LINGER, PHASE_CATCHUP, PHASE_DONE)
+            or self.frames_complete
+        ):
+            # Too late to matter: every frame has executed, and the
+            # post-session verifier will report the divergence in full.
+            runtime.pending_divergences.clear()
+            return
+        if self.phase not in (
+            PHASE_GATE,
+            PHASE_FRAME_WAIT,
+            PHASE_COMPUTE,
+            PHASE_SUSPENDED,
+        ):
+            return  # handshake / acquire: keep pending until the loop runs
+        divergence = runtime.pending_divergences[0]
+        runtime.pending_divergences.clear()
+        runtime.events.emit(
+            "desync",
+            now,
+            runtime.frame,
+            peer=divergence.peer,
+            at=divergence.frame,
+            agreed=divergence.agreed,
+            own=divergence.own_checksum,
+            theirs=divergence.peer_checksum,
+        )
+        self._enter_resync(divergence.peer, now, effects)
+
+    def _enter_resync(
+        self, peer: int, now: float, effects: List[Effect]
+    ) -> None:
+        """Freeze presentation and open a recovery episode.
+
+        The authority restores immediately from its own retained anchor
+        savestate; a slave requests the authority's copy and restores when
+        it arrives.  Both stay in ``PHASE_RESYNC`` (re-sending unagreed
+        digests) until agreement has been re-established past every known
+        divergence, so a successful episode ends with *proof* of identity,
+        not just a transfer.
+        """
+        runtime = self.runtime
+        runtime.metrics.desync_detected.inc()
+        if not self._resync_ladder.begin_episode(now):
+            runtime.events.emit(
+                "resync_quarantine",
+                now,
+                runtime.frame,
+                episodes=len(self._resync_ladder.episodes),
+                window_s=runtime.config.resync_window_s,
+            )
+            self._terminate("desync", now, effects)
+            return
+        anchor = runtime.digests.last_agreed
+        if anchor < 0:
+            # No digest ever agreed: there is no trustworthy state anywhere
+            # to restore from (divergence from frame 0, or total digest
+            # loss).  Escalate straight to the terminal outcome.
+            runtime.events.emit("resync_no_anchor", now, runtime.frame)
+            self._terminate("desync", now, effects)
+            return
+        runtime.metrics.resync_attempts.inc()
+        was_suspended = self.phase == PHASE_SUSPENDED
+        for kind in (
+            TIMER_GATE,
+            TIMER_COMPUTE,
+            TIMER_FRAME,
+            TIMER_BACKOFF,
+            TIMER_RESUME,
+        ):
+            self._clear(kind)
+        if was_suspended:
+            # Suspension parked the frame-rate pumps; the episode needs
+            # them back (digests and the snapshot ride the normal flush).
+            self._arm_send(now, effects)
+            self._set(TIMER_PING, now + runtime.config.ping_interval, effects)
+        self._resync_anchor = anchor
+        self._resync_frozen = runtime.frame
+        self._resync_started = now
+        self._resync_peer = peer
+        self.phase = PHASE_RESYNC
+        self._set(TIMER_RESYNC, now + self.RESYNC_TICK, effects)
+        self._set(
+            TIMER_RESYNC_DEADLINE,
+            now + runtime.config.resync_deadline_s,
+            effects,
+        )
+        runtime.events.emit(
+            "resync_begin",
+            now,
+            runtime.frame,
+            anchor=anchor,
+            frozen=self._resync_frozen,
+            authority=self._resync_authority(),
+        )
+        if self._is_resync_authority():
+            state = runtime.digest_snapshots.get(anchor)
+            if state is None:
+                # Retention slipped — the anchor should be at most
+                # RETAIN_WINDOWS digest frames old.  Nothing to restore
+                # from; fail fast rather than hang the episode.
+                runtime.events.emit(
+                    "resync_no_snapshot", now, runtime.frame, anchor=anchor
+                )
+                self._terminate("desync", now, effects)
+                return
+            self._resync_restore(state, anchor, now)
+            self._resync_restored = True
+        else:
+            self._resync_restored = False
+            self._request_resync(now)
+
+    def _request_resync(self, now: float) -> None:
+        """Slave → authority: RESUME upgraded with the anchor frame."""
+        runtime = self.runtime
+        authority = self._resync_authority()
+        destination = runtime.address_of.get(authority)
+        if destination is None:
+            return
+        message = Resume(
+            runtime.site_no,
+            runtime.session_id,
+            last_acked_frame=runtime.lockstep.last_ack_frame[authority],
+            resync_frame=self._resync_anchor,
+        )
+        runtime.events.emit(
+            "resync_request",
+            now,
+            runtime.frame,
+            peer=authority,
+            anchor=self._resync_anchor,
+        )
+        self._outbox.append((message, destination))
+
+    def _service_resync(self, now: float, effects: List[Effect]) -> None:
+        """Authority side: answer a resync-RESUME with the anchor savestate.
+
+        Serving does *not* open an episode here: the authority's own
+        lifecycle is driven by its own digest comparisons.  A request can
+        arrive while the authority never observed the mismatch (it healed
+        itself already, or one-directional digest loss hid the divergence
+        from it) — it just serves the retained copy at the requested frame
+        and keeps playing; the lockstep gate naturally stalls it while the
+        slave is frozen.  The snapshot is the *retained* copy — captured
+        when that frame executed, i.e. before any rewind — CRC-protected
+        end to end.
+        """
+        request = self.runtime.take_resync_request()
+        if request is None:
+            return
+        requester, anchor = request
+        runtime = self.runtime
+        if not self._is_resync_authority():
+            runtime.events.emit(
+                "resync_reject",
+                now,
+                runtime.frame,
+                peer=requester,
+                anchor=anchor,
+                error="not authority",
+            )
+            return
+        state = runtime.digest_snapshots.get(anchor)
+        if state is None:
+            runtime.events.emit(
+                "resync_reject",
+                now,
+                runtime.frame,
+                peer=requester,
+                anchor=anchor,
+                error="anchor not retained",
+            )
+            return
+        snapshot = StateSnapshot(
+            sender_site=runtime.site_no,
+            session_id=runtime.session_id,
+            frame=anchor,
+            state=state,
+            backlog=[[] for _ in range(runtime.lockstep.num_sites)],
+            state_crc=zlib.crc32(state),
+        )
+        runtime.metrics.on_state_served(len(state))
+        runtime.events.emit(
+            "resync_serve",
+            now,
+            runtime.frame,
+            peer=requester,
+            anchor=anchor,
+            bytes=len(state),
+        )
+        destination = runtime.address_of.get(requester)
+        if destination is not None:
+            self._outbox.append((snapshot, destination))
+
+    def _advance_resync(self, now: float, effects: List[Effect]) -> None:
+        """One step of the open episode: restore if the snapshot arrived,
+        replay toward the frozen frame, exit once agreement catches up.
+
+        The exit check runs *before* the restore logic: when the peer was
+        the divergent party, agreement catches up through its re-recorded
+        digests and this (clean) site finishes without ever restoring —
+        the snapshot it requested is then stale and must not be applied
+        (by exit time the prune floor may have passed the anchor)."""
+        runtime = self.runtime
+        if (
+            runtime.frame >= self._resync_frozen
+            and runtime.digests.agreement_caught_up()
+        ):
+            self._finish_resync(now, effects)
+            return
+        if not self._resync_restored:
+            snapshot = runtime.latest_snapshot
+            if snapshot is None:
+                return
+            runtime.latest_snapshot = None
+            if snapshot.frame != self._resync_anchor:
+                return  # stale (an earlier episode or a late-join leftover)
+            if runtime.digests.last_agreed > snapshot.frame:
+                # Agreement advanced past the anchor while the snapshot was
+                # in flight: our timeline is validated at a newer frame, so
+                # restoring backwards is wrong (and the inputs below the
+                # new agreement floor may already be pruned).
+                return
+            if not snapshot.crc_ok():
+                # Corrupted in flight: reject and re-request (the RESYNC
+                # tick re-sends the RESUME; the authority re-serves).
+                runtime.metrics.state_crc_errors.inc()
+                runtime.events.emit(
+                    "state_crc_error",
+                    now,
+                    runtime.frame,
+                    peer=snapshot.sender_site,
+                    at=snapshot.frame,
+                )
+                return
+            self._resync_restore(snapshot.state, snapshot.frame, now)
+            self._resync_restored = True
+        self._resync_progress(now)
+        if (
+            runtime.frame >= self._resync_frozen
+            and runtime.digests.agreement_caught_up()
+        ):
+            self._finish_resync(now, effects)
+
+    def _resync_restore(self, state: bytes, anchor: int, now: float) -> None:
+        """Rewind everything frame-indexed to ``anchor`` and replay forward
+        from locally retained inputs (``retain_floor`` guaranteed they were
+        never pruned, so no network retransmission is involved)."""
+        runtime = self.runtime
+        runtime.machine.load_state(bytes(state))
+        runtime.trace.truncate_after(anchor)
+        runtime.digests.rewind(anchor)
+        runtime.lockstep.rewind_delivery(anchor)
+        runtime.frame = anchor + 1
+        runtime.events.emit(
+            "resync_restore",
+            now,
+            runtime.frame,
+            anchor=anchor,
+            frozen=self._resync_frozen,
+        )
+        self._resync_replay(now)
+
+    def _resync_replay(self, now: float) -> None:
+        """Re-execute restored-over frames up to (not including) the frozen
+        frame; the frozen frame itself re-enters via the normal gate."""
+        runtime = self.runtime
+        lockstep = runtime.lockstep
+        while runtime.frame < self._resync_frozen and lockstep.can_deliver():
+            runtime.replay_transition(lockstep.deliver(), now)
+
+    def _resync_progress(self, now: float) -> None:
+        """Advance the replay (hook: the rollback engine re-confirms its
+        shadow timeline here instead)."""
+        self._resync_replay(now)
+
+    def _finish_resync(self, now: float, effects: List[Effect]) -> None:
+        """Agreement re-established past every divergence: thaw the loop."""
+        runtime = self.runtime
+        elapsed = now - self._resync_started
+        runtime.metrics.resync_success.inc()
+        runtime.metrics.resync_seconds.inc(elapsed)
+        self._clear(TIMER_RESYNC)
+        self._clear(TIMER_RESYNC_DEADLINE)
+        runtime.events.emit(
+            "resync_done",
+            now,
+            runtime.frame,
+            anchor=self._resync_anchor,
+            took=elapsed,
+        )
+        self._resync_anchor = -1
+        self._resync_peer = None
+        effects.append(Resumed(runtime.frame, elapsed))
+        self._frame_cycle(now, effects)
+
+    # ------------------------------------------------------------------
     # Hooks (overridden by rollback / late-join engines)
     # ------------------------------------------------------------------
     def _try_ready(self, now: float) -> Optional[int]:
@@ -1525,12 +2037,14 @@ class SiteEngine:
                     backlog.append(
                         lockstep.ibuf.range_for(site, snapshot_frame + 1, last)
                     )
+            state = runtime.machine.save_state()
             snapshot = StateSnapshot(
                 sender_site=runtime.site_no,
                 session_id=runtime.session_id,
                 frame=snapshot_frame,
-                state=runtime.machine.save_state(),
+                state=state,
                 backlog=backlog,
+                state_crc=zlib.crc32(state),
             )
             self.snapshot_cache[requester_site] = snapshot
             effects.append(ServeState(requester_site, snapshot.frame))

@@ -122,6 +122,19 @@ class LateJoinEngine(SiteEngine):
             snapshot = runtime.latest_snapshot
             if snapshot is None:
                 return
+            if not snapshot.crc_ok():
+                # Corrupted in flight: drop it and let the request timer
+                # re-ask the donor (whose cache re-serves the same frame).
+                runtime.latest_snapshot = None
+                runtime.metrics.state_crc_errors.inc()
+                runtime.events.emit(
+                    "state_crc_error",
+                    now,
+                    runtime.frame,
+                    peer=snapshot.sender_site,
+                    at=snapshot.frame,
+                )
+                return
             runtime.machine.load_state(snapshot.state)
             runtime.metrics.on_state_acquired(len(snapshot.state))
             runtime.events.emit(

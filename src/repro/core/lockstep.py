@@ -109,6 +109,12 @@ class LockstepSync:
         self._cell_width = cell_width(self._cell_mask)
         self._enc_base: Optional[int] = None
         self._enc_cells = bytearray()
+        #: Desync recovery (FEATURE_DIGEST): pruning never passes this
+        #: frame, so a resync restore at the last digest-agreed frame can
+        #: re-deliver everything after it from the local buffer.  The
+        #: engine advances it as digest agreement advances; ``None`` (the
+        #: default) leaves the paper's pruning rule untouched.
+        self.retain_floor: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -390,6 +396,8 @@ class LockstepSync:
         else:
             min_acked = self.ibuf_pointer - 1
         floor = min(self.ibuf_pointer, min_acked + 1)
+        if self.retain_floor is not None and floor > self.retain_floor:
+            floor = self.retain_floor
         self.stats.pruned_frames += self.ibuf.prune_below(floor)
         self._trim_encode_cache(floor)
 
@@ -533,6 +541,30 @@ class LockstepSync:
                     self.last_rcv_frame[site] = max(
                         self.last_rcv_frame[site], snapshot_frame + len(inputs)
                     )
+
+    def rewind_delivery(self, frame: int) -> None:
+        """Move the delivery pointer back to re-deliver from ``frame`` on.
+
+        The desync-recovery rewind: after restoring a snapshot at the last
+        digest-agreed frame, delivery restarts at the frame after it.  The
+        buffered inputs are still present — :attr:`retain_floor` (which the
+        engine keeps at the digest agreement point) prevented pruning —
+        so this only moves the pointer; receive/ack vectors, the encode
+        cache and every peer's view of *our* inputs are untouched (our own
+        input history did not change, only our machine state did).
+        """
+        target = frame + 1
+        if target > self.ibuf_pointer:
+            raise ValueError(
+                f"rewind_delivery({frame}) is ahead of the delivery "
+                f"pointer {self.ibuf_pointer}"
+            )
+        if target < self.ibuf.floor:
+            raise ValueError(
+                f"cannot rewind to frame {target}: inputs below "
+                f"{self.ibuf.floor} were pruned (retain floor not held?)"
+            )
+        self.ibuf_pointer = target
 
     def resume_from_snapshot(
         self, snapshot_frame: int, backlog: Optional[List[List[int]]] = None

@@ -44,6 +44,7 @@ lag is disabled.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, List, Optional, Tuple, Type
 
@@ -65,6 +66,13 @@ _MIN_HEADER = 5  # magic(2) + version/type(1) + sender(>=1) + session(>=1)
 #: the field, and feature-dependent traffic (stamped SYNC, extended
 #: PONG) is only emitted toward peers that negotiated it.
 FEATURE_TIMELINE = 0x01
+
+#: Live divergence detection: both sites periodically piggyback a
+#: STATE_DIGEST (frame, state checksum) on their sync flushes so a desync
+#: is agreed on within one digest window.  Negotiated because the digest
+#: is a distinct message type riding the shared BATCH container — a
+#: pre-digest decoder would reject the whole datagram on the unknown id.
+FEATURE_DIGEST = 0x02
 
 #: Stamp timestamps are carried in coarse ticks so the annotation stays
 #: 2–4 bytes for session-length clock values (64 µs resolution is two
@@ -795,6 +803,10 @@ class StateSnapshot(Message):
     state: bytes
     #: backlog[site] = donor's buffered inputs for frames frame+1, frame+2, …
     backlog: List[List[int]] = field(default_factory=list)
+    #: CRC32 of ``state`` (optional-trailing: pre-integrity encoders omit
+    #: it; receivers that find it verify before loading and re-request the
+    #: transfer on mismatch instead of poisoning their machine).
+    state_crc: Optional[int] = None
 
     def _encode_body(self) -> bytes:
         out = bytearray()
@@ -806,6 +818,8 @@ class StateSnapshot(Message):
             append_uvarint(out, len(inputs))
             for word in inputs:
                 append_uvarint(out, word)
+        if self.state_crc is not None:
+            append_uvarint(out, self.state_crc)
         return bytes(out)
 
     @classmethod
@@ -836,8 +850,17 @@ class StateSnapshot(Message):
                 word, offset = read_uvarint(body, offset, "STATE_SNAPSHOT input")
                 inputs.append(word)
             backlog.append(inputs)
+        state_crc: Optional[int] = None
+        if offset < len(body):
+            state_crc, offset = read_uvarint(body, offset, "STATE_SNAPSHOT crc")
         _expect_end(body, offset, "STATE_SNAPSHOT")
-        return cls(sender_site, session_id, frame, state, backlog)
+        return cls(sender_site, session_id, frame, state, backlog, state_crc)
+
+    def crc_ok(self) -> bool:
+        """Whether the carried state matches its CRC (absent CRC passes)."""
+        if self.state_crc is None:
+            return True
+        return zlib.crc32(bytes(self.state)) == self.state_crc
 
 
 @dataclass
@@ -850,6 +873,13 @@ class Resume(Message):
     actually received from it, so the donor validates
     ``last_acked_frame <= LastRcvFrame[sender]``.  ``-1`` means "unknown"
     (a site that lost all state) and always passes.
+
+    The optional-trailing ``resync_frame`` turns the message into a
+    divergence-recovery request: "serve me your retained snapshot at the
+    last digest-agreed frame" (see ``docs/failure-modes.md``).  It rides
+    RESUME because resync *is* a resume — same authentication, same
+    state-transfer path — just anchored at an agreed frame instead of the
+    donor's current one.  Plain resumes encode exactly as before.
     """
 
     TYPE_ID: ClassVar[int] = 11
@@ -857,17 +887,65 @@ class Resume(Message):
     sender_site: int
     session_id: int
     last_acked_frame: int = -1
+    #: Last digest-agreed frame the requester wants the snapshot taken at
+    #: (``None`` for an ordinary crash-recovery resume).
+    resync_frame: Optional[int] = None
 
     def _encode_body(self) -> bytes:
         out = bytearray()
         append_svarint(out, self.last_acked_frame)
+        if self.resync_frame is not None:
+            append_svarint(out, self.resync_frame)
         return bytes(out)
 
     @classmethod
     def _decode_body(cls, sender_site: int, session_id: int, body: bytes) -> "Resume":
         last_acked, offset = read_svarint(body, 0, "RESUME cookie")
+        resync_frame: Optional[int] = None
+        if offset < len(body):
+            resync_frame, offset = read_svarint(body, offset, "RESUME resync frame")
         _expect_end(body, offset, "RESUME")
-        return cls(sender_site, session_id, last_acked)
+        return cls(sender_site, session_id, last_acked, resync_frame)
+
+
+@dataclass
+class StateDigest(Message):
+    """Periodic (frame, state checksum) probe for live divergence detection.
+
+    Both sites emit one per negotiated digest interval, coalesced into the
+    same BATCH datagram as the input-carrying SYNC of that flush (the
+    "piggyback": no extra datagram, ~6 bytes of member overhead).  The
+    receiver compares against its own checksum for the same frame; any
+    mismatch is a proven divergence at or before that frame, and the last
+    matching digest frame is the recovery anchor the resync protocol
+    snapshots at.  Gated by FEATURE_DIGEST — a pre-digest BATCH decoder
+    rejects unknown member types, so the sender must know the peer
+    understands it.
+    """
+
+    TYPE_ID: ClassVar[int] = 15
+
+    sender_site: int
+    session_id: int
+    frame: int = 0
+    checksum: int = 0
+
+    def _encode_body(self) -> bytes:
+        out = bytearray()
+        append_svarint(out, self.frame)
+        append_uvarint(out, self.checksum)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(
+        cls, sender_site: int, session_id: int, body: bytes
+    ) -> "StateDigest":
+        frame, offset = read_svarint(body, 0, "STATE_DIGEST frame")
+        checksum, offset = read_uvarint(body, offset, "STATE_DIGEST checksum")
+        if checksum > 0xFFFFFFFF:
+            raise DecodeError(f"STATE_DIGEST checksum out of range: {checksum}")
+        _expect_end(body, offset, "STATE_DIGEST")
+        return cls(sender_site, session_id, frame, checksum)
 
 
 #: Consistency-mode codes carried by SWITCH_REQ/SWITCH_ACK.
@@ -1034,6 +1112,7 @@ _REGISTRY: Dict[int, Type[Message]] = {
         Pong,
         StateRequest,
         StateSnapshot,
+        StateDigest,
         Bye,
         Resume,
         SwitchRequest,

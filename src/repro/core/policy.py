@@ -54,7 +54,8 @@ lag is held constant; see ``policy_drain_lag``).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.config import SyncConfig
 from repro.core.engine import (
@@ -191,6 +192,9 @@ class AdaptiveEngine(RollbackEngine):
     #: Retransmission period for an unacked SWITCH_REQ.
     SWITCH_RESEND = 0.05
 
+    #: Handshake-history retention (see ``switch_log``).
+    SWITCH_LOG_LIMIT = 256
+
     def __init__(
         self,
         runtime: SiteRuntime,
@@ -221,11 +225,15 @@ class AdaptiveEngine(RollbackEngine):
         self.policy = ConsistencyPolicy(runtime.config)
         #: Committed switches this session (mirrors the metric).
         self.policy_switch_count = 0
-        #: Full handshake history as ``(kind, time, frame, mode, seq)``
-        #: tuples, kind ∈ {propose, abort, commit}.  The event ring is
-        #: bounded and busy sessions evict early records; switches are
-        #: rare enough to keep all of them for tests and post-mortems.
-        self.switch_log: List[Tuple[str, float, int, int, int]] = []
+        #: Recent handshake history as ``(kind, time, frame, mode, seq)``
+        #: tuples, kind ∈ {propose, abort, commit}.  Bounded: a flapping
+        #: link can propose on every policy tick for hours, and an
+        #: unbounded list would grow without limit in a long-lived
+        #: session.  Evictions are counted (``switch_log_evictions``) so
+        #: a post-mortem knows the log is a suffix, not the whole story.
+        self.switch_log: Deque[Tuple[str, float, int, int, int]] = deque(
+            maxlen=self.SWITCH_LOG_LIMIT
+        )
         self._pending_switch: Optional[_PendingSwitch] = None
         #: True while leaving rollback: the gate blocks until every
         #: speculated frame is confirmed, then the mode flips.
@@ -236,6 +244,14 @@ class AdaptiveEngine(RollbackEngine):
     @property
     def mode_name(self) -> str:
         return MODE_NAMES.get(self.mode, str(self.mode))
+
+    def _log_switch(
+        self, kind: str, now: float, frame: int, mode: int, seq: int
+    ) -> None:
+        log = self.switch_log
+        if len(log) == log.maxlen:
+            self.runtime.metrics.switch_log_evictions.inc()
+        log.append((kind, now, frame, mode, seq))
 
     # ------------------------------------------------------------------
     # Mode-dispatched engine hooks
@@ -321,8 +337,8 @@ class AdaptiveEngine(RollbackEngine):
                     mode=pending.mode,
                     seq=pending.seq,
                 )
-                self.switch_log.append(
-                    ("abort", now, runtime.frame, pending.mode, pending.seq)
+                self._log_switch(
+                    "abort", now, runtime.frame, pending.mode, pending.seq
                 )
                 return
             if now >= pending.resend_at:
@@ -352,9 +368,7 @@ class AdaptiveEngine(RollbackEngine):
             mode=mode,
             seq=pending.seq,
         )
-        self.switch_log.append(
-            ("propose", now, runtime.frame, mode, pending.seq)
-        )
+        self._log_switch("propose", now, runtime.frame, mode, pending.seq)
         self._send_switch(pending, now)
 
     def _send_switch(self, pending: _PendingSwitch, now: float) -> None:
@@ -393,6 +407,36 @@ class AdaptiveEngine(RollbackEngine):
             # speculation (see _try_ready), then the mode flips.
             self._settling = True
 
+    # ------------------------------------------------------------------
+    # Desync recovery: dispatch on the live mode.  In lockstep mode the
+    # engine rewinds like a plain SiteEngine, but the rollback frontier
+    # bookkeeping must track the delivery pointer so a later switch (or a
+    # settle in progress) stays coherent.
+    # ------------------------------------------------------------------
+    def _resync_restore(self, state, anchor: int, now: float) -> None:
+        if self.mode == MODE_ROLLBACK:
+            RollbackEngine._resync_restore(self, state, anchor, now)
+        else:
+            SiteEngine._resync_restore(self, state, anchor, now)
+            self._confirmed_count = self.runtime.lockstep.ibuf_pointer
+            self._used_inputs.clear()
+
+    def _resync_progress(self, now: float) -> None:
+        if self.mode == MODE_ROLLBACK:
+            RollbackEngine._resync_progress(self, now)
+        else:
+            SiteEngine._resync_progress(self, now)
+            self._confirmed_count = self.runtime.lockstep.ibuf_pointer
+
+    def _finish_resync(self, now: float, effects: List[Effect]) -> None:
+        if self.mode == MODE_ROLLBACK:
+            # Rebuilds the speculative machine from the healed shadow.
+            RollbackEngine._finish_resync(self, now, effects)
+        else:
+            # The spec machine is stale-but-idle in lockstep mode; a later
+            # switch re-syncs it (_commit_switch) before any speculation.
+            SiteEngine._finish_resync(self, now, effects)
+
     def _finish_switch(self, mode: int, now: float) -> None:
         self._settling = False
         self.mode = mode
@@ -403,9 +447,7 @@ class AdaptiveEngine(RollbackEngine):
         runtime.events.emit(
             "switch_commit", now, runtime.frame, mode=mode
         )
-        self.switch_log.append(
-            ("commit", now, runtime.frame, mode, self._switch_seq)
-        )
+        self._log_switch("commit", now, runtime.frame, mode, self._switch_seq)
 
 
 class AdaptiveVM(RollbackVM):

@@ -385,13 +385,17 @@ class RollbackEngine(SiteEngine):
             merged = lockstep.deliver()
             self._confirmed_count += 1
             runtime.machine.step(merged)
+            checksum = runtime.machine.checksum()
             runtime.trace.record_frame(
                 merged,
-                runtime.machine.checksum(),
+                checksum,
                 stall=0.0,
                 sync_adjust=0.0,
                 lag=0,
             )
+            # Digests sample the *confirmed* timeline only: speculative
+            # frames (and their rollbacks) are invisible to peers.
+            runtime.note_own_digest(frame, checksum)
             self.rollback_stats.confirmed_frames += 1
             used = self._used_inputs.pop(frame, None)
             if used is not None:
@@ -462,6 +466,46 @@ class RollbackEngine(SiteEngine):
         first_bad = self._advance_shadow()
         if first_bad is not None:
             self._rollback_and_replay(first_bad, now)
+
+    # ------------------------------------------------------------------
+    # Desync recovery overrides: the rewind lands on the *shadow* timeline
+    # (the one digests sample); speculation stays frozen at the frontier
+    # and is rebuilt from the healed shadow when the episode closes.
+    # ------------------------------------------------------------------
+    def _resync_restore(self, state, anchor: int, now: float) -> None:
+        runtime = self.runtime
+        # Begin times are indexed by *speculative* frames, which do not
+        # rewind — preserve them across the committed-row truncation.
+        begins = runtime.trace.begin_times[:]
+        runtime.machine.load_state(bytes(state))  # the confirmed shadow
+        runtime.trace.truncate_after(anchor)
+        runtime.trace.begin_times[:] = begins
+        runtime.digests.rewind(anchor)
+        runtime.lockstep.rewind_delivery(anchor)
+        self._confirmed_count = anchor + 1
+        # Speculated-word bookkeeping for the replayed window is void; the
+        # spec rebuild in _finish_resync re-records what it actually uses.
+        self._used_inputs.clear()
+        runtime.events.emit(
+            "resync_restore",
+            now,
+            runtime.frame,
+            anchor=anchor,
+            frozen=self._resync_frozen,
+        )
+        self._resync_progress(now)
+
+    def _resync_progress(self, now: float) -> None:
+        # Re-confirm the shadow from retained inputs; _used_inputs is
+        # empty for the replayed window, so no spec rollback fires here.
+        self._confirm_pending(now)
+
+    def _finish_resync(self, now, effects) -> None:
+        # The speculative machine ran (and kept presenting) the divergent
+        # timeline; rebuild it from the healed shadow and re-speculate the
+        # unconfirmed suffix before the frame loop thaws.
+        self._rollback_and_replay(self.confirmed_frontier + 1, now)
+        super()._finish_resync(now, effects)
 
     # ------------------------------------------------------------------
     # Engine hook overrides

@@ -150,13 +150,13 @@ class Console(Machine):
     def dirty_pages_since(self, mark: int) -> Optional[List[int]]:
         return self.memory.dirty_pages_since(mark)
 
-    def save_delta(self, pages: Optional[Iterable[int]] = None) -> bytes:
+    def _delta_payload(self, pages: Optional[Iterable[int]] = None) -> bytes:
         """CPU state + frame counter + the named memory pages.
 
         Applying the result to a replica of the same lineage whose
         divergence from us is confined to ``pages`` makes it bit-identical
         to us.  ``None`` serializes every page (a full snapshot in delta
-        framing).
+        framing).  The base class CRC-frames this payload end-to-end.
         """
         page_list = sorted(pages) if pages is not None else list(range(NUM_PAGES))
         if page_list and not (0 <= page_list[0] and page_list[-1] < NUM_PAGES):
@@ -174,7 +174,7 @@ class Console(Machine):
             parts.append(bytes(view[start : start + PAGE_SIZE]))
         return b"".join(parts)
 
-    def apply_delta(self, blob: bytes) -> None:
+    def _apply_delta_payload(self, blob: bytes) -> None:
         if bytes(blob[:4]) == Machine._DELTA_FULL_TAG:
             self.load_state(blob[4:])
             return

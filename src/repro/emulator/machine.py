@@ -18,6 +18,7 @@ registered game.
 
 from __future__ import annotations
 
+import struct
 import zlib
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterable, List, Optional
@@ -25,6 +26,37 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 class MachineError(RuntimeError):
     """Raised for machine-level faults (bad ROM, corrupt savestate, ...)."""
+
+
+#: Integrity framing shared by every delta blob: tag, CRC32 of the payload.
+#: Deltas cross process and network boundaries (rollback restores, resync
+#: state transfer), so a flipped bit must be *detected*, not silently
+#: loaded — :func:`verify_delta` raises :class:`MachineError` on mismatch
+#: and the caller re-requests instead of poisoning its machine.
+_DELTA_CRC_HEADER = struct.Struct(">4sI")
+_DELTA_CRC_TAG = b"CRCD"
+
+
+def protect_delta(payload: bytes) -> bytes:
+    """Wrap a delta payload in the CRC integrity frame."""
+    return _DELTA_CRC_HEADER.pack(_DELTA_CRC_TAG, zlib.crc32(payload)) + payload
+
+
+def verify_delta(blob: bytes, name: str = "machine") -> bytes:
+    """Unwrap :func:`protect_delta` framing; raises on corruption."""
+    header = _DELTA_CRC_HEADER.size
+    if len(blob) < header or bytes(blob[:4]) != _DELTA_CRC_TAG:
+        raise MachineError(
+            f"{name}: unrecognized delta framing {bytes(blob[:4])!r}"
+        )
+    (__, expected) = _DELTA_CRC_HEADER.unpack_from(blob, 0)
+    payload = bytes(blob[header:])
+    if zlib.crc32(payload) != expected:
+        raise MachineError(
+            f"{name}: delta CRC mismatch "
+            f"(expected 0x{expected:08x}, got 0x{zlib.crc32(payload):08x})"
+        )
+    return payload
 
 
 class Machine(ABC):
@@ -91,16 +123,31 @@ class Machine(ABC):
 
     def save_delta(self, pages: Optional[Iterable[int]] = None) -> bytes:
         """Serialize enough state to bring a replica whose divergence is
-        confined to ``pages`` back in sync (``None`` ⇒ everything)."""
-        return self._DELTA_FULL_TAG + self.save_state()
+        confined to ``pages`` back in sync (``None`` ⇒ everything).
+
+        The result is CRC-framed end-to-end (:func:`protect_delta`);
+        :meth:`apply_delta` rejects any bit-flip with
+        :class:`MachineError` before touching machine state.  Machines
+        override :meth:`_delta_payload`/:meth:`_apply_delta_payload`, not
+        this pair, so the integrity frame is uniform across games.
+        """
+        return protect_delta(self._delta_payload(pages))
 
     def apply_delta(self, blob: bytes) -> None:
         """Apply :meth:`save_delta` output produced by an identical machine."""
-        if bytes(blob[:4]) != self._DELTA_FULL_TAG:
+        self._apply_delta_payload(verify_delta(blob, self.name))
+
+    def _delta_payload(self, pages: Optional[Iterable[int]] = None) -> bytes:
+        """Game-specific delta body; the default is a tagged full savestate."""
+        return self._DELTA_FULL_TAG + self.save_state()
+
+    def _apply_delta_payload(self, payload: bytes) -> None:
+        """Apply a CRC-verified :meth:`_delta_payload` body."""
+        if bytes(payload[:4]) != self._DELTA_FULL_TAG:
             raise MachineError(
-                f"{self.name}: unrecognized delta header {bytes(blob[:4])!r}"
+                f"{self.name}: unrecognized delta header {bytes(payload[:4])!r}"
             )
-        self.load_state(blob[4:])
+        self.load_state(payload[4:])
 
     # ------------------------------------------------------------------
     def render_text(self) -> str:

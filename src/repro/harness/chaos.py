@@ -2,15 +2,24 @@
 
 Runs a two-site simulated session under a :class:`~repro.net.faults.FaultSchedule`
 — timed partitions/heals, blackouts, one-way link death, per-site crash and
-restart-with-resume — and checks the failure-domain invariants:
+restart-with-resume, state-transfer corruption windows, single-site memory
+pokes — and checks the failure-domain invariants:
 
 * **No desync after heal**: every surviving site's per-frame checksums
   equal an unimpaired twin run over the overlapping frame window.
 * **Bounded memory while partitioned**: the input buffer never grows past
-  the frames a site can legitimately be ahead (its local lag window), no
-  matter how long the partition — the gate stops the producer.
+  the frames a site can legitimately be ahead (its local lag window plus,
+  with digests on, the agreed-frame retention window), no matter how long
+  the partition — the gate stops the producer.
 * **Resume correctness**: a crashed-then-resumed site's post-resume
   checksums equal the twin's (the replayed backlog is bit-identical).
+* **Self-healing desync recovery**: a memory poke must be *detected*
+  within a digest window and auto-recovered — the resynced run's
+  checksums are bit-identical to the unimpaired twin's; unrecoverable
+  episodes (partition during resync, quarantine) must escalate to a
+  terminal ``"desync"`` with a postmortem bundle, not a hang.
+* **Transfer integrity**: corrupted state-transfer chunks are rejected by
+  CRC and re-requested until a clean copy lands.
 * **Clean termination**: a site whose peer never returns finishes with
   ``termination == "peer-lost"`` within ``hard_stall_s + resume_deadline_s``
   instead of hanging.
@@ -23,8 +32,10 @@ The scenarios the ``repro chaos`` CLI exposes are thin presets over
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.config import SyncConfig
 from repro.core.inputs import InputAssignment, PadSource, RandomSource
@@ -33,6 +44,11 @@ from repro.core.multisite import build_session, site_address, two_player_plan
 from repro.core.vm import DistributedVM, SitePeer, SiteRuntime
 from repro.net.faults import FaultSchedule
 from repro.net.netem import NetemConfig
+
+#: Per-site expected endings: ``None`` = every site must finish its
+#: frames; a string = every site must terminate with it; a dict = per-site
+#: (sites not listed must finish).
+ExpectedTermination = Optional[Union[str, Dict[int, str]]]
 
 
 def chaos_config(**overrides: object) -> SyncConfig:
@@ -54,6 +70,18 @@ def chaos_config(**overrides: object) -> SyncConfig:
     )
     base.update(overrides)
     return SyncConfig(**base)  # type: ignore[arg-type]
+
+
+def resync_config(**overrides: object) -> SyncConfig:
+    """:func:`chaos_config` plus live digests and a tight resync budget."""
+    base = dict(
+        state_digest_interval=10,
+        resync_deadline_s=3.0,
+        resync_max_attempts=3,
+        resync_window_s=60.0,
+    )
+    base.update(overrides)
+    return chaos_config(**base)
 
 
 @dataclass
@@ -82,6 +110,8 @@ class ChaosResult:
     ground_truth: Dict[str, int]
     ibuf_high_water: Dict[int, int]
     problems: List[str] = field(default_factory=list)
+    #: Postmortem bundles written for terminal-desync sites (one per run).
+    postmortems: List[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -94,13 +124,26 @@ class ChaosResult:
         raise KeyError((site_no, resumed))
 
 
-def _twin_checksums(
-    frames: int, seed: int, game: str, config: SyncConfig, rtt: float
-) -> List[int]:
-    """Per-frame checksums of the same session with no faults."""
+def _build_chaos_session(
+    frames: int, seed: int, game: str, config: SyncConfig, rtt: float,
+    mode: str,
+):
+    """One simulated session in the requested consistency ``mode``."""
     from repro.emulator.machine import create_game
 
     sources = [PadSource(RandomSource(seed + s), s) for s in (0, 1)]
+    if mode == "rollback":
+        from repro.core.rollback import build_rollback_session
+
+        session = build_rollback_session(
+            lambda: create_game(game),
+            sources,
+            NetemConfig.for_rtt(rtt),
+            frames=frames,
+            seed=seed,
+            config=config,
+        )
+        return session, sources, None
     plan = two_player_plan(
         config,
         machine_factory=lambda: create_game(game),
@@ -109,7 +152,17 @@ def _twin_checksums(
         max_frames=frames,
         seed=seed,
     )
-    session = build_session(plan, NetemConfig.for_rtt(rtt))
+    return build_session(plan, NetemConfig.for_rtt(rtt)), sources, plan
+
+
+def _twin_checksums(
+    frames: int, seed: int, game: str, config: SyncConfig, rtt: float,
+    mode: str = "lockstep",
+) -> List[int]:
+    """Per-frame checksums of the same session with no faults."""
+    session, __, ___ = _build_chaos_session(
+        frames, seed, game, config, rtt, mode
+    )
     session.run()
     return list(session.vms[0].runtime.trace.checksums)
 
@@ -128,6 +181,13 @@ def _checksum_mismatch(outcome: SiteOutcome, twin: List[int]) -> Optional[str]:
     return None
 
 
+def _poke_machine(machine, address: int, mask: int) -> None:
+    """XOR one byte of a live machine's state (the silent-corruption fault)."""
+    blob = bytearray(machine.save_state())
+    blob[address % len(blob)] ^= (mask & 0xFF) or 0x01
+    machine.load_state(bytes(blob))
+
+
 def run_chaos(
     schedule: FaultSchedule,
     frames: int = 240,
@@ -137,28 +197,31 @@ def run_chaos(
     rtt: float = 0.040,
     horizon: float = 600.0,
     expect_completion: bool = True,
+    mode: str = "lockstep",
+    expected_termination: ExpectedTermination = None,
+    artifact_dir: Optional[str] = None,
 ) -> ChaosResult:
     """Run one scripted chaos session and evaluate the invariants.
 
     ``expect_completion=False`` is for abandonment scenarios (a crashed
     peer that never restarts): surviving sites are then required to
     terminate with ``peer-lost`` rather than to finish their frames.
+    ``expected_termination`` generalizes that for the desync-escalation
+    scenarios (see :data:`ExpectedTermination`).  ``mode`` selects the
+    consistency engine (``"lockstep"`` or ``"rollback"``); crash/restart
+    directives are lockstep-only.  When ``artifact_dir`` is given, any
+    terminal-``"desync"`` ending writes a postmortem bundle there.
     """
     from repro.emulator.machine import create_game
 
     config = config if config is not None else chaos_config()
-    twin = _twin_checksums(frames, seed, game, config, rtt)
+    if mode == "rollback" and schedule.crashes:
+        raise ValueError("crash/restart faults are lockstep-only")
+    twin = _twin_checksums(frames, seed, game, config, rtt, mode)
 
-    sources = [PadSource(RandomSource(seed + s), s) for s in (0, 1)]
-    plan = two_player_plan(
-        config,
-        machine_factory=lambda: create_game(game),
-        sources=sources,
-        game_id=game,
-        max_frames=frames,
-        seed=seed,
+    session, sources, plan = _build_chaos_session(
+        frames, seed, game, config, rtt, mode
     )
-    session = build_session(plan, NetemConfig.for_rtt(rtt))
     network, loop = session.network, session.loop
     address_of = {vm.runtime.site_no: site_address(vm.runtime.site_no) for vm in session.vms}
     all_sites = sorted(address_of)
@@ -170,6 +233,16 @@ def run_chaos(
     }
     resumed_vms: List[ResumeVM] = []
     buf = config.buf_frame
+    # Bounded-memory budget: the lockstep gate allows O(buf) of lead (see
+    # _evaluate); digest retention legitimately holds the prune floor back
+    # to the last agreed frame (≤ interval behind, plus the digest's own
+    # round trip), and rollback retains its speculation window on top.
+    interval = config.state_digest_interval or 0
+    ibuf_bound = 3 * buf + 3 + (2 * interval if interval else 0)
+    if mode == "rollback":
+        ibuf_bound += max(
+            vm.engine.speculation_window for vm in session.vms
+        ) + 2 * buf + 10
     #: Highest observed per-site input-buffer size (bounded-memory check),
     #: sampled every 100 ms of simulated time.
     ibuf_high_water: Dict[int, int] = {s: 0 for s in all_sites}
@@ -229,6 +302,22 @@ def run_chaos(
 
         loop.call_at(crash.at, do_crash)
 
+    for poke in schedule.pokes:
+
+        def do_poke(poke=poke) -> None:
+            vm = vm_of.get(poke.site)
+            if vm is None:
+                return
+            # In rollback mode runtime.machine is the confirmed shadow —
+            # the timeline the digests sample — so the poke is detectable
+            # there exactly as in lockstep.
+            _poke_machine(vm.runtime.machine, poke.address, poke.mask)
+            network.log_fault(
+                "poke", site=poke.site, address=poke.address, mask=poke.mask
+            )
+
+        loop.call_at(poke.at, do_poke)
+
     for vm in session.vms:
         vm.start()
     loop.run(until=horizon)
@@ -250,10 +339,35 @@ def run_chaos(
         schedule,
         config,
         frames,
-        buf,
+        ibuf_bound,
         ibuf_high_water,
         expect_completion,
+        expected_termination,
+        network.ground_truth(),
     )
+
+    postmortems: List[str] = []
+    desynced = [out for out in outcomes if out.termination == "desync"]
+    if desynced and artifact_dir is not None:
+        from repro.obs.postmortem import build_postmortem, write_postmortem
+
+        os.makedirs(artifact_dir, exist_ok=True)
+        survivors = [
+            vm for vm in session.vms
+            if vm.runtime.site_no not in crashed_sites
+        ] + list(resumed_vms)
+        bundle = build_postmortem(
+            RuntimeError(
+                "terminal desync at site(s) "
+                + ", ".join(str(out.site_no) for out in desynced)
+            ),
+            survivors,
+        )
+        path = os.path.join(
+            artifact_dir, f"desync-postmortem-seed{seed}.json"
+        )
+        postmortems.append(write_postmortem(bundle, path))
+
     return ChaosResult(
         outcomes=outcomes,
         twin_checksums=twin,
@@ -261,6 +375,7 @@ def run_chaos(
         ground_truth=network.ground_truth(),
         ibuf_high_water=ibuf_high_water,
         problems=problems,
+        postmortems=postmortems,
     )
 
 
@@ -279,6 +394,11 @@ def _outcome_of(vm: DistributedVM, resumed: bool = False) -> SiteOutcome:
     )
 
 
+def _counter(out: SiteOutcome, name: str) -> int:
+    """One counter value from an outcome's registry snapshot."""
+    return int(out.metrics.get("counters", {}).get(name, 0))  # type: ignore[union-attr]
+
+
 def _evaluate(
     outcomes: List[SiteOutcome],
     twin: List[int],
@@ -286,22 +406,37 @@ def _evaluate(
     schedule: FaultSchedule,
     config: SyncConfig,
     frames: int,
-    buf: int,
+    ibuf_bound: int,
     ibuf_high_water: Dict[int, int],
     expect_completion: bool,
+    expected_termination: ExpectedTermination,
+    ground_truth: Dict[str, int],
 ) -> List[str]:
     problems: List[str] = []
     fault_times = [
+        float(entry["t"])
+        for entry in fault_log
+        if entry["kind"] in ("link_down", "crash", "poke", "corrupt_on")
+    ]
+    disruptive_times = [
         float(entry["t"])
         for entry in fault_log
         if entry["kind"] in ("link_down", "crash")
     ]
 
     for out in outcomes:
-        mismatch = _checksum_mismatch(out, twin)
-        if mismatch:
-            problems.append(mismatch)
-        if expect_completion:
+        if isinstance(expected_termination, dict):
+            want = expected_termination.get(out.site_no)
+        elif expected_termination is not None:
+            want = expected_termination
+        elif expect_completion:
+            want = None
+        else:
+            want = "peer-lost"
+        if want is None:
+            mismatch = _checksum_mismatch(out, twin)
+            if mismatch:
+                problems.append(mismatch)
             if not out.finished:
                 problems.append(
                     f"site {out.site_no} finished only "
@@ -309,23 +444,31 @@ def _evaluate(
                     f"(termination={out.termination})"
                 )
         else:
-            if out.termination != "peer-lost":
+            if out.termination != want:
                 problems.append(
                     f"site {out.site_no} terminated with "
-                    f"{out.termination!r}, expected 'peer-lost'"
+                    f"{out.termination!r}, expected {want!r}"
                 )
+            # A site expected to die of desync holds divergent (or frozen
+            # mid-recovery) frames by construction, so the checksum
+            # comparison only applies to clean endings.
+            if want == "peer-lost":
+                mismatch = _checksum_mismatch(out, twin)
+                if mismatch:
+                    problems.append(mismatch)
         # Bounded memory: the gate stops the producer at most buf frames
         # past the delivery pointer.  The buffered window spans at most our
         # own lead (buf) plus the peer's possible lead over us (buf, since
         # its gate needs our inputs) plus the pruning floor's ack lag (a
-        # few in-flight frames, < buf).  The point is the bound is O(buf),
-        # independent of how long the partition lasts.
+        # few in-flight frames, < buf) — plus the digest retention and
+        # speculation terms folded into ``ibuf_bound`` by the caller.  The
+        # point is the bound is O(buf + digest interval + speculation
+        # window), independent of how long the partition lasts.
         high = ibuf_high_water.get(out.site_no, 0)
-        bound = 3 * buf + 3
-        if high > bound:
+        if high > ibuf_bound:
             problems.append(
                 f"site {out.site_no} input buffer grew to {high} frames "
-                f"(> {bound}) while partitioned"
+                f"(> {ibuf_bound}) while partitioned"
             )
         # Telemetry alignment: liveness episodes must follow real faults.
         for record in out.trace:
@@ -337,13 +480,42 @@ def _evaluate(
                         f"t={when:.3f} with no preceding fault in the log"
                     )
 
+    # Self-healing: a memory poke in a run expected to finish must have
+    # been *detected* by the digest layer and *recovered* by a completed
+    # resync — finishing with matching checksums by luck is not enough.
+    if schedule.pokes and expected_termination is None and expect_completion:
+        detected = sum(_counter(out, "desync_detected") for out in outcomes)
+        recovered = sum(_counter(out, "resync_success") for out in outcomes)
+        if not detected:
+            problems.append(
+                "memory poke was injected but no site detected a divergence"
+            )
+        elif not recovered:
+            problems.append(
+                "divergence detected but no resync episode completed"
+            )
+
+    # Transfer integrity: a corruption window must actually have tampered
+    # with at least one state-transfer datagram (otherwise the scenario
+    # proved nothing), and the run's endings above prove the re-request
+    # path recovered from it.
+    if schedule.corruptions and int(ground_truth.get("corrupted", 0)) == 0:
+        problems.append(
+            "corruption window was scheduled but no datagram was corrupted"
+        )
+
     # Fault-attributed degradation: with timeline attribution on, a link
     # fault must surface as SLO breaches, and a partition specifically
     # must be charged to the sender/network side of the pipeline (the
     # held-back inputs show up as encode/wire latency once the link
     # heals), not to some anonymous local stage.
     scored = [out for out in outcomes if out.slo is not None]
-    if scored and fault_times and expect_completion:
+    if (
+        scored
+        and disruptive_times
+        and expect_completion
+        and expected_termination is None
+    ):
         degraded = [out for out in scored if int(out.slo["breaches"]) > 0]  # type: ignore[arg-type]
         if not degraded:
             problems.append(
@@ -385,3 +557,60 @@ def abandonment_schedule(at: float = 2.0, site: int = 1) -> FaultSchedule:
     from repro.net.faults import Crash
 
     return FaultSchedule(crashes=[Crash(at, site, restart_at=None)])
+
+
+def divergence_schedule(at: float = 2.0, site: int = 1) -> FaultSchedule:
+    """Silently corrupt one site's live state; digests must catch it."""
+    from repro.net.faults import MemoryPoke
+
+    return FaultSchedule(pokes=[MemoryPoke(at, site)])
+
+
+def flap_schedule(
+    first: float = 1.5, spacing: float = 1.5, count: int = 4, site: int = 1
+) -> FaultSchedule:
+    """Repeatedly re-corrupt the same site until the quarantine trips."""
+    from repro.net.faults import MemoryPoke
+
+    return FaultSchedule(
+        pokes=[MemoryPoke(first + i * spacing, site) for i in range(count)]
+    )
+
+
+def transfer_corruption_schedule(
+    at: float = 2.0,
+    downtime: float = 1.5,
+    site: int = 1,
+    donor: int = 0,
+    window: float = 1.0,
+) -> FaultSchedule:
+    """Crash/restart with every resume snapshot bit-flipped for a while.
+
+    The restarted site must CRC-reject each corrupted snapshot and keep
+    re-requesting until the window closes and a clean copy lands.
+    """
+    from repro.net.faults import Corruption, Crash
+
+    restart = at + downtime
+    return FaultSchedule(
+        crashes=[Crash(at, site, restart_at=restart)],
+        corruptions=[Corruption(restart, restart + window, donor, site)],
+    )
+
+
+def resync_partition_schedule(
+    poke_at: float = 2.0, partition_at: float = 2.08, site: int = 1
+) -> FaultSchedule:
+    """Poke one site, then partition mid-resync: the episode cannot
+    complete, so the deadline must escalate to a terminal desync.
+
+    ``partition_at`` is tuned to land inside the episode — after the
+    divergent slave's RESUME request goes out (detection is one digest
+    window plus a flush behind the poke) but before the authority's
+    snapshot arrives, so the slave starves waiting for it."""
+    from repro.net.faults import MemoryPoke, Partition
+
+    return FaultSchedule(
+        pokes=[MemoryPoke(poke_at, site)],
+        partitions=[Partition(partition_at, 1e9, (0,), (1,))],
+    )

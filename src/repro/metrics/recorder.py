@@ -56,6 +56,29 @@ class FrameTrace:
     def frames(self) -> int:
         return len(self.checksums)
 
+    def truncate_after(self, frame: int) -> int:
+        """Drop every committed row for frames beyond ``frame``.
+
+        The desync-recovery rewind: after restoring an authority snapshot
+        at the last digest-agreed frame, the rows recorded past it are the
+        *divergent* history and must not survive into post-session
+        verification — re-execution overwrites them with the agreed
+        timeline.  A trailing begun-but-uncommitted ``begin_times`` entry
+        is dropped too (the frame restarts from BeginFrameTiming).
+        Returns the number of committed rows dropped.
+        """
+        keep = max(0, frame - self.first_frame + 1)
+        dropped = len(self.checksums) - keep
+        if dropped < 0:
+            return 0
+        del self.inputs[keep:]
+        del self.checksums[keep:]
+        del self.sync_stall[keep:]
+        del self.sync_adjusts[keep:]
+        del self.lags[keep:]
+        del self.begin_times[keep:]
+        return dropped
+
     def frame_times(self) -> List[float]:
         """Per-frame durations: differences of consecutive begin times.
 

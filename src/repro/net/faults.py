@@ -63,6 +63,38 @@ class Crash:
     restart_at: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class Corruption:
+    """Flip one deterministic bit in every state-transfer datagram on the
+    ``src → dst`` direction during ``[start, end)``.
+
+    Models a path that delivers but mangles large payloads (bad NIC,
+    middlebox bug).  The CRC layer must detect the tamper and the receiver
+    must re-request — the datagram still counts as delivered in the ground
+    truth, so the packet-fate conservation law is unchanged."""
+
+    start: float
+    end: float
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class MemoryPoke:
+    """Silently corrupt one byte of ``site``'s live machine state at ``at``
+    (XOR ``mask`` into ``address``).
+
+    The single-site fault the state-digest layer exists to catch: no
+    message is lost or altered, the replicas simply stop agreeing.  Needs
+    driver cooperation (reaching into a VM's machine), so the schedule only
+    exposes it; :mod:`repro.harness.chaos` executes it."""
+
+    at: float
+    site: int
+    address: int = 0x0100
+    mask: int = 0x01
+
+
 LinkFault = object  # Partition | Blackout | OneWayLinkDown (3.9-friendly)
 
 
@@ -74,6 +106,8 @@ class FaultSchedule:
     blackouts: List[Blackout] = field(default_factory=list)
     one_way: List[OneWayLinkDown] = field(default_factory=list)
     crashes: List[Crash] = field(default_factory=list)
+    corruptions: List[Corruption] = field(default_factory=list)
+    pokes: List[MemoryPoke] = field(default_factory=list)
 
     def all_sites(self) -> List[int]:
         sites = set()
@@ -88,6 +122,10 @@ class FaultSchedule:
             sites.update((o.src, o.dst))
         for c in self.crashes:
             sites.add(c.site)
+        for corr in self.corruptions:
+            sites.update((corr.src, corr.dst))
+        for poke in self.pokes:
+            sites.add(poke.site)
         return sorted(sites)
 
     def horizon(self) -> float:
@@ -105,6 +143,10 @@ class FaultSchedule:
             instants.append(c.at)
             if c.restart_at is not None:
                 instants.append(c.restart_at)
+        for corr in self.corruptions:
+            instants.extend((corr.start, corr.end))
+        for poke in self.pokes:
+            instants.append(poke.at)
         return max(instants)
 
     # ------------------------------------------------------------------
@@ -152,3 +194,8 @@ class FaultSchedule:
             at(o.start, lambda s=src, d=dst: network.set_link_down(s, d, True))
             if o.end is not None:
                 at(o.end, lambda s=src, d=dst: network.set_link_down(s, d, False))
+
+        for corr in self.corruptions:
+            src, dst = address_of[corr.src], address_of[corr.dst]
+            at(corr.start, lambda s=src, d=dst: network.set_corruption(s, d, True))
+            at(corr.end, lambda s=src, d=dst: network.set_corruption(s, d, False))

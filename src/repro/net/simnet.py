@@ -83,6 +83,9 @@ class SimNetwork:
         #: Directions administratively blackholed (chaos faults); packets
         #: sent into a down link count as dropped in the ground truth.
         self._down: set = set()
+        #: Directions under corruption (chaos faults): map of direction →
+        #: set of wire type nibbles whose datagrams get one bit flipped.
+        self._corrupt: Dict[Tuple[Address, Address], set] = {}
         #: Chronological record of every fault applied — partitions, link
         #: deaths, heals, crashes — the reference the chaos tests align the
         #: engines' degraded/suspended trace records against.
@@ -141,6 +144,71 @@ class SimNetwork:
             for b in group_b:
                 self.set_link_down(a, b, partitioned)
                 self.set_link_down(b, a, partitioned)
+
+    #: Wire type nibble of ``StateSnapshot`` (``docs/wire-format.md``) —
+    #: the default corruption target, so a fault window hits the state
+    #: transfer without breaking handshake or sync traffic.
+    SNAPSHOT_TYPE_ID = 9
+
+    def set_corruption(
+        self,
+        src: Address,
+        dst: Address,
+        active: bool = True,
+        type_id: Optional[int] = None,
+    ) -> None:
+        """Start (or stop) flipping one bit in matching ``src → dst`` data.
+
+        While active, every datagram on the direction whose v2 wire header
+        carries ``type_id`` (default: state snapshots) has one
+        deterministically chosen payload bit inverted before delivery.  The
+        datagram still *arrives* — corruption is an integrity fault, not a
+        loss fault — so the packet-fate conservation law is unaffected; a
+        separate ``corrupted`` truth counter records the tampering.
+        """
+        key = (src, dst)
+        nibble = self.SNAPSHOT_TYPE_ID if type_id is None else type_id
+        if active:
+            self._corrupt.setdefault(key, set()).add(nibble)
+        else:
+            types = self._corrupt.get(key)
+            if types is not None:
+                types.discard(nibble)
+                if not types:
+                    del self._corrupt[key]
+        self.log_fault(
+            "corrupt_on" if active else "corrupt_off",
+            src=src,
+            dst=dst,
+            type_id=nibble,
+        )
+
+    def _maybe_corrupt(
+        self, source: Address, destination: Address, payload: bytes
+    ) -> bytes:
+        """Apply the corruption fault, if armed for this direction/type."""
+        types = self._corrupt.get((source, destination))
+        if not types or len(payload) < 4:
+            return payload
+        if payload[0:2] != b"RG" or (payload[2] & 0x0F) not in types:
+            return payload
+        # Deterministic bit choice (a pure function of the payload), biased
+        # away from the first/last bytes so the flip lands in the state
+        # body — exercising the CRC rejection path — rather than producing
+        # a header decode error.  Both outcomes recover identically; this
+        # just makes the scenario observable via ``state_crc_errors``.
+        margin = 64 if len(payload) > 1024 else 0
+        span = (len(payload) - 2 * margin) * 8
+        index = margin * 8 + zlib.crc32(payload) % span
+        mutated = bytearray(payload)
+        mutated[index // 8] ^= 1 << (index % 8)
+        truth = self._link_truth(source, destination)
+        truth.setdefault("corrupted", 0)
+        truth["corrupted"] += 1
+        self.log_fault(
+            "corrupted", src=source, dst=destination, bytes=len(payload)
+        )
+        return bytes(mutated)
 
     def drop_socket(self, address: Address) -> None:
         """Simulate a process crash: close the socket and forget it.
@@ -202,6 +270,7 @@ class SimNetwork:
             truth["duplicated"] += len(plan.times) - 1
             if sender is not None:
                 sender.stats.datagrams_duplicated += len(plan.times) - 1
+        payload = self._maybe_corrupt(source, destination, payload)
         for when in plan.times:
             self.loop.call_at(
                 when, self._make_delivery(source, destination, payload, when)

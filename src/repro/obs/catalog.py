@@ -116,6 +116,41 @@ METRIC_CATALOG: Dict[str, Tuple[str, bool, str]] = {
         True,
         "Savestate bytes loaded when joining late",
     ),
+    "desync_detected": (
+        "counter",
+        True,
+        "Live state-digest mismatches proven against a peer",
+    ),
+    "resync_attempts": (
+        "counter",
+        True,
+        "Desync-recovery episodes opened (freeze + restore + replay)",
+    ),
+    "resync_success": (
+        "counter",
+        True,
+        "Recovery episodes that re-proved bit-identical state",
+    ),
+    "resync_seconds": (
+        "counter",
+        True,
+        "Simulated seconds spent frozen inside recovery episodes",
+    ),
+    "state_crc_errors": (
+        "counter",
+        True,
+        "State-transfer payloads rejected by the end-to-end CRC",
+    ),
+    "digest_bytes_tx": (
+        "counter",
+        True,
+        "Wire bytes spent on state-digest piggybacks",
+    ),
+    "switch_log_evictions": (
+        "counter",
+        True,
+        "Adaptive switch-log entries evicted by the retention cap",
+    ),
     "slo_breaches": (
         "counter",
         True,

@@ -81,6 +81,15 @@ class SiteMetrics:
         self.state_serves = r.counter("state_serves")
         self.state_serve_bytes = r.counter("state_serve_bytes")
         self.state_acquire_bytes = r.counter("state_acquire_bytes")
+        # Desync recovery (ISSUE-10) — rare-path except digest_bytes_tx
+        # (one increment per digest window per peer, ~1 Hz).
+        self.desync_detected = r.counter("desync_detected")
+        self.resync_attempts = r.counter("resync_attempts")
+        self.resync_success = r.counter("resync_success")
+        self.resync_seconds = r.counter("resync_seconds")
+        self.state_crc_errors = r.counter("state_crc_errors")
+        self.digest_bytes_tx = r.counter("digest_bytes_tx")
+        self.switch_log_evictions = r.counter("switch_log_evictions")
         # Adaptive consistency (ISSUE-9): committed lockstep↔rollback
         # switches, the predictor's hit ratio (mirrored from
         # RollbackStats) and the live local lag the tuner settled on.

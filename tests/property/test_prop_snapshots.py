@@ -11,7 +11,7 @@ and checks ``save_state`` equality, which subsumes checksum equality.
 from hypothesis import given, settings, strategies as st
 
 from repro.emulator.cpu import CpuFault
-from repro.emulator.machine import MachineError, create_game
+from repro.emulator.machine import MachineError, create_game, verify_delta
 from repro.emulator.memory import MEMORY_SIZE
 
 import pytest
@@ -133,7 +133,8 @@ def test_fallback_delta_roundtrip_for_python_games(words):
         ours.step(word)
     assert ours.dirty_pages_since(ours.state_mark()) is None
     blob = ours.save_delta()
-    assert blob[:4] == b"FULL"
+    assert blob[:4] == b"CRCD"
+    assert verify_delta(blob)[:4] == b"FULL"
     twin = create_game("brawler")
     twin.apply_delta(blob)
     assert twin.save_state() == ours.save_state()
@@ -148,3 +149,24 @@ def test_apply_delta_rejects_garbage():
     brawler = create_game("brawler")
     with pytest.raises(MachineError):
         brawler.apply_delta(b"RCD1" + b"\x00" * 64)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    words=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=30),
+    bit=st.integers(0, 7),
+    game=st.sampled_from(["pong", "brawler"]),
+    data=st.data(),
+)
+def test_apply_delta_rejects_any_bit_flip(words, bit, game, data):
+    """End-to-end integrity: a single flipped bit anywhere in a delta blob
+    is rejected with MachineError, never silently loaded."""
+    ours = create_game(game)
+    for word in words:
+        ours.step(word)
+    blob = bytearray(ours.save_delta())
+    index = data.draw(st.integers(0, len(blob) - 1))
+    blob[index] ^= 1 << bit
+    twin = create_game(game)
+    with pytest.raises(MachineError):
+        twin.apply_delta(bytes(blob))
